@@ -1,0 +1,36 @@
+"""Ablation — context-switch penalty sensitivity (Observation 2).
+
+Figure 8a's "nearly halved" at 2x oversubscription depends on the
+per-extra-thread penalty κ.  Sweep κ and show the single-domain /
+both-domain ratio at 32 threads: even κ=0 halves it (pure capacity),
+larger κ degrades further.
+"""
+
+import pytest
+
+from repro.core.tables import TABLE1
+from repro.experiments.fig08 import micro_scenario
+from repro.core.runtime import run_scenario
+
+
+def _ratio_at(csw_penalty: float) -> float:
+    def throughput(label: str) -> float:
+        sc = micro_scenario("compress", TABLE1[label], 32)
+        sc.csw_penalty = csw_penalty
+        res = run_scenario(sc)
+        (stream,) = res.streams.values()
+        return stream.stage_gbps["compress"]
+
+    return throughput("A") / throughput("E")
+
+
+@pytest.mark.parametrize("csw", [0.0, 0.04, 0.12])
+def test_oversubscription_ratio(benchmark, csw):
+    ratio = benchmark.pedantic(_ratio_at, args=(csw,), rounds=1, iterations=1)
+    print(f"\nκ={csw}: A/E ratio at 32 threads = {ratio:.3f}")
+    if csw == 0.0:
+        # Pure capacity halving, no overhead.
+        assert ratio == pytest.approx(0.5, abs=0.02)
+    else:
+        assert ratio < 0.5
+        assert ratio == pytest.approx(0.5 * (1 - csw), abs=0.03)

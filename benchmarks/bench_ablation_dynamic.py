@@ -1,0 +1,57 @@
+"""Ablation — the §6 future-work dynamic rebalancer.
+
+Three receiver policies on the Figure-14 workload:
+
+- OS placement (the paper's baseline),
+- OS placement + the topology-aware dynamic rebalancer (this repo's
+  implementation of the paper's future work),
+- the statically planned runtime placement (the paper's system).
+
+The rebalancer should recover most of the gap between OS and planned.
+"""
+
+import pytest
+
+from repro.core.dynamic import DynamicRebalancer
+from repro.core.runtime import SimRuntime
+from repro.experiments.fig14 import multi_stream_scenario
+
+
+def _os_baseline() -> float:
+    rt = SimRuntime(multi_stream_scenario(runtime_placement=False, num_chunks=200))
+    return rt.run().total_delivered_gbps
+
+
+def _os_with_rebalancer() -> float:
+    scenario = multi_stream_scenario(runtime_placement=False, num_chunks=200)
+    rt = SimRuntime(scenario)
+    rebalancer = DynamicRebalancer(
+        rt.engine,
+        rt.schedulers["lynxdtn"],
+        scenario.machines["lynxdtn"],
+        nic_socket=1,
+        interval=0.02,
+    )
+    rebalancer.start()
+    return rt.run().total_delivered_gbps
+
+
+def _planned() -> float:
+    rt = SimRuntime(multi_stream_scenario(runtime_placement=True, num_chunks=200))
+    return rt.run().total_delivered_gbps
+
+
+def test_dynamic_rebalancer_recovers_os_gap(benchmark):
+    def run_all():
+        return _os_baseline(), _os_with_rebalancer(), _planned()
+
+    os_gbps, dyn_gbps, planned_gbps = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    print(
+        f"\nOS: {os_gbps:.1f} | OS+rebalancer: {dyn_gbps:.1f} | "
+        f"planned: {planned_gbps:.1f} Gbps"
+    )
+    assert dyn_gbps > os_gbps * 1.1
+    # Recovers at least 60% of the OS-to-planned gap.
+    assert (dyn_gbps - os_gbps) >= 0.6 * (planned_gbps - os_gbps)

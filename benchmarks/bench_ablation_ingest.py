@@ -1,0 +1,58 @@
+"""Ablation — dedicated ingest cores (a planner design choice).
+
+DESIGN.md §4: the source-reader stage must own its cores; max-min CPU
+sharing with 32 hungry compression threads starves it and throttles the
+whole pipeline.  This bench quantifies that design decision.
+"""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import run_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.hw.topology import CoreId
+
+
+def _scenario(dedicated: bool) -> ScenarioConfig:
+    if dedicated:
+        ingest = PlacementSpec.pinned(
+            [CoreId(s, i) for s in (0, 1) for i in range(12, 16)]
+        )
+        compress = PlacementSpec.pinned(
+            [CoreId(s, i) for s in (0, 1) for i in range(0, 12)]
+        )
+    else:
+        ingest = PlacementSpec.split([0, 1])
+        compress = PlacementSpec.split([0, 1])  # overlaps ingest cores
+    stream = StreamConfig(
+        stream_id="s",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        num_chunks=250,
+        ingest=StageConfig(8, ingest),
+        compress=StageConfig(32, compress),
+        send=StageConfig(8, PlacementSpec.socket(1)),
+        recv=StageConfig(8, PlacementSpec.socket(1)),
+        decompress=StageConfig(16, PlacementSpec.split([0, 1])),
+    )
+    return ScenarioConfig(
+        name=f"ablation-ingest-{dedicated}",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=[stream],
+    )
+
+
+def test_dedicated_ingest_cores_matter(benchmark):
+    def run_both():
+        planned = run_scenario(_scenario(True)).total_delivered_gbps
+        shared = run_scenario(_scenario(False)).total_delivered_gbps
+        return planned, shared
+
+    planned, shared = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\ndedicated ingest: {planned:.1f} Gbps | shared cores: {shared:.1f} Gbps")
+    assert planned >= 1.25 * shared
+    assert planned == pytest.approx(97.0, rel=0.1)

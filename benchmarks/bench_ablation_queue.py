@@ -1,0 +1,43 @@
+"""Ablation — inter-stage queue depth.
+
+The paper's thread-safe queues (Figure 2) bound in-flight chunks.  Depth
+1 serializes adjacent stages (convoy effect); a few chunks of buffering
+recovers full pipelining; very deep queues add nothing but memory.
+"""
+
+import pytest
+
+from repro.core.tables import TABLE3
+from repro.experiments.fig12 import e2e_scenario
+from repro.core.runtime import run_scenario
+
+
+def _throughput(queue_capacity: int) -> float:
+    sc = e2e_scenario(TABLE3["F"], 8, 1)
+    for stream in sc.streams:
+        stream.queue_capacity = queue_capacity
+    res = run_scenario(sc)
+    (stream,) = res.streams.values()
+    return stream.delivered_gbps
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 16])
+def test_queue_depth(benchmark, depth):
+    gbps = benchmark.pedantic(_throughput, args=(depth,), rounds=1, iterations=1)
+    print(f"\nqueue depth {depth}: {gbps:.1f} Gbps")
+    if depth >= 4:
+        assert gbps == pytest.approx(97.0, rel=0.1)
+    if depth == 1:
+        assert gbps < 97.0  # some convoy loss is expected
+
+
+def test_depth_monotone_then_flat(benchmark):
+    def sweep():
+        return [_throughput(d) for d in (1, 2, 4, 16)]
+
+    d1, d2, d4, d16 = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\ndepths 1/2/4/16: {d1:.1f} / {d2:.1f} / {d4:.1f} / {d16:.1f} Gbps")
+    assert d1 <= d2 * 1.02 <= d4 * 1.05
+    # Returns diminish past a few chunks of buffering; very deep queues
+    # can even cost a little by letting work-stealing run bursty.
+    assert d16 == pytest.approx(d4, rel=0.06)

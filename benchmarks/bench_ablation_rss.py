@@ -1,0 +1,52 @@
+"""Ablation — RSS/IRQ steering (the §2.2 mechanism).
+
+The paper's background section explains why NICs spread RX queues over
+cores (RSS) and why softIRQ placement matters.  Quantify it: rerun the
+Figure-5 receiver with the NIC's IRQs pinned to a single core (the
+classic misconfiguration) versus spread.  The single softIRQ core
+saturates at ``softirq_rate`` (≈66 Gbps of wire), capping the whole
+200 Gbps NIC.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runtime import run_scenario
+from repro.experiments.fig05 import placement_cores, streaming_scenario
+
+
+def _throughput(irq_layout: str) -> float:
+    sc = streaming_scenario(16, placement_cores("N1"), num_chunks=20)
+    lynx = sc.machines["lynxdtn"]
+    nics = tuple(
+        dataclasses.replace(n, irq_layout=irq_layout) for n in lynx.nics
+    )
+    sc.machines["lynxdtn"] = dataclasses.replace(lynx, nics=nics)
+    return run_scenario(sc).total_wire_gbps
+
+
+@pytest.mark.parametrize("layout", ["spread", "single"])
+def test_irq_layout(benchmark, layout):
+    gbps = benchmark.pedantic(_throughput, args=(layout,), rounds=1, iterations=1)
+    print(f"\nirq_layout={layout}: {gbps:.1f} Gbps")
+    if layout == "spread":
+        assert gbps == pytest.approx(194.0, rel=0.03)
+    else:
+        # All kernel RX serialized on one core: capped near the
+        # softirq_rate (8.25 GB/s ≈ 66 Gbps).
+        assert gbps <= 70.0
+
+
+def test_rss_spreads_streams_over_queues(benchmark):
+    """Sanity: the hash actually distributes the 16 streams."""
+    from repro.hw.machine import Machine
+    from repro.hw.presets import lynxdtn_spec
+    from repro.sim.engine import Engine
+
+    def count_queues():
+        nic = Machine(Engine(), lynxdtn_spec()).nic()
+        return len({nic.rss_queue(f"p{i}/0") for i in range(16)})
+
+    distinct = benchmark.pedantic(count_queues, rounds=1, iterations=1)
+    assert distinct >= 8

@@ -1,0 +1,51 @@
+"""Codec micro-benchmarks: real (wall-clock) LZ4-family throughput.
+
+Unlike the figure benches (simulated hardware), these measure the actual
+pure-Python codecs on projection data — the numbers that justify why
+live-mode examples default to zlib and why the simulator uses calibrated
+constants instead of measuring Python (DESIGN.md §2).
+"""
+
+import pytest
+
+from repro.compress import get_codec
+from repro.data import SpheresDataset, SpheresPhantom
+
+
+@pytest.fixture(scope="module")
+def projection_payload():
+    ds = SpheresDataset(
+        SpheresPhantom(
+            cylinder_radius=300, cylinder_height=240, volume_fraction=0.2, seed=3
+        ),
+        detector_shape=(240, 256),
+        num_projections=2,
+        seed=3,
+    )
+    return ds.chunk_payload(0)
+
+
+@pytest.mark.parametrize("name", ["lz4", "delta-shuffle-lz4", "zlib"])
+def test_compress_throughput(benchmark, projection_payload, name):
+    codec = get_codec(name)
+    out = benchmark(codec.compress, projection_payload)
+    assert len(out) < len(projection_payload)
+
+
+@pytest.mark.parametrize("name", ["lz4", "delta-shuffle-lz4", "zlib"])
+def test_decompress_throughput(benchmark, projection_payload, name):
+    codec = get_codec(name)
+    compressed = codec.compress(projection_payload)
+    out = benchmark(codec.decompress, compressed)
+    assert out == projection_payload
+
+
+def test_projection_ratio_near_paper(benchmark, projection_payload):
+    """Record the achieved ratio alongside the timing numbers."""
+    codec = get_codec("delta-shuffle-lz4")
+    compressed = benchmark.pedantic(
+        codec.compress, args=(projection_payload,), rounds=1, iterations=1
+    )
+    ratio = len(projection_payload) / len(compressed)
+    print(f"\ndelta-shuffle-lz4 projection ratio: {ratio:.2f} (paper: ~2:1)")
+    assert 1.7 <= ratio <= 2.8

@@ -1,0 +1,12 @@
+"""Figure 5 — receiver throughput vs #processes × NUMA domain (full sweep)."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_throughput_vs_processes(exhibit):
+    result = exhibit(fig05.run, quick=False)
+    data = result.data["results"]
+    # Paper's headline for this figure: 190+ Gbps on the receiver side
+    # and the 15% NUMA-1 advantage below saturation.
+    assert data["8/N1"] / data["8/N0"] >= 1.1
+    assert max(v for k, v in data.items() if k.endswith("N1")) >= 185.0

@@ -1,0 +1,13 @@
+"""Figure 6 — per-core usage maps for streaming configurations."""
+
+from repro.experiments import fig06
+
+
+def test_fig06_core_usage_maps(exhibit):
+    result = exhibit(fig06.run, quick=False)
+    usage = result.data["usage"]
+    # 32P_16c_N0,1 lights up both sockets (at NIC saturation each recv
+    # thread only needs ~0.2 of a core; NUMA-1 cores add softIRQ load).
+    both = usage["32P_16c_N01"]
+    assert any(v > 0.1 for k, v in both.items() if "/s0c" in k)
+    assert any(v > 0.1 for k, v in both.items() if "/s1c" in k)

@@ -1,0 +1,14 @@
+"""Figure 7 — normalized remote-memory-access bandwidth per core."""
+
+from repro.experiments import fig07
+
+
+def test_fig07_remote_access_maps(exhibit):
+    result = exhibit(fig07.run, quick=False)
+    remote = result.data["remote"]
+    # N0 placements pull every received byte across QPI; N1 placements
+    # pull (almost) nothing.
+    n0_total = sum(remote["16P_4c_N0"].values())
+    n1_total = sum(remote["16P_4c_N1"].values())
+    assert n0_total > 3.0
+    assert n1_total <= 0.2

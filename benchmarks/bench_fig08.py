@@ -1,0 +1,16 @@
+"""Figure 8 — compression microbenchmark, Table 1 configs A–H (full sweep)."""
+
+import pytest
+
+from repro.experiments import fig08
+
+
+def test_fig08_compression_scaling(exhibit):
+    result = exhibit(fig08.run, quick=False)
+    data = result.data["results"]
+    # Obs 2's "nearly halved": 32 threads on one socket vs both.
+    assert data["A/32"] / data["E/32"] == pytest.approx(0.48, abs=0.1)
+    # Linear region: 1 -> 16 threads on a domain scales ~16x.
+    assert data["A/16"] / data["A/1"] == pytest.approx(16.0, rel=0.1)
+    # The core maps exist for the paper's 8b panels.
+    assert "A/32t" in result.data["core_maps"]

@@ -1,0 +1,16 @@
+"""Figure 9 — decompression microbenchmark, Table 1 configs A–H (full sweep)."""
+
+import pytest
+
+from repro.experiments import fig09
+
+
+def test_fig09_decompression_scaling(exhibit):
+    result = exhibit(fig09.run, quick=False)
+    data = result.data["results"]
+    # Obs 3: the split configs win at 16 threads ...
+    assert data["E/16"] > data["A/16"]
+    # ... by a LLC/MC-contention margin, not a rounding error.
+    assert data["E/16"] / data["A/16"] >= 1.15
+    # OS packing lands between the single-domain and split configs.
+    assert data["A/16"] < data["G/16"] < data["E/16"]

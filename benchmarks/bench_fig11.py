@@ -1,0 +1,16 @@
+"""Figure 11 — network throughput vs thread count, Table 2 configs A–E."""
+
+import pytest
+
+from repro.experiments import fig11
+
+
+def test_fig11_network_study(exhibit):
+    result = exhibit(fig11.run, quick=False)
+    data = result.data["results"]
+    # One local receive thread sustains ~33 Gbps; remote ~15% less.
+    assert data["D/1"] == pytest.approx(33.0, rel=0.05)
+    assert data["D/1"] / data["A/1"] == pytest.approx(1.15, abs=0.05)
+    # Saturation at ~97 Gbps with 4+ threads for every configuration.
+    for label in "ABCDE":
+        assert data[f"{label}/8"] == pytest.approx(97.0, rel=0.05)

@@ -1,0 +1,16 @@
+"""Figure 12 — single-stream end-to-end, Table 3 configs × receiver domain."""
+
+import pytest
+
+from repro.experiments import fig12
+
+
+def test_fig12_end_to_end(exhibit):
+    result = exhibit(fig12.run, quick=False)
+    data = result.data["results"]
+    # The paper's 2.6X: F/G at 8 threads on NUMA 1 vs the A/B baseline.
+    baseline = data["A/8/N1"]
+    best = max(data["F/8/N1"], data["G/8/N1"])
+    assert baseline == pytest.approx(37.0, rel=0.1)
+    assert best == pytest.approx(97.0, rel=0.1)
+    assert best / baseline == pytest.approx(2.6, rel=0.15)

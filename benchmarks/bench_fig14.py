@@ -1,0 +1,14 @@
+"""Figure 14 — four concurrent streams, runtime vs OS placement."""
+
+import pytest
+
+from repro.experiments import fig14
+
+
+def test_fig14_multistream_headline(exhibit):
+    result = exhibit(fig14.run, quick=False, reps=3)
+    # Paper: runtime 105.41 / 212.95 Gbps; OS 70.98 / 143.3; 1.48X.
+    rt = result.data["runtime"]
+    assert rt["e2e"] == pytest.approx(212.95, rel=0.08)
+    assert rt["wire"] == pytest.approx(105.41, rel=0.12)
+    assert result.data["speedup"] == pytest.approx(1.48, rel=0.15)

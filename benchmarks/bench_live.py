@@ -1,0 +1,79 @@
+"""Live-pipeline macro-benchmarks (real threads, this host).
+
+These record what the *functional* path actually achieves on the test
+host — with the explicit caveat (DESIGN.md §2) that GIL-bound Python
+throughput says nothing about the paper's C-runtime numbers.  Their job
+is regression detection on the live plumbing: a queue or transport
+change that halves goodput shows up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.chunking import Chunk
+from repro.live import LiveConfig, LivePipeline
+from repro.util.rng import make_rng
+
+
+def _chunks(n, size, seed=3):
+    rng = make_rng(seed, "bench-live")
+    payloads = [
+        rng.integers(0, 256, size, dtype=np.uint8).tobytes() for _ in range(4)
+    ]
+    return [
+        Chunk(stream_id="bench", index=i, nbytes=size,
+              payload=payloads[i % len(payloads)])
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("connections", [1, 4])
+def test_live_pipeline_goodput(benchmark, connections):
+    chunks = _chunks(32, 64 * 1024)
+
+    def run():
+        pipe = LivePipeline(
+            LiveConfig(codec="zlib", compress_threads=2,
+                       decompress_threads=2, connections=connections)
+        )
+        report = pipe.run(iter(chunks))
+        assert report.ok, report.errors
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconnections={connections}: "
+          f"{report.goodput_MBps:.1f} MB/s goodput, "
+          f"ratio {report.compression_ratio:.2f}")
+    assert report.chunks == 32
+
+
+def test_live_transport_frame_rate(benchmark):
+    """Raw framed-transport throughput over a socketpair (no codec)."""
+    import threading
+
+    from repro.live.transport import Frame, socket_pipe
+
+    payload = b"x" * (256 * 1024)
+    n = 64
+
+    def run():
+        tx, rx = socket_pipe()
+
+        def send_all():
+            for i in range(n):
+                tx.send(Frame("t", i, payload))
+            tx.close()
+
+        t = threading.Thread(target=send_all, daemon=True)
+        t.start()
+        got = 0
+        while True:
+            f = rx.recv()
+            if f is None:
+                break
+            got += len(f.payload)
+        t.join()
+        return got
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total == n * len(payload)

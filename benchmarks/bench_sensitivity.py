@@ -1,0 +1,20 @@
+"""Sensitivity sweep of the Figure-14 headline (extension exhibit)."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_tornado(exhibit):
+    result = exhibit(sensitivity.run, quick=False)
+    data = result.data["results"]
+    # The attribution claim, numerically: packing off ⇒ speedup gone.
+    assert data["wake_affinity=0"] < data["default"] - 0.2
+    # Penalty constants barely move the headline...
+    for key, value in data.items():
+        if key.startswith(("remote_", "softirq")):
+            assert abs(value - data["default"]) < 0.1, key
+    # ...with one instructive exception: an extreme decompression LLC
+    # factor (8 B/B) chokes even the runtime's 16-threads-on-one-socket
+    # decompression layout, compressing the gap — the only constant
+    # with real leverage on the headline, and still >1.1x.
+    assert data["decompress_llc_factor=8"] >= 1.1
+    assert abs(data["pipeline_efficiency=0.8"] - data["default"]) < 0.25

@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_fig*.py`` regenerates one paper exhibit at full sweep size,
+prints the paper-shaped table (visible with ``-s``), and asserts the
+exhibit's qualitative claims so a regression in the model breaks the
+benchmark run, not just the numbers.
+
+Every benchmark executes its workload exactly once (``pedantic`` with
+one round): these are macro-benchmarks of whole experiment sweeps, not
+micro-timings to be averaged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Run an experiment's `run()` once under the benchmark timer,
+    print its table, and assert its claims."""
+
+    def _run(run_fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_fn(**kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        failed = [k for k, ok in result.claims.items() if not ok]
+        assert not failed, f"claims failed: {failed}"
+        return result
+
+    return _run

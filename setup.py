@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` on this offline host lacks the ``wheel`` package
+needed for PEP 660 editable builds; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` once wheel is available) both
+work through this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

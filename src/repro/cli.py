@@ -1,0 +1,246 @@
+"""Command-line entry points.
+
+``repro-experiment`` regenerates paper exhibits::
+
+    repro-experiment fig12            # one exhibit
+    repro-experiment all --quick      # whole evaluation, reduced sweeps
+
+``repro-live`` runs the real-thread pipeline on this host::
+
+    repro-live --chunks 12 --codec zlib --connections 2
+
+``repro-plan`` / ``repro-run`` are the paper's Figure-4 workflow: the
+configuration generator writes a scenario file; the runtime executes
+it::
+
+    repro-plan --stream det1:updraft1:lynxdtn:aps-lan -o plan.json
+    repro-run plan.json
+    repro-run plan.json --os-baseline   # same counts, OS placement
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+def experiment_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate the paper's figures/tables on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="exhibit id (fig5, fig8, ...) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps, single repetitions"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed: list[str] = []
+    results = {}
+    for name in names:
+        run = get_experiment(name)
+        t0 = time.time()
+        result = run(quick=args.quick, seed=args.seed)
+        results[name] = result
+        print(result.render())
+        print(f"[{name}: {time.time() - t0:.1f}s]")
+        print()
+        if not result.all_claims_hold():
+            failed.append(name)
+    if args.experiment == "all":
+        from repro.experiments.summary import render_summary
+
+        print(render_summary(results))
+    if failed:
+        print(f"FAILED claims in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def live_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-live",
+        description="Run the live (real threads + sockets) pipeline: "
+        "in-process by default, or as a TCP endpoint with "
+        "--listen / --connect (run the receiver first).",
+    )
+    parser.add_argument("--chunks", type=int, default=12)
+    parser.add_argument("--codec", default="zlib")
+    parser.add_argument("--compress-threads", type=int, default=2)
+    parser.add_argument("--decompress-threads", type=int, default=2)
+    parser.add_argument("--connections", type=int, default=2)
+    parser.add_argument(
+        "--detector",
+        default="240x256",
+        help="detector shape ROWSxCOLS (small by default: pure-Python codecs)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="run as the receiving endpoint (the upstream gateway)",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="run as the sending endpoint against a --listen receiver",
+    )
+    args = parser.parse_args(argv)
+    if args.listen and args.connect:
+        parser.error("--listen and --connect are mutually exclusive")
+
+    from repro.data import SpheresDataset, SpheresPhantom
+    from repro.data.chunking import DatasetChunkSource
+
+    rows, cols = (int(x) for x in args.detector.lower().split("x"))
+
+    def make_source():
+        dataset = SpheresDataset(
+            SpheresPhantom(
+                cylinder_radius=300,
+                cylinder_height=240,
+                volume_fraction=0.2,
+                seed=args.seed,
+            ),
+            detector_shape=(rows, cols),
+            num_projections=max(args.chunks, 1),
+            seed=args.seed,
+        )
+        return DatasetChunkSource("live", dataset, limit=args.chunks).chunks()
+
+    if args.listen:
+        from repro.live.remote import ReceiverServer
+
+        host, port = args.listen.rsplit(":", 1)
+        server = ReceiverServer(
+            host or "0.0.0.0",
+            int(port),
+            codec=args.codec,
+            connections=args.connections,
+            decompress_threads=args.decompress_threads,
+        )
+        print(f"listening on {server.address[0]}:{server.address[1]} "
+              f"for {args.connections} connection(s)...")
+        report = server.serve()
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.connect:
+        from repro.live.remote import SenderClient
+
+        host, port = args.connect.rsplit(":", 1)
+        client = SenderClient(
+            host,
+            int(port),
+            codec=args.codec,
+            connections=args.connections,
+            compress_threads=args.compress_threads,
+        )
+        report = client.run(make_source())
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    from repro.live import LiveConfig, LivePipeline
+
+    pipeline = LivePipeline(
+        LiveConfig(
+            codec=args.codec,
+            compress_threads=args.compress_threads,
+            decompress_threads=args.decompress_threads,
+            connections=args.connections,
+        )
+    )
+    report = pipeline.run(make_source())
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def plan_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Generate a NUMA-aware scenario configuration file "
+        "(the paper's runtime configuration generator, Figure 4).",
+    )
+    parser.add_argument(
+        "--stream",
+        action="append",
+        required=True,
+        metavar="ID:SENDER:RECEIVER:PATH",
+        help="stream spec; repeatable. Machines: lynxdtn, updraft1/2, "
+        "polaris1/2. Paths: aps-lan, alcf-aps.",
+    )
+    parser.add_argument("--chunks", type=int, default=250)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--os-baseline",
+        action="store_true",
+        help="emit the OS-placement baseline instead of the NUMA-aware plan",
+    )
+    parser.add_argument("-o", "--output", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+    from repro.core.serialize import save_scenario
+    from repro.experiments.base import paper_testbed
+
+    requests = []
+    for spec in args.stream:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            parser.error(f"bad --stream {spec!r}: want ID:SENDER:RECEIVER:PATH")
+        sid, sender, receiver, path = parts
+        requests.append(
+            StreamRequest(sid, sender, receiver, path, num_chunks=args.chunks)
+        )
+    generator = ConfigGenerator(paper_testbed())
+    workload = Workload(requests, name="cli", seed=args.seed)
+    scenario = (
+        generator.os_baseline(workload)
+        if args.os_baseline
+        else generator.generate(workload)
+    )
+    save_scenario(scenario, args.output)
+    print(f"wrote {scenario.name!r} ({len(scenario.streams)} streams) "
+          f"to {args.output}")
+    return 0
+
+
+def run_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Execute a scenario configuration file on the simulator.",
+    )
+    parser.add_argument("scenario", help="path to a repro-plan JSON file")
+    args = parser.parse_args(argv)
+
+    from repro.core.runtime import run_scenario
+    from repro.core.serialize import load_scenario
+    from repro.util.tables import Table
+
+    scenario = load_scenario(args.scenario)
+    result = run_scenario(scenario)
+    table = Table(
+        headers=["stream", "chunks", "network Gbps", "end-to-end Gbps"],
+        title=f"scenario {result.name!r} ({result.sim_time:.2f}s simulated)",
+    )
+    for sid in sorted(result.streams):
+        s = result.streams[sid]
+        table.add(sid, s.chunks_delivered, round(s.wire_gbps, 2),
+                  round(s.delivered_gbps, 2))
+    table.add("TOTAL", "-", round(result.total_wire_gbps, 2),
+              round(result.total_delivered_gbps, 2))
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(experiment_main())

@@ -1,0 +1,45 @@
+"""Compression substrate.
+
+The paper compresses every chunk with LZ4 (2:1 average on tomographic
+projections).  This package provides:
+
+- :mod:`repro.compress.lz4_block` — a from-scratch, format-correct LZ4
+  *block* compressor/decompressor (pure Python; verified by round-trip
+  property tests and hand-checked vectors);
+- :mod:`repro.compress.xxhash` — xxHash32, needed by the LZ4 frame
+  format's checksums;
+- :mod:`repro.compress.lz4_frame` — the LZ4 *frame* container (magic,
+  descriptor, block sizes, checksums) over the block codec;
+- :mod:`repro.compress.codec` — the codec interface the runtime uses,
+  with LZ4, a zlib-backed codec (C speed, for live demos where pure-
+  Python LZ4 would dominate wall time), and a null codec for ablations.
+
+Simulation never runs a codec on the hot path — it uses calibrated
+throughput constants (:mod:`repro.core.params`) and measured ratios.
+"""
+
+from repro.compress.codec import (
+    Codec,
+    LZ4Codec,
+    NullCodec,
+    ZlibCodec,
+    available_codecs,
+    get_codec,
+)
+from repro.compress.lz4_block import compress_block, decompress_block
+from repro.compress.lz4_frame import compress_frame, decompress_frame
+from repro.compress.xxhash import xxhash32
+
+__all__ = [
+    "Codec",
+    "LZ4Codec",
+    "NullCodec",
+    "ZlibCodec",
+    "available_codecs",
+    "compress_block",
+    "compress_frame",
+    "decompress_block",
+    "decompress_frame",
+    "get_codec",
+    "xxhash32",
+]

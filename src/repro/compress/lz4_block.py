@@ -1,0 +1,226 @@
+"""LZ4 *block* format codec, implemented from the format specification.
+
+Format recap (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md):
+
+A block is a sequence of *sequences*.  Each sequence is::
+
+    token | [literal-length extension] | literals
+          | offset (2B little-endian) | [match-length extension]
+
+- token high nibble = literal count (15 ⇒ extension bytes follow, each
+  adding 255 until a byte < 255 terminates);
+- token low nibble  = match length − 4 (same extension scheme);
+- offset ∈ [1, 65535] points back into already-decoded output;
+- the final sequence carries literals only (no offset);
+- end-of-block rules: the last 5 bytes are always literals, and the last
+  match must start at least 12 bytes before the end of the block.
+
+The compressor is the classic hash-chain-free "LZ4 fast" scheme: a
+hash table over 4-byte prefixes, greedy forward match extension and an
+acceleration skip so incompressible input degrades gracefully.  Pure
+Python — correctness and ratio are the point (simulated throughput uses
+calibrated constants; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import CodecError
+
+MIN_MATCH = 4
+#: Last match must start at least this many bytes before block end.
+MF_LIMIT = 12
+#: The final LAST_LITERALS bytes are always emitted as literals.
+LAST_LITERALS = 5
+MAX_OFFSET = 0xFFFF
+
+_HASH_LOG = 16
+_HASH_SIZE = 1 << _HASH_LOG
+#: Fibonacci hashing multiplier used by reference LZ4 (2654435761).
+_HASH_MULT = 2654435761
+#: After this many failed match probes the scan step grows (acceleration).
+_SKIP_TRIGGER = 6
+
+
+def compress_bound(n: int) -> int:
+    """Worst-case compressed size for ``n`` input bytes (spec formula)."""
+    if n < 0:
+        raise CodecError(f"negative input size {n}")
+    return n + n // 255 + 16
+
+
+def _write_length(out: bytearray, length: int) -> None:
+    while length >= 255:
+        out.append(255)
+        length -= 255
+    out.append(length)
+
+
+def compress_block(data: bytes | bytearray | memoryview, acceleration: int = 1) -> bytes:
+    """Compress ``data`` into an LZ4 block.
+
+    ``acceleration`` ≥ 1 trades ratio for speed by widening the skip
+    step, like the reference ``LZ4_compress_fast``.
+    """
+    if acceleration < 1:
+        raise CodecError("acceleration must be >= 1")
+    src = bytes(data)
+    n = len(src)
+    out = bytearray()
+    if n == 0:
+        # A zero-byte input compresses to a single empty-literal token.
+        out.append(0)
+        return bytes(out)
+    if n < MF_LIMIT + 1:
+        # Too short for any match; emit one literal run.
+        _emit_last_literals(out, src, 0)
+        return bytes(out)
+
+    table: dict[int, int] = {}
+    anchor = 0
+    ip = 0
+    match_limit = n - MF_LIMIT  # last position where a match may start
+    search_count = 0
+    step_shift = _SKIP_TRIGGER + (acceleration - 1)
+
+    while ip < match_limit:
+        seq = int.from_bytes(src[ip : ip + 4], "little")
+        h = ((seq * _HASH_MULT) & 0xFFFFFFFF) >> (32 - _HASH_LOG)
+        candidate = table.get(h)
+        table[h] = ip
+        if (
+            candidate is not None
+            and ip - candidate <= MAX_OFFSET
+            and src[candidate : candidate + 4] == src[ip : ip + 4]
+        ):
+            # Extend the match forward, respecting the end-of-block rule.
+            mlen = 4
+            limit = n - LAST_LITERALS
+            while ip + mlen < limit and src[candidate + mlen] == src[ip + mlen]:
+                mlen += 1
+            # Extend backward over pending literals (improves ratio).
+            while (
+                ip > anchor
+                and candidate > 0
+                and src[ip - 1] == src[candidate - 1]
+            ):
+                ip -= 1
+                candidate -= 1
+                mlen += 1
+            _emit_sequence(out, src, anchor, ip, ip - candidate, mlen)
+            ip += mlen
+            anchor = ip
+            search_count = 0
+        else:
+            search_count += 1
+            ip += 1 + (search_count >> step_shift)
+
+    _emit_last_literals(out, src, anchor)
+    return bytes(out)
+
+
+def _emit_sequence(
+    out: bytearray,
+    src: bytes,
+    anchor: int,
+    ip: int,
+    offset: int,
+    mlen: int,
+) -> None:
+    lit_len = ip - anchor
+    ml_code = mlen - MIN_MATCH
+    token = (min(lit_len, 15) << 4) | min(ml_code, 15)
+    out.append(token)
+    if lit_len >= 15:
+        _write_length(out, lit_len - 15)
+    out += src[anchor:ip]
+    out += offset.to_bytes(2, "little")
+    if ml_code >= 15:
+        _write_length(out, ml_code - 15)
+
+
+def _emit_last_literals(out: bytearray, src: bytes, anchor: int) -> None:
+    lit_len = len(src) - anchor
+    token = min(lit_len, 15) << 4
+    out.append(token)
+    if lit_len >= 15:
+        _write_length(out, lit_len - 15)
+    out += src[anchor:]
+
+
+def decompress_block(
+    data: bytes | bytearray | memoryview, max_output_size: int | None = None
+) -> bytes:
+    """Decompress an LZ4 block; raises :class:`CodecError` on malformed
+    input or when the output would exceed ``max_output_size``."""
+    src = bytes(data)
+    n = len(src)
+    if n == 0:
+        raise CodecError("empty LZ4 block")
+    out = bytearray()
+    pos = 0
+    while True:
+        if pos >= n:
+            raise CodecError("truncated LZ4 block (missing token)")
+        token = src[pos]
+        pos += 1
+        # -- literals ----------------------------------------------------
+        lit_len = token >> 4
+        if lit_len == 15:
+            lit_len, pos = _read_length(src, pos, lit_len)
+        if pos + lit_len > n:
+            raise CodecError("literal run overflows block")
+        if lit_len:
+            out += src[pos : pos + lit_len]
+            pos += lit_len
+        if max_output_size is not None and len(out) > max_output_size:
+            raise CodecError(
+                f"output exceeds max_output_size={max_output_size}"
+            )
+        if pos == n:
+            break  # final sequence: literals only
+        # -- match ---------------------------------------------------------
+        if pos + 2 > n:
+            raise CodecError("truncated LZ4 block (missing offset)")
+        offset = int.from_bytes(src[pos : pos + 2], "little")
+        pos += 2
+        if offset == 0:
+            raise CodecError("invalid zero offset")
+        if offset > len(out):
+            raise CodecError(
+                f"offset {offset} reaches before block start (have {len(out)})"
+            )
+        mlen = token & 0x0F
+        if mlen == 15:
+            mlen, pos = _read_length(src, pos, mlen)
+        mlen += MIN_MATCH
+        if max_output_size is not None and len(out) + mlen > max_output_size:
+            raise CodecError(
+                f"output exceeds max_output_size={max_output_size}"
+            )
+        _copy_match(out, offset, mlen)
+    return bytes(out)
+
+
+def _read_length(src: bytes, pos: int, base: int) -> tuple[int, int]:
+    length = base
+    while True:
+        if pos >= len(src):
+            raise CodecError("truncated length extension")
+        b = src[pos]
+        pos += 1
+        length += b
+        if b != 255:
+            return length, pos
+
+
+def _copy_match(out: bytearray, offset: int, mlen: int) -> None:
+    start = len(out) - offset
+    if offset >= mlen:
+        # Disjoint copy.
+        out += out[start : start + mlen]
+        return
+    # Overlapping copy replicates the last `offset` bytes; doubling the
+    # pattern is equivalent to the spec's byte-at-a-time semantics.
+    pattern = out[start:]
+    reps, rem = divmod(mlen, offset)
+    out += pattern * reps + pattern[:rem]

@@ -1,0 +1,98 @@
+"""Byte-shuffle filter (the HDF5 *shuffle* / blosc pre-filter).
+
+Multi-byte scientific samples (uint16 detector counts) have quiet high
+bytes and noisy low bytes; interleaved they defeat byte-oriented LZ
+matching.  Shuffling to planar order — all byte-0 lanes, then all
+byte-1 lanes — lets LZ4 compress the quiet plane almost for free, which
+is how real beamline pipelines (HDF5 shuffle+LZ4, bitshuffle) reach the
+~2:1 ratios the paper reports on projection data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import CodecError
+
+
+def shuffle_bytes(data: bytes, itemsize: int) -> bytes:
+    """Reorder ``data`` from interleaved to planar byte order."""
+    _check(data, itemsize)
+    if itemsize == 1 or not data:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8).reshape(-1, itemsize)
+    return arr.T.tobytes()
+
+
+def unshuffle_bytes(data: bytes, itemsize: int) -> bytes:
+    """Invert :func:`shuffle_bytes`."""
+    _check(data, itemsize)
+    if itemsize == 1 or not data:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8).reshape(itemsize, -1)
+    return arr.T.tobytes()
+
+
+def delta_encode(data: bytes, itemsize: int = 2) -> bytes:
+    """First-order delta + zigzag over little-endian unsigned samples.
+
+    Smooth detector data becomes near-zero differences; zigzag maps the
+    signed difference to a small unsigned value (0, −1, 1, −2 → 0, 1, 2,
+    3) so the high byte plane is almost all zeros instead of flapping
+    between 0x00 and 0xFF for ±1 noise.  This is the standard
+    delta/zigzag pre-filter of scientific compression stacks.
+    """
+    _check(data, itemsize)
+    if not data:
+        return data
+    dtype = _dtype_for(itemsize)
+    arr = np.frombuffer(data, dtype=dtype)
+    delta = np.empty_like(arr)
+    delta[0] = arr[0]
+    # Unsigned wrap-around subtraction is exact modular arithmetic.
+    np.subtract(arr[1:], arr[:-1], out=delta[1:])
+    return _zigzag(delta, itemsize).tobytes()
+
+
+def delta_decode(data: bytes, itemsize: int = 2) -> bytes:
+    """Invert :func:`delta_encode` (unzigzag + modular cumulative sum)."""
+    _check(data, itemsize)
+    if not data:
+        return data
+    dtype = _dtype_for(itemsize)
+    arr = _unzigzag(np.frombuffer(data, dtype=dtype), itemsize)
+    return np.cumsum(arr, dtype=dtype).tobytes()
+
+
+def _zigzag(arr: np.ndarray, itemsize: int) -> np.ndarray:
+    bits = itemsize * 8
+    signed = arr.astype(_signed_dtype_for(itemsize))
+    z = (signed << 1) ^ (signed >> (bits - 1))
+    return z.astype(arr.dtype)
+
+
+def _unzigzag(arr: np.ndarray, itemsize: int) -> np.ndarray:
+    one = np.asarray(1, dtype=arr.dtype)
+    return (arr >> one) ^ np.negative(arr & one).astype(arr.dtype)
+
+
+def _signed_dtype_for(itemsize: int) -> np.dtype:
+    return {1: np.dtype("i1"), 2: np.dtype("<i2"), 4: np.dtype("<i4"), 8: np.dtype("<i8")}[itemsize]
+
+
+def _dtype_for(itemsize: int) -> np.dtype:
+    try:
+        return {1: np.dtype("u1"), 2: np.dtype("<u2"), 4: np.dtype("<u4"), 8: np.dtype("<u8")}[itemsize]
+    except KeyError as exc:
+        raise CodecError(
+            f"delta filter supports itemsize 1/2/4/8, got {itemsize}"
+        ) from exc
+
+
+def _check(data: bytes, itemsize: int) -> None:
+    if itemsize < 1:
+        raise CodecError(f"itemsize must be >= 1, got {itemsize}")
+    if len(data) % itemsize:
+        raise CodecError(
+            f"payload of {len(data)} bytes is not a multiple of itemsize {itemsize}"
+        )

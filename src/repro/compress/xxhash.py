@@ -1,0 +1,69 @@
+"""xxHash32 — the checksum used by the LZ4 frame format.
+
+Implemented from the published algorithm specification (XXH32).  Pure
+Python with 32-bit modular arithmetic; verified against the reference
+test vectors in ``tests/compress/test_xxhash.py``.
+"""
+
+from __future__ import annotations
+
+_PRIME1 = 0x9E3779B1
+_PRIME2 = 0x85EBCA77
+_PRIME3 = 0xC2B2AE3D
+_PRIME4 = 0x27D4EB2F
+_PRIME5 = 0x165667B1
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK
+
+
+def _round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _PRIME2) & _MASK
+    acc = _rotl(acc, 13)
+    return (acc * _PRIME1) & _MASK
+
+
+def xxhash32(data: bytes | bytearray | memoryview, seed: int = 0) -> int:
+    """Compute XXH32 of ``data`` with ``seed``."""
+    buf = memoryview(bytes(data))
+    n = len(buf)
+    seed &= _MASK
+    idx = 0
+
+    if n >= 16:
+        v1 = (seed + _PRIME1 + _PRIME2) & _MASK
+        v2 = (seed + _PRIME2) & _MASK
+        v3 = seed
+        v4 = (seed - _PRIME1) & _MASK
+        limit = n - 16
+        while idx <= limit:
+            v1 = _round(v1, int.from_bytes(buf[idx : idx + 4], "little"))
+            v2 = _round(v2, int.from_bytes(buf[idx + 4 : idx + 8], "little"))
+            v3 = _round(v3, int.from_bytes(buf[idx + 8 : idx + 12], "little"))
+            v4 = _round(v4, int.from_bytes(buf[idx + 12 : idx + 16], "little"))
+            idx += 16
+        h = (_rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) + _rotl(v4, 18)) & _MASK
+    else:
+        h = (seed + _PRIME5) & _MASK
+
+    h = (h + n) & _MASK
+
+    while idx + 4 <= n:
+        h = (h + int.from_bytes(buf[idx : idx + 4], "little") * _PRIME3) & _MASK
+        h = (_rotl(h, 17) * _PRIME4) & _MASK
+        idx += 4
+
+    while idx < n:
+        h = (h + buf[idx] * _PRIME5) & _MASK
+        h = (_rotl(h, 11) * _PRIME1) & _MASK
+        idx += 1
+
+    h ^= h >> 15
+    h = (h * _PRIME2) & _MASK
+    h ^= h >> 13
+    h = (h * _PRIME3) & _MASK
+    h ^= h >> 16
+    return h

@@ -1,0 +1,81 @@
+"""The NUMA-aware streaming runtime — the paper's contribution.
+
+Layers:
+
+- :mod:`repro.core.params` — the calibrated cost model and network paths;
+- :mod:`repro.core.knowledge` — the hardware knowledge base (§5);
+- :mod:`repro.core.config` — declarative scenario configuration;
+- :mod:`repro.core.placement` — placement policies (pin / numa-bind /
+  split / OS-managed);
+- :mod:`repro.core.generator` — the runtime configuration generator
+  (Figure 4) that plans NUMA-aware scenarios, plus the OS baseline;
+- :mod:`repro.core.tasks` / :mod:`repro.core.runtime` — the simulated
+  heterogeneous software pipeline (Figure 2) and its orchestrator;
+- :mod:`repro.core.tables` — the paper's Tables 1–3 as data;
+- :mod:`repro.core.dynamic` — §6's future-work dynamic rebalancer.
+"""
+
+from repro.core.advisor import CapacityAdvisor, Prediction
+from repro.core.config import (
+    FaultSpec,
+    ScenarioConfig,
+    StageConfig,
+    StageKind,
+    StreamConfig,
+)
+from repro.core.dynamic import DynamicRebalancer
+from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import (
+    ALCF_APS_PATH,
+    APS_LAN_PATH,
+    CostModel,
+    PathSpec,
+)
+from repro.core.placement import PlacementSpec, ThreadHome, resolve_placement
+from repro.core.serialize import (
+    load_scenario,
+    save_scenario,
+    scenario_from_json,
+    scenario_to_json,
+)
+from repro.core.runtime import (
+    ScenarioResult,
+    SimRuntime,
+    StreamResult,
+    run_scenario,
+)
+from repro.core.tables import TABLE1, TABLE2, TABLE3
+
+__all__ = [
+    "ALCF_APS_PATH",
+    "APS_LAN_PATH",
+    "CapacityAdvisor",
+    "ConfigGenerator",
+    "FaultSpec",
+    "CostModel",
+    "DynamicRebalancer",
+    "HardwareKnowledgeBase",
+    "PathSpec",
+    "PlacementSpec",
+    "Prediction",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SimRuntime",
+    "StageConfig",
+    "StageKind",
+    "StreamConfig",
+    "StreamRequest",
+    "StreamResult",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "ThreadHome",
+    "Workload",
+    "load_scenario",
+    "resolve_placement",
+    "run_scenario",
+    "save_scenario",
+    "scenario_from_json",
+    "scenario_to_json",
+]

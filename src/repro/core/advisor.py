@@ -1,0 +1,166 @@
+"""Capacity advisor: closed-form throughput predictions from the model.
+
+The simulator *measures* a configuration; the advisor *predicts* it
+analytically from the same cost model, in microseconds instead of
+seconds.  Useful for what-if exploration ("can this gateway take a
+fifth detector?") and as an independent cross-check of the simulator —
+`tests/core/test_advisor.py` validates prediction against simulation
+for the paper's configurations.
+
+The prediction composes per-stage capacity bounds (the bottleneck
+principle that Figure 12's narrative walks through):
+
+    throughput = min over stages of (stage capacity in uncompressed-
+                 equivalent bytes/s), also capped by NIC goodput x ratio
+                 and per-connection window caps.
+
+It deliberately ignores second-order effects the simulator captures
+(queueing transients, CPU sharing between co-located stages, softIRQ
+interference), so the advisor is documented as optimistic by ≤ ~10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ScenarioConfig, StageKind, StreamConfig
+from repro.core.params import CostModel, PathSpec
+from repro.hw.topology import MachineSpec
+from repro.util.errors import ConfigurationError
+from repro.util.units import bytes_per_s_to_gbps
+
+
+@dataclass(frozen=True)
+class StageBound:
+    """One stage's capacity in uncompressed-equivalent Gbps."""
+
+    stage: str
+    gbps: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Analytic throughput prediction for one stream."""
+
+    stream_id: str
+    gbps: float
+    bottleneck: str
+    bounds: tuple[StageBound, ...]
+
+    def render(self) -> str:
+        lines = [f"prediction for {self.stream_id!r}: "
+                 f"{self.gbps:.1f} Gbps, bound by {self.bottleneck}"]
+        for b in sorted(self.bounds, key=lambda b: b.gbps):
+            marker = "<-- bottleneck" if b.stage == self.bottleneck else ""
+            lines.append(f"  {b.stage:<11} {b.gbps:7.1f} Gbps  {b.detail} {marker}")
+        return "\n".join(lines)
+
+
+class CapacityAdvisor:
+    """Predicts stream throughput from stage counts and the cost model."""
+
+    def __init__(self, cost: CostModel | None = None) -> None:
+        self.cost = cost or CostModel()
+
+    # -- per-stream prediction ------------------------------------------------
+
+    def predict_stream(
+        self,
+        stream: StreamConfig,
+        sender: MachineSpec,
+        receiver: MachineSpec,
+        path: PathSpec | None,
+    ) -> Prediction:
+        """Uncompressed-equivalent throughput bound for one stream."""
+        c = self.cost
+        ratio = stream.ratio_mean
+        pipeline = not stream.micro
+        bounds: list[StageBound] = []
+
+        def core_factor(machine: MachineSpec, stage) -> float:
+            # Mean clock scaling over the stage's candidate cores.
+            cores = stage.placement.cores or tuple(machine.all_cores())
+            return sum(machine.core_speed_factor(co) for co in cores) / len(cores)
+
+        def add(stage_kind: StageKind, machine: MachineSpec, per_thread_Bps: float,
+                *, wire_side: bool = False) -> None:
+            stage = stream.stages().get(stage_kind)
+            if stage is None:
+                return
+            threads = min(stage.count, _capacity_threads(machine, stage))
+            rate = threads * per_thread_Bps * core_factor(machine, stage)
+            if wire_side:
+                rate *= ratio  # wire bytes -> uncompressed equivalent
+            bounds.append(
+                StageBound(
+                    stage_kind.value,
+                    bytes_per_s_to_gbps(rate),
+                    f"{stage.count} threads",
+                )
+            )
+
+        add(StageKind.INGEST, sender, c.ingest_rate)
+        add(StageKind.COMPRESS, sender, c.stage_rate(c.compress_rate, pipeline=pipeline))
+        add(StageKind.SEND, sender, c.send_cpu_rate, wire_side=True)
+        add(StageKind.RECV, receiver, c.recv_cpu_rate, wire_side=True)
+        add(StageKind.DECOMPRESS, receiver,
+            c.stage_rate(c.decompress_rate, pipeline=pipeline))
+        add(StageKind.EGEST, receiver, c.egest_rate)
+
+        if stream.send is not None:
+            if path is None:
+                raise ConfigurationError(
+                    f"stream {stream.stream_id!r} has a network hop but no path"
+                )
+            nic_gbps = min(
+                sender.primary_nic().rate_gbps, receiver.primary_nic().rate_gbps
+            )
+            wire_cap = min(nic_gbps * 0.97, path.bandwidth_gbps * path.efficiency)
+            per_conn = path.per_stream_cap_gbps
+            if per_conn is not None:
+                wire_cap = min(wire_cap, per_conn * stream.send.count)
+            bounds.append(
+                StageBound("network", wire_cap * ratio,
+                           f"{stream.send.count} connections x path")
+            )
+        if not bounds:
+            raise ConfigurationError(
+                f"stream {stream.stream_id!r} has no stages to bound"
+            )
+        worst = min(bounds, key=lambda b: b.gbps)
+        return Prediction(
+            stream_id=stream.stream_id,
+            gbps=worst.gbps,
+            bottleneck=worst.stage,
+            bounds=tuple(bounds),
+        )
+
+    # -- scenario-level --------------------------------------------------------
+
+    def predict(self, scenario: ScenarioConfig) -> dict[str, Prediction]:
+        """Predict every stream in a scenario (no cross-stream sharing:
+        per-stream predictions are upper bounds when streams contend)."""
+        out = {}
+        for stream in scenario.streams:
+            path = scenario.paths.get(stream.path) if stream.send else None
+            out[stream.stream_id] = self.predict_stream(
+                stream,
+                scenario.machines[stream.sender],
+                scenario.machines[stream.receiver],
+                path,
+            )
+        return out
+
+
+def _capacity_threads(machine: MachineSpec, stage) -> int:
+    """Threads that can run concurrently given the placement's cores."""
+    p = stage.placement
+    if p.kind == "cores":
+        return len(set(p.cores))
+    if p.kind == "socket":
+        (s,) = p.sockets
+        return machine.sockets[s].cores
+    if p.kind == "sockets":
+        return sum(machine.sockets[s].cores for s in p.sockets)
+    return machine.total_cores  # OS-managed: all cores available

@@ -1,0 +1,245 @@
+"""Runtime configuration: the declarative description of one scenario.
+
+A :class:`ScenarioConfig` is what the paper's *runtime configuration
+generator* emits (Figure 4): for every node, "the type of tasks
+designated to individual sockets, the number of tasks, and the task
+execution location" — plus the machines, network paths and workload
+needed to run it.
+
+Structure::
+
+    ScenarioConfig
+      machines: {name -> MachineSpec}
+      paths:    {name -> PathSpec}
+      streams:  [StreamConfig]          # one per detector stream
+        sender-side stages: ingest?, compress?, send
+        receiver-side stages: recv, decompress?
+        each stage: StageConfig(count, PlacementSpec)
+
+Stages are optional so the §3 microbenchmarks (compression only,
+decompression only, network only) are expressed as degenerate pipelines
+of the same machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.core.params import CostModel, PathSpec
+from repro.core.placement import PlacementSpec
+from repro.hw.topology import MachineSpec
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An injected fault on one pipeline thread (failure testing).
+
+    - ``kind="stall"``: the thread pauses for ``duration`` simulated
+      seconds once, before processing its ``at_chunk``-th chunk —
+      a GC pause, page fault storm, or interrupt burst;
+    - ``kind="degrade"``: from its ``at_chunk``-th chunk on, the thread
+      adds ``duration`` seconds of dead time per chunk — a thermally
+      throttled or noisy-neighboured core.
+
+    Faults exercise the pipeline's backpressure: upstream stages must
+    block on full queues and drain afterwards with no chunk lost.
+    """
+
+    stage: str  # StageKind value, e.g. "compress"
+    thread_index: int = 0
+    at_chunk: int = 5
+    duration: float = 0.05
+    kind: str = "stall"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stall", "degrade"):
+            raise ValidationError(f"unknown fault kind {self.kind!r}")
+        if self.duration < 0:
+            raise ValidationError("fault duration must be >= 0")
+        if self.at_chunk < 0 or self.thread_index < 0:
+            raise ValidationError("fault indices must be >= 0")
+
+
+class StageKind(enum.Enum):
+    """The paper's pipeline stages (Figure 2) plus source ingest."""
+
+    INGEST = "ingest"
+    COMPRESS = "compress"
+    SEND = "send"
+    RECV = "recv"
+    DECOMPRESS = "decompress"
+    EGEST = "egest"
+
+    @property
+    def sender_side(self) -> bool:
+        return self in (StageKind.INGEST, StageKind.COMPRESS, StageKind.SEND)
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """Thread count + placement of one stage for one stream."""
+
+    count: int
+    placement: PlacementSpec
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("stage count must be >= 1")
+
+
+@dataclass
+class StreamConfig:
+    """One detector stream: workload, endpoints, and per-stage configs."""
+
+    stream_id: str
+    sender: str
+    receiver: str
+    path: str
+    num_chunks: int = 200
+    chunk_bytes: int = 11_059_200  # one X-ray projection (§3.2)
+    ratio_mean: float = 2.0
+    ratio_sigma: float = 0.03
+    #: NUMA domain the source dataset is pinned to (Table 1's "Memory
+    #: Domain"); None means first-touch by the ingest/compress threads.
+    source_socket: int | None = None
+    ingest: StageConfig | None = None
+    compress: StageConfig | None = None
+    send: StageConfig | None = None
+    recv: StageConfig | None = None
+    decompress: StageConfig | None = None
+    #: Receiver-side sink writers ("stores it back into memory or disk",
+    #: Figure 2); optional — most experiments leave delivery in memory.
+    egest: StageConfig | None = None
+    #: Bounded inter-stage queue depth (chunks) — the paper's
+    #: thread-safe queues; small values give tight backpressure.
+    queue_capacity: int = 4
+    #: True for the §3.2/§3.3 standalone microbenchmarks (no pipeline
+    #: overhead on compute rates); False for full streaming pipelines.
+    micro: bool = False
+    #: Injected faults for failure testing (see :class:`FaultSpec`).
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ValidationError("num_chunks must be >= 1")
+        if self.chunk_bytes < 1:
+            raise ValidationError("chunk_bytes must be >= 1")
+        if self.ratio_mean <= 0:
+            raise ValidationError("ratio_mean must be > 0")
+        if self.queue_capacity < 1:
+            raise ValidationError("queue_capacity must be >= 1")
+        if (self.send is None) != (self.recv is None):
+            raise ConfigurationError(
+                f"stream {self.stream_id!r}: send and recv stages must both "
+                "be present (a network hop) or both absent (local pipeline)"
+            )
+
+    def stages(self) -> dict[StageKind, StageConfig]:
+        """Present stages, in pipeline order."""
+        out: dict[StageKind, StageConfig] = {}
+        for kind, cfg in (
+            (StageKind.INGEST, self.ingest),
+            (StageKind.COMPRESS, self.compress),
+            (StageKind.SEND, self.send),
+            (StageKind.RECV, self.recv),
+            (StageKind.DECOMPRESS, self.decompress),
+            (StageKind.EGEST, self.egest),
+        ):
+            if cfg is not None:
+                out[kind] = cfg
+        if not out:
+            raise ConfigurationError(
+                f"stream {self.stream_id!r} has no stages"
+            )
+        return out
+
+
+@dataclass
+class ScenarioConfig:
+    """A complete runnable scenario."""
+
+    name: str
+    machines: dict[str, MachineSpec]
+    paths: dict[str, PathSpec]
+    streams: list[StreamConfig]
+    cost: CostModel = field(default_factory=CostModel)
+    seed: int = 7
+    #: Chunk completions per stream discarded before measuring rates
+    #: (pipeline fill).
+    warmup_chunks: int = 20
+    #: Context-switch penalty per extra runnable thread on a core.
+    csw_penalty: float = 0.04
+    #: OS scheduler behaviour for os-managed placements.
+    wake_affinity: float = 0.85
+    migrate_prob: float = 0.005
+    spill_threshold: int = 1
+    #: Hard wall on simulated seconds (deadlock/runaway guard).
+    max_sim_time: float = 600.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Cross-check stream references and placements against machines."""
+        if not self.streams:
+            raise ConfigurationError(f"scenario {self.name!r} has no streams")
+        ids = [s.stream_id for s in self.streams]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate stream ids in {self.name!r}")
+        for s in self.streams:
+            for role, mname in (("sender", s.sender), ("receiver", s.receiver)):
+                if mname not in self.machines:
+                    raise ConfigurationError(
+                        f"stream {s.stream_id!r}: unknown {role} machine "
+                        f"{mname!r}"
+                    )
+            if s.send is not None and s.path not in self.paths:
+                raise ConfigurationError(
+                    f"stream {s.stream_id!r}: unknown path {s.path!r}"
+                )
+            if s.send is not None and s.recv is not None:
+                if s.send.count != s.recv.count:
+                    raise ConfigurationError(
+                        f"stream {s.stream_id!r}: send count {s.send.count} != "
+                        f"recv count {s.recv.count} (threads pair into TCP "
+                        "connections, §3.4)"
+                    )
+            for kind, cfg in s.stages().items():
+                machine = self.machines[
+                    s.sender if kind.sender_side else s.receiver
+                ]
+                self._check_placement(s.stream_id, kind, cfg, machine)
+            if s.source_socket is not None:
+                try:
+                    self.machines[s.sender]._check_socket(s.source_socket)
+                except ValidationError as exc:
+                    raise ConfigurationError(
+                        f"stream {s.stream_id!r}: source_socket: {exc}"
+                    ) from exc
+
+    @staticmethod
+    def _check_placement(
+        stream_id: str, kind: StageKind, cfg: StageConfig, machine: MachineSpec
+    ) -> None:
+        p = cfg.placement
+        try:
+            for sock in p.sockets:
+                machine._check_socket(sock)
+            for core in p.cores:
+                machine._check_socket(core.socket)
+                if core.index >= machine.sockets[core.socket].cores:
+                    raise ValidationError(
+                        f"core {core} does not exist on {machine.name!r}"
+                    )
+            if p.hint_socket is not None:
+                machine._check_socket(p.hint_socket)
+        except ValidationError as exc:
+            raise ConfigurationError(
+                f"stream {stream_id!r} stage {kind.value}: {exc}"
+            ) from exc
+
+    def with_cost(self, cost: CostModel) -> "ScenarioConfig":
+        """Copy with a different cost model (ablations)."""
+        return replace(self, cost=cost)

@@ -1,0 +1,127 @@
+"""Dynamic core reallocation — the paper's §6 future-work feature.
+
+    "We aim to enable the runtime system to adjust the allocation of
+    cores to streaming software processes in response to real-time
+    resource utilization."
+
+The :class:`DynamicRebalancer` is a simulated background process that
+periodically inspects the receiver's scheduler state and applies the
+knowledge-base rules *online*:
+
+- receive threads found off the NIC socket are pulled back to its
+  least-loaded core;
+- decompression threads found on the NIC socket are pushed to the
+  least-loaded core of the non-NIC domain(s);
+- any thread on a core oversubscribed by ≥2 relative to the machine's
+  least-loaded core is spread out (classic load balancing, but with
+  topology knowledge the OS lacks).
+
+Used by the ``dynamic_rebalance`` example and the ablation benchmark: an
+OS-placed scenario plus the rebalancer converges toward the statically
+planned configuration's throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.topology import CoreId, MachineSpec
+from repro.osmodel.scheduler import OsScheduler
+from repro.sim.engine import Engine
+from repro.util.errors import ValidationError
+from repro.util.log import get_logger
+
+logger = get_logger("core.dynamic")
+
+
+@dataclass
+class RebalanceAction:
+    """One applied migration, for reporting."""
+
+    time: float
+    tid: str
+    from_core: CoreId
+    to_core: CoreId
+    reason: str
+
+
+@dataclass
+class DynamicRebalancer:
+    """Topology-aware online thread migration for one receiver machine."""
+
+    engine: Engine
+    scheduler: OsScheduler
+    spec: MachineSpec
+    nic_socket: int
+    interval: float = 0.05
+    #: imbalance (threads) that triggers a plain load-balancing move
+    imbalance_threshold: int = 2
+    actions: list[RebalanceAction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValidationError("rebalance interval must be > 0")
+        self.spec._check_socket(self.nic_socket)
+
+    def start(self) -> None:
+        """Spawn the periodic rebalance process."""
+        self.engine.process(self._run(), name="dynamic-rebalancer")
+
+    # -- internals -------------------------------------------------------
+
+    def _run(self):
+        while True:
+            yield self.engine.timeout(self.interval)
+            self._rebalance_once()
+
+    def _stage_of(self, tid: str) -> str:
+        # Thread ids follow "{stream}.{stage}.{index}" (see runtime).
+        parts = str(tid).split(".")
+        return parts[-2] if len(parts) >= 2 else ""
+
+    def _rebalance_once(self) -> None:
+        sched = self.scheduler
+        non_nic = [
+            s for s in range(self.spec.num_sockets) if s != self.nic_socket
+        ] or [self.nic_socket]
+        for tid in list(sched._assignment):
+            mask = sched._masks[tid]
+            if len(mask) <= 1:
+                continue  # hard-pinned thread: not ours to move
+            core = sched.current(tid)
+            stage = self._stage_of(tid)
+            target: CoreId | None = None
+            reason = ""
+            if stage == "recv" and core.socket != self.nic_socket:
+                target = self._least_loaded_on(sched, [self.nic_socket])
+                reason = "recv belongs on NIC socket (Obs 1/4)"
+            elif stage == "decompress" and core.socket == self.nic_socket:
+                target = self._least_loaded_on(sched, non_nic)
+                reason = "decompress off the NIC socket (Obs 3)"
+            else:
+                best = self._least_loaded_on(sched, None)
+                if sched.loads[best] + self.imbalance_threshold <= sched.loads[core]:
+                    target = best
+                    reason = "load imbalance"
+            if target is not None and target != core and target in mask:
+                if sched.loads[target] < sched.loads[core]:
+                    sched.force_migrate(tid, target)
+                    self.actions.append(
+                        RebalanceAction(
+                            self.engine.now, str(tid), core, target, reason
+                        )
+                    )
+                    logger.debug(
+                        "t=%.3f migrate %s %s -> %s (%s)",
+                        self.engine.now, tid, core, target, reason,
+                    )
+
+    def _least_loaded_on(
+        self, sched: OsScheduler, sockets: list[int] | None
+    ) -> CoreId:
+        cores = [
+            c
+            for c in self.spec.all_cores()
+            if sockets is None or c.socket in sockets
+        ]
+        return min(cores, key=lambda c: (sched.loads[c], c))

@@ -1,0 +1,315 @@
+"""The runtime configuration generator — the paper's core contribution.
+
+Given the hardware knowledge base and a workload description, emit a
+:class:`~repro.core.config.ScenarioConfig` whose task counts and
+placements encode the paper's observations:
+
+- **Obs 1 / Obs 4** — receive threads go to cores of the NUMA domain the
+  streaming NIC is attached to; the NIC socket's cores are divided
+  evenly between concurrent streams (Figure 14's rationale: "the NUMA 1
+  domain ... 16 cores, four distinct data streams → four cores each").
+- **Obs 2** — compression threads may use *all* remaining sender cores;
+  data/execution domain does not matter, but never oversubscribe past
+  ≈2 threads/core (context-switch cliff).
+- **Obs 3** — decompression threads go to the non-NIC socket(s), spread
+  evenly across domains when more than one is available, keeping them
+  off the receive cores and minimizing intra-socket LLC/MC contention.
+- **sender backpressure** — send-thread placement is irrelevant (Obs 4);
+  they are co-located with compression cores on the NIC socket.
+- **ingest sizing** — source readers get dedicated cores, enough to
+  sustain the target rate (`ceil(target / ingest_rate)`), because a
+  starved reader throttles the whole pipeline no matter how many
+  compression threads exist.
+
+The OS-baseline generator (:meth:`ConfigGenerator.os_baseline`) emits the
+same task counts with OS-managed placement — the §4.2 comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import CostModel
+from repro.core.placement import PlacementSpec
+from repro.hw.topology import CoreId, MachineSpec
+from repro.util.errors import ConfigurationError
+from repro.util.log import get_logger
+from repro.util.units import gbps_to_bytes_per_s
+
+logger = get_logger("core.generator")
+
+
+@dataclass
+class StreamRequest:
+    """One requested stream of a workload."""
+
+    stream_id: str
+    sender: str
+    receiver: str
+    path: str
+    num_chunks: int = 250
+    chunk_bytes: int = 11_059_200
+    ratio_mean: float = 2.0
+    ratio_sigma: float = 0.03
+    #: Target uncompressed rate for sizing sender stages; defaults to the
+    #: sender NIC rate × compression ratio (saturate the wire).
+    target_gbps: float | None = None
+
+
+@dataclass
+class Workload:
+    """A set of streams to plan for."""
+
+    streams: list[StreamRequest]
+    name: str = "workload"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise ConfigurationError("workload needs >= 1 stream")
+
+
+@dataclass
+class ConfigGenerator:
+    """Plans NUMA-aware scenarios from the knowledge base."""
+
+    kb: HardwareKnowledgeBase
+    cost: CostModel = field(default_factory=CostModel)
+
+    # -- public API ------------------------------------------------------
+
+    def generate(self, workload: Workload) -> ScenarioConfig:
+        """NUMA-aware plan (the paper's runtime system)."""
+        return self._plan(workload, numa_aware=True)
+
+    def os_baseline(self, workload: Workload) -> ScenarioConfig:
+        """Same task counts, placement left to the (modelled) OS."""
+        return self._plan(workload, numa_aware=False)
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self, workload: Workload, *, numa_aware: bool) -> ScenarioConfig:
+        # Receiver-side partitions are computed per gateway: each
+        # receiver's NIC-socket cores are divided among the streams it
+        # serves (Figure 14's rule, applied per machine).
+        by_receiver: dict[str, list[int]] = {}
+        for idx, req in enumerate(workload.streams):
+            by_receiver.setdefault(req.receiver, []).append(idx)
+        receiver_plans: dict[int, tuple[StageConfig, StageConfig]] = {}
+        for receiver_name, indices in by_receiver.items():
+            receiver = self.kb.machine(receiver_name)
+            nic_socket = receiver.nic_socket()
+            n = len(indices)
+            recv_per_stream, recv_cores = self._partition_socket(
+                receiver, nic_socket, n
+            )
+            dec_per_stream, dec_cores = self._decompress_partition(
+                receiver, nic_socket, n
+            )
+            for local, idx in enumerate(indices):
+                if numa_aware:
+                    receiver_plans[idx] = (
+                        StageConfig(
+                            recv_per_stream,
+                            PlacementSpec.pinned(recv_cores[local]),
+                        ),
+                        StageConfig(
+                            dec_per_stream,
+                            PlacementSpec.pinned(dec_cores[local]),
+                        ),
+                    )
+                else:
+                    # The OS sees threads woken from the NIC's softIRQ side.
+                    receiver_plans[idx] = (
+                        StageConfig(
+                            recv_per_stream,
+                            PlacementSpec.os_managed(hint_socket=nic_socket),
+                        ),
+                        StageConfig(
+                            dec_per_stream,
+                            PlacementSpec.os_managed(hint_socket=nic_socket),
+                        ),
+                    )
+
+        # Senders may host several streams; track per-sender stream index
+        # so two streams from one box get disjoint core partitions.
+        sender_usage: dict[str, int] = {}
+        streams: list[StreamConfig] = []
+        for idx, req in enumerate(workload.streams):
+            sender = self.kb.machine(req.sender)
+            share = sender_usage.get(req.sender, 0)
+            sender_usage[req.sender] = share + 1
+            plan = self._sender_plan(sender, req)
+            recv_cfg, dec_cfg = receiver_plans[idx]
+            logger.debug(
+                "planned %r: ingest=%d compress=%d send/recv=%d decomp=%d "
+                "(recv -> %s)",
+                req.stream_id, len(plan.ingest_cores), plan.compress_threads,
+                recv_cfg.count, dec_cfg.count, recv_cfg.placement.describe(),
+            )
+            send_count = recv_cfg.count  # S/R pairs = TCP connections (§3.4)
+            streams.append(
+                StreamConfig(
+                    stream_id=req.stream_id,
+                    sender=req.sender,
+                    receiver=req.receiver,
+                    path=req.path,
+                    num_chunks=req.num_chunks,
+                    chunk_bytes=req.chunk_bytes,
+                    ratio_mean=req.ratio_mean,
+                    ratio_sigma=req.ratio_sigma,
+                    ingest=StageConfig(
+                        len(plan.ingest_cores), PlacementSpec.pinned(plan.ingest_cores)
+                    ),
+                    compress=StageConfig(
+                        plan.compress_threads, PlacementSpec.pinned(plan.compress_cores)
+                    ),
+                    send=StageConfig(send_count, PlacementSpec.pinned(plan.send_cores)),
+                    recv=recv_cfg,
+                    decompress=dec_cfg,
+                )
+            )
+        machines = {
+            name: self.kb.machine(name)
+            for name in {s.sender for s in workload.streams}
+            | {s.receiver for s in workload.streams}
+        }
+        paths = {
+            s.path: self.kb.path(s.path) for s in workload.streams
+        }
+        return ScenarioConfig(
+            name=f"{workload.name}:{'runtime' if numa_aware else 'os'}",
+            machines=machines,
+            paths=paths,
+            streams=streams,
+            cost=self.cost,
+            seed=workload.seed,
+        )
+
+    # -- receiver-side partitioning -----------------------------------------
+
+    @staticmethod
+    def _partition_socket(
+        machine: MachineSpec, socket: int, n_streams: int
+    ) -> tuple[int, list[list[CoreId]]]:
+        """Divide one socket's cores evenly among streams (Obs 1)."""
+        cores = machine.cores_of(socket)
+        per = max(1, len(cores) // n_streams)
+        parts = [
+            [cores[(i * per + j) % len(cores)] for j in range(per)]
+            for i in range(n_streams)
+        ]
+        return per, parts
+
+    def _decompress_partition(
+        self, machine: MachineSpec, nic_socket: int, n_streams: int
+    ) -> tuple[int, list[list[CoreId]]]:
+        """Spread decompression over the non-NIC domain(s) (Obs 3)."""
+        other = [s for s in range(machine.num_sockets) if s != nic_socket]
+        if not other:
+            other = [nic_socket]  # single-socket receiver: no choice
+        pool = [c for s in other for c in machine.cores_of(s)]
+        per = max(1, len(pool) // n_streams)
+        parts = [
+            [pool[(i * per + j) % len(pool)] for j in range(per)]
+            for i in range(n_streams)
+        ]
+        return per, parts
+
+    # -- sender-side planning ----------------------------------------------------
+
+    @dataclass
+    class _SenderPlan:
+        ingest_cores: list[CoreId]
+        compress_cores: list[CoreId]
+        compress_threads: int
+        send_cores: list[CoreId]
+
+    def achievable_gbps(self, machine: MachineSpec, ratio: float) -> float:
+        """Balanced uncompressed rate one sender can sustain.
+
+        Solves the pipeline's CPU budget: every uncompressed byte costs
+        ``1/ingest + 1/compress`` core-seconds plus ``(1/ratio)/send``
+        for its wire bytes; the machine offers ``total_cores`` (clock-
+        weighted) core-seconds per second.  Capped by the NIC's goodput
+        at the given compression ratio.
+        """
+        compress = self.cost.stage_rate(self.cost.compress_rate, pipeline=True)
+        per_byte = (
+            1.0 / self.cost.ingest_rate
+            + 1.0 / compress
+            + (1.0 / ratio) / self.cost.send_cpu_rate
+        )
+        weighted_cores = sum(
+            machine.core_speed_factor(c) for c in machine.all_cores()
+        )
+        t_cpu = weighted_cores / per_byte
+        nic = self.kb.machine(machine.name).primary_nic()
+        t_wire = nic.rate_gbps * 1e9 / 8.0 * 0.97 * ratio
+        return min(t_cpu, t_wire) * 8.0 / 1e9
+
+    def _sender_plan(self, machine: MachineSpec, req: StreamRequest) -> "_SenderPlan":
+        target_gbps = req.target_gbps
+        if target_gbps is None:
+            target_gbps = self.achievable_gbps(machine, req.ratio_mean)
+        target_Bps = gbps_to_bytes_per_s(target_gbps)
+
+        # Ingest gets dedicated cores sized to the target rate, spread
+        # over all sockets, taken from the high-index end of each socket.
+        n_ingest = min(
+            machine.total_cores // 2,
+            max(1, math.ceil(target_Bps / self.cost.ingest_rate)),
+        )
+        ingest_cores = self._tail_cores(machine, n_ingest)
+        ingest_set = set(ingest_cores)
+
+        # Compression uses every remaining core, up to 2 threads/core
+        # (Obs 2: scaling stops at the core count; beyond 2× it only
+        # adds context switching).  One spare thread ride-along absorbs
+        # the CPU share the co-located send threads consume.
+        compress_cores = [
+            c for c in machine.all_cores() if c not in ingest_set
+        ]
+        want = math.ceil(
+            target_Bps
+            / self.cost.stage_rate(self.cost.compress_rate, pipeline=True)
+        ) + 1
+        compress_threads = max(1, min(want, 2 * len(compress_cores)))
+
+        # Send threads co-locate on the NIC socket's compression cores
+        # (placement is irrelevant on the sender, Obs 4 — NIC-socket
+        # locality is free, so take it).
+        nic_socket = machine.nic_socket()
+        send_pool = [c for c in compress_cores if c.socket == nic_socket]
+        if not send_pool:
+            send_pool = compress_cores
+        return self._SenderPlan(
+            ingest_cores=ingest_cores,
+            compress_cores=compress_cores,
+            compress_threads=compress_threads,
+            send_cores=send_pool,
+        )
+
+    @staticmethod
+    def _tail_cores(machine: MachineSpec, count: int) -> list[CoreId]:
+        """Take ``count`` cores from the high-index end, socket-balanced."""
+        if count > machine.total_cores:
+            raise ConfigurationError(
+                f"requested {count} dedicated cores, machine "
+                f"{machine.name!r} has {machine.total_cores}"
+            )
+        remaining = [
+            list(reversed(machine.cores_of(s)))
+            for s in range(machine.num_sockets)
+        ]
+        cores: list[CoreId] = []
+        i = 0
+        while len(cores) < count:
+            bucket = remaining[i % len(remaining)]
+            if bucket:
+                cores.append(bucket.pop(0))
+            i += 1
+        return sorted(cores)

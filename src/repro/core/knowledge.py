@@ -1,0 +1,80 @@
+"""Hardware knowledge base — what the configuration generator knows.
+
+§5 of the paper: "It maintains a knowledge base of the underlying
+hardware, including NUMA configurations and NUMA-to-NIC connection
+domain, and can accordingly adapt data streaming and computational
+resource allocation."  This module is that knowledge base: a registry of
+:class:`MachineSpec` and :class:`PathSpec` objects with the derived
+queries the placement rules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import PathSpec
+from repro.hw.topology import CoreId, MachineSpec
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class HardwareKnowledgeBase:
+    """Registry of known machines and network paths."""
+
+    machines: dict[str, MachineSpec] = field(default_factory=dict)
+    paths: dict[str, PathSpec] = field(default_factory=dict)
+
+    # -- registration ------------------------------------------------------
+
+    def add_machine(self, spec: MachineSpec) -> None:
+        if spec.name in self.machines:
+            raise ConfigurationError(f"machine {spec.name!r} already registered")
+        self.machines[spec.name] = spec
+
+    def add_path(self, spec: PathSpec) -> None:
+        if spec.name in self.paths:
+            raise ConfigurationError(f"path {spec.name!r} already registered")
+        self.paths[spec.name] = spec
+
+    # -- queries ---------------------------------------------------------------
+
+    def machine(self, name: str) -> MachineSpec:
+        try:
+            return self.machines[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown machine {name!r}") from exc
+
+    def path(self, name: str) -> PathSpec:
+        try:
+            return self.paths[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown path {name!r}") from exc
+
+    def nic_socket(self, name: str) -> int:
+        """The NUMA domain of the machine's streaming NIC (Observation 1)."""
+        return self.machine(name).nic_socket()
+
+    def non_nic_sockets(self, name: str) -> list[int]:
+        """All NUMA domains except the streaming NIC's."""
+        spec = self.machine(name)
+        nic = spec.nic_socket()
+        return [s for s in range(spec.num_sockets) if s != nic]
+
+    def cores_of_socket(self, name: str, socket: int) -> list[CoreId]:
+        return self.machine(name).cores_of(socket)
+
+    def nic_rate_gbps(self, name: str) -> float:
+        return self.machine(name).primary_nic().rate_gbps
+
+    def describe(self, name: str) -> str:
+        """Human-readable topology summary for reports."""
+        spec = self.machine(name)
+        nics = ", ".join(
+            f"{n.name}@{n.rate_gbps:g}G->N{n.attached_socket}"
+            f"{'' if n.usable else ' (unused)'}"
+            for n in spec.nics
+        ) or "no NICs"
+        socks = " + ".join(
+            f"{s.cores}c@{s.ghz:g}GHz" for s in spec.sockets
+        )
+        return f"{spec.name}: [{socks}], {nics}"

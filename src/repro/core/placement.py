@@ -1,0 +1,181 @@
+"""Placement policies: where each pipeline thread executes.
+
+A :class:`PlacementSpec` is the declarative part of a runtime
+configuration ("compression threads on sockets 0 & 1", "receive threads
+bound to the NIC's socket", "let the OS decide").  Resolving a spec
+against a machine yields one :class:`ThreadHome` per thread:
+
+- pinned homes have a fixed core for the run (``numa_bind``-style
+  binding narrowed to per-core round-robin, which is what dedicating
+  N cores of a socket to N threads means in the paper's setups);
+- OS homes ask the :class:`~repro.osmodel.scheduler.OsScheduler` where
+  to run at every scheduling opportunity (chunk boundary) and may
+  migrate.
+
+All threads — pinned or not — register with the machine's scheduler so
+core-load accounting stays consistent across mixed configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hw.topology import CoreId, MachineSpec
+from repro.osmodel.affinity import AffinityMask
+from repro.osmodel.scheduler import OsScheduler
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Declarative placement for one group of threads."""
+
+    kind: str  # "cores" | "socket" | "sockets" | "os"
+    sockets: tuple[int, ...] = ()
+    cores: tuple[CoreId, ...] = ()
+    #: wake-affinity hint for "os" placement (socket of the waker).
+    hint_socket: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def pinned(cls, cores: Sequence[CoreId]) -> "PlacementSpec":
+        """Pin thread i to ``cores[i % len(cores)]``."""
+        if not cores:
+            raise ConfigurationError("pinned placement needs >= 1 core")
+        return cls(kind="cores", cores=tuple(cores))
+
+    @classmethod
+    def socket(cls, socket: int) -> "PlacementSpec":
+        """Bind the group to one NUMA domain (``numa_bind``)."""
+        return cls(kind="socket", sockets=(socket,))
+
+    @classmethod
+    def split(cls, sockets: Sequence[int]) -> "PlacementSpec":
+        """Distribute the group evenly across several domains
+        (Table 1's "0 & 1" configurations)."""
+        if not sockets:
+            raise ConfigurationError("split placement needs >= 1 socket")
+        return cls(kind="sockets", sockets=tuple(sockets))
+
+    @classmethod
+    def os_managed(cls, hint_socket: int | None = None) -> "PlacementSpec":
+        """Let the (modelled) OS place and migrate the threads."""
+        return cls(kind="os", hint_socket=hint_socket)
+
+    def describe(self) -> str:
+        """Short human-readable form for reports."""
+        if self.kind == "os":
+            return "OS"
+        if self.kind == "cores":
+            return "cores[" + ",".join(map(str, self.cores)) + "]"
+        return "N" + "&".join(map(str, self.sockets))
+
+
+class ThreadHome:
+    """Where one thread runs; queried at every chunk boundary."""
+
+    def __init__(
+        self,
+        tid: str,
+        scheduler: OsScheduler,
+        mask: AffinityMask,
+        *,
+        dynamic: bool,
+        hint_socket: int | None = None,
+    ) -> None:
+        self.tid = tid
+        self.scheduler = scheduler
+        self.mask = mask
+        self.dynamic = dynamic
+        self._core = scheduler.place(tid, mask, hint_socket=hint_socket)
+
+    @property
+    def core(self) -> CoreId:
+        """The core the thread currently occupies."""
+        return self._core
+
+    @property
+    def socket(self) -> int:
+        return self._core.socket
+
+    def next_chunk(self) -> CoreId:
+        """A scheduling opportunity; OS-managed threads may migrate."""
+        if self.dynamic:
+            self._core = self.scheduler.reschedule(self.tid)
+        return self._core
+
+    def release(self) -> None:
+        """Thread finished; drop its load contribution."""
+        self.scheduler.remove(self.tid)
+
+
+def resolve_placement(
+    spec: PlacementSpec,
+    machine: MachineSpec,
+    count: int,
+    scheduler: OsScheduler,
+    *,
+    group: str = "grp",
+) -> list[ThreadHome]:
+    """Turn a declarative spec into per-thread homes for ``count`` threads."""
+    if count < 1:
+        raise ConfigurationError(f"thread group {group!r} needs count >= 1")
+    homes: list[ThreadHome] = []
+    if spec.kind == "cores":
+        for c in spec.cores:
+            machine._check_socket(c.socket)
+        for i in range(count):
+            core = spec.cores[i % len(spec.cores)]
+            homes.append(
+                ThreadHome(
+                    f"{group}.{i}",
+                    scheduler,
+                    AffinityMask.single(machine, core),
+                    dynamic=False,
+                )
+            )
+    elif spec.kind == "socket":
+        (socket,) = spec.sockets
+        cores = machine.cores_of(socket)
+        for i in range(count):
+            core = cores[i % len(cores)]
+            homes.append(
+                ThreadHome(
+                    f"{group}.{i}",
+                    scheduler,
+                    AffinityMask.single(machine, core),
+                    dynamic=False,
+                )
+            )
+    elif spec.kind == "sockets":
+        per_socket_counters = {s: 0 for s in spec.sockets}
+        for i in range(count):
+            socket = spec.sockets[i % len(spec.sockets)]
+            cores = machine.cores_of(socket)
+            core = cores[per_socket_counters[socket] % len(cores)]
+            per_socket_counters[socket] += 1
+            homes.append(
+                ThreadHome(
+                    f"{group}.{i}",
+                    scheduler,
+                    AffinityMask.single(machine, core),
+                    dynamic=False,
+                )
+            )
+    elif spec.kind == "os":
+        mask = AffinityMask.all_cores(machine)
+        for i in range(count):
+            homes.append(
+                ThreadHome(
+                    f"{group}.{i}",
+                    scheduler,
+                    mask,
+                    dynamic=True,
+                    hint_socket=spec.hint_socket,
+                )
+            )
+    else:  # pragma: no cover - constructors restrict kinds
+        raise ConfigurationError(f"unknown placement kind {spec.kind!r}")
+    return homes

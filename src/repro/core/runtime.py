@@ -1,0 +1,430 @@
+"""The simulated runtime system: build a scenario, run it, report.
+
+:class:`SimRuntime` is the executable form of the paper's runtime
+(Figure 4): it instantiates machines, network paths, per-stream pipelines
+(dispatcher → ingest → compress → send ⇢ wire ⇢ recv → decompress) with
+bounded queues, places every thread according to the scenario's
+placement specs, runs the discrete-event simulation to completion and
+returns a :class:`ScenarioResult` with per-stream and aggregate
+throughputs plus per-core utilization / remote-access maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ScenarioConfig, StageKind, StreamConfig
+from repro.core.placement import ThreadHome, resolve_placement
+from repro.core.tasks import (
+    END,
+    StageGate,
+    StageMeters,
+    StreamContext,
+    WIRE,
+    compress_flow,
+    decompress_flow,
+    dispatcher_proc,
+    egest_flow,
+    ingest_flow,
+    recv_flow,
+    send_worker_proc,
+    stage_worker_proc,
+    wire_pump_proc,
+)
+from repro.data.chunking import SyntheticChunkSource
+from repro.hw.machine import Machine
+from repro.osmodel.scheduler import OsScheduler
+from repro.sim.engine import Engine
+from repro.sim.flows import FlowNetwork, Resource
+from repro.sim.metrics import MetricsCollector
+from repro.sim.queues import Store
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.log import get_logger
+from repro.util.rng import derive_seed
+from repro.util.units import bytes_per_s_to_gbps
+
+logger = get_logger("core.runtime")
+
+
+@dataclass
+class StreamResult:
+    """Measured outcome of one stream."""
+
+    stream_id: str
+    chunks_delivered: int
+    #: Uncompressed (end-to-end) goodput at the final stage, Gbps.
+    delivered_gbps: float
+    #: Wire (network) throughput, Gbps; 0 when the stream had no hop.
+    wire_gbps: float
+    #: Steady-state uncompressed-byte rates per stage, Gbps.
+    stage_gbps: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregate outcome of a scenario run."""
+
+    name: str
+    sim_time: float
+    streams: dict[str, StreamResult]
+    #: Per-machine per-core utilization (fraction of the run busy).
+    core_utilization: dict[str, dict[str, float]]
+    #: Per-machine per-core normalized remote (QPI) traffic.
+    remote_access: dict[str, dict[str, float]]
+
+    @property
+    def total_delivered_gbps(self) -> float:
+        return sum(s.delivered_gbps for s in self.streams.values())
+
+    @property
+    def total_wire_gbps(self) -> float:
+        return sum(s.wire_gbps for s in self.streams.values())
+
+
+class SimRuntime:
+    """Builds and runs one scenario on the fluid simulator."""
+
+    def __init__(self, scenario: ScenarioConfig, *, trace: bool = False) -> None:
+        scenario.validate()
+        self.scenario = scenario
+        self.engine = Engine()
+        self.network = FlowNetwork(self.engine)
+        self.metrics = MetricsCollector(self.engine, self.network)
+        #: Per-chunk tracer (populated when ``trace=True``).
+        self.tracer = None
+        if trace:
+            from repro.sim.trace import ChunkTracer
+
+            self.tracer = ChunkTracer()
+        self.machines: dict[str, Machine] = {
+            name: Machine(self.engine, spec, csw_penalty=scenario.csw_penalty)
+            for name, spec in scenario.machines.items()
+        }
+        self.schedulers: dict[str, OsScheduler] = {
+            name: OsScheduler(
+                spec,
+                seed=derive_seed(scenario.seed, "sched", name),
+                wake_affinity=scenario.wake_affinity,
+                migrate_prob=scenario.migrate_prob,
+                spill_threshold=scenario.spill_threshold,
+            )
+            for name, spec in scenario.machines.items()
+        }
+        self.path_resources: dict[str, Resource] = {
+            name: Resource(f"path/{name}", spec.goodput_Bps, kind="path")
+            for name, spec in scenario.paths.items()
+        }
+        self.stream_contexts: dict[str, StreamContext] = {}
+        #: All inter-stage stores, for queue-occupancy reporting when
+        #: tracing is on.
+        self.queues: list[Store] = []
+        self._done_events = []
+        for stream in scenario.streams:
+            self._build_stream(stream)
+        logger.debug(
+            "built scenario %r: %d machines, %d streams, %d queues",
+            scenario.name, len(self.machines), len(scenario.streams),
+            len(self.queues),
+        )
+
+    # -- construction -------------------------------------------------------
+
+    def _build_stream(self, cfg: StreamConfig) -> None:
+        sc = self.scenario
+        sender = self.machines[cfg.sender]
+        receiver = self.machines[cfg.receiver]
+        has_hop = cfg.send is not None
+        path_spec = sc.paths[cfg.path] if has_hop else _LOCAL_PATH
+        ctx = StreamContext(
+            engine=self.engine,
+            network=self.network,
+            cost=sc.cost,
+            config=cfg,
+            sender=sender,
+            receiver=receiver,
+            path_spec=path_spec,
+            path_resource=(
+                self.path_resources[cfg.path] if has_hop else _NULL_RESOURCE
+            ),
+            sender_nic=sender.nic() if has_hop else None,
+            receiver_nic=receiver.nic() if has_hop else None,
+            tracer=self.tracer,
+        )
+        self.stream_contexts[cfg.stream_id] = ctx
+        if self.tracer is not None:
+            counts = {k.value: s.count for k, s in cfg.stages().items()}
+            if cfg.send is not None:
+                counts["wire"] = cfg.send.count  # one pump per connection
+            self.tracer.set_thread_counts(cfg.stream_id, counts)
+
+        source = SyntheticChunkSource(
+            stream_id=cfg.stream_id,
+            num_chunks=cfg.num_chunks,
+            chunk_bytes=cfg.chunk_bytes,
+            ratio_mean=cfg.ratio_mean,
+            ratio_sigma=cfg.ratio_sigma,
+            seed=derive_seed(sc.seed, "chunks", cfg.stream_id),
+        ).chunks()
+
+        done = self.engine.event()
+        self._done_events.append(done)
+
+        # Resolve placements for every present stage up-front (recv homes
+        # must exist before wire pumps query them).
+        homes: dict[StageKind, list[ThreadHome]] = {}
+        for kind, stage in cfg.stages().items():
+            machine = sender if kind.sender_side else receiver
+            scheduler = self.schedulers[
+                cfg.sender if kind.sender_side else cfg.receiver
+            ]
+            homes[kind] = resolve_placement(
+                stage.placement,
+                machine.spec,
+                stage.count,
+                scheduler,
+                group=f"{cfg.stream_id}.{kind.value}",
+            )
+        if StageKind.RECV in homes:
+            ctx.recv_homes = homes[StageKind.RECV]
+
+        # Build the queue chain.  Shared-queue stages read one common
+        # store; the send/wire/recv leg uses per-connection stores.
+        cap = cfg.queue_capacity
+        order = list(cfg.stages().keys())
+        builders = {
+            StageKind.INGEST: (ingest_flow, True),
+            StageKind.COMPRESS: (compress_flow, True),
+            StageKind.RECV: (recv_flow, True),
+            StageKind.DECOMPRESS: (decompress_flow, False),
+            StageKind.EGEST: (egest_flow, False),
+        }
+
+        monitor = self.tracer is not None
+
+        def make_store(capacity: int, name: str) -> Store:
+            store = Store(self.engine, capacity=capacity, name=name,
+                          monitor=monitor)
+            self.queues.append(store)
+            return store
+
+        # Input queue of the first stage, fed by the dispatcher.
+        first_q = make_store(cap, f"{cfg.stream_id}/q0")
+        first_count = cfg.stages()[order[0]].count
+        self.engine.process(
+            dispatcher_proc(ctx, source, first_q, first_count),
+            name=f"{cfg.stream_id}.dispatcher",
+        )
+
+        inq = first_q
+        for pos, kind in enumerate(order):
+            stage = cfg.stages()[kind]
+            is_last = pos == len(order) - 1
+            next_kind = order[pos + 1] if not is_last else None
+
+            if kind == StageKind.SEND:
+                # send workers + wire pumps + recv workers, paired per
+                # TCP connection (§3.4: x senders, x receivers, x streams).
+                recv_stage = cfg.stages()[StageKind.RECV]
+                n = stage.count
+                after_recv = order[order.index(StageKind.RECV) + 1 :]
+                recv_outq: Store | None = None
+                if after_recv:
+                    recv_outq = make_store(cap, f"{cfg.stream_id}/q-recv")
+                recv_gate = self._make_gate(
+                    ctx,
+                    recv_stage.count,
+                    recv_outq,
+                    cfg.stages()[after_recv[0]].count if after_recv else 0,
+                    done if not after_recv else None,
+                )
+                for i in range(n):
+                    sockq = make_store(2, f"{cfg.stream_id}/sock{i}")
+                    arrq = make_store(2, f"{cfg.stream_id}/arr{i}")
+                    s_home = homes[StageKind.SEND][i]
+                    send_gate_noop = StageGate(1, lambda: None)
+                    self.engine.process(
+                        send_worker_proc(
+                            ctx, s_home, inq, sockq, send_gate_noop, index=i
+                        ),
+                        name=f"{cfg.stream_id}.send.{i}",
+                    )
+                    self.engine.process(
+                        wire_pump_proc(
+                            ctx, i, sockq, arrq, lambda h=s_home: h.socket
+                        ),
+                        name=f"{cfg.stream_id}.wire.{i}",
+                    )
+                    self.engine.process(
+                        stage_worker_proc(
+                            ctx,
+                            StageKind.RECV,
+                            homes[StageKind.RECV][i],
+                            arrq,
+                            recv_outq,
+                            recv_gate,
+                            recv_flow,
+                            first_touch=True,
+                            index=i,
+                        ),
+                        name=f"{cfg.stream_id}.recv.{i}",
+                    )
+                inq = recv_outq
+                continue
+            if kind == StageKind.RECV:
+                continue  # built alongside SEND
+
+            flow_builder, first_touch = builders[kind]
+            outq: Store | None = None
+            next_count = 0
+            if next_kind is not None:
+                outq = make_store(cap, f"{cfg.stream_id}/q-{kind.value}")
+                next_count = cfg.stages()[next_kind].count
+            gate = self._make_gate(
+                ctx, stage.count, outq, next_count, done if is_last else None
+            )
+            for i in range(stage.count):
+                self.engine.process(
+                    stage_worker_proc(
+                        ctx,
+                        kind,
+                        homes[kind][i],
+                        inq,
+                        outq,
+                        gate,
+                        flow_builder,
+                        first_touch=first_touch,
+                        index=i,
+                    ),
+                    name=f"{cfg.stream_id}.{kind.value}.{i}",
+                )
+            inq = outq
+
+    def _make_gate(
+        self,
+        ctx: StreamContext,
+        count: int,
+        outq: Store | None,
+        next_count: int,
+        done_event,
+    ) -> StageGate:
+        def close() -> None:
+            if outq is not None:
+                for _ in range(next_count):
+                    outq.force_put(END)
+            if done_event is not None:
+                done_event.trigger(ctx.config.stream_id)
+
+        return StageGate(count, close)
+
+    # -- inspection -------------------------------------------------------
+
+    def queue_report(self) -> dict[str, dict[str, float]]:
+        """Per-queue occupancy stats (needs ``trace=True``).
+
+        Returns {queue name: {"max": ..., "mean": ...}} where mean is
+        time-weighted depth — the practical signal for sizing the
+        paper's thread-safe queues.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for store in self.queues:
+            series = store.depth_series
+            if series is None or not len(series):
+                continue
+            out[store.name] = {
+                "max": max(series.values),
+                "mean": series.time_weighted_mean(),
+            }
+        return out
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        """Run to completion and return measurements."""
+        done = self.engine.all_of(self._done_events)
+        horizon = self.scenario.max_sim_time
+        while not done.processed:
+            if not self.engine._heap:
+                raise SimulationError(
+                    f"scenario {self.scenario.name!r}: deadlock — event heap "
+                    "exhausted before all streams finished"
+                )
+            if self.engine.peek() > horizon:
+                raise SimulationError(
+                    f"scenario {self.scenario.name!r}: exceeded max_sim_time="
+                    f"{horizon}s (simulated {self.engine.now:.1f}s)"
+                )
+            self.engine.step()
+        logger.debug(
+            "scenario %r drained at t=%.3fs", self.scenario.name,
+            self.engine.now,
+        )
+        return self._report()
+
+    def _report(self) -> ScenarioResult:
+        warm = self.scenario.warmup_chunks
+        streams: dict[str, StreamResult] = {}
+        for cfg in self.scenario.streams:
+            ctx = self.stream_contexts[cfg.stream_id]
+            order = list(cfg.stages().keys())
+            final_meter = ctx.meter(order[-1])
+            stage_gbps = {
+                kind.value: bytes_per_s_to_gbps(
+                    ctx.meter(kind).steady_rate_Bps(warm)
+                )
+                for kind in order
+            }
+            wire_gbps = 0.0
+            if cfg.send is not None:
+                wire_gbps = bytes_per_s_to_gbps(
+                    ctx.meter(WIRE).steady_rate_Bps(warm, wire=True)
+                )
+                stage_gbps["wire"] = wire_gbps
+                # Wire-equivalent rate over the *delivery* window — the
+                # clean denominator for "e2e = ratio x network" checks
+                # (the raw wire meter includes the pipeline-fill
+                # transient, which biases short runs).
+                stage_gbps["delivered_wire"] = bytes_per_s_to_gbps(
+                    final_meter.steady_rate_Bps(warm, wire=True)
+                )
+            streams[cfg.stream_id] = StreamResult(
+                stream_id=cfg.stream_id,
+                chunks_delivered=final_meter.chunks,
+                delivered_gbps=bytes_per_s_to_gbps(
+                    final_meter.steady_rate_Bps(warm)
+                ),
+                wire_gbps=wire_gbps,
+                stage_gbps=stage_gbps,
+            )
+        core_util: dict[str, dict[str, float]] = {}
+        remote: dict[str, dict[str, float]] = {}
+        for name, machine in self.machines.items():
+            names = machine.core_names()
+            core_util[name] = self.metrics.core_utilization_map(names)
+            remote[name] = self.metrics.remote_access_map(names)
+        return ScenarioResult(
+            name=self.scenario.name,
+            sim_time=self.engine.now,
+            streams=streams,
+            core_utilization=core_util,
+            remote_access=remote,
+        )
+
+
+def run_scenario(scenario: ScenarioConfig) -> ScenarioResult:
+    """Convenience one-shot: build, run, report."""
+    return SimRuntime(scenario).run()
+
+
+class _Local:
+    """Placeholder path for streams without a network hop."""
+
+    name = "local"
+    per_stream_cap_gbps = None
+
+    @staticmethod
+    def stream_cap_Bps() -> None:
+        return None
+
+
+_LOCAL_PATH = _Local()
+_NULL_RESOURCE = None

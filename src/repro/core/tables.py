@@ -1,0 +1,124 @@
+"""The paper's experimental configuration tables as data.
+
+- **Table 1** (configs A–H): memory domain × execution domain for the
+  compression (§3.2, Figure 8) and decompression (§3.3, Figure 9)
+  microbenchmarks;
+- **Table 2** (configs A–E): sender socket × receiver socket for the
+  network study (§3.4, Figure 11);
+- **Table 3** (configs A–G): compression / decompression thread counts
+  for the single-stream end-to-end study (§4.1, Figure 12).
+
+Each entry knows how to turn itself into the placement vocabulary of
+:mod:`repro.core.placement`, so experiment harnesses stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import PlacementSpec
+from repro.util.errors import ValidationError
+
+#: Execution-domain symbol for OS-managed placement in Tables 1 and 2.
+OS = "OS"
+#: Execution-domain symbol for an even split over both sockets (Table 1).
+BOTH = "0&1"
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """One Table 1 row: where the data lives and where threads execute."""
+
+    label: str
+    memory_domain: int
+    execution: int | str  # 0 | 1 | BOTH | OS
+
+    def placement(self, *, os_hint_socket: int | None = None) -> PlacementSpec:
+        if self.execution == OS:
+            return PlacementSpec.os_managed(hint_socket=os_hint_socket)
+        if self.execution == BOTH:
+            return PlacementSpec.split([0, 1])
+        if self.execution in (0, 1):
+            return PlacementSpec.socket(int(self.execution))
+        raise ValidationError(
+            f"Table 1 config {self.label}: bad execution {self.execution!r}"
+        )
+
+    def describe(self) -> str:
+        return f"{self.label}: mem=N{self.memory_domain} exec={self.execution}"
+
+
+#: Table 1 verbatim (memory domain, execution domain).
+TABLE1: dict[str, Table1Config] = {
+    "A": Table1Config("A", 0, 0),
+    "B": Table1Config("B", 0, 1),
+    "C": Table1Config("C", 1, 0),
+    "D": Table1Config("D", 1, 1),
+    "E": Table1Config("E", 0, BOTH),
+    "F": Table1Config("F", 1, BOTH),
+    "G": Table1Config("G", 0, OS),
+    "H": Table1Config("H", 1, OS),
+}
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """One Table 2 row: sender-thread and receiver-thread sockets."""
+
+    label: str
+    sender_socket: int | str  # 0 | 1 | OS
+    receiver_socket: int | str
+
+    def sender_placement(self) -> PlacementSpec:
+        return _socket_or_os(self.sender_socket)
+
+    def receiver_placement(self, *, os_hint_socket: int | None = None) -> PlacementSpec:
+        return _socket_or_os(self.receiver_socket, os_hint_socket)
+
+    def describe(self) -> str:
+        return f"{self.label}: S={self.sender_socket} R={self.receiver_socket}"
+
+
+def _socket_or_os(value: int | str, hint: int | None = None) -> PlacementSpec:
+    if value == OS:
+        return PlacementSpec.os_managed(hint_socket=hint)
+    if value in (0, 1):
+        return PlacementSpec.socket(int(value))
+    raise ValidationError(f"bad Table 2 socket {value!r}")
+
+
+#: Table 2 verbatim (sender socket, receiver socket).
+TABLE2: dict[str, Table2Config] = {
+    "A": Table2Config("A", 0, 0),
+    "B": Table2Config("B", 0, 1),
+    "C": Table2Config("C", 1, 0),
+    "D": Table2Config("D", 1, 1),
+    "E": Table2Config("E", OS, OS),
+}
+
+
+@dataclass(frozen=True)
+class Table3Config:
+    """One Table 3 row: compression/decompression thread counts."""
+
+    label: str
+    compress_threads: int
+    decompress_threads: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.label}: C={self.compress_threads} "
+            f"D={self.decompress_threads}"
+        )
+
+
+#: Table 3 verbatim (#compression threads, #decompression threads).
+TABLE3: dict[str, Table3Config] = {
+    "A": Table3Config("A", 8, 4),
+    "B": Table3Config("B", 8, 8),
+    "C": Table3Config("C", 16, 8),
+    "D": Table3Config("D", 16, 16),
+    "E": Table3Config("E", 32, 4),
+    "F": Table3Config("F", 32, 8),
+    "G": Table3Config("G", 32, 16),
+}

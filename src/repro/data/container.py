@@ -1,0 +1,202 @@
+"""Minimal chunked-array container — the HDF5 stand-in.
+
+The paper reads source data through hdf5; the runtime only needs "a file
+of equal-sized chunks with a little metadata".  The layout is
+footer-based so the writer streams chunks straight to disk (a 16 GB
+dataset must never be buffered in RAM):
+
+.. code-block:: text
+
+    magic    "RCHK"                        4 bytes
+    version  u32                           (currently 2)
+    data     chunk payloads, back to back  (optionally codec-compressed)
+    index    nchunks x (u64 offset, u64 nbytes)
+    header   JSON {dtype, shape, chunk_shape, nchunks, codec}
+    footer   u64 index_offset | u32 header_len | u32 nchunks | "KHCR"
+
+All integers little-endian.  Reading seeks to the fixed-size footer,
+then the header and index.  Payload compression with any
+:class:`repro.compress.Codec` is supported so examples can stage
+compressed datasets on disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+
+import numpy as np
+
+from repro.compress.codec import Codec
+from repro.util.errors import ValidationError
+
+_MAGIC = b"RCHK"
+_FOOTER_MAGIC = b"KHCR"
+_VERSION = 2
+_PREAMBLE = struct.Struct("<4sI")
+_INDEX_ENTRY = struct.Struct("<QQ")
+_FOOTER = struct.Struct("<QII4s")
+
+
+class ChunkedContainer:
+    """Write-once / read-many chunked array file."""
+
+    # -- writing -----------------------------------------------------------
+
+    class Writer:
+        """Streams chunks to disk; finalizes index/header/footer on close."""
+
+        def __init__(
+            self,
+            path: str | os.PathLike,
+            chunk_shape: tuple[int, ...],
+            dtype: str = "uint16",
+            codec: Codec | None = None,
+        ) -> None:
+            self.path = os.fspath(path)
+            self.chunk_shape = tuple(int(x) for x in chunk_shape)
+            self.dtype = np.dtype(dtype)
+            self.codec = codec
+            self._entries: list[tuple[int, int]] = []
+            self._file: io.BufferedWriter | None = open(self.path, "wb")
+            self._file.write(_PREAMBLE.pack(_MAGIC, _VERSION))
+            self._offset = _PREAMBLE.size
+
+        def append(self, chunk: np.ndarray) -> None:
+            """Append one chunk (must match chunk_shape/dtype)."""
+            if self._file is None:
+                raise ValidationError("writer already closed")
+            arr = np.asarray(chunk)
+            if arr.shape != self.chunk_shape:
+                raise ValidationError(
+                    f"chunk shape {arr.shape} != {self.chunk_shape}"
+                )
+            if arr.dtype != self.dtype:
+                raise ValidationError(
+                    f"chunk dtype {arr.dtype} != {self.dtype}"
+                )
+            payload = arr.tobytes()
+            if self.codec is not None:
+                payload = self.codec.compress(payload)
+            self._file.write(payload)
+            self._entries.append((self._offset, len(payload)))
+            self._offset += len(payload)
+
+        def close(self) -> None:
+            if self._file is None:
+                return
+            f = self._file
+            nchunks = len(self._entries)
+            index_offset = self._offset
+            for offset, nbytes in self._entries:
+                f.write(_INDEX_ENTRY.pack(offset, nbytes))
+            header = json.dumps(
+                {
+                    "dtype": self.dtype.name,
+                    "shape": [nchunks, *self.chunk_shape],
+                    "chunk_shape": list(self.chunk_shape),
+                    "nchunks": nchunks,
+                    "codec": self.codec.name if self.codec else "null",
+                }
+            ).encode()
+            f.write(header)
+            f.write(
+                _FOOTER.pack(index_offset, len(header), nchunks, _FOOTER_MAGIC)
+            )
+            f.close()
+            self._file = None
+
+        def __enter__(self) -> "ChunkedContainer.Writer":
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def __init__(self, path: str | os.PathLike, codec: Codec | None = None):
+        self.path = os.fspath(path)
+        self._codec = codec
+        size = os.path.getsize(self.path)
+        if size < _PREAMBLE.size + _FOOTER.size:
+            raise ValidationError(f"{self.path}: too short to be a container")
+        with open(self.path, "rb") as f:
+            magic, version = _PREAMBLE.unpack(f.read(_PREAMBLE.size))
+            if magic != _MAGIC:
+                raise ValidationError(f"{self.path}: not an RCHK container")
+            if version != _VERSION:
+                raise ValidationError(
+                    f"{self.path}: unsupported version {version}"
+                )
+            f.seek(size - _FOOTER.size)
+            index_offset, hlen, nchunks, fmagic = _FOOTER.unpack(
+                f.read(_FOOTER.size)
+            )
+            if fmagic != _FOOTER_MAGIC:
+                raise ValidationError(f"{self.path}: bad footer (truncated?)")
+            index_size = nchunks * _INDEX_ENTRY.size
+            if index_offset + index_size + hlen + _FOOTER.size != size:
+                raise ValidationError(f"{self.path}: inconsistent footer")
+            f.seek(index_offset)
+            index_raw = f.read(index_size)
+            self._index = [
+                _INDEX_ENTRY.unpack_from(index_raw, i * _INDEX_ENTRY.size)
+                for i in range(nchunks)
+            ]
+            header = json.loads(f.read(hlen).decode())
+        self.dtype = np.dtype(header["dtype"])
+        self.chunk_shape = tuple(header["chunk_shape"])
+        self.shape = tuple(header["shape"])
+        self.codec_name = header.get("codec", "null")
+        if self.codec_name != "null" and codec is None:
+            raise ValidationError(
+                f"{self.path}: stored with codec {self.codec_name!r}; "
+                "pass a matching codec to read"
+            )
+        if codec is not None and self.codec_name not in ("null", codec.name):
+            raise ValidationError(
+                f"{self.path}: stored with codec {self.codec_name!r}, "
+                f"got {codec.name!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def read_raw(self, index: int) -> bytes:
+        """Read one chunk's stored payload (possibly compressed)."""
+        if not 0 <= index < len(self):
+            raise ValidationError(f"chunk index {index} out of range")
+        offset, nbytes = self._index[index]
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            payload = f.read(nbytes)
+        if len(payload) != nbytes:
+            raise ValidationError(f"{self.path}: truncated chunk {index}")
+        return payload
+
+    def read(self, index: int) -> np.ndarray:
+        """Read and decode one chunk as an ndarray."""
+        payload = self.read_raw(index)
+        if self.codec_name != "null":
+            assert self._codec is not None  # checked in __init__
+            payload = self._codec.decompress(payload)
+        arr = np.frombuffer(payload, dtype=self.dtype)
+        return arr.reshape(self.chunk_shape)
+
+    def __iter__(self):
+        """Iterate chunks in order (streaming read)."""
+        for i in range(len(self)):
+            yield self.read(i)
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        chunk_shape: tuple[int, ...],
+        dtype: str = "uint16",
+        codec: Codec | None = None,
+    ) -> "ChunkedContainer.Writer":
+        """Open a writer; use as a context manager."""
+        return cls.Writer(path, chunk_shape, dtype, codec)

@@ -1,0 +1,78 @@
+"""Shared experiment-harness plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+from repro.util.rng import derive_seed
+from repro.util.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment: str
+    table: Table
+    #: Structured results keyed however the experiment likes.
+    data: dict[str, Any] = field(default_factory=dict)
+    #: Qualitative paper claims, name -> bool (benches assert these).
+    claims: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    #: Optional pre-rendered extra (e.g. an ASCII heatmap).
+    artwork: str | None = None
+
+    def render(self) -> str:
+        lines = [self.table.render()]
+        if self.artwork:
+            lines.append("")
+            lines.append(self.artwork)
+        if self.claims:
+            lines.append("")
+            lines.append("claims:")
+            for name, ok in self.claims.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+
+def paper_testbed() -> HardwareKnowledgeBase:
+    """The §3.1/§4.2 machines and paths, registered."""
+    kb = HardwareKnowledgeBase()
+    kb.add_machine(lynxdtn_spec())
+    kb.add_machine(updraft_spec(1))
+    kb.add_machine(updraft_spec(2))
+    kb.add_machine(polaris_spec(1))
+    kb.add_machine(polaris_spec(2))
+    kb.add_path(APS_LAN_PATH)
+    kb.add_path(ALCF_APS_PATH)
+    return kb
+
+
+def repeat_mean(
+    fn: Callable[[int], float], reps: int, *, seed: int = 7, label: str = ""
+) -> float:
+    """Average ``fn(seed_i)`` over ``reps`` derived seeds.
+
+    Mirrors the paper's practice of averaging 5–30 repetitions per
+    configuration point.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    vals = [fn(derive_seed(seed, label, i)) for i in range(reps)]
+    return float(np.mean(vals))
+
+
+def within(value: float, target: float, tol: float) -> bool:
+    """|value - target| <= tol * target (relative tolerance check)."""
+    return abs(value - target) <= tol * abs(target)

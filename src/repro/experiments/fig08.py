@@ -1,0 +1,158 @@
+"""Figure 8 — compression throughput & core maps, Table 1 configs A–H.
+
+§3.2's microbenchmark: compression threads pull sequential 11.0592 MB
+chunks of the 16 GB spheres dataset (resident in the NUMA domain of the
+Table 1 row) and LZ4-compress them.  Reproduced observations (Obs 2):
+
+- throughput scales with thread count until threads == available cores
+  (16 for single-domain placements, 32 for both-domain/OS);
+- at 32/64 threads the single-domain configs A–D deliver roughly half
+  of E–H (context switching);
+- neither the data's memory domain nor the execution domain matters
+  (prefetching hides remote latency for sequential compression reads).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.runtime import SimRuntime, run_scenario
+from repro.core.tables import TABLE1, Table1Config
+from repro.experiments.base import ExperimentResult, paper_testbed, within
+from repro.util.tables import Table
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32, 64)
+MACHINE = "updraft1"  # "simulates the compression component of the sending machine"
+
+
+def micro_scenario(
+    stage: str,
+    cfg: Table1Config,
+    threads: int,
+    *,
+    machine: str = MACHINE,
+    seed: int = 7,
+    num_chunks: int | None = None,
+) -> ScenarioConfig:
+    """A single-stage (compress or decompress) Table-1 microbenchmark."""
+    kb = paper_testbed()
+    if num_chunks is None:
+        num_chunks = max(48, threads * 5)
+    placement = cfg.placement(os_hint_socket=cfg.memory_domain)
+    stage_cfg = StageConfig(threads, placement)
+    stream = StreamConfig(
+        stream_id=f"{stage}-{cfg.label}-{threads}",
+        sender=machine,
+        receiver=machine,
+        path="aps-lan",  # unused: no network hop
+        num_chunks=num_chunks,
+        source_socket=cfg.memory_domain,
+        micro=True,
+        **{stage: stage_cfg},
+    )
+    return ScenarioConfig(
+        name=f"fig-{stage}-{cfg.label}-{threads}t",
+        machines={machine: kb.machine(machine)},
+        paths={},
+        streams=[stream],
+        seed=seed,
+        warmup_chunks=8,
+    )
+
+
+def measure(cfg: Table1Config, threads: int, seed: int = 7) -> float:
+    """Compression throughput in GB/s of uncompressed input."""
+    sc = micro_scenario("compress", cfg, threads, seed=seed)
+    res = run_scenario(sc)
+    (stream,) = res.streams.values()
+    return stream.stage_gbps["compress"] / 8.0  # Gbps -> GB/s
+
+
+def core_map(cfg: Table1Config, threads: int, seed: int = 7) -> dict[str, float]:
+    """Figure 8b: per-core utilization for one configuration."""
+    rt = SimRuntime(micro_scenario("compress", cfg, threads, seed=seed))
+    return rt.run().core_utilization[MACHINE]
+
+
+def run(quick: bool = False, seed: int = 7, **_: object) -> ExperimentResult:
+    """Regenerate Figure 8a (throughput sweep) + 8b claims."""
+    threads = (1, 4, 16, 32) if quick else DEFAULT_THREADS
+    labels = list(TABLE1)
+    table = Table(
+        headers=["threads", *labels],
+        title="Figure 8a: compression throughput (GB/s) vs #threads, configs A-H",
+    )
+    results: dict[tuple[str, int], float] = {}
+    for t in threads:
+        row: list[object] = [t]
+        for label in labels:
+            gbs = measure(TABLE1[label], t, seed)
+            results[(label, t)] = gbs
+            row.append(round(gbs, 2))
+        table.add(*row)
+
+    t_hi = max(t for t in threads if t >= 16)
+    per_thread_1 = results[("A", threads[0])] / threads[0]
+    claims = {
+        "throughput scales ~linearly to 16 threads (single domain)": within(
+            results[("A", 16)], 16 * per_thread_1, 0.15
+        )
+        if 16 in threads
+        else True,
+        "single-domain configs halve vs both-domain at 32+ threads": (
+            0.35
+            <= results[("A", t_hi)] / results[("E", t_hi)]
+            <= 0.65
+        )
+        if t_hi >= 32
+        else True,
+        "memory domain does not matter (A~B~C~D)": all(
+            within(results[(l, t)], results[("A", t)], 0.1)
+            for l in ("B", "C", "D")
+            for t in threads
+            if t <= 16
+        ),
+        "both-domain configs keep scaling to 32 threads (E~2x A at 32)": (
+            results[("E", t_hi)] >= 1.5 * results[("A", t_hi)]
+        )
+        if t_hi >= 32
+        else True,
+    }
+    data = {"results": {f"{l}/{t}": v for (l, t), v in results.items()}}
+    artwork = None
+    if not quick:
+        data["core_maps"] = {
+            f"{label}/{t}t": core_map(TABLE1[label], t, seed)
+            for label in ("A", "E", "G")
+            for t in (16, 32)
+        }
+        artwork = _core_map_art(
+            data["core_maps"], "core-usage heatmap (paper Figure 8b style):"
+        )
+    return ExperimentResult(
+        experiment="fig8",
+        table=table,
+        data=data,
+        claims=claims,
+        notes=[
+            "paper Obs 2: 'Data compression speeds up with increased threads "
+            "only until the number of threads matches the CPU's core count'",
+        ],
+        artwork=artwork,
+    )
+
+
+def _core_map_art(core_maps: dict[str, dict[str, float]], title: str) -> str:
+    """Render per-config core maps as an ASCII heatmap (8b/9b panels)."""
+    from repro.hw.topology import CoreId
+    from repro.util.heatmap import render_heatmap
+
+    cores = [CoreId(s, i) for s in (0, 1) for i in range(16)]
+    return render_heatmap(
+        [str(c) for c in cores],
+        {
+            label: {str(c): m.get(f"{MACHINE}/{c}", 0.0) for c in cores}
+            for label, m in core_maps.items()
+        },
+        vmax=1.0,
+        title=title,
+    )

@@ -1,0 +1,164 @@
+"""Figure 12 — single-stream end-to-end throughput, Table 3 configs A–G.
+
+§4.1: the full pipeline (*updraft1* → *lynxdtn*, 100 Gbps path), with
+Table 3's compression/decompression thread counts, swept over the
+number of send/receive thread pairs, with the receiver threads executed
+on NUMA 0 or NUMA 1 (the paper's bar colors).  Reproduced observations:
+
+- configs A/B stay flat at ≈37 Gbps regardless of thread counts — the
+  8 compression threads are the bottleneck;
+- C/D land in between — the bottleneck shifts;
+- E is capped by its 4 decompression threads;
+- F/G with 8 send/recv threads and NUMA-1 receivers reach ≈97 Gbps,
+  **2.6×** the A/B baseline.
+
+The sender runs the planned layout throughout: dedicated ingest cores,
+compression on the remaining cores, send threads co-located on the NIC
+socket (the generator's rules; DESIGN.md §4 explains why ingest must
+not share compression cores).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import run_scenario
+from repro.core.tables import TABLE3, Table3Config
+from repro.experiments.base import ExperimentResult, paper_testbed, within
+from repro.hw.topology import CoreId
+from repro.util.tables import Table
+
+DEFAULT_SR_THREADS = (2, 4, 8)
+RECV_DOMAINS = (0, 1)
+
+#: Sender-side partition (updraft1: 2 x 16 cores): 8 ingest cores from
+#: the tail of each socket, compression everywhere else, send threads on
+#: the NIC socket's compression cores.
+INGEST_CORES = [CoreId(s, i) for s in (0, 1) for i in range(12, 16)]
+COMPRESS_CORES = [CoreId(s, i) for s in (0, 1) for i in range(0, 12)]
+SEND_CORES = [CoreId(1, i) for i in range(0, 8)]
+
+
+def e2e_scenario(
+    cfg: Table3Config,
+    sr_threads: int,
+    recv_domain: int,
+    *,
+    seed: int = 7,
+    num_chunks: int = 300,
+) -> ScenarioConfig:
+    kb = paper_testbed()
+    stream = StreamConfig(
+        stream_id=f"e2e-{cfg.label}-{sr_threads}-{recv_domain}",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        num_chunks=num_chunks,
+        ingest=StageConfig(8, PlacementSpec.pinned(INGEST_CORES)),
+        compress=StageConfig(
+            cfg.compress_threads, PlacementSpec.pinned(COMPRESS_CORES)
+        ),
+        send=StageConfig(sr_threads, PlacementSpec.pinned(SEND_CORES)),
+        recv=StageConfig(sr_threads, PlacementSpec.socket(recv_domain)),
+        decompress=StageConfig(
+            cfg.decompress_threads, PlacementSpec.split([0, 1])
+        ),
+    )
+    return ScenarioConfig(
+        name=f"fig12-{cfg.label}-{sr_threads}t-N{recv_domain}",
+        machines={
+            "updraft1": kb.machine("updraft1"),
+            "lynxdtn": kb.machine("lynxdtn"),
+        },
+        paths={"aps-lan": kb.path("aps-lan")},
+        streams=[stream],
+        seed=seed,
+        warmup_chunks=15,
+    )
+
+
+def measure(
+    cfg: Table3Config, sr_threads: int, recv_domain: int, seed: int = 7
+) -> float:
+    """End-to-end (uncompressed, consumer-side) throughput, Gbps."""
+    res = run_scenario(e2e_scenario(cfg, sr_threads, recv_domain, seed=seed))
+    (stream,) = res.streams.values()
+    return stream.delivered_gbps
+
+
+def run(quick: bool = False, seed: int = 7, **_: object) -> ExperimentResult:
+    """Regenerate Figure 12."""
+    labels = ["A", "C", "F"] if quick else list(TABLE3)
+    sr_counts = (2, 8) if quick else DEFAULT_SR_THREADS
+    table = Table(
+        headers=["config", "C/D threads", *[
+            f"{t}t-N{d}" for t in sr_counts for d in RECV_DOMAINS
+        ]],
+        title="Figure 12: end-to-end throughput (Gbps), Table 3 configs x "
+        "#send/recv threads x receiver domain",
+    )
+    results: dict[tuple[str, int, int], float] = {}
+    for label in labels:
+        cfg = TABLE3[label]
+        row: list[object] = [
+            label, f"{cfg.compress_threads}/{cfg.decompress_threads}"
+        ]
+        for t in sr_counts:
+            for d in RECV_DOMAINS:
+                gbps = measure(cfg, t, d, seed)
+                results[(label, t, d)] = gbps
+                row.append(round(gbps, 1))
+        table.add(*row)
+
+    t_hi = max(sr_counts)
+    a_vals = [results[("A", t, d)] for t in sr_counts for d in RECV_DOMAINS]
+    baseline = max(a_vals)
+    best = results[("F", t_hi, 1)]
+    claims = {
+        "A stays flat (~37 Gbps) across thread counts": all(
+            within(v, 37.0, 0.12) for v in a_vals
+        ),
+        "C exceeds A (bottleneck shifts with 16 C-threads)": (
+            results[("C", t_hi, 1)] >= 1.5 * results[("A", t_hi, 1)]
+        ),
+        "F@8 threads on NUMA-1 reaches ~97 Gbps": within(best, 97.0, 0.08),
+        "2.6x speedup of F/G over the A/B baseline": 2.2
+        <= best / baseline
+        <= 3.0,
+        # Within-config NUMA-1 vs NUMA-0: our fluid model underestimates
+        # this gap (see the note below), so the check is that NUMA-1 is
+        # never *meaningfully* worse — beyond queueing noise (~3%).
+        "NUMA-1 receivers never meaningfully lose to NUMA-0": all(
+            results[(l, t, 1)] >= 0.97 * results[(l, t, 0)]
+            for l in labels
+            for t in sr_counts
+        ),
+    }
+    if not quick:
+        claims["B matches A (extra D-threads don't help)"] = all(
+            within(results[("B", t, d)], results[("A", t, d)], 0.1)
+            for t in sr_counts
+            for d in RECV_DOMAINS
+        )
+        claims["E capped by its 4 decompression threads"] = (
+            results[("E", t_hi, 1)] < 0.75 * results[("F", t_hi, 1)]
+        )
+    return ExperimentResult(
+        experiment="fig12",
+        table=table,
+        data={
+            "results": {
+                f"{l}/{t}/N{d}": v for (l, t, d), v in results.items()
+            }
+        },
+        claims=claims,
+        notes=[
+            "paper: F/G with 8 threads + NUMA-1 receivers achieve 97 Gbps, "
+            "'2.6X greater than the baseline ... configurations A and B, "
+            "which yielded 37 Gbps'",
+            "known deviation: the within-config NUMA-0/NUMA-1 gap is smaller "
+            "here than in the paper — the fluid model only sees the remote "
+            "penalty when receive threads are near their CPU limit "
+            "(EXPERIMENTS.md, fig12)",
+        ],
+    )

@@ -1,0 +1,36 @@
+"""Registry mapping experiment ids to their run() callables."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.util.errors import ValidationError
+
+#: experiment id -> module path (lazy import keeps CLI startup cheap).
+_MODULES: dict[str, str] = {
+    "fig5": "repro.experiments.fig05",
+    "fig6": "repro.experiments.fig06",
+    "fig7": "repro.experiments.fig07",
+    "fig8": "repro.experiments.fig08",
+    "fig9": "repro.experiments.fig09",
+    "fig11": "repro.experiments.fig11",
+    "fig12": "repro.experiments.fig12",
+    "fig14": "repro.experiments.fig14",
+    # Extensions beyond the paper's exhibits:
+    "sensitivity": "repro.experiments.sensitivity",
+}
+
+EXPERIMENTS = tuple(sorted(_MODULES))
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Return the ``run`` callable for an experiment id."""
+    try:
+        module = _MODULES[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown experiment {name!r}; available: {list(EXPERIMENTS)}"
+        ) from exc
+    return importlib.import_module(module).run

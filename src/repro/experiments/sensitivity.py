@@ -1,0 +1,129 @@
+"""Sensitivity analysis: how robust is the headline to the cost model?
+
+A reproduction built on a calibrated model owes its readers an answer
+to "which of these conclusions depend on which assumptions?".  This
+module perturbs one cost-model constant at a time and re-measures the
+Figure-14 headline (runtime-over-OS speedup), producing a tornado-style
+table.
+
+Expected outcome (asserted by ``benchmarks/bench_sensitivity.py``):
+
+- the 1.3–1.5× multi-stream speedup is *robust* — it survives halving
+  or removing individual penalty factors, because it is primarily a
+  CPU-oversubscription effect (OS packs 32 threads onto 16 cores);
+- only the OS scheduler's packing behaviour itself (``wake_affinity``)
+  can erase it, which is exactly the paper's claim: the win comes from
+  knowing what the OS does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.runtime import run_scenario
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig14 import multi_stream_scenario
+from repro.util.tables import Table
+
+#: Parameter -> perturbed values (the default sits between them).
+COST_PERTURBATIONS: dict[str, list[float]] = {
+    "remote_stall_factor": [1.0, 1.35],
+    "remote_stream_penalty": [1.0, 0.75],
+    "decompress_llc_factor": [2.0, 8.0],
+    "pipeline_efficiency": [0.6, 0.8],
+    "softirq_rate": [4.0e9, 16.0e9],
+}
+
+#: Scenario-level knobs (not CostModel fields).
+SCENARIO_PERTURBATIONS: dict[str, list[float]] = {
+    "csw_penalty": [0.0, 0.12],
+    "wake_affinity": [0.0, 1.0],
+}
+
+
+def headline_speedup(
+    *,
+    cost_overrides: dict[str, float] | None = None,
+    scenario_overrides: dict[str, float] | None = None,
+    num_chunks: int = 80,
+    seed: int = 7,
+) -> float:
+    """Figure-14 runtime-over-OS speedup under perturbed constants."""
+    speeds = {}
+    for runtime_placement in (True, False):
+        sc = multi_stream_scenario(
+            runtime_placement=runtime_placement,
+            num_chunks=num_chunks,
+            seed=seed,
+        )
+        if cost_overrides:
+            sc = replace(sc, cost=sc.cost.with_overrides(**cost_overrides))
+        if scenario_overrides:
+            sc = replace(sc, **scenario_overrides)
+        speeds[runtime_placement] = run_scenario(sc).total_delivered_gbps
+    return speeds[True] / speeds[False]
+
+
+def run(quick: bool = False, seed: int = 7, **_: object) -> ExperimentResult:
+    """One-factor-at-a-time sweep around the calibrated defaults."""
+    cost_params = (
+        dict(list(COST_PERTURBATIONS.items())[:1])
+        if quick
+        else COST_PERTURBATIONS
+    )
+    scenario_params = (
+        {"wake_affinity": SCENARIO_PERTURBATIONS["wake_affinity"]}
+        if quick
+        else SCENARIO_PERTURBATIONS
+    )
+    num_chunks = 50 if quick else 80
+
+    table = Table(
+        headers=["parameter", "value", "fig14 speedup"],
+        title="sensitivity of the Figure-14 headline (default speedup first)",
+    )
+    base = headline_speedup(num_chunks=num_chunks, seed=seed)
+    table.add("(default)", "-", round(base, 2))
+    results: dict[str, float] = {"default": base}
+
+    for name, values in cost_params.items():
+        for v in values:
+            s = headline_speedup(
+                cost_overrides={name: v}, num_chunks=num_chunks, seed=seed
+            )
+            results[f"{name}={v:g}"] = s
+            table.add(name, f"{v:g}", round(s, 2))
+    for name, values in scenario_params.items():
+        for v in values:
+            s = headline_speedup(
+                scenario_overrides={name: v}, num_chunks=num_chunks, seed=seed
+            )
+            results[f"{name}={v:g}"] = s
+            table.add(name, f"{v:g}", round(s, 2))
+
+    robust = [
+        v
+        for k, v in results.items()
+        if k != "default" and not k.startswith("wake_affinity")
+    ]
+    no_packing = results.get("wake_affinity=0", base)
+    claims = {
+        "headline speedup present at defaults (>1.25x)": base >= 1.25,
+        "headline robust to individual cost-constant perturbations": all(
+            v >= 1.1 for v in robust
+        ),
+        "OS wake-affinity packing is the load-bearing mechanism": (
+            no_packing <= 1.12
+        ),
+    }
+    return ExperimentResult(
+        experiment="sensitivity",
+        table=table,
+        data={"results": results},
+        claims=claims,
+        notes=[
+            "with wake_affinity=0 the modelled OS spreads threads evenly "
+            "and the runtime's advantage (correctly) vanishes — the paper's "
+            "win is knowledge the OS lacks, not magic",
+        ],
+    )

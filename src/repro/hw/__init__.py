@@ -1,0 +1,32 @@
+"""Hardware models: NUMA topology, memory system, interconnect, NICs.
+
+The split is *description* vs *instantiation*:
+
+- :mod:`repro.hw.topology` defines immutable specs (:class:`MachineSpec`,
+  :class:`NicSpec`, :class:`CoreId`) — what the runtime configuration
+  generator's knowledge base contains;
+- :mod:`repro.hw.machine` turns a spec into live :class:`repro.sim.flows`
+  resources (cores, memory controllers, QPI links, LLCs, NIC ports) bound
+  to one simulation engine;
+- :mod:`repro.hw.presets` carries the concrete machines from the paper's
+  §3.1/§4.2 testbed (*lynxdtn*, *updraft1/2*, *polaris1/2*).
+"""
+
+from repro.hw.machine import Machine
+from repro.hw.memory import MemorySystem
+from repro.hw.nic import Nic
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+from repro.hw.topology import CoreId, MachineSpec, NicSpec, SocketSpec
+
+__all__ = [
+    "CoreId",
+    "Machine",
+    "MachineSpec",
+    "MemorySystem",
+    "Nic",
+    "NicSpec",
+    "SocketSpec",
+    "lynxdtn_spec",
+    "polaris_spec",
+    "updraft_spec",
+]

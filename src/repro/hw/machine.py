@@ -1,0 +1,133 @@
+"""Instantiate a :class:`MachineSpec` as live simulation resources.
+
+One :class:`Machine` owns, per spec:
+
+- a :class:`~repro.sim.flows.CoreResource` per hardware core (capacity
+  scaled by clock relative to the calibration reference),
+- a memory-controller resource per socket (``kind="memory"``),
+- an LLC bandwidth resource per socket (``kind="llc"``),
+- a QPI/UPI resource per ordered socket pair (``kind="interconnect"``),
+- a :class:`repro.hw.nic.Nic` per NIC spec (rx/tx/pcie resources).
+
+Demand-vector construction for reads/writes that may cross sockets lives
+in :class:`repro.hw.memory.MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+from repro.sim.flows import CoreResource, Resource
+from repro.hw.memory import MemorySystem
+from repro.hw.nic import Nic
+from repro.hw.topology import CoreId, MachineSpec
+from repro.util.errors import ValidationError
+
+
+class Machine:
+    """Live resource set for one host inside one simulation."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: MachineSpec,
+        *,
+        csw_penalty: float = 0.03,
+    ) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.cores: dict[CoreId, CoreResource] = {}
+        for core in spec.all_cores():
+            self.cores[core] = CoreResource(
+                f"{spec.name}/{core}",
+                capacity=spec.core_speed_factor(core),
+                csw_penalty=csw_penalty,
+                kind="core",
+                machine=spec.name,
+                socket=core.socket,
+            )
+        self.memory_controllers: list[Resource] = [
+            Resource(
+                f"{spec.name}/mc{s}",
+                sock.mc_bandwidth,
+                kind="memory",
+                machine=spec.name,
+                socket=s,
+            )
+            for s, sock in enumerate(spec.sockets)
+        ]
+        self.llcs: list[Resource] = [
+            Resource(
+                f"{spec.name}/llc{s}",
+                sock.llc_bandwidth,
+                kind="llc",
+                machine=spec.name,
+                socket=s,
+            )
+            for s, sock in enumerate(spec.sockets)
+        ]
+        # One interconnect resource per ordered (src, dst) socket pair.
+        # With 2 sockets this is QPI in each direction, matching how the
+        # paper describes cross-socket traffic (§2.1).
+        self.qpi: dict[tuple[int, int], Resource] = {}
+        for src in range(spec.num_sockets):
+            for dst in range(spec.num_sockets):
+                if src == dst:
+                    continue
+                self.qpi[(src, dst)] = Resource(
+                    f"{spec.name}/qpi{src}->{dst}",
+                    spec.qpi_bandwidth,
+                    kind="interconnect",
+                    machine=spec.name,
+                    src=src,
+                    dst=dst,
+                )
+        self.nics: dict[str, Nic] = {
+            n.name: Nic(self, n) for n in spec.nics
+        }
+        self.memory = MemorySystem(self)
+
+    # -- lookups ---------------------------------------------------------
+
+    def core(self, core: CoreId) -> CoreResource:
+        try:
+            return self.cores[core]
+        except KeyError as exc:
+            raise ValidationError(
+                f"no core {core} on {self.spec.name!r}"
+            ) from exc
+
+    def core_names(self) -> list[str]:
+        """Resource names of all cores in OS enumeration order."""
+        return [self.cores[c].name for c in self.spec.all_cores()]
+
+    def mc(self, socket: int) -> Resource:
+        self.spec._check_socket(socket)
+        return self.memory_controllers[socket]
+
+    def llc(self, socket: int) -> Resource:
+        self.spec._check_socket(socket)
+        return self.llcs[socket]
+
+    def interconnect(self, src: int, dst: int) -> Resource:
+        if src == dst:
+            raise ValidationError("interconnect requires distinct sockets")
+        self.spec._check_socket(src)
+        self.spec._check_socket(dst)
+        return self.qpi[(src, dst)]
+
+    def nic(self, name: str | None = None) -> Nic:
+        if name is None:
+            return self.nics[self.spec.primary_nic().name]
+        try:
+            return self.nics[name]
+        except KeyError as exc:
+            raise ValidationError(
+                f"no NIC {name!r} on {self.spec.name!r}"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Machine {self.spec.name}: {self.spec.num_sockets} sockets x "
+            f"{self.spec.sockets[0].cores} cores, "
+            f"{len(self.nics)} NIC(s)>"
+        )

@@ -1,0 +1,85 @@
+"""Memory-system demand construction (local vs remote access).
+
+The paper's §2.1 model: a core reads/writes its socket's memory through
+the local memory controller; touching another socket's memory adds a trip
+over QPI plus the remote controller.  :class:`MemorySystem` turns
+"execute on socket E, data homed on socket H" into the demand vector the
+fluid allocator understands.
+
+All demands are *per byte of payload*; callers scale with fraction
+factors for traffic amplification (e.g. a decompressor reads 0.5 byte of
+compressed input per byte of output).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.flows import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.machine import Machine
+
+Demands = dict[Resource, float]
+
+
+def merge_demands(*parts: Demands) -> Demands:
+    """Sum demand vectors (resources may repeat across parts)."""
+    out: Demands = {}
+    for part in parts:
+        for r, d in part.items():
+            out[r] = out.get(r, 0.0) + d
+    return out
+
+
+class MemorySystem:
+    """Builds per-byte demand vectors for NUMA-aware memory traffic."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    def read(self, exec_socket: int, home_socket: int, fraction: float = 1.0) -> Demands:
+        """Demands for reading ``fraction`` bytes homed on ``home_socket``
+        from a core on ``exec_socket``."""
+        return self._access(exec_socket, home_socket, fraction, write=False)
+
+    def write(self, exec_socket: int, home_socket: int, fraction: float = 1.0) -> Demands:
+        """Demands for writing ``fraction`` bytes homed on ``home_socket``
+        from a core on ``exec_socket``."""
+        return self._access(exec_socket, home_socket, fraction, write=True)
+
+    def _access(
+        self, exec_socket: int, home_socket: int, fraction: float, *, write: bool
+    ) -> Demands:
+        if fraction < 0:
+            raise ValueError(f"fraction must be >= 0, got {fraction}")
+        if fraction == 0.0:
+            return {}
+        m = self.machine
+        m.spec._check_socket(exec_socket)
+        m.spec._check_socket(home_socket)
+        demands: Demands = {
+            m.mc(home_socket): fraction,
+            m.llc(exec_socket): fraction,
+        }
+        if exec_socket != home_socket:
+            # Reads pull data home->exec; writes push exec->home.
+            src, dst = (
+                (exec_socket, home_socket) if write else (home_socket, exec_socket)
+            )
+            link = m.interconnect(src, dst)
+            demands[link] = demands.get(link, 0.0) + fraction
+        return demands
+
+    def copy(
+        self,
+        exec_socket: int,
+        src_socket: int,
+        dst_socket: int,
+        fraction: float = 1.0,
+    ) -> Demands:
+        """Read from ``src_socket`` + write to ``dst_socket`` (a memcpy)."""
+        return merge_demands(
+            self.read(exec_socket, src_socket, fraction),
+            self.write(exec_socket, dst_socket, fraction),
+        )

@@ -1,0 +1,93 @@
+"""NIC model: port bandwidth, PCIe link, DMA target, RSS queue steering.
+
+From the paper's §2.2: an arriving packet is DMA'd over PCIe into host
+memory *of the socket the NIC is attached to*, then a softIRQ runs on the
+core designated for the NIC queue (RSS hashes a flow to a queue; each
+queue has an IRQ-affinity core).  The receiving thread finally copies the
+payload out of that memory — locally if it runs on the attached socket,
+across QPI otherwise.  That asymmetry is the entire mechanism behind the
+paper's 15% NUMA-1 receive advantage (Observations 1 and 4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.hw.memory import Demands, merge_demands
+from repro.hw.topology import CoreId, NicSpec
+from repro.sim.flows import Resource
+from repro.util.units import gbps_to_bytes_per_s
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.machine import Machine
+
+
+class Nic:
+    """A live NIC bound to a machine's resources."""
+
+    def __init__(self, machine: "Machine", spec: NicSpec) -> None:
+        self.machine = machine
+        self.spec = spec
+        base = f"{machine.spec.name}/{spec.name}"
+        rate_Bps = gbps_to_bytes_per_s(spec.rate_gbps)
+        self.rx = Resource(f"{base}/rx", rate_Bps, kind="nic", dir="rx")
+        self.tx = Resource(f"{base}/tx", rate_Bps, kind="nic", dir="tx")
+        self.pcie = Resource(
+            f"{base}/pcie",
+            gbps_to_bytes_per_s(spec.pcie_gbps),
+            kind="pcie",
+        )
+
+    @property
+    def socket(self) -> int:
+        """NUMA domain this NIC is attached to."""
+        return self.spec.attached_socket
+
+    # -- RSS / IRQ steering ----------------------------------------------
+
+    def rss_queue(self, stream_id: int | str) -> int:
+        """Hash a stream identity onto one of the NIC's RX queues."""
+        h = zlib.crc32(str(stream_id).encode())
+        return h % self.spec.num_queues
+
+    def softirq_core(self, queue: int) -> CoreId:
+        """IRQ-affinity core for a queue.
+
+        ``irq_layout="spread"`` round-robins queues over the attached
+        socket's cores (irqbalance); ``"single"`` pins every queue's
+        IRQ to core 0 of the attached socket, serializing all kernel RX
+        processing there.
+        """
+        cores = self.machine.spec.cores_of(self.socket)
+        if self.spec.irq_layout == "single":
+            return cores[0]
+        return cores[queue % len(cores)]
+
+    # -- demand builders ---------------------------------------------------
+
+    def rx_wire_demands(self, fraction: float = 1.0) -> Demands:
+        """Per-byte demands of a payload crossing the wire into host
+        memory: NIC port + PCIe + DMA write into the attached socket's
+        memory (no LLC: DDIO/DMA bypasses the reader's cache path here)."""
+        return {
+            self.rx: fraction,
+            self.pcie: fraction,
+            self.machine.mc(self.socket): fraction,
+        }
+
+    def tx_wire_demands(self, src_socket: int, fraction: float = 1.0) -> Demands:
+        """Per-byte demands of transmitting a payload homed on
+        ``src_socket``: DMA read (possibly over QPI to the NIC's socket)
+        + PCIe + NIC port."""
+        m = self.machine
+        demands: Demands = {
+            self.tx: fraction,
+            self.pcie: fraction,
+            m.mc(src_socket): fraction,
+        }
+        if src_socket != self.socket:
+            demands = merge_demands(
+                demands, {m.interconnect(src_socket, self.socket): fraction}
+            )
+        return demands

@@ -1,0 +1,84 @@
+"""The paper's testbed machines (§3.1 and §4.2).
+
+- *lynxdtn* — the upstream gateway / receiver: 2× Xeon Gold 6346
+  (16 cores @ 3.1 GHz per socket), 512 GB DDR4-3200 per socket, dual-port
+  Mellanox ConnectX-6.  The NUMA-0 NIC serves a LUSTRE filesystem on a
+  separate network (unused in the study); the streaming NIC (200 Gbps)
+  hangs off **NUMA 1** — the fact every placement decision revolves
+  around.
+- *updraft1/2* — senders with the same organization as lynxdtn but a
+  100 Gbps streaming NIC (§3.4: "The sending machine, updraft1, has a NIC
+  supporting 100 Gbps").
+- *polaris1/2* — senders: one-socket 2.8 GHz AMD EPYC Milan 7543P,
+  32 cores, 512 GB DDR4, 100 Gbps NIC.
+
+Bandwidth constants not printed in the paper (memory-controller, LLC,
+QPI effective rates) are engineering estimates for these parts; the
+calibration audit in EXPERIMENTS.md shows which results are sensitive to
+them (only the Figure 9 decompression-contention crossover).
+"""
+
+from __future__ import annotations
+
+from repro.hw.topology import MachineSpec, NicSpec, SocketSpec
+from repro.util.units import GiB
+
+#: Xeon Gold 6346 socket as configured in lynxdtn/updraft (16x32GB DDR4-3200).
+_XEON_6346 = SocketSpec(
+    cores=16,
+    ghz=3.1,
+    memory_bytes=512 * GiB,
+    mc_bandwidth=120e9,
+    llc_bandwidth=175e9,
+)
+
+#: EPYC Milan 7543P socket as configured in polaris nodes.
+_EPYC_7543P = SocketSpec(
+    cores=32,
+    ghz=2.8,
+    memory_bytes=512 * GiB,
+    mc_bandwidth=160e9,
+    llc_bandwidth=280e9,
+)
+
+
+def lynxdtn_spec() -> MachineSpec:
+    """The upstream gateway node (receiver in every experiment)."""
+    return MachineSpec(
+        name="lynxdtn",
+        sockets=(_XEON_6346, _XEON_6346),
+        nics=(
+            NicSpec(
+                name="lustre-nic",
+                rate_gbps=200.0,
+                attached_socket=0,
+                usable=False,  # separate LUSTRE network, not studied
+            ),
+            NicSpec(name="hsn-nic", rate_gbps=200.0, attached_socket=1),
+        ),
+        qpi_bandwidth=42e9,
+        kernel="rhel8-4.18",
+    )
+
+
+def updraft_spec(index: int = 1) -> MachineSpec:
+    """updraft1/updraft2 sender nodes (same organization as lynxdtn,
+    100 Gbps streaming NIC)."""
+    return MachineSpec(
+        name=f"updraft{index}",
+        sockets=(_XEON_6346, _XEON_6346),
+        nics=(NicSpec(name="nic", rate_gbps=100.0, attached_socket=1),),
+        qpi_bandwidth=42e9,
+        kernel="rhel8-4.18",
+    )
+
+
+def polaris_spec(index: int = 1) -> MachineSpec:
+    """polaris1/polaris2 sender nodes (single-socket EPYC, 100 Gbps NIC)."""
+    return MachineSpec(
+        name=f"polaris{index}",
+        sockets=(_EPYC_7543P,),
+        nics=(NicSpec(name="nic", rate_gbps=100.0, attached_socket=0),),
+        kernel="sles15sp3-5.3",
+        reference_ghz=3.1,
+    )

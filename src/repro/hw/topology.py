@@ -1,0 +1,168 @@
+"""Immutable hardware descriptions (the knowledge-base vocabulary).
+
+A :class:`MachineSpec` is everything the paper's "runtime configuration
+generator" knows about a host: socket/core organization, per-socket
+memory, interconnect and memory-controller bandwidths, and which NUMA
+domain each NIC is attached to.  Placement quality in the paper comes
+entirely from exploiting these facts (Observations 1–4), so they are
+first-class data here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+from repro.util.units import GiB
+
+
+@dataclass(frozen=True, order=True)
+class CoreId:
+    """A hardware core addressed as (socket, index-within-socket)."""
+
+    socket: int
+    index: int
+
+    def global_index(self, cores_per_socket: int) -> int:
+        """Flat core number in OS enumeration order (socket-major)."""
+        return self.socket * cores_per_socket + self.index
+
+    def __str__(self) -> str:
+        return f"s{self.socket}c{self.index}"
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """One NIC port: its speed, NUMA attachment and queue organization."""
+
+    name: str
+    rate_gbps: float
+    attached_socket: int
+    num_queues: int = 16
+    pcie_gbps: float = 252.0  # PCIe 4.0 x16 ≈ 31.5 GB/s
+    #: NICs present but unused in the paper's study (lynxdtn's NUMA-0 NIC
+    #: serves a LUSTRE filesystem on a separate network).
+    usable: bool = True
+    #: IRQ-affinity layout for the RX queues: "spread" (irqbalance
+    #: round-robins softIRQ cores over the attached socket — §2.2's
+    #: RSS/RPS picture) or "single" (every queue's IRQ on core 0 of the
+    #: attached socket — the classic misconfiguration that serializes
+    #: kernel RX processing on one core).
+    irq_layout: str = "spread"
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValidationError(f"NIC {self.name!r} rate must be > 0")
+        if self.num_queues < 1:
+            raise ValidationError(f"NIC {self.name!r} needs >= 1 queue")
+        if self.irq_layout not in ("spread", "single"):
+            raise ValidationError(
+                f"NIC {self.name!r}: irq_layout must be 'spread' or 'single'"
+            )
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One NUMA domain: cores, local memory, and its bandwidth limits."""
+
+    cores: int
+    ghz: float
+    memory_bytes: int = 512 * GiB
+    #: Effective memory-controller streaming bandwidth (bytes/s).  DDR4-3200
+    #: with 8 channels peaks at ~204 GB/s; sustained streaming is lower.
+    mc_bandwidth: float = 120e9
+    #: Effective last-level-cache bandwidth available to streaming loads
+    #: (bytes/s).  Bounds cache-resident traffic of co-located threads —
+    #: the intra-socket contention resource of the paper's Observation 3.
+    llc_bandwidth: float = 175e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValidationError("socket needs >= 1 core")
+        if self.ghz <= 0:
+            raise ValidationError("socket clock must be > 0")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete host description.
+
+    ``reference_ghz`` anchors the cost model: per-byte CPU costs in
+    :mod:`repro.core.params` are calibrated for a core at this clock, and
+    cores scale linearly with their actual clock.
+    """
+
+    name: str
+    sockets: tuple[SocketSpec, ...]
+    nics: tuple[NicSpec, ...] = ()
+    #: QPI/UPI bandwidth per direction between a socket pair (bytes/s).
+    #: Intel UPI: 3 links x 10.4 GT/s ≈ 62 GB/s aggregate; effective
+    #: streaming share is lower.
+    qpi_bandwidth: float = 42e9
+    reference_ghz: float = 3.1
+    kernel: str = "linux-4.18"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise ValidationError(f"machine {self.name!r} needs >= 1 socket")
+        for nic in self.nics:
+            if not 0 <= nic.attached_socket < len(self.sockets):
+                raise ValidationError(
+                    f"NIC {nic.name!r} attached to nonexistent socket "
+                    f"{nic.attached_socket} on {self.name!r}"
+                )
+
+    # -- derived topology facts -----------------------------------------
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cores for s in self.sockets)
+
+    def cores_of(self, socket: int) -> list[CoreId]:
+        """All core ids in one NUMA domain, in index order."""
+        self._check_socket(socket)
+        return [CoreId(socket, i) for i in range(self.sockets[socket].cores)]
+
+    def all_cores(self) -> list[CoreId]:
+        """Every core, socket-major (OS enumeration order)."""
+        return [c for s in range(self.num_sockets) for c in self.cores_of(s)]
+
+    def core_ghz(self, core: CoreId) -> float:
+        self._check_socket(core.socket)
+        return self.sockets[core.socket].ghz
+
+    def core_speed_factor(self, core: CoreId) -> float:
+        """Core capacity relative to the calibration reference clock."""
+        return self.core_ghz(core) / self.reference_ghz
+
+    def usable_nics(self) -> list[NicSpec]:
+        return [n for n in self.nics if n.usable]
+
+    def nic_named(self, name: str) -> NicSpec:
+        for n in self.nics:
+            if n.name == name:
+                return n
+        raise ValidationError(f"no NIC named {name!r} on {self.name!r}")
+
+    def primary_nic(self) -> NicSpec:
+        """The fastest usable NIC — the streaming NIC in the paper's setup."""
+        usable = self.usable_nics()
+        if not usable:
+            raise ValidationError(f"machine {self.name!r} has no usable NIC")
+        return max(usable, key=lambda n: n.rate_gbps)
+
+    def nic_socket(self, nic: NicSpec | None = None) -> int:
+        """NUMA domain the (primary) NIC hangs off — Observation 1's key fact."""
+        return (nic or self.primary_nic()).attached_socket
+
+    def _check_socket(self, socket: int) -> None:
+        if not 0 <= socket < self.num_sockets:
+            raise ValidationError(
+                f"socket {socket} out of range on {self.name!r} "
+                f"(has {self.num_sockets})"
+            )

@@ -1,0 +1,37 @@
+"""Live runtime: the pipeline with real threads, sockets and codecs.
+
+The simulator (:mod:`repro.core`) answers the paper's *performance*
+questions; this package proves the pipeline *logic* end-to-end on the
+host it runs on: real worker threads connected by bounded queues, real
+LZ4 (or zlib) compression, framed chunk transport over TCP/Unix
+sockets, per-chunk checksums, and best-effort CPU affinity via
+``sched_setaffinity`` where the host allows it.
+
+Python's GIL means live throughput numbers say nothing about the
+paper's claims (DESIGN.md §2); integrity and plumbing are what this
+path verifies — and what `examples/live_pipeline.py` demonstrates.
+"""
+
+from repro.live.affinity import current_affinity, pin_current_thread
+from repro.live.planning import affinity_from_stream
+from repro.live.remote import EndpointReport, ReceiverServer, SenderClient
+from repro.live.queues import Closed, ClosableQueue
+from repro.live.runtime import LiveConfig, LivePipeline, LiveReport
+from repro.live.transport import Frame, FramedReceiver, FramedSender
+
+__all__ = [
+    "ClosableQueue",
+    "EndpointReport",
+    "ReceiverServer",
+    "SenderClient",
+    "affinity_from_stream",
+    "Closed",
+    "Frame",
+    "FramedReceiver",
+    "FramedSender",
+    "LiveConfig",
+    "LivePipeline",
+    "LiveReport",
+    "current_affinity",
+    "pin_current_thread",
+]

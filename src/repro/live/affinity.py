@@ -1,0 +1,48 @@
+"""Best-effort CPU affinity for live pipeline threads.
+
+On Linux, ``os.sched_setaffinity(0, ...)`` binds the *calling thread*
+(tid 0 means "current task"), which is exactly what the paper's
+``numa_bind()`` usage needs at thread granularity.  Hosts without the
+syscall (macOS) or with a single CPU degrade to a no-op — the live path
+is about pipeline correctness, not placement performance (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+
+def supports_affinity() -> bool:
+    """Whether this host can pin threads at all."""
+    return hasattr(os, "sched_setaffinity") and os.cpu_count() not in (None, 1)
+
+
+def pin_current_thread(cpus: Iterable[int]) -> bool:
+    """Pin the calling thread to ``cpus``; returns True when applied.
+
+    CPUs outside the host's range are dropped; an empty usable set (or a
+    host without affinity support) leaves placement untouched.
+    """
+    wanted = set(int(c) for c in cpus)
+    if not supports_affinity():
+        return False
+    ncpu = os.cpu_count() or 1
+    usable = {c for c in wanted if 0 <= c < ncpu}
+    if not usable:
+        return False
+    try:
+        os.sched_setaffinity(0, usable)
+        return True
+    except OSError:
+        return False
+
+
+def current_affinity() -> set[int] | None:
+    """The calling thread's CPU set, or None when unsupported."""
+    if not hasattr(os, "sched_getaffinity"):
+        return None
+    try:
+        return set(os.sched_getaffinity(0))
+    except OSError:  # pragma: no cover - platform quirk
+        return None

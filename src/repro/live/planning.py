@@ -1,0 +1,67 @@
+"""Bridge from simulated plans to live-thread affinity.
+
+Closes the paper's loop on a real host: the configuration generator
+plans placements against a *modelled* machine; this module translates
+that plan into best-effort CPU pins for the live pipeline's worker
+threads.  On hosts with fewer CPUs than the modelled machine, modelled
+cores map onto host CPUs by global index modulo the host's CPU count —
+preserving the *grouping* (which stages share cores, which are apart)
+even when the absolute layout cannot exist.
+
+Placement remains advisory on the live path (DESIGN.md §2: live mode
+proves logic, not performance), but running `LivePipeline` with a
+planned affinity exercises the same artifacts end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import StageKind, StreamConfig
+from repro.hw.topology import MachineSpec
+from repro.util.errors import ConfigurationError
+
+#: live-pipeline stage names -> (scenario stage, which machine side).
+_LIVE_STAGES: dict[str, StageKind] = {
+    "feed": StageKind.INGEST,
+    "compress": StageKind.COMPRESS,
+    "send": StageKind.SEND,
+    "recv": StageKind.RECV,
+    "decompress": StageKind.DECOMPRESS,
+}
+
+
+def affinity_from_stream(
+    stream: StreamConfig,
+    sender: MachineSpec,
+    receiver: MachineSpec,
+    *,
+    host_cpus: int | None = None,
+) -> dict[str, list[int]]:
+    """Map one stream's placements to `LiveConfig.affinity` hints.
+
+    Only pinned/socket/split placements translate (OS-managed stages are
+    left unpinned, which is exactly what they mean).  Returns a dict
+    suitable for :class:`repro.live.runtime.LiveConfig`.
+    """
+    ncpu = host_cpus if host_cpus is not None else (os.cpu_count() or 1)
+    if ncpu < 1:
+        raise ConfigurationError("host reports no CPUs")
+    out: dict[str, list[int]] = {}
+    for live_name, kind in _LIVE_STAGES.items():
+        stage = stream.stages().get(kind)
+        if stage is None or stage.placement.kind == "os":
+            continue
+        machine = sender if kind.sender_side else receiver
+        p = stage.placement
+        if p.kind == "cores":
+            cores = list(p.cores)
+        else:
+            cores = [
+                c for s in p.sockets for c in machine.cores_of(s)
+            ]
+        cps = machine.sockets[0].cores
+        cpus = sorted({c.global_index(cps) % ncpu for c in cores})
+        if cpus:
+            out[live_name] = cpus
+    return out

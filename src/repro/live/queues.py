@@ -1,0 +1,82 @@
+"""Bounded, closable queues for the live pipeline threads.
+
+The paper's stages hand chunks through thread-safe queues; Python's
+``queue.Queue`` provides the thread safety, this wrapper adds the
+end-of-stream protocol every stage needs: a producer-side ``close()``
+that wakes all consumers exactly once each, with items drained first.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.util.errors import ValidationError
+
+
+class Closed(Exception):
+    """Raised by :meth:`ClosableQueue.get` after drain + close."""
+
+
+class ClosableQueue:
+    """Bounded FIFO with multi-producer close semantics.
+
+    ``close()`` may be called several times (one per producer); the
+    queue only closes when ``producers`` many closes arrived.  Consumers
+    keep draining buffered items and then see :class:`Closed`.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, capacity: int = 8, producers: int = 1) -> None:
+        if capacity < 1:
+            raise ValidationError("capacity must be >= 1")
+        if producers < 1:
+            raise ValidationError("producers must be >= 1")
+        self._q: queue.Queue[Any] = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._open_producers = producers
+        self._closed = threading.Event()
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Enqueue; blocks on a full queue (backpressure)."""
+        if self._closed.is_set():
+            raise ValidationError("put() on a fully closed queue")
+        self._q.put(item, timeout=timeout)
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue; raises :class:`Closed` once drained and closed."""
+        while True:
+            if self._closed.is_set():
+                # Drain without blocking; anything left still counts.
+                try:
+                    item = self._q.get_nowait()
+                except queue.Empty:
+                    raise Closed from None
+            else:
+                try:
+                    item = self._q.get(timeout=timeout or 0.1)
+                except queue.Empty:
+                    if timeout is not None:
+                        raise
+                    continue
+            if item is self._SENTINEL:
+                raise Closed
+            return item
+
+    def close(self) -> None:
+        """One producer is done; the last close seals the queue."""
+        with self._lock:
+            if self._open_producers <= 0:
+                raise ValidationError("close() called more times than producers")
+            self._open_producers -= 1
+            if self._open_producers == 0:
+                self._closed.set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def qsize(self) -> int:
+        return self._q.qsize()

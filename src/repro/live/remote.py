@@ -1,0 +1,256 @@
+"""Two-endpoint live pipeline over real TCP.
+
+The in-process :class:`~repro.live.runtime.LivePipeline` wires sender
+and receiver through socketpairs; this module splits them into network
+endpoints so the paper's Figure-10 shape (sender machine → receiver
+machine, x TCP connections) runs for real:
+
+- :class:`ReceiverServer` — listens, accepts the expected number of
+  connections, runs receive + decompression workers, delivers to a sink;
+- :class:`SenderClient` — reads chunks from a source, compresses, and
+  ships them over its connections.
+
+Used by ``repro-live --listen`` / ``--connect`` and by the integration
+tests (both endpoints in one process over localhost).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.compress.codec import Codec, get_codec
+from repro.data.chunking import Chunk
+from repro.live import workers
+from repro.live.queues import ClosableQueue
+from repro.live.transport import FramedReceiver, FramedSender
+from repro.util.errors import TransportError, ValidationError
+
+
+@dataclass
+class EndpointReport:
+    """Outcome of one endpoint's run."""
+
+    role: str
+    chunks: int
+    payload_bytes: int
+    wire_bytes: int
+    elapsed: float
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"ERRORS: {'; '.join(self.errors)}"
+        return (
+            f"{self.role}: chunks={self.chunks} "
+            f"payload={self.payload_bytes / 1e6:.2f}MB "
+            f"wire={self.wire_bytes / 1e6:.2f}MB "
+            f"elapsed={self.elapsed:.2f}s [{status}]"
+        )
+
+
+class ReceiverServer:
+    """Accepts sender connections and runs the receiver-side stages."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        codec: Codec | str = "zlib",
+        connections: int = 1,
+        decompress_threads: int = 2,
+        queue_capacity: int = 8,
+        accept_timeout: float = 30.0,
+        join_timeout: float = 120.0,
+    ) -> None:
+        if connections < 1:
+            raise ValidationError("connections must be >= 1")
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.connections = connections
+        self.decompress_threads = decompress_threads
+        self.queue_capacity = queue_capacity
+        self.accept_timeout = accept_timeout
+        self.join_timeout = join_timeout
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(accept_timeout)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound (port resolves 0 → ephemeral)."""
+        return self._listener.getsockname()[:2]
+
+    def serve(
+        self, sink: Callable[[str, int, bytes], None] | None = None
+    ) -> EndpointReport:
+        """Accept the expected connections and run to end-of-stream."""
+        t0 = time.perf_counter()
+        stats = {
+            "recv": workers.StageStats("recv"),
+            "decompress": workers.StageStats("decompress"),
+        }
+        delivered = {"chunks": 0, "bytes": 0}
+        lock = threading.Lock()
+
+        def counting_sink(stream_id: str, index: int, data: bytes) -> None:
+            with lock:
+                delivered["chunks"] += 1
+                delivered["bytes"] += len(data)
+            if sink is not None:
+                sink(stream_id, index, data)
+
+        wireq = ClosableQueue(self.queue_capacity, producers=self.connections)
+        threads: list[threading.Thread] = []
+        errors: list[str] = []
+        try:
+            conns = []
+            for _ in range(self.connections):
+                conn, _addr = self._listener.accept()
+                conns.append(conn)
+        except TimeoutError:
+            errors.append(
+                f"timed out waiting for {self.connections} connections"
+            )
+            return EndpointReport("receiver", 0, 0, 0,
+                                  time.perf_counter() - t0, errors)
+        finally:
+            self._listener.close()
+
+        for i, conn in enumerate(conns):
+            threads.append(
+                threading.Thread(
+                    target=workers.receiver,
+                    args=(FramedReceiver(conn), wireq, stats["recv"]),
+                    name=f"recv-{i}",
+                    daemon=True,
+                )
+            )
+        for i in range(self.decompress_threads):
+            threads.append(
+                threading.Thread(
+                    target=workers.decompressor,
+                    args=(self.codec, wireq, stats["decompress"], counting_sink),
+                    name=f"decompress-{i}",
+                    daemon=True,
+                )
+            )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.join_timeout)
+            if t.is_alive():
+                errors.append(f"thread {t.name} did not finish")
+        for s in stats.values():
+            errors.extend(s.errors)
+        return EndpointReport(
+            role="receiver",
+            chunks=delivered["chunks"],
+            payload_bytes=delivered["bytes"],
+            wire_bytes=stats["recv"].bytes_in,
+            elapsed=time.perf_counter() - t0,
+            errors=errors,
+        )
+
+
+class SenderClient:
+    """Compresses chunks and ships them over TCP connections."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        codec: Codec | str = "zlib",
+        connections: int = 1,
+        compress_threads: int = 2,
+        queue_capacity: int = 8,
+        connect_timeout: float = 30.0,
+        join_timeout: float = 120.0,
+    ) -> None:
+        if connections < 1:
+            raise ValidationError("connections must be >= 1")
+        self.host = host
+        self.port = port
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.connections = connections
+        self.compress_threads = compress_threads
+        self.queue_capacity = queue_capacity
+        self.connect_timeout = connect_timeout
+        self.join_timeout = join_timeout
+
+    def run(self, source: Iterable[Chunk]) -> EndpointReport:
+        """Stream every chunk of ``source`` to the receiver."""
+        t0 = time.perf_counter()
+        stats = {
+            "feed": workers.StageStats("feed"),
+            "compress": workers.StageStats("compress"),
+            "send": workers.StageStats("send"),
+        }
+        rawq = ClosableQueue(self.queue_capacity, producers=1)
+        sendq = ClosableQueue(self.queue_capacity, producers=self.compress_threads)
+        errors: list[str] = []
+        try:
+            senders = [
+                FramedSender(
+                    socket.create_connection(
+                        (self.host, self.port), timeout=self.connect_timeout
+                    )
+                )
+                for _ in range(self.connections)
+            ]
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        for s in senders:
+            s.sock.settimeout(None)
+
+        threads = [
+            threading.Thread(
+                target=workers.feeder,
+                args=(source, rawq, stats["feed"]),
+                name="feeder",
+                daemon=True,
+            )
+        ]
+        for i in range(self.compress_threads):
+            threads.append(
+                threading.Thread(
+                    target=workers.compressor,
+                    args=(self.codec, rawq, sendq, stats["compress"]),
+                    name=f"compress-{i}",
+                    daemon=True,
+                )
+            )
+        for i, tx in enumerate(senders):
+            threads.append(
+                threading.Thread(
+                    target=workers.sender,
+                    args=(tx, sendq, stats["send"]),
+                    kwargs={"compressed": True},
+                    name=f"send-{i}",
+                    daemon=True,
+                )
+            )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.join_timeout)
+            if t.is_alive():
+                errors.append(f"thread {t.name} did not finish")
+        for s in stats.values():
+            errors.extend(s.errors)
+        return EndpointReport(
+            role="sender",
+            chunks=stats["send"].chunks,
+            payload_bytes=stats["feed"].bytes_in,
+            wire_bytes=stats["send"].bytes_out,
+            elapsed=time.perf_counter() - t0,
+            errors=errors,
+        )

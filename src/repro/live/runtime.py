@@ -1,0 +1,216 @@
+"""Assemble and run a live (real-thread) pipeline on this host.
+
+:class:`LivePipeline` wires Figure 2 with actual OS threads::
+
+    feeder -> [C x compress] -> sendq -> {S_i ==socketpair==> R_i} ->
+    wireq -> [D x decompress] -> sink
+
+One socketpair per send/receive pair models the paper's "x TCP
+streams"; substitute real TCP sockets by constructing the workers from
+:mod:`repro.live.transport` directly (see ``examples/live_pipeline.py``
+for the two-process variant).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.compress.codec import Codec, get_codec
+from repro.data.chunking import Chunk
+from repro.live import workers
+from repro.live.queues import ClosableQueue
+from repro.live.transport import socket_pipe
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class LiveConfig:
+    """Thread counts and codec for a live run."""
+
+    codec: str = "zlib"
+    compress_threads: int = 2
+    decompress_threads: int = 2
+    connections: int = 1
+    queue_capacity: int = 8
+    #: Optional stage -> CPU list affinity hints (best-effort).
+    affinity: dict[str, list[int]] = field(default_factory=dict)
+    #: Fail the run if any chunk is missing or duplicated at the sink.
+    verify: bool = True
+    join_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        for name in ("compress_threads", "decompress_threads", "connections"):
+            if getattr(self, name) < 1:
+                raise ValidationError(f"{name} must be >= 1")
+
+
+@dataclass
+class LiveReport:
+    """Outcome of one live pipeline run."""
+
+    chunks: int
+    bytes_in: int
+    wire_bytes: int
+    bytes_out: int
+    elapsed: float
+    stage_stats: dict[str, workers.StageStats]
+    errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.bytes_in / self.wire_bytes if self.wire_bytes else 1.0
+
+    @property
+    def goodput_MBps(self) -> float:
+        return self.bytes_out / self.elapsed / 1e6 if self.elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"chunks={self.chunks} in={self.bytes_in / 1e6:.1f}MB "
+            f"wire={self.wire_bytes / 1e6:.1f}MB out={self.bytes_out / 1e6:.1f}MB",
+            f"ratio={self.compression_ratio:.2f} elapsed={self.elapsed:.2f}s "
+            f"goodput={self.goodput_MBps:.1f} MB/s",
+        ]
+        for name, s in self.stage_stats.items():
+            lines.append(
+                f"  {name}: chunks={s.chunks} busy={s.busy_seconds:.2f}s"
+            )
+        if self.errors:
+            lines.append("ERRORS: " + "; ".join(self.errors))
+        return "\n".join(lines)
+
+
+class LivePipeline:
+    """Single-host pipeline over in-process socketpairs."""
+
+    def __init__(self, config: LiveConfig | None = None, codec: Codec | None = None):
+        self.config = config or LiveConfig()
+        self.codec = codec or get_codec(self.config.codec)
+
+    def run(
+        self,
+        source: Iterable[Chunk],
+        sink: Callable[[str, int, bytes], None] | None = None,
+    ) -> LiveReport:
+        """Stream every chunk of ``source`` through the full pipeline."""
+        cfg = self.config
+        delivered: dict[tuple[str, int], int] = {}
+        delivered_lock = threading.Lock()
+        expected: dict[tuple[str, int], int] = {}
+        bytes_out = [0]
+
+        def default_sink(stream_id: str, index: int, data: bytes) -> None:
+            with delivered_lock:
+                delivered[(stream_id, index)] = (
+                    delivered.get((stream_id, index), 0) + 1
+                )
+                bytes_out[0] += len(data)
+
+        user_sink = sink
+
+        def counting_sink(stream_id: str, index: int, data: bytes) -> None:
+            default_sink(stream_id, index, data)
+            if user_sink is not None:
+                user_sink(stream_id, index, data)
+
+        def tracked_source() -> Iterable[Chunk]:
+            for chunk in source:
+                if chunk.payload is None:
+                    raise ValidationError("live pipeline chunks need payloads")
+                expected[(chunk.stream_id, chunk.index)] = len(chunk.payload)
+                yield chunk
+
+        stats = {
+            name: workers.StageStats(name)
+            for name in ("feed", "compress", "send", "recv", "decompress")
+        }
+        rawq = ClosableQueue(cfg.queue_capacity, producers=1)
+        sendq = ClosableQueue(cfg.queue_capacity, producers=cfg.compress_threads)
+        wireq = ClosableQueue(cfg.queue_capacity, producers=cfg.connections)
+
+        threads: list[threading.Thread] = []
+
+        def spawn(name: str, target, *args, **kwargs) -> None:
+            t = threading.Thread(
+                target=target, args=args, kwargs=kwargs, name=name, daemon=True
+            )
+            threads.append(t)
+
+        aff = cfg.affinity
+        spawn("feeder", workers.feeder, tracked_source(), rawq, stats["feed"], aff.get("feed"))
+        for i in range(cfg.compress_threads):
+            spawn(
+                f"compress-{i}",
+                workers.compressor,
+                self.codec,
+                rawq,
+                sendq,
+                stats["compress"],
+                aff.get("compress"),
+            )
+        for i in range(cfg.connections):
+            tx, rx = socket_pipe()
+            spawn(
+                f"send-{i}",
+                workers.sender,
+                tx,
+                sendq,
+                stats["send"],
+                compressed=True,
+                cpus=aff.get("send"),
+            )
+            spawn(
+                f"recv-{i}",
+                workers.receiver,
+                rx,
+                wireq,
+                stats["recv"],
+                aff.get("recv"),
+            )
+        for i in range(cfg.decompress_threads):
+            spawn(
+                f"decompress-{i}",
+                workers.decompressor,
+                self.codec,
+                wireq,
+                stats["decompress"],
+                counting_sink,
+                aff.get("decompress"),
+            )
+
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        errors: list[str] = []
+        for t in threads:
+            t.join(cfg.join_timeout)
+            if t.is_alive():
+                errors.append(f"thread {t.name} did not finish (deadlock?)")
+        elapsed = time.perf_counter() - t0
+
+        for s in stats.values():
+            errors.extend(s.errors)
+        if cfg.verify and not errors:
+            missing = set(expected) - set(delivered)
+            dupes = {k: n for k, n in delivered.items() if n > 1}
+            if missing:
+                errors.append(f"{len(missing)} chunks never delivered: "
+                              f"{sorted(missing)[:3]}...")
+            if dupes:
+                errors.append(f"duplicated chunks: {sorted(dupes)[:3]}...")
+        return LiveReport(
+            chunks=stats["decompress"].chunks,
+            bytes_in=stats["feed"].bytes_in,
+            wire_bytes=stats["send"].bytes_out,
+            bytes_out=bytes_out[0],
+            elapsed=elapsed,
+            stage_stats=stats,
+            errors=errors,
+        )

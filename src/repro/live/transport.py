@@ -1,0 +1,161 @@
+"""Framed chunk transport over sockets — the zeroMQ stand-in.
+
+Wire format of one frame (all integers little-endian)::
+
+    magic     u32   0x52435046 ("RCPF")
+    stream    u16   stream id length, followed by that many bytes
+    index     u32   chunk index within the stream
+    flags     u16   bit 0: payload is compressed; bit 1: end-of-stream
+    orig_len  u32   uncompressed payload length
+    checksum  u32   xxhash32 of the (possibly compressed) payload
+    length    u32   payload length
+    payload   bytes
+
+End-of-stream frames carry an empty payload.  The receiver verifies the
+checksum before handing the frame up; a mismatch or malformed header
+raises :class:`~repro.util.errors.TransportError` (fail loudly — a
+corrupted scientific chunk must never be silently delivered).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.compress.xxhash import xxhash32
+from repro.util.errors import TransportError
+
+MAGIC = 0x52435046
+_HEADER = struct.Struct("<IH")  # magic, stream-id length
+_BODY = struct.Struct("<IHIII")  # index, flags, orig_len, checksum, length
+
+FLAG_COMPRESSED = 0x1
+FLAG_EOS = 0x2
+
+#: Refuse absurd frames before allocating for them.
+MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
+MAX_STREAM_ID = 4096
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One transported chunk (or end-of-stream marker)."""
+
+    stream_id: str
+    index: int
+    payload: bytes
+    compressed: bool = False
+    orig_len: int = 0
+    eos: bool = False
+
+    @classmethod
+    def end_of_stream(cls, stream_id: str) -> "Frame":
+        return cls(stream_id=stream_id, index=0, payload=b"", eos=True)
+
+
+class FramedSender:
+    """Serializes frames onto a connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    def send(self, frame: Frame) -> None:
+        sid = frame.stream_id.encode()
+        if len(sid) > MAX_STREAM_ID:
+            raise TransportError(f"stream id too long ({len(sid)} bytes)")
+        flags = (FLAG_COMPRESSED if frame.compressed else 0) | (
+            FLAG_EOS if frame.eos else 0
+        )
+        parts = [
+            _HEADER.pack(MAGIC, len(sid)),
+            sid,
+            _BODY.pack(
+                frame.index,
+                flags,
+                frame.orig_len,
+                xxhash32(frame.payload),
+                len(frame.payload),
+            ),
+            frame.payload,
+        ]
+        try:
+            self.sock.sendall(b"".join(parts))
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+
+class FramedReceiver:
+    """Parses frames off a connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                part = self.sock.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not part:
+                raise TransportError(
+                    f"connection closed mid-frame ({remaining} of {n} bytes missing)"
+                )
+            chunks.append(part)
+            remaining -= len(part)
+        return b"".join(chunks)
+
+    def recv(self) -> Frame | None:
+        """Next frame, or None on clean connection shutdown."""
+        try:
+            head = self.sock.recv(_HEADER.size, socket.MSG_WAITALL)
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not head:
+            return None
+        if len(head) < _HEADER.size:
+            head += self._read_exact(_HEADER.size - len(head))
+        magic, sid_len = _HEADER.unpack(head)
+        if magic != MAGIC:
+            raise TransportError(f"bad frame magic 0x{magic:08X}")
+        if sid_len > MAX_STREAM_ID:
+            raise TransportError(f"stream id length {sid_len} exceeds limit")
+        sid = self._read_exact(sid_len).decode()
+        index, flags, orig_len, checksum, length = _BODY.unpack(
+            self._read_exact(_BODY.size)
+        )
+        if length > MAX_FRAME_PAYLOAD:
+            raise TransportError(f"frame payload {length} exceeds limit")
+        payload = self._read_exact(length) if length else b""
+        if xxhash32(payload) != checksum:
+            raise TransportError(
+                f"checksum mismatch on {sid}#{index} ({length} bytes)"
+            )
+        return Frame(
+            stream_id=sid,
+            index=index,
+            payload=payload,
+            compressed=bool(flags & FLAG_COMPRESSED),
+            orig_len=orig_len,
+            eos=bool(flags & FLAG_EOS),
+        )
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def socket_pipe() -> tuple[FramedSender, FramedReceiver]:
+    """An in-process transport (socketpair) for local pipelines/tests."""
+    a, b = socket.socketpair()
+    return FramedSender(a), FramedReceiver(b)

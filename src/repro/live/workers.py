@@ -1,0 +1,192 @@
+"""Worker-thread bodies for the live pipeline.
+
+Each function is the target of one ``threading.Thread`` and mirrors a
+Figure-2 stage: pull from the upstream queue, work, push downstream,
+close on end-of-stream.  Failures are captured into the shared
+:class:`StageStats` rather than dying silently inside a thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.compress.codec import Codec
+from repro.data.chunking import Chunk
+from repro.live.affinity import pin_current_thread
+from repro.live.queues import ClosableQueue, Closed
+from repro.live.transport import Frame, FramedReceiver, FramedSender
+
+
+@dataclass
+class StageStats:
+    """Thread-safe per-stage accounting."""
+
+    name: str
+    chunks: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    busy_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, bytes_in: int, bytes_out: int, elapsed: float) -> None:
+        with self._lock:
+            self.chunks += 1
+            self.bytes_in += bytes_in
+            self.bytes_out += bytes_out
+            self.busy_seconds += elapsed
+
+    def fail(self, message: str) -> None:
+        with self._lock:
+            self.errors.append(message)
+
+
+def _maybe_pin(cpus: list[int] | None) -> None:
+    if cpus:
+        pin_current_thread(cpus)
+
+
+def feeder(
+    source: Iterable[Chunk],
+    outq: ClosableQueue,
+    stats: StageStats,
+    cpus: list[int] | None = None,
+) -> None:
+    """Pushes source chunks into the pipeline (the data generator)."""
+    _maybe_pin(cpus)
+    try:
+        for chunk in source:
+            t0 = time.perf_counter()
+            payload = chunk.payload
+            if payload is None:
+                raise ValueError(f"live chunks need payloads ({chunk.stream_id}#{chunk.index})")
+            outq.put(chunk)
+            stats.record(len(payload), len(payload), time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - thread boundary
+        stats.fail(f"feeder: {exc!r}")
+    finally:
+        outq.close()
+
+
+def compressor(
+    codec: Codec,
+    inq: ClosableQueue,
+    outq: ClosableQueue,
+    stats: StageStats,
+    cpus: list[int] | None = None,
+) -> None:
+    """{C}: compress chunk payloads."""
+    _maybe_pin(cpus)
+    try:
+        while True:
+            try:
+                chunk = inq.get()
+            except Closed:
+                break
+            t0 = time.perf_counter()
+            chunk.wire_payload = codec.compress(chunk.payload)
+            stats.record(
+                len(chunk.payload),
+                len(chunk.wire_payload),
+                time.perf_counter() - t0,
+            )
+            outq.put(chunk)
+    except Exception as exc:  # noqa: BLE001
+        stats.fail(f"compressor: {exc!r}")
+    finally:
+        outq.close()
+
+
+def sender(
+    transport: FramedSender,
+    inq: ClosableQueue,
+    stats: StageStats,
+    *,
+    compressed: bool,
+    cpus: list[int] | None = None,
+) -> None:
+    """{S}: one TCP connection's sending thread."""
+    _maybe_pin(cpus)
+    stream_ids: set[str] = set()
+    try:
+        while True:
+            try:
+                chunk = inq.get()
+            except Closed:
+                break
+            payload = chunk.wire_payload if compressed else chunk.payload
+            t0 = time.perf_counter()
+            transport.send(
+                Frame(
+                    stream_id=chunk.stream_id,
+                    index=chunk.index,
+                    payload=payload,
+                    compressed=compressed,
+                    orig_len=len(chunk.payload),
+                )
+            )
+            stream_ids.add(chunk.stream_id)
+            stats.record(len(payload), len(payload), time.perf_counter() - t0)
+        for sid in stream_ids or {"-"}:
+            transport.send(Frame.end_of_stream(sid))
+    except Exception as exc:  # noqa: BLE001
+        stats.fail(f"sender: {exc!r}")
+    finally:
+        transport.close()
+
+
+def receiver(
+    transport: FramedReceiver,
+    outq: ClosableQueue,
+    stats: StageStats,
+    cpus: list[int] | None = None,
+) -> None:
+    """{R}: one TCP connection's receiving thread."""
+    _maybe_pin(cpus)
+    try:
+        while True:
+            t0 = time.perf_counter()
+            frame = transport.recv()
+            if frame is None or frame.eos:
+                break
+            stats.record(len(frame.payload), len(frame.payload), time.perf_counter() - t0)
+            outq.put(frame)
+    except Exception as exc:  # noqa: BLE001
+        stats.fail(f"receiver: {exc!r}")
+    finally:
+        outq.close()
+
+
+def decompressor(
+    codec: Codec,
+    inq: ClosableQueue,
+    stats: StageStats,
+    sink: Callable[[str, int, bytes], None],
+    cpus: list[int] | None = None,
+) -> None:
+    """{D}: decompress received frames and deliver to the sink."""
+    _maybe_pin(cpus)
+    try:
+        while True:
+            try:
+                frame = inq.get()
+            except Closed:
+                break
+            t0 = time.perf_counter()
+            data = (
+                codec.decompress(frame.payload)
+                if frame.compressed
+                else frame.payload
+            )
+            if frame.orig_len and len(data) != frame.orig_len:
+                raise ValueError(
+                    f"{frame.stream_id}#{frame.index}: decompressed to "
+                    f"{len(data)} bytes, expected {frame.orig_len}"
+                )
+            stats.record(len(frame.payload), len(data), time.perf_counter() - t0)
+            sink(frame.stream_id, frame.index, data)
+    except Exception as exc:  # noqa: BLE001
+        stats.fail(f"decompressor: {exc!r}")

@@ -1,0 +1,21 @@
+"""Operating-system behaviour models.
+
+The paper's baseline is "let the OS place threads"; its contribution is
+overriding the OS with topology knowledge.  To compare the two we need an
+explicit model of what the OS would do:
+
+- :mod:`repro.osmodel.affinity` — affinity masks (the `numa_bind()` /
+  `sched_setaffinity` vocabulary);
+- :mod:`repro.osmodel.scheduler` — a load-balancing scheduler in the
+  spirit of Linux CFS wake balancing: least-loaded core selection with
+  cache-affinity stickiness and periodic rebalancing, but **no knowledge
+  of NIC attachment** — the blind spot the paper exploits (§4.2);
+- :mod:`repro.osmodel.firsttouch` — Linux's default first-touch page
+  placement (§3.4 cites it to explain where chunk buffers live).
+"""
+
+from repro.osmodel.affinity import AffinityMask
+from repro.osmodel.firsttouch import FirstTouchAllocator
+from repro.osmodel.scheduler import OsScheduler
+
+__all__ = ["AffinityMask", "FirstTouchAllocator", "OsScheduler"]

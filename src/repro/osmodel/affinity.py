@@ -1,0 +1,83 @@
+"""CPU affinity masks over a machine's cores.
+
+An :class:`AffinityMask` is an immutable set of :class:`CoreId` validated
+against a :class:`MachineSpec`.  It is the common vocabulary between the
+placement policies (which produce masks) and the scheduler model (which
+picks cores within them) — the simulated analogue of ``numa_bind()`` /
+``sched_setaffinity``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.hw.topology import CoreId, MachineSpec
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class AffinityMask:
+    """An immutable, validated set of cores a thread may run on."""
+
+    spec: MachineSpec
+    cores: frozenset[CoreId]
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValidationError("affinity mask must contain >= 1 core")
+        valid = set(self.spec.all_cores())
+        bad = self.cores - valid
+        if bad:
+            raise ValidationError(
+                f"mask contains cores not on {self.spec.name!r}: "
+                f"{sorted(map(str, bad))}"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def all_cores(cls, spec: MachineSpec) -> "AffinityMask":
+        """No restriction — the OS-managed default."""
+        return cls(spec, frozenset(spec.all_cores()))
+
+    @classmethod
+    def socket(cls, spec: MachineSpec, socket: int) -> "AffinityMask":
+        """All cores of one NUMA domain (what ``numa_bind()`` gives)."""
+        return cls(spec, frozenset(spec.cores_of(socket)))
+
+    @classmethod
+    def sockets(cls, spec: MachineSpec, sockets: Iterable[int]) -> "AffinityMask":
+        """Union of several NUMA domains (Table 1's "0 & 1" rows)."""
+        cores: set[CoreId] = set()
+        for s in sockets:
+            cores.update(spec.cores_of(s))
+        return cls(spec, frozenset(cores))
+
+    @classmethod
+    def single(cls, spec: MachineSpec, core: CoreId) -> "AffinityMask":
+        """Exactly one core (hard pinning)."""
+        return cls(spec, frozenset([core]))
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, core: CoreId) -> bool:
+        return core in self.cores
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def sorted_cores(self) -> list[CoreId]:
+        """Cores in OS enumeration order (deterministic iteration)."""
+        return sorted(self.cores)
+
+    def sockets_covered(self) -> set[int]:
+        return {c.socket for c in self.cores}
+
+    def restrict_to_socket(self, socket: int) -> "AffinityMask":
+        sub = frozenset(c for c in self.cores if c.socket == socket)
+        if not sub:
+            raise ValidationError(
+                f"mask has no cores on socket {socket}"
+            )
+        return AffinityMask(self.spec, sub)

@@ -1,0 +1,66 @@
+"""First-touch page placement (Linux default NUMA memory policy).
+
+§3.4 of the paper: "chunks are stored in memory where the respective send
+and receive threads execute, based on Linux OS's first-touch policy.
+This policy dictates that a data page is allocated in the local memory of
+the core that first accesses it."
+
+The allocator answers one question — *which socket is this buffer homed
+on?* — and records the history so tests can assert policy behaviour.
+An explicit bind (the simulated ``numa_bind`` / ``numa_alloc_onnode``)
+overrides first-touch, which is how Table 1's "Memory Domain" rows pin
+the source dataset to a chosen domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.topology import CoreId, MachineSpec
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class Allocation:
+    """One recorded buffer allocation."""
+
+    label: str
+    nbytes: int
+    socket: int
+    policy: str  # "first-touch" or "bind"
+
+
+@dataclass
+class FirstTouchAllocator:
+    """Tracks buffer homes under first-touch with optional explicit binds."""
+
+    spec: MachineSpec
+    allocations: list[Allocation] = field(default_factory=list)
+    _bound_socket: int | None = None
+
+    def bind(self, socket: int | None) -> None:
+        """Restrict subsequent allocations to one socket (``numa_bind``).
+
+        ``None`` removes the restriction (back to first-touch).
+        """
+        if socket is not None:
+            self.spec._check_socket(socket)
+        self._bound_socket = socket
+
+    def touch(self, core: CoreId, nbytes: int, label: str = "") -> int:
+        """Home a buffer first-touched by a thread running on ``core``.
+
+        Returns the socket the buffer lives on.
+        """
+        if nbytes < 0:
+            raise ValidationError("allocation size must be >= 0")
+        if self._bound_socket is not None:
+            socket, policy = self._bound_socket, "bind"
+        else:
+            socket, policy = core.socket, "first-touch"
+        self.allocations.append(Allocation(label, nbytes, socket, policy))
+        return socket
+
+    def on_socket(self, socket: int) -> int:
+        """Total bytes currently homed on ``socket``."""
+        return sum(a.nbytes for a in self.allocations if a.socket == socket)

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+A small, self-contained DES kernel in three layers:
+
+- :mod:`repro.sim.engine` — event heap, simulated clock, generator-based
+  processes (a simpy-like kernel written from scratch);
+- :mod:`repro.sim.queues` — bounded FIFO stores connecting pipeline
+  stages, providing the backpressure the paper's thread-safe queues give;
+- :mod:`repro.sim.flows` — a *fluid* (flow-level) model of shared
+  resources: cores, memory controllers, QPI links and NICs are capacities,
+  work items are flows with per-unit demand vectors, and rates are
+  assigned max-min fairly via progressive filling.
+
+Flow-level simulation is the standard technique for modelling
+bandwidth-shared systems (networks, memory systems) when per-packet /
+per-cache-line detail is irrelevant to the question being asked; here the
+questions are all about sustained throughput under contention, which the
+fluid model answers exactly.
+"""
+
+from repro.sim.engine import Engine, Event, Interrupt, Process, Timeout
+from repro.sim.flows import Flow, FlowNetwork, Resource, CoreResource
+from repro.sim.metrics import MetricsCollector
+from repro.sim.queues import Store
+
+__all__ = [
+    "CoreResource",
+    "Engine",
+    "Event",
+    "Flow",
+    "FlowNetwork",
+    "Interrupt",
+    "MetricsCollector",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

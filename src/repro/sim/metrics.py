@@ -1,0 +1,113 @@
+"""Metrics collection for the fluid simulator.
+
+A :class:`MetricsCollector` registers as a :class:`FlowNetwork` interval
+observer and integrates resource consumption over time.  It produces the
+raw material for the paper's exhibits:
+
+- per-core busy seconds  → core-usage maps (Figures 6, 8b, 9b),
+- per-core remote-access (QPI) bytes → Figure 7,
+- per-resource utilization → sanity checks in tests and ablations.
+
+Chunk-completion throughput is recorded at the runtime layer (it knows
+payload sizes); this module only sees resources and rates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sim.engine import Engine
+from repro.sim.flows import Flow, FlowNetwork, Resource
+
+
+class MetricsCollector:
+    """Integrates per-resource and per-core consumption over sim time."""
+
+    def __init__(self, engine: Engine, network: FlowNetwork) -> None:
+        self.engine = engine
+        self.network = network
+        self.start_time = engine.now
+        #: resource name -> total units consumed (core-seconds, bytes, ...)
+        self.resource_usage: dict[str, float] = defaultdict(float)
+        #: resource name -> capacity (units/s), recorded on first sighting
+        self.resource_capacity: dict[str, float] = {}
+        #: core resource name -> bytes moved over any interconnect resource
+        #: by flows executing on that core (the "remote memory access" of
+        #: the paper's Figure 7)
+        self.core_remote_bytes: dict[str, float] = defaultdict(float)
+        #: core resource name -> bytes moved through memory controllers by
+        #: flows executing on that core (local + remote; Fig 7 normalizer)
+        self.core_mem_bytes: dict[str, float] = defaultdict(float)
+        network.add_observer(self._on_interval)
+
+    # -- observer --------------------------------------------------------
+
+    def _on_interval(self, t0: float, t1: float, flows: list[Flow]) -> None:
+        dt = t1 - t0
+        if dt <= 0.0:
+            return
+        for f in flows:
+            if f.rate <= 0.0:
+                continue
+            core_name = f.tags.get("core")
+            for r, d in f.demands.items():
+                amount = f.rate * d * dt
+                self.resource_usage[r.name] += amount
+                self.resource_capacity.setdefault(r.name, r.capacity)
+                kind = r.tags.get("kind")
+                if core_name is not None:
+                    if kind == "interconnect":
+                        self.core_remote_bytes[core_name] += amount
+                    elif kind == "memory":
+                        self.core_mem_bytes[core_name] += amount
+
+    # -- reporting -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop accumulated metrics; measurement restarts at ``now``.
+
+        Call at the end of a warm-up phase so pipeline fill does not bias
+        utilization averages.
+        """
+        self.start_time = self.engine.now
+        self.resource_usage.clear()
+        self.core_remote_bytes.clear()
+        self.core_mem_bytes.clear()
+
+    @property
+    def elapsed(self) -> float:
+        return self.engine.now - self.start_time
+
+    def utilization(self, resource: Resource | str) -> float:
+        """Fraction of a resource's capacity consumed since start/reset."""
+        name = resource if isinstance(resource, str) else resource.name
+        if self.elapsed <= 0.0:
+            return 0.0
+        cap = (
+            resource.capacity
+            if isinstance(resource, Resource)
+            else self.resource_capacity.get(name, 0.0)
+        )
+        if cap <= 0.0:
+            return 0.0
+        return self.resource_usage.get(name, 0.0) / (cap * self.elapsed)
+
+    def core_utilization_map(self, core_names: list[str]) -> dict[str, float]:
+        """Utilization per named core (0 for cores never used)."""
+        return {name: self.utilization(name) for name in core_names}
+
+    def remote_access_map(
+        self, core_names: list[str], *, normalize: bool = True
+    ) -> dict[str, float]:
+        """Per-core interconnect (remote-access) traffic, Figure-7 style.
+
+        With ``normalize=True`` values are scaled so the busiest core is
+        1.0 ("average normalized remote memory access bandwidth").
+        """
+        raw = {n: self.core_remote_bytes.get(n, 0.0) for n in core_names}
+        if not normalize:
+            return raw
+        peak = max(raw.values(), default=0.0)
+        if peak <= 0.0:
+            return raw
+        return {n: v / peak for n, v in raw.items()}

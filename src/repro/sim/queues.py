@@ -1,0 +1,113 @@
+"""Bounded FIFO stores — the simulated analogue of the paper's
+thread-safe queues between pipeline stages (Figure 2).
+
+A ``put`` on a full store blocks the producer and a ``get`` on an empty
+store blocks the consumer, which is exactly the backpressure that shifts
+the end-to-end bottleneck between compression, network and decompression
+stages in the paper's Figure 12 analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Engine, Event
+from repro.util.errors import ValidationError
+from repro.util.timeseries import TimeSeries
+
+
+class Store:
+    """Bounded FIFO channel between simulated processes.
+
+    ``capacity`` bounds the number of buffered items (``None`` =
+    unbounded).  Waiting producers/consumers are served in FIFO order,
+    mirroring a condition-variable queue.  With ``monitor=True`` the
+    store records a (time, depth) sample on every accepted put/get —
+    the raw material for queue-occupancy analysis.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: int | None = None,
+        name: str = "",
+        *,
+        monitor: bool = False,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValidationError(f"store capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.depth_series: TimeSeries | None = TimeSeries() if monitor else None
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def _sample(self) -> None:
+        if self.depth_series is not None:
+            self.depth_series.add(self.engine.now, float(len(self._items)))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        ev = self.engine.event()
+        if self._getters and not self._items:
+            # Hand straight to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            getter.trigger(item)
+            ev.trigger(None)
+        elif not self.is_full:
+            self._items.append(item)
+            ev.trigger(None)
+        else:
+            self._putters.append((ev, item))
+        self._sample()
+        return ev
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = self.engine.event()
+        if self._items:
+            item = self._items.popleft()
+            ev.trigger(item)
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(ev)
+        self._sample()
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters and not self._items:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self._sample()
+        return True
+
+    def force_put(self, item: Any) -> None:
+        """Enqueue ignoring capacity (used for end-of-stream sentinels)."""
+        if self._getters and not self._items:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+        self._sample()
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            put_ev, item = self._putters.popleft()
+            if self._getters and not self._items:
+                self._getters.popleft().trigger(item)
+            else:
+                self._items.append(item)
+            put_ev.trigger(None)

@@ -1,0 +1,52 @@
+"""Shared utilities: unit handling, deterministic RNG, tables, statistics.
+
+These helpers are dependency-free (numpy only) and used by every other
+subpackage.  Nothing in here knows about NUMA, streaming, or the paper —
+keep it that way.
+"""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import Table, format_table
+from repro.util.timeseries import RateMeter, TimeSeries, WindowStats
+from repro.util.units import (
+    GiB,
+    Gbps,
+    KiB,
+    MiB,
+    bits,
+    bytes_to_bits,
+    fmt_bytes,
+    fmt_rate_bps,
+    gbps_to_bytes_per_s,
+    parse_size,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "GiB",
+    "Gbps",
+    "KiB",
+    "MiB",
+    "RateMeter",
+    "ReproError",
+    "SimulationError",
+    "Table",
+    "TimeSeries",
+    "ValidationError",
+    "WindowStats",
+    "bits",
+    "bytes_to_bits",
+    "derive_seed",
+    "fmt_bytes",
+    "fmt_rate_bps",
+    "format_table",
+    "gbps_to_bytes_per_s",
+    "make_rng",
+    "parse_size",
+]

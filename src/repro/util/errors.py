@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one type at an API boundary.  Python built-ins (``ValueError``,
+``TypeError``) are still used for plain argument-contract violations in
+leaf helpers; anything with domain meaning uses this hierarchy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a documented domain constraint."""
+
+
+class ConfigurationError(ReproError):
+    """A runtime/placement configuration is inconsistent or infeasible.
+
+    Examples: pinning a task to a socket that does not exist, requesting
+    more pinned threads than the machine has cores with ``strict=True``,
+    or a stream whose sender and receiver disagree on codec.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state.
+
+    This signals a bug in simulation *inputs* (e.g. a process yielded an
+    event that is already consumed) or a violated engine invariant — not
+    a modelling result such as "throughput was low".
+    """
+
+
+class CodecError(ReproError):
+    """Compressed data is malformed or violates the LZ4 format."""
+
+
+class TransportError(ReproError):
+    """A live (socket) transport failed or received a malformed frame."""

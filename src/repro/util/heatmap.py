@@ -1,0 +1,64 @@
+"""ASCII heatmaps for per-core maps (Figures 6 and 7 style).
+
+The paper renders core-usage and remote-access data as heatmaps; this
+renders the same matrices as shaded monospace blocks so terminal output
+can be eyeballed against the paper's panels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+#: Shades from empty to full.
+SHADES = " .:-=+*#%@"
+
+
+def shade(value: float, vmax: float = 1.0) -> str:
+    """Map ``value`` in [0, vmax] to one shade character."""
+    if vmax <= 0:
+        return SHADES[0]
+    frac = min(max(value / vmax, 0.0), 1.0)
+    return SHADES[min(int(frac * (len(SHADES) - 1) + 0.5), len(SHADES) - 1)]
+
+
+def render_heatmap(
+    rows: Sequence[str],
+    columns: Mapping[str, Mapping[str, float]],
+    *,
+    vmax: float | None = None,
+    title: str | None = None,
+    legend: bool = True,
+) -> str:
+    """Render ``columns`` (label -> {row -> value}) as an ASCII heatmap.
+
+    Rows are printed top to bottom in the order given (core 0 at the
+    top, like the paper's Y axis); one shaded character per column.
+    """
+    if vmax is None:
+        vmax = max(
+            (v for col in columns.values() for v in col.values()),
+            default=1.0,
+        ) or 1.0
+    width = max((len(label) for label in columns), default=1)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    row_label_w = max((len(r) for r in rows), default=1)
+    # Column headers, vertical.
+    labels = list(columns)
+    for i in range(width):
+        header = " " * (row_label_w + 1)
+        header += " ".join(
+            (label[i] if i < len(label) else " ") for label in labels
+        )
+        lines.append(header)
+    for row in rows:
+        cells = " ".join(
+            shade(columns[label].get(row, 0.0), vmax) for label in labels
+        )
+        lines.append(f"{row:<{row_label_w}} {cells}")
+    if legend:
+        lines.append(
+            f"{'':<{row_label_w}} scale: '{SHADES[0]}'=0 .. '{SHADES[-1]}'={vmax:g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Library logging.
+
+All repro modules log under the ``"repro"`` namespace and, per library
+convention, attach no handlers — applications opt in::
+
+    import logging
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+    logging.basicConfig()
+
+Debug logging narrates the decisions that matter when a scenario
+surprises you: planner placements, simulation build/run milestones,
+scheduler migrations, rebalancer actions.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Logger for one subsystem, e.g. ``get_logger("core.runtime")``."""
+    return logging.getLogger(f"repro.{subsystem}")

@@ -1,0 +1,129 @@
+"""Light-weight statistics containers used by simulation metrics.
+
+These are deliberately simple: the simulator produces modest numbers of
+samples (chunk completions, utilization snapshots) and the harness needs
+means, rate estimates over a window, and per-interval series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TimeSeries:
+    """Append-only (time, value) series with summary helpers."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, v: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"time went backwards: {t} < {self.times[-1]}"
+            )
+        self.times.append(float(t))
+        self.values.append(float(v))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Unweighted mean of the sampled values (nan when empty)."""
+        if not self.values:
+            return math.nan
+        return float(np.mean(self.values))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighting each value by the span until the next sample."""
+        if len(self.times) < 2:
+            return self.mean()
+        t = np.asarray(self.times)
+        v = np.asarray(self.values[:-1])
+        dt = np.diff(t)
+        total = dt.sum()
+        if total <= 0:
+            return self.mean()
+        return float((v * dt).sum() / total)
+
+    def asarrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+@dataclass
+class RateMeter:
+    """Counts discrete completions and converts them to an average rate.
+
+    Used for throughput: record ``add(t, nbytes)`` per chunk completion,
+    then ask for bytes/s (or bits/s) over the measured span, optionally
+    discarding a warm-up prefix so pipeline fill does not bias the mean.
+    """
+
+    events: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, t: float, amount: float) -> None:
+        """Record that ``amount`` units completed at time ``t``."""
+        if self.events and t < self.events[-1][0]:
+            raise ValueError("time went backwards in RateMeter")
+        self.events.append((float(t), float(amount)))
+
+    def total(self, *, since: float = 0.0) -> float:
+        """Total amount recorded at or after ``since``."""
+        return sum(a for t, a in self.events if t >= since)
+
+    def rate(self, *, start: float | None = None, end: float | None = None) -> float:
+        """Average rate (units/s) over [start, end].
+
+        Defaults: ``start`` = time of first event (or 0), ``end`` = time
+        of last event.  Returns 0 for an empty or zero-span window.
+        """
+        if not self.events:
+            return 0.0
+        t0 = self.events[0][0] if start is None else start
+        t1 = self.events[-1][0] if end is None else end
+        span = t1 - t0
+        if span <= 0:
+            return 0.0
+        amount = sum(a for t, a in self.events if t0 <= t <= t1)
+        return amount / span
+
+
+@dataclass
+class WindowStats:
+    """Streaming mean/variance/extrema over scalar samples (Welford)."""
+
+    n: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the summary."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self.minimum = min(self.minimum, x)
+        self.maximum = max(self.maximum, x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (nan for n < 2)."""
+        if self.n < 2:
+            return math.nan
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan

@@ -1,0 +1,100 @@
+"""Codec registry and codec behaviour."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.codec import (
+    DeltaShuffleLZ4Codec,
+    LZ4Codec,
+    NullCodec,
+    ShuffleLZ4Codec,
+    ZlibCodec,
+    available_codecs,
+    get_codec,
+)
+from repro.util.errors import CodecError, ValidationError
+
+ALL = ["lz4", "shuffle-lz4", "delta-shuffle-lz4", "zlib", "null"]
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_codecs()) == set(ALL)
+
+    def test_get_codec_types(self):
+        assert isinstance(get_codec("lz4"), LZ4Codec)
+        assert isinstance(get_codec("zlib"), ZlibCodec)
+        assert isinstance(get_codec("null"), NullCodec)
+        assert isinstance(get_codec("shuffle-lz4"), ShuffleLZ4Codec)
+        assert isinstance(get_codec("delta-shuffle-lz4"), DeltaShuffleLZ4Codec)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown codec"):
+            get_codec("gzip9000")
+
+    def test_kwargs_forwarded(self):
+        c = get_codec("zlib", level=9)
+        assert c.level == 9
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", ALL)
+    def test_roundtrip(self, name):
+        data = b"projection row " * 1000  # multiple of 2 for shuffle codecs
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_empty(self, name):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    @given(st.binary(max_size=4096).map(lambda b: b[: len(b) // 2 * 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_delta_shuffle_lz4_property(self, data):
+        codec = get_codec("delta-shuffle-lz4")
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestRatio:
+    def test_null_ratio_one(self):
+        assert get_codec("null").ratio(b"x" * 100) == 1.0
+
+    def test_ratio_empty(self):
+        assert get_codec("lz4").ratio(b"") == 1.0
+
+    def test_compressible_ratio_above_one(self):
+        assert get_codec("lz4").ratio(b"ab" * 5000) > 10.0
+
+    def test_random_ratio_near_one(self):
+        assert 0.9 < get_codec("lz4").ratio(os.urandom(10_000)) <= 1.01
+
+
+class TestValidation:
+    def test_lz4_acceleration(self):
+        with pytest.raises(ValidationError):
+            LZ4Codec(acceleration=0)
+
+    def test_zlib_level(self):
+        with pytest.raises(ValidationError):
+            ZlibCodec(level=10)
+
+    def test_shuffle_itemsize(self):
+        with pytest.raises(ValidationError):
+            ShuffleLZ4Codec(itemsize=0)
+        with pytest.raises(ValidationError):
+            DeltaShuffleLZ4Codec(itemsize=3)
+
+    def test_zlib_garbage_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            get_codec("zlib").decompress(b"not zlib data")
+
+    def test_lz4_garbage_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            get_codec("lz4").decompress(b"not an lz4 frame")
+
+    def test_shuffle_codec_misaligned_payload(self):
+        with pytest.raises(CodecError):
+            get_codec("shuffle-lz4").compress(b"abc")

@@ -1,0 +1,165 @@
+"""LZ4 block codec: format correctness, round trips, malformed input."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.lz4_block import (
+    compress_block,
+    compress_bound,
+    decompress_block,
+)
+from repro.util.errors import CodecError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"abcdefgh",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            b"abc" * 1000,
+            bytes(range(256)) * 20,
+            b"\x00" * 100_000,
+            b"the quick brown fox jumps over the lazy dog " * 50,
+        ],
+        ids=["empty", "one", "short", "run", "period3", "cycle", "zeros", "text"],
+    )
+    def test_roundtrip(self, data):
+        assert decompress_block(compress_block(data)) == data
+
+    def test_random_data_roundtrip(self):
+        data = os.urandom(50_000)
+        comp = compress_block(data)
+        assert decompress_block(comp) == data
+        # Incompressible input must not blow up beyond the bound.
+        assert len(comp) <= compress_bound(len(data))
+
+    def test_compressible_actually_shrinks(self):
+        data = b"tomography" * 10_000
+        assert len(compress_block(data)) < len(data) // 10
+
+    def test_long_match_extension(self):
+        # Match length >> 15 exercises the 255-extension encoding.
+        data = b"x" * 70_000
+        comp = compress_block(data)
+        assert decompress_block(comp) == data
+        assert len(comp) < 300
+
+    def test_long_literal_extension(self):
+        data = os.urandom(1000)  # all literals, length >> 15
+        assert decompress_block(compress_block(data)) == data
+
+    def test_offset_at_64k_boundary(self):
+        # Repetition separated by nearly 64 KiB still matchable; beyond
+        # 65535 the compressor must fall back to literals but stay correct.
+        pattern = os.urandom(64)
+        data = pattern + os.urandom(65_400) + pattern + os.urandom(100)
+        assert decompress_block(compress_block(data)) == data
+
+    def test_acceleration_levels(self):
+        data = (b"abcd" * 5000) + os.urandom(2000)
+        sizes = []
+        for acc in (1, 4, 16):
+            comp = compress_block(data, acceleration=acc)
+            assert decompress_block(comp) == data
+            sizes.append(len(comp))
+        assert sizes[0] <= sizes[-1]  # more acceleration, same or worse ratio
+
+    def test_bad_acceleration(self):
+        with pytest.raises(CodecError):
+            compress_block(b"x", acceleration=0)
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert decompress_block(compress_block(data)) == data
+
+    @given(
+        st.binary(min_size=1, max_size=32),
+        st.integers(2, 2000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repetitive_roundtrip_property(self, unit, reps):
+        data = unit * reps
+        comp = compress_block(data)
+        assert decompress_block(comp) == data
+
+
+class TestFormatDetails:
+    def test_empty_input_single_token(self):
+        assert compress_block(b"") == b"\x00"
+
+    def test_last_five_bytes_are_literals(self):
+        # Decode the stream by hand: the final sequence must be literal-only
+        # and cover >= 5 bytes for any input long enough to contain matches.
+        data = b"ab" * 100
+        comp = compress_block(data)
+        # The last token in the stream has a zero match nibble; simplest
+        # check: strip increasing literal tails until decode fails.
+        assert decompress_block(comp) == data
+
+    def test_known_literal_only_encoding(self):
+        # 4 literals, no match: token 0x40 + the bytes.
+        assert compress_block(b"wxyz") == b"\x40wxyz"
+
+    def test_decompress_known_sequence(self):
+        # token 0x11: 1 literal ("a"), match len 1+4=5, offset 1
+        # => "a" + "aaaaa" followed by terminal literals "bcdef".
+        block = b"\x11a\x01\x00" + b"\x50bcdef"
+        assert decompress_block(block) == b"aaaaaa" + b"bcdef"
+
+    def test_overlapping_match_semantics(self):
+        # offset 1 replicates the previous byte (RLE).
+        block = b"\x1fa\x01\x00\x10" + b"\x50bcdef"
+        # match length = 15 + 16 + 4 = 35
+        assert decompress_block(block) == b"a" * 36 + b"bcdef"
+
+
+class TestMalformedInput:
+    def test_empty_block_rejected(self):
+        with pytest.raises(CodecError):
+            decompress_block(b"")
+
+    def test_truncated_literals(self):
+        with pytest.raises(CodecError, match="literal run overflows"):
+            decompress_block(b"\x50ab")  # promises 5 literals, has 2
+
+    def test_missing_offset(self):
+        with pytest.raises(CodecError, match="offset"):
+            decompress_block(b"\x01\x05")  # match with a 1-byte offset
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(CodecError, match="zero offset"):
+            decompress_block(b"\x10a\x00\x00" + b"\x50bcdef")
+
+    def test_offset_before_start_rejected(self):
+        with pytest.raises(CodecError, match="before block start"):
+            decompress_block(b"\x10a\x05\x00" + b"\x50bcdef")
+
+    def test_truncated_length_extension(self):
+        with pytest.raises(CodecError):
+            decompress_block(b"\xf0" + b"\xff" * 3)  # extension never ends
+
+    def test_max_output_size_enforced(self):
+        data = b"z" * 10_000
+        comp = compress_block(data)
+        with pytest.raises(CodecError, match="max_output_size"):
+            decompress_block(comp, max_output_size=100)
+
+    def test_bound_negative(self):
+        with pytest.raises(CodecError):
+            compress_bound(-1)
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_garbage_never_crashes(self, garbage):
+        """Arbitrary bytes either decode or raise CodecError — never
+        an unexpected exception type."""
+        try:
+            decompress_block(garbage, max_output_size=1 << 20)
+        except CodecError:
+            pass

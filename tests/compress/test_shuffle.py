@@ -1,0 +1,78 @@
+"""Byte-shuffle and delta/zigzag pre-filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.shuffle import (
+    delta_decode,
+    delta_encode,
+    shuffle_bytes,
+    unshuffle_bytes,
+)
+from repro.util.errors import CodecError
+
+
+class TestShuffle:
+    def test_known_layout(self):
+        # Interleaved (lo,hi) pairs become planar lo-plane + hi-plane.
+        data = bytes([1, 2, 3, 4, 5, 6])
+        assert shuffle_bytes(data, 2) == bytes([1, 3, 5, 2, 4, 6])
+
+    def test_roundtrip(self):
+        data = bytes(range(256)) * 4
+        for itemsize in (1, 2, 4, 8):
+            assert unshuffle_bytes(shuffle_bytes(data, itemsize), itemsize) == data
+
+    def test_itemsize_one_identity(self):
+        assert shuffle_bytes(b"abc", 1) == b"abc"
+
+    def test_empty(self):
+        assert shuffle_bytes(b"", 2) == b""
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(CodecError):
+            shuffle_bytes(b"abc", 2)
+
+    def test_bad_itemsize(self):
+        with pytest.raises(CodecError):
+            shuffle_bytes(b"ab", 0)
+
+    @given(st.binary(max_size=2048), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data, itemsize):
+        data = data[: len(data) - (len(data) % itemsize)]
+        assert unshuffle_bytes(shuffle_bytes(data, itemsize), itemsize) == data
+
+
+class TestDelta:
+    def test_smooth_data_small_values(self):
+        arr = np.arange(1000, 2000, dtype="<u2")
+        encoded = np.frombuffer(delta_encode(arr.tobytes(), 2), dtype="<u2")
+        # Gradient of +1 zigzags to 2 after the first absolute sample.
+        assert (encoded[1:] == 2).all()
+
+    def test_wraparound_exact(self):
+        arr = np.array([0, 65535, 0, 1, 65535], dtype="<u2")
+        b = arr.tobytes()
+        assert delta_decode(delta_encode(b, 2), 2) == b
+
+    def test_negative_delta_stays_small(self):
+        # ±1 noise must not flap the high byte (the zigzag's entire point).
+        arr = np.array([500, 499, 500, 501, 500], dtype="<u2")
+        encoded = np.frombuffer(delta_encode(arr.tobytes(), 2), dtype="<u2")
+        assert (encoded[1:] <= 2).all()
+
+    def test_itemsize_validation(self):
+        with pytest.raises(CodecError):
+            delta_encode(b"abc", 3)
+
+    def test_empty(self):
+        assert delta_encode(b"", 2) == b""
+        assert delta_decode(b"", 2) == b""
+
+    @given(st.binary(max_size=2048), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data, itemsize):
+        data = data[: len(data) - (len(data) % itemsize)]
+        assert delta_decode(delta_encode(data, itemsize), itemsize) == data

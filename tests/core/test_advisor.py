@@ -1,0 +1,108 @@
+"""Capacity advisor: predictions cross-validated against the simulator."""
+
+import pytest
+
+from repro.core.advisor import CapacityAdvisor
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import run_scenario
+from repro.core.tables import TABLE3
+from repro.experiments.fig12 import e2e_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return CapacityAdvisor()
+
+
+class TestStageBounds:
+    def test_compression_bound(self, advisor):
+        sc = e2e_scenario(TABLE3["A"], 8, 1)
+        pred = advisor.predict(sc)[sc.streams[0].stream_id]
+        assert pred.bottleneck == "compress"
+        assert pred.gbps == pytest.approx(37.0, rel=0.02)
+
+    def test_decompression_bound(self, advisor):
+        sc = e2e_scenario(TABLE3["E"], 8, 1)
+        pred = advisor.predict(sc)[sc.streams[0].stream_id]
+        assert pred.bottleneck == "decompress"
+        assert pred.gbps == pytest.approx(4 * 1.734 * 8, rel=0.02)
+
+    def test_network_bound_includes_ratio(self, advisor):
+        # F at 8 connections: compression ~107 Gbps, NIC 97x2=194 ->
+        # compression still binds; with micro-fast compression the wire
+        # binds instead.
+        sc = e2e_scenario(TABLE3["F"], 8, 1)
+        pred = advisor.predict(sc)[sc.streams[0].stream_id]
+        assert pred.bottleneck in ("compress", "ingest")
+
+    def test_oversubscribed_threads_capped_at_cores(self, advisor):
+        stream = StreamConfig(
+            stream_id="s",
+            sender="updraft1",
+            receiver="updraft1",
+            path="p",
+            source_socket=0,
+            micro=True,
+            compress=StageConfig(64, PlacementSpec.socket(0)),
+        )
+        pred = advisor.predict_stream(
+            stream, updraft_spec(), updraft_spec(), None
+        )
+        # 64 threads on a 16-core socket: bounded by 16 cores.
+        assert pred.gbps == pytest.approx(16 * 0.826 * 8, rel=0.02)
+
+    def test_connection_cap_bound(self, advisor):
+        from repro.core.params import ALCF_APS_PATH
+
+        stream = StreamConfig(
+            stream_id="s",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="alcf-aps",
+            ratio_mean=1.0,
+            ratio_sigma=0.0,
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+        )
+        pred = advisor.predict_stream(
+            stream, updraft_spec(), lynxdtn_spec(), ALCF_APS_PATH
+        )
+        # 2 connections x 14 Gbps window cap.
+        assert pred.bottleneck == "network"
+        assert pred.gbps == pytest.approx(28.0, rel=0.01)
+
+    def test_missing_path_rejected(self, advisor):
+        stream = StreamConfig(
+            stream_id="s",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="p",
+            send=StageConfig(1, PlacementSpec.socket(1)),
+            recv=StageConfig(1, PlacementSpec.socket(1)),
+        )
+        with pytest.raises(ConfigurationError, match="no path"):
+            advisor.predict_stream(stream, updraft_spec(), lynxdtn_spec(), None)
+
+    def test_render(self, advisor):
+        sc = e2e_scenario(TABLE3["A"], 8, 1)
+        pred = advisor.predict(sc)[sc.streams[0].stream_id]
+        text = pred.render()
+        assert "bottleneck" in text and "compress" in text
+
+
+class TestCrossValidation:
+    """Prediction vs simulation for the paper's Table-3 configs:
+    the advisor must be within [simulated, simulated x 1.15] —
+    optimistic, never pessimistic by much."""
+
+    @pytest.mark.parametrize("label", ["A", "B", "C", "E", "F"])
+    def test_table3_configs(self, advisor, label):
+        sc = e2e_scenario(TABLE3[label], 8, 1, num_chunks=150)
+        pred = advisor.predict(sc)[sc.streams[0].stream_id]
+        simulated = run_scenario(sc).streams[sc.streams[0].stream_id].delivered_gbps
+        assert pred.gbps >= 0.95 * simulated
+        assert pred.gbps <= 1.25 * simulated

@@ -1,0 +1,163 @@
+"""Scenario configuration validation."""
+
+import pytest
+
+from repro.core.config import (
+    ScenarioConfig,
+    StageConfig,
+    StageKind,
+    StreamConfig,
+)
+from repro.core.params import APS_LAN_PATH, CostModel
+from repro.core.placement import PlacementSpec
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.hw.topology import CoreId
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+def machines():
+    return {"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()}
+
+
+def stream(**kw):
+    defaults = dict(
+        stream_id="s",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        compress=StageConfig(4, PlacementSpec.socket(0)),
+    )
+    defaults.update(kw)
+    return StreamConfig(**defaults)
+
+
+def scenario(streams, **kw):
+    defaults = dict(
+        name="t",
+        machines=machines(),
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=streams,
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+class TestStageKind:
+    def test_sender_side(self):
+        assert StageKind.INGEST.sender_side
+        assert StageKind.COMPRESS.sender_side
+        assert StageKind.SEND.sender_side
+        assert not StageKind.RECV.sender_side
+        assert not StageKind.DECOMPRESS.sender_side
+
+
+class TestStreamConfig:
+    def test_stage_order(self):
+        s = stream(
+            ingest=StageConfig(1, PlacementSpec.socket(0)),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(1, PlacementSpec.socket(0)),
+        )
+        assert list(s.stages()) == [
+            StageKind.INGEST,
+            StageKind.COMPRESS,
+            StageKind.SEND,
+            StageKind.RECV,
+            StageKind.DECOMPRESS,
+        ]
+
+    def test_send_without_recv_rejected(self):
+        with pytest.raises(ConfigurationError, match="send and recv"):
+            stream(send=StageConfig(1, PlacementSpec.socket(1)))
+
+    def test_no_stages_rejected(self):
+        s = StreamConfig(
+            stream_id="s", sender="a", receiver="b", path="p"
+        )
+        with pytest.raises(ConfigurationError, match="no stages"):
+            s.stages()
+
+    def test_stage_count_validated(self):
+        with pytest.raises(ValidationError):
+            StageConfig(0, PlacementSpec.socket(0))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_chunks", 0),
+            ("chunk_bytes", 0),
+            ("ratio_mean", 0.0),
+            ("queue_capacity", 0),
+        ],
+    )
+    def test_workload_validation(self, field, value):
+        with pytest.raises(ValidationError):
+            stream(**{field: value})
+
+    def test_default_chunk_is_paper_projection(self):
+        assert stream().chunk_bytes == 11_059_200
+
+
+class TestScenarioValidation:
+    def test_valid_scenario(self):
+        scenario([stream()])
+
+    def test_no_streams(self):
+        with pytest.raises(ConfigurationError, match="no streams"):
+            scenario([])
+
+    def test_duplicate_stream_ids(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            scenario([stream(), stream()])
+
+    def test_unknown_sender(self):
+        with pytest.raises(ConfigurationError, match="unknown sender"):
+            scenario([stream(sender="ghost")])
+
+    def test_unknown_receiver(self):
+        with pytest.raises(ConfigurationError, match="unknown receiver"):
+            scenario([stream(receiver="ghost")])
+
+    def test_unknown_path(self):
+        with pytest.raises(ConfigurationError, match="unknown path"):
+            scenario(
+                [
+                    stream(
+                        path="wormhole",
+                        send=StageConfig(1, PlacementSpec.socket(1)),
+                        recv=StageConfig(1, PlacementSpec.socket(1)),
+                    )
+                ]
+            )
+
+    def test_send_recv_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="send count"):
+            scenario(
+                [
+                    stream(
+                        send=StageConfig(2, PlacementSpec.socket(1)),
+                        recv=StageConfig(3, PlacementSpec.socket(1)),
+                    )
+                ]
+            )
+
+    def test_placement_socket_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="compress"):
+            scenario([stream(compress=StageConfig(1, PlacementSpec.socket(7)))])
+
+    def test_placement_core_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            scenario(
+                [stream(compress=StageConfig(1, PlacementSpec.pinned([CoreId(0, 99)])))]
+            )
+
+    def test_source_socket_validated(self):
+        with pytest.raises(ConfigurationError):
+            scenario([stream(source_socket=9)])
+
+    def test_with_cost(self):
+        sc = scenario([stream()])
+        new = sc.with_cost(CostModel(compress_rate=1e9))
+        assert new.cost.compress_rate == 1e9
+        assert sc.cost.compress_rate != 1e9

@@ -1,0 +1,86 @@
+"""Dynamic rebalancer (the paper's §6 future-work feature)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicRebalancer
+from repro.hw.presets import lynxdtn_spec
+from repro.hw.topology import CoreId
+from repro.osmodel.affinity import AffinityMask
+from repro.osmodel.scheduler import OsScheduler
+from repro.sim.engine import Engine
+from repro.util.errors import ValidationError
+
+
+def setup(wake_affinity=1.0):
+    spec = lynxdtn_spec()
+    engine = Engine()
+    sched = OsScheduler(spec, seed=1, wake_affinity=wake_affinity, spill_threshold=1)
+    reb = DynamicRebalancer(engine, sched, spec, nic_socket=1, interval=0.01)
+    return spec, engine, sched, reb
+
+
+class TestRules:
+    def test_recv_pulled_back_to_nic_socket(self):
+        spec, engine, sched, reb = setup()
+        mask = AffinityMask.all_cores(spec)
+        sched.place("s1.recv.0", mask, hint_socket=0)
+        assert sched.current("s1.recv.0").socket == 0
+        reb.start()
+        engine.run(until=0.05)
+        assert sched.current("s1.recv.0").socket == 1
+        assert any("recv belongs" in a.reason for a in reb.actions)
+
+    def test_decompress_pushed_off_nic_socket(self):
+        spec, engine, sched, reb = setup()
+        mask = AffinityMask.all_cores(spec)
+        sched.place("s1.decompress.0", mask, hint_socket=1)
+        assert sched.current("s1.decompress.0").socket == 1
+        reb.start()
+        engine.run(until=0.05)
+        assert sched.current("s1.decompress.0").socket == 0
+
+    def test_pinned_threads_untouched(self):
+        spec, engine, sched, reb = setup()
+        core = CoreId(0, 5)
+        sched.place("s1.recv.0", AffinityMask.single(spec, core))
+        reb.start()
+        engine.run(until=0.05)
+        assert sched.current("s1.recv.0") == core
+        assert reb.actions == []
+
+    def test_load_imbalance_spread(self):
+        spec, engine, sched, reb = setup()
+        mask = AffinityMask.all_cores(spec)
+        # Four generic threads piled on one core (simulate bad OS luck).
+        for i in range(4):
+            tid = f"s1.compress.{i}"
+            sched._assignment[tid] = CoreId(0, 0)
+            sched._masks[tid] = mask
+            sched.loads[CoreId(0, 0)] += 1
+        reb.start()
+        engine.run(until=0.05)
+        assert sched.loads[CoreId(0, 0)] <= 2
+
+    def test_converged_system_stops_acting(self):
+        spec, engine, sched, reb = setup()
+        mask = AffinityMask.all_cores(spec)
+        sched.place("s1.recv.0", mask, hint_socket=1)
+        reb.start()
+        engine.run(until=0.2)
+        n = len(reb.actions)
+        engine.run(until=0.4)
+        assert len(reb.actions) == n  # no churn once placement is right
+
+
+class TestValidation:
+    def test_interval_positive(self):
+        spec = lynxdtn_spec()
+        engine = Engine()
+        sched = OsScheduler(spec, seed=1)
+        with pytest.raises(ValidationError):
+            DynamicRebalancer(engine, sched, spec, nic_socket=1, interval=0)
+
+    def test_nic_socket_validated(self):
+        spec = lynxdtn_spec()
+        with pytest.raises(ValidationError):
+            DynamicRebalancer(Engine(), OsScheduler(spec, seed=1), spec, nic_socket=7)

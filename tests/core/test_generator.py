@@ -1,0 +1,142 @@
+"""The runtime configuration generator (the paper's planner)."""
+
+import pytest
+
+from repro.core.config import StageKind
+from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def kb():
+    kb = HardwareKnowledgeBase()
+    for spec in (lynxdtn_spec(), updraft_spec(1), updraft_spec(2), polaris_spec(1)):
+        kb.add_machine(spec)
+    kb.add_path(APS_LAN_PATH)
+    kb.add_path(ALCF_APS_PATH)
+    return kb
+
+
+def one_stream():
+    return Workload([StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan")])
+
+
+def four_streams():
+    return Workload(
+        [
+            StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan"),
+            StreamRequest("s2", "updraft2", "lynxdtn", "aps-lan"),
+            StreamRequest("s3", "polaris1", "lynxdtn", "alcf-aps"),
+            StreamRequest("s4", "polaris1", "lynxdtn", "alcf-aps"),
+        ]
+    )
+
+
+class TestWorkload:
+    def test_needs_streams(self):
+        with pytest.raises(ConfigurationError):
+            Workload([])
+
+    def test_multi_receiver_supported(self, kb):
+        """Two gateways: each receiver's NIC-socket cores are
+        partitioned independently among its own streams."""
+        kb2 = kb
+        w = Workload(
+            [
+                StreamRequest("a", "updraft1", "lynxdtn", "aps-lan"),
+                StreamRequest("b", "updraft2", "lynxdtn", "aps-lan"),
+                StreamRequest("c", "polaris1", "updraft1", "aps-lan"),
+            ]
+        )
+        plan = ConfigGenerator(kb2).generate(w)
+        plan.validate()
+        by_id = {s.stream_id: s for s in plan.streams}
+        # lynxdtn serves 2 streams -> 8 recv cores each; updraft1 serves
+        # one -> all 16 NIC-socket cores.
+        assert by_id["a"].recv.count == 8
+        assert by_id["b"].recv.count == 8
+        assert by_id["c"].recv.count == 16
+        # Disjoint recv partitions on the shared gateway.
+        assert set(by_id["a"].recv.placement.cores).isdisjoint(
+            by_id["b"].recv.placement.cores
+        )
+
+
+class TestNumaAwarePlan:
+    def test_plan_is_valid_scenario(self, kb):
+        plan = ConfigGenerator(kb).generate(one_stream())
+        plan.validate()
+
+    def test_recv_on_nic_socket(self, kb):
+        """Observation 1: receive threads belong to the NIC's domain."""
+        plan = ConfigGenerator(kb).generate(four_streams())
+        for s in plan.streams:
+            assert all(c.socket == 1 for c in s.recv.placement.cores)
+
+    def test_decompress_off_nic_socket(self, kb):
+        """Observation 3: decompression on the other domain."""
+        plan = ConfigGenerator(kb).generate(four_streams())
+        for s in plan.streams:
+            assert all(c.socket == 0 for c in s.decompress.placement.cores)
+
+    def test_receiver_cores_partitioned_across_streams(self, kb):
+        """Figure 14: 16 NUMA-1 cores / 4 streams = 4 each, disjoint."""
+        plan = ConfigGenerator(kb).generate(four_streams())
+        recv_sets = [set(s.recv.placement.cores) for s in plan.streams]
+        assert all(len(rs) == 4 for rs in recv_sets)
+        for i in range(len(recv_sets)):
+            for j in range(i + 1, len(recv_sets)):
+                assert recv_sets[i].isdisjoint(recv_sets[j])
+
+    def test_send_recv_counts_pair(self, kb):
+        plan = ConfigGenerator(kb).generate(four_streams())
+        for s in plan.streams:
+            assert s.send.count == s.recv.count
+
+    def test_ingest_cores_disjoint_from_compress(self, kb):
+        plan = ConfigGenerator(kb).generate(one_stream())
+        (s,) = plan.streams
+        assert set(s.ingest.placement.cores).isdisjoint(s.compress.placement.cores)
+
+    def test_achievable_rate_near_100g_for_updraft(self, kb):
+        gen = ConfigGenerator(kb)
+        rate = gen.achievable_gbps(kb.machine("updraft1"), ratio=2.0)
+        # A 32-core sender balances ingest+compress+send at ~100 Gbps.
+        assert 90.0 <= rate <= 115.0
+
+    def test_target_override_shrinks_plan(self, kb):
+        gen = ConfigGenerator(kb)
+        small = gen.generate(
+            Workload(
+                [
+                    StreamRequest(
+                        "s1", "updraft1", "lynxdtn", "aps-lan", target_gbps=10.0
+                    )
+                ]
+            )
+        )
+        (s,) = small.streams
+        assert s.compress.count <= 8
+        assert s.ingest.count <= 2
+
+
+class TestOsBaseline:
+    def test_same_counts_different_placement(self, kb):
+        gen = ConfigGenerator(kb)
+        plan = gen.generate(one_stream())
+        base = gen.os_baseline(one_stream())
+        (p,), (b,) = plan.streams, base.streams
+        assert p.recv.count == b.recv.count
+        assert p.decompress.count == b.decompress.count
+        assert b.recv.placement.kind == "os"
+        assert b.decompress.placement.kind == "os"
+        # The OS wake hint is the NIC socket (threads woken by softIRQs).
+        assert b.recv.placement.hint_socket == 1
+
+    def test_names_distinguish_modes(self, kb):
+        gen = ConfigGenerator(kb)
+        assert gen.generate(one_stream()).name.endswith("runtime")
+        assert gen.os_baseline(one_stream()).name.endswith("os")

@@ -1,0 +1,57 @@
+"""Hardware knowledge base."""
+
+import pytest
+
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import APS_LAN_PATH
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def kb():
+    kb = HardwareKnowledgeBase()
+    kb.add_machine(lynxdtn_spec())
+    kb.add_machine(polaris_spec())
+    kb.add_path(APS_LAN_PATH)
+    return kb
+
+
+class TestRegistration:
+    def test_duplicate_machine_rejected(self, kb):
+        with pytest.raises(ConfigurationError):
+            kb.add_machine(lynxdtn_spec())
+
+    def test_duplicate_path_rejected(self, kb):
+        with pytest.raises(ConfigurationError):
+            kb.add_path(APS_LAN_PATH)
+
+    def test_unknown_lookups(self, kb):
+        with pytest.raises(ConfigurationError):
+            kb.machine("ghost")
+        with pytest.raises(ConfigurationError):
+            kb.path("ghost")
+
+
+class TestQueries:
+    def test_nic_socket(self, kb):
+        assert kb.nic_socket("lynxdtn") == 1
+        assert kb.nic_socket("polaris1") == 0
+
+    def test_non_nic_sockets(self, kb):
+        assert kb.non_nic_sockets("lynxdtn") == [0]
+        assert kb.non_nic_sockets("polaris1") == []
+
+    def test_cores_of_socket(self, kb):
+        assert len(kb.cores_of_socket("lynxdtn", 1)) == 16
+
+    def test_nic_rate(self, kb):
+        assert kb.nic_rate_gbps("lynxdtn") == 200.0
+
+    def test_describe(self, kb):
+        text = kb.describe("lynxdtn")
+        assert "lynxdtn" in text and "200" in text and "N1" in text
+        assert "unused" in text  # the LUSTRE NIC
+
+    def test_machine_spec_passthrough(self, kb):
+        assert kb.machine("lynxdtn").total_cores == 32

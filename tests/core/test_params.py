@@ -1,0 +1,80 @@
+"""Cost model and path specs."""
+
+import pytest
+
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH, CostModel, PathSpec
+from repro.util.errors import ValidationError
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_calibration_relations(self):
+        """The constants must keep the paper's internal relations."""
+        cm = CostModel()
+        # §3.3: decompression ~3x compression at equal threads.
+        assert cm.decompress_rate / cm.compress_rate == pytest.approx(3.0, rel=0.01)
+        # Fig 12 A/B: 8 pipeline C-threads bottleneck at ~37 Gbps.
+        pipeline_c = cm.stage_rate(cm.compress_rate, pipeline=True)
+        assert 8 * pipeline_c * 8 / 1e9 == pytest.approx(37.0, rel=0.02)
+        # Fig 11: one recv thread sustains ~33 Gbps.
+        assert cm.recv_cpu_rate * 8 / 1e9 == pytest.approx(33.0, rel=0.01)
+
+    def test_stage_rate_micro_vs_pipeline(self):
+        cm = CostModel()
+        assert cm.stage_rate(1e9, pipeline=False) == 1e9
+        assert cm.stage_rate(1e9, pipeline=True) == pytest.approx(
+            cm.pipeline_efficiency * 1e9
+        )
+
+    def test_with_overrides(self):
+        cm = CostModel().with_overrides(compress_rate=1e9)
+        assert cm.compress_rate == 1e9
+        assert cm.decompress_rate == CostModel().decompress_rate
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().compress_rate = 1.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("compress_rate", 0.0),
+            ("ingest_rate", -1.0),
+            ("pipeline_efficiency", 0.0),
+            ("pipeline_efficiency", 1.5),
+            ("remote_stall_factor", 0.9),
+            ("remote_stream_penalty", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValidationError):
+            CostModel(**{field: value})
+
+
+class TestPathSpec:
+    def test_goodput(self):
+        p = PathSpec("p", bandwidth_gbps=100.0, efficiency=0.97)
+        assert p.goodput_Bps == pytest.approx(100e9 * 0.97 / 8)
+
+    def test_stream_cap(self):
+        p = PathSpec("p", bandwidth_gbps=100.0, per_stream_cap_gbps=14.0)
+        assert p.stream_cap_Bps() == pytest.approx(14e9 / 8)
+
+    def test_uncapped(self):
+        assert PathSpec("p", bandwidth_gbps=10.0).stream_cap_Bps() is None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PathSpec("p", bandwidth_gbps=0)
+        with pytest.raises(ValidationError):
+            PathSpec("p", bandwidth_gbps=10, efficiency=0)
+        with pytest.raises(ValidationError):
+            PathSpec("p", bandwidth_gbps=10, per_stream_cap_gbps=0)
+
+    def test_paper_paths(self):
+        # §3.1: ALCF-APS is 200 Gbps / 0.45 ms; Fig 11's LAN path is 100G.
+        assert ALCF_APS_PATH.bandwidth_gbps == 200.0
+        assert ALCF_APS_PATH.rtt_ms == 0.45
+        assert APS_LAN_PATH.bandwidth_gbps == 100.0

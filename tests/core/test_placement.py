@@ -1,0 +1,109 @@
+"""Placement specs and thread-home resolution."""
+
+import pytest
+
+from repro.core.placement import PlacementSpec, resolve_placement
+from repro.hw.presets import lynxdtn_spec
+from repro.hw.topology import CoreId
+from repro.osmodel.scheduler import OsScheduler
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def spec():
+    return lynxdtn_spec()
+
+
+@pytest.fixture
+def sched(spec):
+    return OsScheduler(spec, seed=1)
+
+
+class TestSpecConstructors:
+    def test_pinned(self):
+        p = PlacementSpec.pinned([CoreId(0, 1)])
+        assert p.kind == "cores"
+
+    def test_pinned_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementSpec.pinned([])
+
+    def test_socket(self):
+        assert PlacementSpec.socket(1).sockets == (1,)
+
+    def test_split(self):
+        assert PlacementSpec.split([0, 1]).sockets == (0, 1)
+
+    def test_split_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementSpec.split([])
+
+    def test_os_managed(self):
+        p = PlacementSpec.os_managed(hint_socket=1)
+        assert p.kind == "os" and p.hint_socket == 1
+
+    def test_describe(self):
+        assert PlacementSpec.socket(1).describe() == "N1"
+        assert PlacementSpec.split([0, 1]).describe() == "N0&1"
+        assert PlacementSpec.os_managed().describe() == "OS"
+        assert "s0c2" in PlacementSpec.pinned([CoreId(0, 2)]).describe()
+
+
+class TestResolution:
+    def test_pinned_round_robin(self, spec, sched):
+        cores = [CoreId(0, 0), CoreId(0, 1)]
+        homes = resolve_placement(
+            PlacementSpec.pinned(cores), spec, 4, sched
+        )
+        assert [h.core for h in homes] == [
+            CoreId(0, 0), CoreId(0, 1), CoreId(0, 0), CoreId(0, 1)
+        ]
+
+    def test_socket_round_robin(self, spec, sched):
+        homes = resolve_placement(PlacementSpec.socket(1), spec, 18, sched)
+        assert all(h.socket == 1 for h in homes)
+        # Wraps after 16 cores.
+        assert homes[16].core == CoreId(1, 0)
+
+    def test_split_interleaves_sockets(self, spec, sched):
+        homes = resolve_placement(PlacementSpec.split([0, 1]), spec, 8, sched)
+        sockets = [h.socket for h in homes]
+        assert sockets == [0, 1, 0, 1, 0, 1, 0, 1]
+        # Distinct cores within each socket.
+        cores = {h.core for h in homes}
+        assert len(cores) == 8
+
+    def test_os_managed_dynamic(self, spec, sched):
+        homes = resolve_placement(
+            PlacementSpec.os_managed(hint_socket=1), spec, 4, sched
+        )
+        assert all(h.dynamic for h in homes)
+
+    def test_pinned_static(self, spec, sched):
+        homes = resolve_placement(
+            PlacementSpec.pinned([CoreId(0, 0)]), spec, 1, sched
+        )
+        assert not homes[0].dynamic
+        # next_chunk never moves a pinned thread.
+        for _ in range(20):
+            assert homes[0].next_chunk() == CoreId(0, 0)
+
+    def test_count_validated(self, spec, sched):
+        with pytest.raises(ConfigurationError):
+            resolve_placement(PlacementSpec.socket(0), spec, 0, sched)
+
+    def test_load_accounting(self, spec, sched):
+        resolve_placement(PlacementSpec.socket(1), spec, 4, sched, group="g")
+        assert sched.socket_load(1) == 4
+
+    def test_release(self, spec, sched):
+        homes = resolve_placement(PlacementSpec.socket(1), spec, 2, sched)
+        for h in homes:
+            h.release()
+        assert sched.socket_load(1) == 0
+
+    def test_unique_tids_across_groups(self, spec, sched):
+        resolve_placement(PlacementSpec.socket(0), spec, 2, sched, group="a")
+        resolve_placement(PlacementSpec.socket(0), spec, 2, sched, group="b")
+        # Four distinct thread ids registered (no collision error).
+        assert sched.socket_load(0) == 4

@@ -1,0 +1,222 @@
+"""SimRuntime: pipeline mechanics and analytic cross-checks."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH, CostModel
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import SimRuntime, run_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.util.errors import SimulationError
+
+
+def machines():
+    return {"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()}
+
+
+def scenario(streams, **kw):
+    defaults = dict(
+        name="t",
+        machines=machines(),
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=streams,
+        warmup_chunks=5,
+    )
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+class TestMicroPipelines:
+    def test_compress_only_rate_matches_analytic(self):
+        """4 dedicated micro compression threads = 4 x compress_rate."""
+        s = StreamConfig(
+            stream_id="c",
+            sender="updraft1",
+            receiver="updraft1",
+            path="aps-lan",
+            num_chunks=60,
+            source_socket=0,
+            micro=True,
+            compress=StageConfig(4, PlacementSpec.socket(0)),
+        )
+        res = run_scenario(scenario([s]))
+        rate_GBps = res.streams["c"].delivered_gbps / 8
+        cm = CostModel()
+        assert rate_GBps == pytest.approx(4 * cm.compress_rate / 1e9, rel=0.03)
+
+    def test_oversubscription_halves_compression(self):
+        """Obs 2: 32 threads on a 16-core socket ~ the 16-thread rate."""
+        def run_with(threads):
+            s = StreamConfig(
+                stream_id="c",
+                sender="updraft1",
+                receiver="updraft1",
+                path="aps-lan",
+                num_chunks=80,
+                source_socket=0,
+                micro=True,
+                compress=StageConfig(threads, PlacementSpec.socket(0)),
+            )
+            return run_scenario(scenario([s])).streams["c"].delivered_gbps
+
+        r16, r32 = run_with(16), run_with(32)
+        assert r32 <= r16  # context switching never helps
+        assert r32 >= 0.9 * r16
+
+    def test_decompress_three_x_compress(self):
+        def run_stage(stage):
+            s = StreamConfig(
+                stream_id="x",
+                sender="updraft1",
+                receiver="updraft1",
+                path="aps-lan",
+                num_chunks=60,
+                source_socket=0,
+                micro=True,
+                **{stage: StageConfig(4, PlacementSpec.socket(0))},
+            )
+            return run_scenario(scenario([s])).streams["x"].delivered_gbps
+
+        assert run_stage("decompress") / run_stage("compress") == pytest.approx(
+            3.0, rel=0.05
+        )
+
+
+class TestNetworkPipelines:
+    def test_single_connection_rate(self):
+        """One send/recv pair on NUMA 1 sustains ~33 Gbps (Fig 11)."""
+        s = StreamConfig(
+            stream_id="n",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            num_chunks=60,
+            chunk_bytes=5_529_600,
+            ratio_mean=1.0,
+            ratio_sigma=0.0,
+            send=StageConfig(1, PlacementSpec.socket(1)),
+            recv=StageConfig(1, PlacementSpec.socket(1)),
+        )
+        res = run_scenario(scenario([s]))
+        assert res.streams["n"].wire_gbps == pytest.approx(33.0, rel=0.05)
+
+    def test_nic_caps_aggregate(self):
+        """8 connections exceed the 100G NIC: goodput ~97 Gbps."""
+        s = StreamConfig(
+            stream_id="n",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            num_chunks=200,
+            chunk_bytes=5_529_600,
+            ratio_mean=1.0,
+            ratio_sigma=0.0,
+            send=StageConfig(8, PlacementSpec.socket(1)),
+            recv=StageConfig(8, PlacementSpec.socket(1)),
+        )
+        res = run_scenario(scenario([s]))
+        assert res.streams["n"].wire_gbps == pytest.approx(97.0, rel=0.03)
+
+
+class TestConservation:
+    def test_every_chunk_delivered_exactly_once(self):
+        s = StreamConfig(
+            stream_id="e",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            num_chunks=40,
+            ingest=StageConfig(2, PlacementSpec.socket(0)),
+            compress=StageConfig(4, PlacementSpec.split([0, 1])),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(2, PlacementSpec.socket(0)),
+        )
+        res = run_scenario(scenario([s]))
+        assert res.streams["e"].chunks_delivered == 40
+
+    def test_multi_stream_isolation(self):
+        streams = [
+            StreamConfig(
+                stream_id=f"s{i}",
+                sender="updraft1",
+                receiver="lynxdtn",
+                path="aps-lan",
+                num_chunks=20,
+                compress=StageConfig(2, PlacementSpec.socket(i % 2)),
+                send=StageConfig(1, PlacementSpec.socket(1)),
+                recv=StageConfig(1, PlacementSpec.socket(1)),
+                source_socket=0,
+            )
+            for i in range(3)
+        ]
+        res = run_scenario(scenario(streams))
+        assert len(res.streams) == 3
+        for i in range(3):
+            assert res.streams[f"s{i}"].chunks_delivered == 20
+
+    def test_stage_rates_reported(self):
+        s = StreamConfig(
+            stream_id="r",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            num_chunks=30,
+            compress=StageConfig(2, PlacementSpec.socket(0)),
+            send=StageConfig(1, PlacementSpec.socket(1)),
+            recv=StageConfig(1, PlacementSpec.socket(1)),
+            source_socket=0,
+        )
+        res = run_scenario(scenario([s]))
+        r = res.streams["r"]
+        assert set(r.stage_gbps) >= {"compress", "send", "recv", "wire"}
+        assert r.stage_gbps["wire"] > 0
+
+
+class TestGuards:
+    def test_max_sim_time_enforced(self):
+        s = StreamConfig(
+            stream_id="slow",
+            sender="updraft1",
+            receiver="updraft1",
+            path="aps-lan",
+            num_chunks=1000,
+            source_socket=0,
+            compress=StageConfig(1, PlacementSpec.socket(0)),
+        )
+        sc = scenario([s], max_sim_time=0.001)
+        with pytest.raises(SimulationError, match="max_sim_time"):
+            SimRuntime(sc).run()
+
+    def test_core_maps_in_result(self):
+        s = StreamConfig(
+            stream_id="m",
+            sender="updraft1",
+            receiver="updraft1",
+            path="aps-lan",
+            num_chunks=20,
+            source_socket=0,
+            micro=True,
+            compress=StageConfig(2, PlacementSpec.socket(1)),
+        )
+        res = run_scenario(scenario([s]))
+        util = res.core_utilization["updraft1"]
+        assert util["updraft1/s1c0"] > 0.5
+        assert util["updraft1/s0c0"] == 0.0
+
+    def test_remote_access_map(self):
+        # Compression on socket 0 reading socket-1 data => remote traffic.
+        s = StreamConfig(
+            stream_id="m",
+            sender="updraft1",
+            receiver="updraft1",
+            path="aps-lan",
+            num_chunks=20,
+            source_socket=1,
+            micro=True,
+            compress=StageConfig(2, PlacementSpec.socket(0)),
+        )
+        res = run_scenario(scenario([s]))
+        remote = res.remote_access["updraft1"]
+        assert remote["updraft1/s0c0"] == pytest.approx(1.0)
+        assert remote["updraft1/s1c0"] == 0.0

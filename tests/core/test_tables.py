@@ -1,0 +1,63 @@
+"""The paper's Tables 1-3 as data."""
+
+import pytest
+
+from repro.core.tables import BOTH, OS, TABLE1, TABLE2, TABLE3
+from repro.core.placement import PlacementSpec
+
+
+class TestTable1:
+    def test_eight_configs(self):
+        assert list(TABLE1) == list("ABCDEFGH")
+
+    def test_memory_domains_match_paper(self):
+        assert [c.memory_domain for c in TABLE1.values()] == [0, 0, 1, 1, 0, 1, 0, 1]
+
+    def test_execution_domains_match_paper(self):
+        assert TABLE1["A"].execution == 0
+        assert TABLE1["B"].execution == 1
+        assert TABLE1["E"].execution == BOTH
+        assert TABLE1["G"].execution == OS
+
+    def test_placements(self):
+        assert TABLE1["A"].placement().kind == "socket"
+        assert TABLE1["E"].placement().kind == "sockets"
+        p = TABLE1["G"].placement(os_hint_socket=0)
+        assert p.kind == "os" and p.hint_socket == 0
+
+    def test_describe(self):
+        assert "mem=N0" in TABLE1["A"].describe()
+
+
+class TestTable2:
+    def test_five_configs(self):
+        assert list(TABLE2) == list("ABCDE")
+
+    def test_sockets_match_paper(self):
+        assert (TABLE2["A"].sender_socket, TABLE2["A"].receiver_socket) == (0, 0)
+        assert (TABLE2["B"].sender_socket, TABLE2["B"].receiver_socket) == (0, 1)
+        assert (TABLE2["C"].sender_socket, TABLE2["C"].receiver_socket) == (1, 0)
+        assert (TABLE2["D"].sender_socket, TABLE2["D"].receiver_socket) == (1, 1)
+        assert (TABLE2["E"].sender_socket, TABLE2["E"].receiver_socket) == (OS, OS)
+
+    def test_placements(self):
+        assert TABLE2["B"].sender_placement().sockets == (0,)
+        assert TABLE2["B"].receiver_placement().sockets == (1,)
+        assert TABLE2["E"].sender_placement().kind == "os"
+
+
+class TestTable3:
+    def test_seven_configs(self):
+        assert list(TABLE3) == list("ABCDEFG")
+
+    def test_thread_counts_match_paper(self):
+        expected = {
+            "A": (8, 4), "B": (8, 8), "C": (16, 8), "D": (16, 16),
+            "E": (32, 4), "F": (32, 8), "G": (32, 16),
+        }
+        for label, (c, d) in expected.items():
+            cfg = TABLE3[label]
+            assert (cfg.compress_threads, cfg.decompress_threads) == (c, d)
+
+    def test_describe(self):
+        assert TABLE3["F"].describe() == "F: C=32 D=8"

@@ -1,0 +1,197 @@
+"""Flow builders: demand vectors encode the NUMA story correctly."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH, CostModel
+from repro.core.placement import PlacementSpec
+from repro.core.tasks import (
+    StreamContext,
+    compress_flow,
+    decompress_flow,
+    ingest_flow,
+    recv_flow,
+    send_flow,
+    wire_flow,
+)
+from repro.data.chunking import Chunk
+from repro.hw.machine import Machine
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.hw.topology import CoreId
+from repro.sim.engine import Engine
+from repro.sim.flows import FlowNetwork
+
+
+@pytest.fixture
+def ctx():
+    engine = Engine()
+    sender = Machine(engine, updraft_spec())
+    receiver = Machine(engine, lynxdtn_spec())
+    cfg = StreamConfig(
+        stream_id="s",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="alcf-aps",
+        compress=StageConfig(1, PlacementSpec.socket(0)),
+    )
+    return StreamContext(
+        engine=engine,
+        network=FlowNetwork(engine),
+        cost=CostModel(),
+        config=cfg,
+        sender=sender,
+        receiver=receiver,
+        path_spec=ALCF_APS_PATH,
+        path_resource=None,
+        sender_nic=sender.nic(),
+        receiver_nic=receiver.nic(),
+    )
+
+
+def chunk(**kw):
+    defaults = dict(stream_id="s", index=0, nbytes=1000, ratio=2.0)
+    defaults.update(kw)
+    return Chunk(**defaults)
+
+
+class TestCompressFlow:
+    def test_local_read(self, ctx):
+        f = compress_flow(ctx, chunk(home_socket=0), CoreId(0, 0))
+        m = ctx.sender
+        assert f.work == 1000
+        assert f.demands[m.mc(0)] == pytest.approx(1.0 + 0.5)  # read + write
+        assert m.interconnect(0, 1) not in f.demands
+        assert m.interconnect(1, 0) not in f.demands
+
+    def test_remote_read_crosses_qpi(self, ctx):
+        f = compress_flow(ctx, chunk(home_socket=1), CoreId(0, 0))
+        m = ctx.sender
+        assert f.demands[m.mc(1)] == 1.0  # source read
+        assert f.demands[m.mc(0)] == 0.5  # compressed output locally
+        assert f.demands[m.interconnect(1, 0)] == 1.0
+
+    def test_cpu_cost_pipeline_rate(self, ctx):
+        f = compress_flow(ctx, chunk(home_socket=0), CoreId(0, 0))
+        core = ctx.sender.core(CoreId(0, 0))
+        expected = 1.0 / (ctx.cost.compress_rate * ctx.cost.pipeline_efficiency)
+        assert f.demands[core] == pytest.approx(expected)
+
+    def test_cpu_cost_micro_rate(self, ctx):
+        ctx.config.micro = True
+        f = compress_flow(ctx, chunk(home_socket=0), CoreId(0, 0))
+        core = ctx.sender.core(CoreId(0, 0))
+        assert f.demands[core] == pytest.approx(1.0 / ctx.cost.compress_rate)
+
+    def test_no_remote_stall_for_compression(self, ctx):
+        """Obs 2: compression speed is placement-independent — the CPU
+        cost must be identical for local and remote source data."""
+        local = compress_flow(ctx, chunk(home_socket=0), CoreId(0, 0))
+        remote = compress_flow(ctx, chunk(home_socket=1), CoreId(0, 0))
+        core = ctx.sender.core(CoreId(0, 0))
+        assert local.demands[core] == remote.demands[core]
+
+
+class TestDecompressFlow:
+    def test_work_is_output_bytes(self, ctx):
+        f = decompress_flow(ctx, chunk(home_socket=1), CoreId(0, 0))
+        assert f.work == 1000
+
+    def test_reads_compressed_fraction(self, ctx):
+        f = decompress_flow(ctx, chunk(home_socket=1), CoreId(0, 0))
+        m = ctx.receiver
+        assert f.demands[m.mc(1)] == pytest.approx(0.5)  # compressed input
+        assert f.demands[m.interconnect(1, 0)] == pytest.approx(0.5)
+
+    def test_llc_amplification(self, ctx):
+        f = decompress_flow(ctx, chunk(home_socket=0), CoreId(0, 0))
+        m = ctx.receiver
+        assert f.demands[m.llc(0)] == pytest.approx(ctx.cost.decompress_llc_factor)
+
+    def test_mc_amplification_on_output_socket(self, ctx):
+        f = decompress_flow(ctx, chunk(home_socket=1), CoreId(0, 0))
+        m = ctx.receiver
+        # write 1.0 + re-read (factor - 1) on the execution socket.
+        assert f.demands[m.mc(0)] == pytest.approx(ctx.cost.decompress_mc_factor)
+
+
+class TestRecvFlow:
+    def test_local_recv_no_stall(self, ctx):
+        f = recv_flow(ctx, chunk(), CoreId(1, 0))
+        core = ctx.receiver.core(CoreId(1, 0))
+        assert f.demands[core] == pytest.approx(1.0 / ctx.cost.recv_cpu_rate)
+
+    def test_remote_recv_pays_stall(self, ctx):
+        """Obs 1/4: receive threads across QPI from the NIC lose ~15%."""
+        f = recv_flow(ctx, chunk(), CoreId(0, 0))
+        core = ctx.receiver.core(CoreId(0, 0))
+        expected = ctx.cost.remote_stall_factor / ctx.cost.recv_cpu_rate
+        assert f.demands[core] == pytest.approx(expected)
+
+    def test_work_is_wire_bytes(self, ctx):
+        f = recv_flow(ctx, chunk(nbytes=1000, ratio=2.0), CoreId(1, 0))
+        assert f.work == 500
+
+    def test_remote_recv_reads_over_qpi(self, ctx):
+        f = recv_flow(ctx, chunk(), CoreId(0, 0))
+        m = ctx.receiver
+        assert m.interconnect(1, 0) in f.demands
+
+
+class TestWireFlow:
+    def test_wire_resources(self, ctx):
+        from repro.sim.flows import Resource
+
+        ctx.path_resource = Resource("path/x", 1e9, kind="path")
+        ctx.recv_homes = _fake_homes(ctx, socket=1)
+        f = wire_flow(ctx, chunk(), connection=0, send_socket=1)
+        assert ctx.sender_nic.tx in f.demands
+        assert ctx.receiver_nic.rx in f.demands
+        assert ctx.path_resource in f.demands
+        # DMA lands in the NIC's socket memory.
+        assert f.demands[ctx.receiver.mc(1)] >= 1.0
+
+    def test_softirq_on_nic_socket_core(self, ctx):
+        from repro.sim.flows import Resource
+
+        ctx.path_resource = Resource("path/x", 1e9, kind="path")
+        ctx.recv_homes = _fake_homes(ctx, socket=1)
+        f = wire_flow(ctx, chunk(), connection=0, send_socket=1)
+        softirq_cores = [
+            r for r in f.demands if r.tags.get("kind") == "core"
+        ]
+        assert len(softirq_cores) == 1
+        assert softirq_cores[0].tags["socket"] == 1
+
+    def test_remote_recv_thread_shrinks_stream_cap(self, ctx):
+        from repro.sim.flows import Resource
+
+        ctx.path_resource = Resource("path/x", 1e9, kind="path")
+        ctx.recv_homes = _fake_homes(ctx, socket=1)
+        local = wire_flow(ctx, chunk(), 0, 1)
+        ctx.recv_homes = _fake_homes(ctx, socket=0)
+        remote = wire_flow(ctx, chunk(), 0, 1)
+        assert remote.max_rate == pytest.approx(
+            local.max_rate * ctx.cost.remote_stream_penalty
+        )
+
+
+class TestIngestAndSend:
+    def test_ingest_reads_source_socket(self, ctx):
+        ctx.config.source_socket = 1
+        f = ingest_flow(ctx, chunk(), CoreId(0, 0))
+        m = ctx.sender
+        assert m.mc(1) in f.demands  # source read
+        assert m.mc(0) in f.demands  # staging write
+
+    def test_send_work_is_wire_bytes(self, ctx):
+        f = send_flow(ctx, chunk(nbytes=1000, ratio=2.0, home_socket=1), CoreId(1, 0))
+        assert f.work == 500
+
+
+def _fake_homes(ctx, socket):
+    class Home:
+        pass
+
+    h = Home()
+    h.socket = socket
+    return [h]

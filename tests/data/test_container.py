@@ -1,0 +1,139 @@
+"""Chunked container file format."""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec
+from repro.data.container import ChunkedContainer
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def chunks():
+    rng = np.random.default_rng(0)
+    return [
+        rng.integers(0, 65536, size=(16, 20)).astype(np.uint16) for _ in range(3)
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, chunks):
+        path = tmp_path / "a.rchk"
+        with ChunkedContainer.create(path, (16, 20), "uint16") as w:
+            for c in chunks:
+                w.append(c)
+        cc = ChunkedContainer(path)
+        assert len(cc) == 3
+        for i, c in enumerate(chunks):
+            assert np.array_equal(cc.read(i), c)
+
+    def test_metadata(self, tmp_path, chunks):
+        path = tmp_path / "a.rchk"
+        with ChunkedContainer.create(path, (16, 20), "uint16") as w:
+            w.append(chunks[0])
+        cc = ChunkedContainer(path)
+        assert cc.chunk_shape == (16, 20)
+        assert cc.dtype == np.uint16
+        assert cc.shape == (1, 16, 20)
+
+    def test_empty_container(self, tmp_path):
+        path = tmp_path / "e.rchk"
+        with ChunkedContainer.create(path, (4, 4)):
+            pass
+        assert len(ChunkedContainer(path)) == 0
+
+    def test_compressed_storage(self, tmp_path, chunks):
+        path = tmp_path / "c.rchk"
+        codec = get_codec("zlib")
+        with ChunkedContainer.create(path, (16, 20), "uint16", codec=codec) as w:
+            for c in chunks:
+                w.append(c)
+        cc = ChunkedContainer(path, codec=codec)
+        assert np.array_equal(cc.read(2), chunks[2])
+
+    def test_compressed_needs_codec_to_read(self, tmp_path, chunks):
+        path = tmp_path / "c.rchk"
+        with ChunkedContainer.create(path, (16, 20), codec=get_codec("zlib")) as w:
+            w.append(chunks[0])
+        with pytest.raises(ValidationError, match="codec"):
+            ChunkedContainer(path)
+
+
+class TestWriterValidation:
+    def test_shape_mismatch(self, tmp_path):
+        with ChunkedContainer.create(tmp_path / "x.rchk", (4, 4)) as w:
+            with pytest.raises(ValidationError, match="shape"):
+                w.append(np.zeros((5, 4), dtype=np.uint16))
+
+    def test_dtype_mismatch(self, tmp_path):
+        with ChunkedContainer.create(tmp_path / "x.rchk", (4, 4)) as w:
+            with pytest.raises(ValidationError, match="dtype"):
+                w.append(np.zeros((4, 4), dtype=np.float32))
+
+    def test_append_after_close(self, tmp_path):
+        w = ChunkedContainer.create(tmp_path / "x.rchk", (4, 4))
+        w.close()
+        with pytest.raises(ValidationError):
+            w.append(np.zeros((4, 4), dtype=np.uint16))
+
+    def test_double_close_ok(self, tmp_path):
+        w = ChunkedContainer.create(tmp_path / "x.rchk", (4, 4))
+        w.close()
+        w.close()
+
+
+class TestReaderValidation:
+    def test_not_a_container(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"this is not RCHK data...." * 2)
+        with pytest.raises(ValidationError, match="not an RCHK"):
+            ChunkedContainer(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "tiny"
+        path.write_bytes(b"RCHK")
+        with pytest.raises(ValidationError, match="too short"):
+            ChunkedContainer(path)
+
+    def test_truncated_footer_rejected(self, tmp_path):
+        path = tmp_path / "x.rchk"
+        with ChunkedContainer.create(path, (4, 4)) as w:
+            w.append(np.zeros((4, 4), dtype=np.uint16))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])
+        with pytest.raises(ValidationError):
+            ChunkedContainer(path)
+
+    def test_iteration_streams_chunks(self, tmp_path, chunks):
+        path = tmp_path / "it.rchk"
+        with ChunkedContainer.create(path, (16, 20), "uint16") as w:
+            for c in chunks:
+                w.append(c)
+        got = list(ChunkedContainer(path))
+        assert len(got) == 3
+        assert all(np.array_equal(a, b) for a, b in zip(got, chunks))
+
+    def test_codec_name_mismatch_rejected(self, tmp_path, chunks):
+        from repro.compress import get_codec
+
+        path = tmp_path / "z.rchk"
+        with ChunkedContainer.create(path, (16, 20),
+                                     codec=get_codec("zlib")) as w:
+            w.append(chunks[0])
+        with pytest.raises(ValidationError, match="stored with codec"):
+            ChunkedContainer(path, codec=get_codec("lz4"))
+
+    def test_index_out_of_range(self, tmp_path):
+        path = tmp_path / "x.rchk"
+        with ChunkedContainer.create(path, (4, 4)) as w:
+            w.append(np.zeros((4, 4), dtype=np.uint16))
+        cc = ChunkedContainer(path)
+        with pytest.raises(ValidationError):
+            cc.read(1)
+
+    def test_read_raw(self, tmp_path):
+        path = tmp_path / "x.rchk"
+        arr = np.arange(16, dtype=np.uint16).reshape(4, 4)
+        with ChunkedContainer.create(path, (4, 4)) as w:
+            w.append(arr)
+        assert ChunkedContainer(path).read_raw(0) == arr.tobytes()

@@ -1,0 +1,144 @@
+"""Synthetic spheres dataset and projection generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.spheres import (
+    PAPER_CHUNK_BYTES,
+    PAPER_DETECTOR_SHAPE,
+    SpheresDataset,
+    SpheresPhantom,
+)
+from repro.util.errors import ValidationError
+
+
+def small_dataset(**kw):
+    phantom = SpheresPhantom(
+        cylinder_radius=300,
+        cylinder_height=240,
+        volume_fraction=0.2,
+        seed=kw.pop("phantom_seed", 3),
+    )
+    defaults = dict(detector_shape=(120, 128), num_projections=8, seed=3)
+    defaults.update(kw)
+    return SpheresDataset(phantom, **defaults)
+
+
+class TestPaperGeometry:
+    def test_chunk_size_is_paper_chunk(self):
+        # 2304 x 2400 x 2 bytes = 11.0592 MB, one X-ray projection (§3.2).
+        assert PAPER_CHUNK_BYTES == 11_059_200
+        rows, cols = PAPER_DETECTOR_SHAPE
+        assert rows * cols * 2 == PAPER_CHUNK_BYTES
+
+    def test_default_dataset_is_16gb_class(self):
+        ds = SpheresDataset.__new__(SpheresDataset)  # avoid phantom build
+        # 1447 projections x 11.0592 MB ≈ 16 GB (the paper's dataset).
+        assert 1447 * PAPER_CHUNK_BYTES == pytest.approx(16e9, rel=0.01)
+
+
+class TestPhantom:
+    def test_sphere_diameters_in_range(self):
+        phantom = SpheresPhantom(
+            cylinder_radius=300, cylinder_height=240, volume_fraction=0.1, seed=1
+        )
+        for s in phantom.spheres:
+            assert 19.0 <= s.r <= 22.5  # 38-45 µm diameters
+
+    def test_spheres_inside_cylinder(self):
+        phantom = SpheresPhantom(
+            cylinder_radius=300, cylinder_height=240, volume_fraction=0.1, seed=1
+        )
+        for s in phantom.spheres:
+            assert (s.x**2 + s.y**2) ** 0.5 <= 300.0
+            assert 0 <= s.z <= 240.0
+
+    def test_volume_fraction_scales_count(self):
+        lo = SpheresPhantom(cylinder_radius=300, cylinder_height=240,
+                            volume_fraction=0.05, seed=1)
+        hi = SpheresPhantom(cylinder_radius=300, cylinder_height=240,
+                            volume_fraction=0.20, seed=1)
+        assert len(hi) > 3 * len(lo)
+
+    def test_deterministic(self):
+        a = SpheresPhantom(cylinder_radius=300, cylinder_height=240,
+                           volume_fraction=0.1, seed=5)
+        b = SpheresPhantom(cylinder_radius=300, cylinder_height=240,
+                           volume_fraction=0.1, seed=5)
+        assert a.spheres == b.spheres
+
+    def test_bad_volume_fraction(self):
+        with pytest.raises(ValidationError):
+            SpheresPhantom(volume_fraction=0.9)
+
+
+class TestProjections:
+    def test_shape_and_dtype(self):
+        ds = small_dataset()
+        p = ds.projection(0)
+        assert p.shape == (120, 128)
+        assert p.dtype == np.uint16
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            small_dataset().projection(2), small_dataset().projection(2)
+        )
+
+    def test_angles_differ(self):
+        ds = small_dataset()
+        assert not np.array_equal(ds.projection(0), ds.projection(4))
+
+    def test_absorption_darkens_object(self):
+        ds = small_dataset(noise=0.0)
+        p = ds.projection(0)
+        # Air margins saturate the white level; the object absorbs.
+        assert p.max() == int(round(ds.white_level))
+        assert p.min() < p.max()
+
+    def test_air_margin_is_flat(self):
+        ds = small_dataset(noise=0.6)
+        p = ds.projection(0)
+        # Corner columns are outside the cylinder: exactly white.
+        corner = p[:5, :3]
+        assert (corner == corner[0, 0]).all()
+
+    def test_index_bounds(self):
+        ds = small_dataset()
+        with pytest.raises(ValidationError):
+            ds.projection(8)
+        with pytest.raises(ValidationError):
+            ds.projection(-1)
+
+    def test_angle_sweep(self):
+        ds = small_dataset()
+        assert ds.angle(0) == 0.0
+        assert ds.angle(4) == pytest.approx(np.pi / 2)
+
+    def test_chunk_payload_bytes(self):
+        ds = small_dataset()
+        payload = ds.chunk_payload(0)
+        assert len(payload) == ds.chunk_bytes == 120 * 128 * 2
+
+    def test_total_bytes(self):
+        ds = small_dataset()
+        assert ds.total_bytes == 8 * ds.chunk_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            small_dataset(detector_shape=(0, 10))
+        with pytest.raises(ValidationError):
+            small_dataset(num_projections=0)
+        with pytest.raises(ValidationError):
+            small_dataset(fov_scale=1.0)
+
+
+class TestCompressionCalibration:
+    def test_lz4_family_ratio_band(self):
+        """The paper reports ~2:1 LZ4 on projection chunks; our default
+        filter stack must land in a credible band around that."""
+        from repro.compress import get_codec
+
+        ds = small_dataset(detector_shape=(240, 256))
+        payload = ds.chunk_payload(0)
+        ratio = len(payload) / len(get_codec("delta-shuffle-lz4").compress(payload))
+        assert 1.7 <= ratio <= 2.8

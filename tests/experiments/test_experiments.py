@@ -1,0 +1,40 @@
+"""Every paper exhibit regenerates with its qualitative claims intact.
+
+These run the quick variants (reduced sweeps); the full sweeps live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.util.errors import ValidationError
+
+
+class TestRegistry:
+    def test_all_paper_exhibits_present(self):
+        assert {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12", "fig14",
+        } <= set(EXPERIMENTS)
+
+    def test_extensions_present(self):
+        assert "sensitivity" in EXPERIMENTS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            get_experiment("fig99")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_quick_run_claims_hold(name):
+    result = get_experiment(name)(quick=True)
+    assert result.experiment == name
+    failed = [k for k, ok in result.claims.items() if not ok]
+    assert not failed, f"{name} failed claims: {failed}\n{result.render()}"
+    assert result.table.rows, f"{name} produced no table rows"
+
+
+def test_render_includes_claims():
+    result = get_experiment("fig9")(quick=True)
+    text = result.render()
+    assert "PASS" in text
+    assert "Figure 9a" in text

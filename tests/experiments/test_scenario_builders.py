@@ -1,0 +1,143 @@
+"""The experiment modules' scenario builders encode the paper's setups."""
+
+import pytest
+
+from repro.core.config import StageKind
+from repro.core.tables import TABLE1, TABLE2, TABLE3
+from repro.experiments import fig05, fig08, fig11, fig12, fig14
+
+
+class TestFig05Builder:
+    def test_process_count_matches_streams(self):
+        sc = fig05.streaming_scenario(8, fig05.placement_cores("N1"))
+        assert len(sc.streams) == 8
+
+    def test_senders_round_robin_over_four_machines(self):
+        sc = fig05.streaming_scenario(8, fig05.placement_cores("N1"))
+        senders = {s.sender for s in sc.streams}
+        assert senders == {"updraft1", "updraft2", "polaris1", "polaris2"}
+
+    def test_one_thread_per_process(self):
+        sc = fig05.streaming_scenario(4, fig05.placement_cores("N0"))
+        for s in sc.streams:
+            assert s.send.count == 1
+            assert s.recv.count == 1
+
+    def test_no_compression(self):
+        sc = fig05.streaming_scenario(2, fig05.placement_cores("N1"))
+        for s in sc.streams:
+            assert s.compress is None
+            assert s.ratio_mean == 1.0
+
+    def test_alcf_path(self):
+        sc = fig05.streaming_scenario(2, fig05.placement_cores("N1"))
+        assert list(sc.paths) == ["alcf-aps"]
+
+    def test_placement_cores_split_interleaves(self):
+        cores = fig05.placement_cores("N0,1", 4)
+        assert {c.socket for c in cores} == {0, 1}
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            fig05.placement_cores("N7")
+
+
+class TestFig08Builder:
+    def test_micro_flag_set(self):
+        sc = fig08.micro_scenario("compress", TABLE1["A"], 4)
+        (s,) = sc.streams
+        assert s.micro
+        assert s.source_socket == TABLE1["A"].memory_domain
+
+    def test_single_stage(self):
+        sc = fig08.micro_scenario("decompress", TABLE1["F"], 8)
+        (s,) = sc.streams
+        assert list(s.stages()) == [StageKind.DECOMPRESS]
+
+    def test_os_config_hint_is_memory_domain(self):
+        sc = fig08.micro_scenario("compress", TABLE1["H"], 4)
+        (s,) = sc.streams
+        assert s.compress.placement.kind == "os"
+        assert s.compress.placement.hint_socket == 1  # H: memory domain 1
+
+
+class TestFig11Builder:
+    def test_paired_threads(self):
+        sc = fig11.network_scenario(TABLE2["B"], 3)
+        (s,) = sc.streams
+        assert s.send.count == s.recv.count == 3
+
+    def test_compressed_size_chunks(self):
+        sc = fig11.network_scenario(TABLE2["A"], 1)
+        (s,) = sc.streams
+        # §3.4: "chunk size ... equates to the average compressed chunk".
+        assert s.chunk_bytes == 5_529_600
+        assert s.ratio_mean == 1.0
+
+    def test_sockets_follow_table2(self):
+        sc = fig11.network_scenario(TABLE2["B"], 2)
+        (s,) = sc.streams
+        assert s.send.placement.sockets == (0,)
+        assert s.recv.placement.sockets == (1,)
+
+
+class TestFig12Builder:
+    def test_thread_counts_follow_table3(self):
+        sc = fig12.e2e_scenario(TABLE3["G"], 4, 1)
+        (s,) = sc.streams
+        assert s.compress.count == 32
+        assert s.decompress.count == 16
+        assert s.send.count == s.recv.count == 4
+
+    def test_receiver_domain_parameter(self):
+        for domain in (0, 1):
+            sc = fig12.e2e_scenario(TABLE3["A"], 2, domain)
+            (s,) = sc.streams
+            assert s.recv.placement.sockets == (domain,)
+
+    def test_full_pipeline_stages(self):
+        sc = fig12.e2e_scenario(TABLE3["A"], 2, 1)
+        (s,) = sc.streams
+        assert list(s.stages()) == [
+            StageKind.INGEST,
+            StageKind.COMPRESS,
+            StageKind.SEND,
+            StageKind.RECV,
+            StageKind.DECOMPRESS,
+        ]
+
+
+class TestFig14Builder:
+    def test_four_streams_four_senders(self):
+        sc = fig14.multi_stream_scenario(runtime_placement=True)
+        assert len(sc.streams) == 4
+        assert {s.sender for s in sc.streams} == set(fig14.SENDERS)
+
+    def test_paper_thread_configuration(self):
+        """Figure 14 caption: 32 compression + 4 sending threads per
+        sender; 4 recv + 4 decompression threads per stream."""
+        sc = fig14.multi_stream_scenario(runtime_placement=True)
+        for s in sc.streams:
+            assert s.compress.count == 32
+            assert s.send.count == 4
+            assert s.recv.count == 4
+            assert s.decompress.count == 4
+
+    def test_runtime_partitions_receiver_cores(self):
+        sc = fig14.multi_stream_scenario(runtime_placement=True)
+        recv_cores = [set(s.recv.placement.cores) for s in sc.streams]
+        all_recv = set().union(*recv_cores)
+        assert len(all_recv) == 16  # the full NUMA-1 domain
+        assert all(c.socket == 1 for c in all_recv)
+
+    def test_os_variant_uses_os_placement(self):
+        sc = fig14.multi_stream_scenario(runtime_placement=False)
+        for s in sc.streams:
+            assert s.recv.placement.kind == "os"
+            assert s.decompress.placement.kind == "os"
+
+    def test_paths_match_facilities(self):
+        sc = fig14.multi_stream_scenario(runtime_placement=True)
+        by_sender = {s.sender: s.path for s in sc.streams}
+        assert by_sender["updraft1"] == "aps-lan"
+        assert by_sender["polaris1"] == "alcf-aps"

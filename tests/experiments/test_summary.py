@@ -1,0 +1,70 @@
+"""Reproduction summary extraction."""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.summary import extract_headlines, render_summary
+from repro.util.tables import Table
+
+
+def fake_result(name, data, claims=None):
+    return ExperimentResult(
+        experiment=name,
+        table=Table(headers=["x"]),
+        data=data,
+        claims=claims or {"c": True},
+    )
+
+
+class TestExtractHeadlines:
+    def test_fig14_headline(self):
+        results = {
+            "fig14": fake_result(
+                "fig14",
+                {
+                    "speedup": 1.42,
+                    "runtime": {"e2e": 216.1, "wire": 113.7},
+                    "os": {"e2e": 152.0, "wire": 78.0},
+                },
+            )
+        }
+        (h,) = extract_headlines(results)
+        assert h.exhibit == "fig14"
+        assert h.ok
+        assert "1.42x" in h.measured
+
+    def test_fig5_headlines(self):
+        results = {
+            "fig5": fake_result(
+                "fig5",
+                {"results": {"8/N0": 97.4, "8/N1": 112.0, "16/N1": 194.0}},
+            )
+        }
+        hs = extract_headlines(results)
+        assert len(hs) == 2
+        assert all(h.ok for h in hs)
+
+    def test_out_of_band_flagged(self):
+        results = {
+            "fig14": fake_result(
+                "fig14",
+                {"speedup": 3.5, "runtime": {"e2e": 500.0, "wire": 250.0}},
+            )
+        }
+        (h,) = extract_headlines(results)
+        assert not h.ok
+
+    def test_empty(self):
+        assert extract_headlines({}) == []
+
+
+class TestRenderSummary:
+    def test_renders_tally(self):
+        results = {
+            "fig14": fake_result(
+                "fig14",
+                {"speedup": 1.42, "runtime": {"e2e": 216.0, "wire": 113.0}},
+                claims={"a": True, "b": True},
+            )
+        }
+        text = render_summary(results)
+        assert "reproduction summary" in text
+        assert "2/2 PASS" in text

@@ -1,0 +1,68 @@
+"""Machine instantiation: live resources from a spec."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.presets import lynxdtn_spec, polaris_spec
+from repro.hw.topology import CoreId
+from repro.sim.engine import Engine
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def lynx():
+    return Machine(Engine(), lynxdtn_spec())
+
+
+class TestResourceConstruction:
+    def test_core_resources(self, lynx):
+        assert len(lynx.cores) == 32
+        core = lynx.core(CoreId(1, 5))
+        assert core.name == "lynxdtn/s1c5"
+        assert core.tags["kind"] == "core"
+        assert core.tags["socket"] == 1
+
+    def test_core_capacity_scales_with_clock(self):
+        m = Machine(Engine(), polaris_spec())
+        assert m.core(CoreId(0, 0)).capacity == pytest.approx(2.8 / 3.1)
+
+    def test_memory_controllers(self, lynx):
+        assert len(lynx.memory_controllers) == 2
+        assert lynx.mc(0).tags["kind"] == "memory"
+        assert lynx.mc(1).capacity == 120e9
+
+    def test_llcs(self, lynx):
+        assert lynx.llc(0).tags["kind"] == "llc"
+        assert lynx.llc(1).capacity == 175e9
+
+    def test_qpi_per_direction(self, lynx):
+        a = lynx.interconnect(0, 1)
+        b = lynx.interconnect(1, 0)
+        assert a is not b
+        assert a.tags["kind"] == "interconnect"
+
+    def test_qpi_same_socket_rejected(self, lynx):
+        with pytest.raises(ValidationError):
+            lynx.interconnect(1, 1)
+
+    def test_single_socket_has_no_qpi(self):
+        m = Machine(Engine(), polaris_spec())
+        assert m.qpi == {}
+
+    def test_nics(self, lynx):
+        nic = lynx.nic()  # primary = hsn-nic
+        assert nic.spec.name == "hsn-nic"
+        assert nic.socket == 1
+        assert lynx.nic("lustre-nic").socket == 0
+        with pytest.raises(ValidationError):
+            lynx.nic("ghost")
+
+    def test_unknown_core_rejected(self, lynx):
+        with pytest.raises(ValidationError):
+            lynx.core(CoreId(2, 0))
+
+    def test_core_names_order(self, lynx):
+        names = lynx.core_names()
+        assert names[0] == "lynxdtn/s0c0"
+        assert names[16] == "lynxdtn/s1c0"
+        assert len(names) == 32

@@ -1,0 +1,87 @@
+"""NUMA memory-system demand construction."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.memory import merge_demands
+from repro.hw.presets import lynxdtn_spec
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def machine():
+    return Machine(Engine(), lynxdtn_spec())
+
+
+class TestLocalAccess:
+    def test_local_read(self, machine):
+        d = machine.memory.read(exec_socket=0, home_socket=0)
+        assert d[machine.mc(0)] == 1.0
+        assert d[machine.llc(0)] == 1.0
+        assert machine.interconnect(0, 1) not in d
+        assert machine.interconnect(1, 0) not in d
+
+    def test_local_write(self, machine):
+        d = machine.memory.write(1, 1, 0.5)
+        assert d[machine.mc(1)] == 0.5
+        assert d[machine.llc(1)] == 0.5
+
+
+class TestRemoteAccess:
+    def test_remote_read_crosses_qpi_toward_reader(self, machine):
+        # Core on socket 0 reads data homed on socket 1: traffic flows
+        # 1 -> 0 over the interconnect.
+        d = machine.memory.read(exec_socket=0, home_socket=1)
+        assert d[machine.mc(1)] == 1.0
+        assert d[machine.llc(0)] == 1.0  # reader's cache hierarchy
+        assert d[machine.interconnect(1, 0)] == 1.0
+        assert machine.interconnect(0, 1) not in d
+
+    def test_remote_write_crosses_qpi_toward_home(self, machine):
+        d = machine.memory.write(exec_socket=0, home_socket=1)
+        assert d[machine.mc(1)] == 1.0
+        assert d[machine.interconnect(0, 1)] == 1.0
+
+    def test_fraction_scales_everything(self, machine):
+        d = machine.memory.read(0, 1, 0.25)
+        assert all(v == 0.25 for v in d.values())
+
+
+class TestEdgeCases:
+    def test_zero_fraction_empty(self, machine):
+        assert machine.memory.read(0, 1, 0.0) == {}
+
+    def test_negative_fraction_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.memory.read(0, 0, -0.5)
+
+    def test_bad_socket_rejected(self, machine):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            machine.memory.read(0, 7)
+
+
+class TestCopy:
+    def test_local_copy(self, machine):
+        d = machine.memory.copy(exec_socket=0, src_socket=0, dst_socket=0)
+        assert d[machine.mc(0)] == 2.0  # read + write
+        assert d[machine.llc(0)] == 2.0
+
+    def test_cross_socket_copy(self, machine):
+        d = machine.memory.copy(exec_socket=1, src_socket=0, dst_socket=1)
+        assert d[machine.mc(0)] == 1.0
+        assert d[machine.mc(1)] == 1.0
+        assert d[machine.interconnect(0, 1)] == 1.0
+
+
+class TestMergeDemands:
+    def test_merge_sums_overlaps(self, machine):
+        a = {machine.mc(0): 1.0}
+        b = {machine.mc(0): 0.5, machine.mc(1): 2.0}
+        merged = merge_demands(a, b)
+        assert merged[machine.mc(0)] == 1.5
+        assert merged[machine.mc(1)] == 2.0
+
+    def test_merge_empty(self):
+        assert merge_demands({}, {}) == {}

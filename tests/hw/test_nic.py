@@ -1,0 +1,75 @@
+"""NIC model: RSS steering, DMA demand vectors."""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.presets import lynxdtn_spec
+from repro.sim.engine import Engine
+from repro.util.units import gbps_to_bytes_per_s
+
+
+@pytest.fixture
+def machine():
+    return Machine(Engine(), lynxdtn_spec())
+
+
+@pytest.fixture
+def nic(machine):
+    return machine.nic()  # hsn-nic on socket 1
+
+
+class TestPortResources:
+    def test_rx_tx_capacity(self, nic):
+        assert nic.rx.capacity == pytest.approx(gbps_to_bytes_per_s(200.0))
+        assert nic.tx.capacity == pytest.approx(gbps_to_bytes_per_s(200.0))
+
+    def test_pcie_capacity(self, nic):
+        assert nic.pcie.capacity == pytest.approx(gbps_to_bytes_per_s(252.0))
+
+    def test_socket(self, nic):
+        assert nic.socket == 1
+
+
+class TestRss:
+    def test_queue_deterministic(self, nic):
+        assert nic.rss_queue("stream-1") == nic.rss_queue("stream-1")
+
+    def test_queue_in_range(self, nic):
+        for sid in range(100):
+            assert 0 <= nic.rss_queue(sid) < nic.spec.num_queues
+
+    def test_streams_spread_over_queues(self, nic):
+        queues = {nic.rss_queue(f"s{i}") for i in range(64)}
+        assert len(queues) > 4  # hash actually spreads
+
+    def test_softirq_core_on_attached_socket(self, nic):
+        for q in range(nic.spec.num_queues):
+            assert nic.softirq_core(q).socket == 1
+
+    def test_softirq_cores_spread(self, nic):
+        cores = {nic.softirq_core(q) for q in range(16)}
+        assert len(cores) == 16
+
+
+class TestDemandVectors:
+    def test_rx_wire_hits_attached_mc(self, machine, nic):
+        d = nic.rx_wire_demands()
+        assert d[nic.rx] == 1.0
+        assert d[nic.pcie] == 1.0
+        assert d[machine.mc(1)] == 1.0  # DMA into NUMA 1 (Obs 1 mechanism)
+        assert machine.mc(0) not in d
+
+    def test_tx_local_source(self, machine, nic):
+        d = nic.tx_wire_demands(src_socket=1)
+        assert d[nic.tx] == 1.0
+        assert d[machine.mc(1)] == 1.0
+        assert machine.interconnect(0, 1) not in d
+
+    def test_tx_remote_source_crosses_qpi(self, machine, nic):
+        d = nic.tx_wire_demands(src_socket=0)
+        assert d[machine.mc(0)] == 1.0
+        assert d[machine.interconnect(0, 1)] == 1.0
+
+    def test_fraction(self, machine, nic):
+        d = nic.rx_wire_demands(0.5)
+        assert all(v == 0.5 for v in d.values())

@@ -1,0 +1,157 @@
+"""Machine specs, core ids, NIC selection."""
+
+import pytest
+
+from repro.hw.topology import CoreId, MachineSpec, NicSpec, SocketSpec
+from repro.util.errors import ValidationError
+
+
+def two_socket(nic_socket=1, nic_gbps=200.0):
+    return MachineSpec(
+        name="m",
+        sockets=(SocketSpec(cores=4, ghz=3.1), SocketSpec(cores=4, ghz=3.1)),
+        nics=(NicSpec(name="nic", rate_gbps=nic_gbps, attached_socket=nic_socket),),
+    )
+
+
+class TestCoreId:
+    def test_ordering(self):
+        assert CoreId(0, 1) < CoreId(0, 2) < CoreId(1, 0)
+
+    def test_global_index(self):
+        assert CoreId(1, 3).global_index(16) == 19
+
+    def test_str(self):
+        assert str(CoreId(1, 5)) == "s1c5"
+
+    def test_hashable(self):
+        assert len({CoreId(0, 0), CoreId(0, 0), CoreId(0, 1)}) == 2
+
+
+class TestSocketSpec:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SocketSpec(cores=0, ghz=3.1)
+        with pytest.raises(ValidationError):
+            SocketSpec(cores=4, ghz=0)
+
+
+class TestNicSpec:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NicSpec(name="n", rate_gbps=0, attached_socket=0)
+        with pytest.raises(ValidationError):
+            NicSpec(name="n", rate_gbps=100, attached_socket=0, num_queues=0)
+
+
+class TestMachineSpec:
+    def test_core_enumeration_socket_major(self):
+        spec = two_socket()
+        cores = spec.all_cores()
+        assert cores[0] == CoreId(0, 0)
+        assert cores[4] == CoreId(1, 0)
+        assert len(cores) == 8
+
+    def test_cores_of(self):
+        spec = two_socket()
+        assert spec.cores_of(1) == [CoreId(1, i) for i in range(4)]
+
+    def test_cores_of_bad_socket(self):
+        with pytest.raises(ValidationError):
+            two_socket().cores_of(2)
+
+    def test_total_cores(self):
+        assert two_socket().total_cores == 8
+
+    def test_needs_socket(self):
+        with pytest.raises(ValidationError):
+            MachineSpec(name="empty", sockets=())
+
+    def test_nic_attachment_validated(self):
+        with pytest.raises(ValidationError):
+            MachineSpec(
+                name="bad",
+                sockets=(SocketSpec(cores=1, ghz=3.0),),
+                nics=(NicSpec(name="n", rate_gbps=1, attached_socket=5),),
+            )
+
+    def test_core_speed_factor(self):
+        spec = MachineSpec(
+            name="m",
+            sockets=(SocketSpec(cores=1, ghz=2.8),),
+            reference_ghz=3.1,
+        )
+        assert spec.core_speed_factor(CoreId(0, 0)) == pytest.approx(2.8 / 3.1)
+
+    def test_core_ghz_bad_socket(self):
+        with pytest.raises(ValidationError):
+            two_socket().core_ghz(CoreId(3, 0))
+
+
+class TestNicSelection:
+    def test_primary_nic_fastest_usable(self):
+        spec = MachineSpec(
+            name="m",
+            sockets=(SocketSpec(cores=1, ghz=3.0), SocketSpec(cores=1, ghz=3.0)),
+            nics=(
+                NicSpec(name="slow", rate_gbps=10, attached_socket=0),
+                NicSpec(name="fast", rate_gbps=100, attached_socket=1),
+            ),
+        )
+        assert spec.primary_nic().name == "fast"
+        assert spec.nic_socket() == 1
+
+    def test_unusable_nic_skipped(self):
+        spec = MachineSpec(
+            name="m",
+            sockets=(SocketSpec(cores=1, ghz=3.0), SocketSpec(cores=1, ghz=3.0)),
+            nics=(
+                NicSpec(name="lustre", rate_gbps=200, attached_socket=0, usable=False),
+                NicSpec(name="hsn", rate_gbps=200, attached_socket=1),
+            ),
+        )
+        assert spec.primary_nic().name == "hsn"
+
+    def test_no_usable_nic_raises(self):
+        spec = MachineSpec(
+            name="m", sockets=(SocketSpec(cores=1, ghz=3.0),), nics=()
+        )
+        with pytest.raises(ValidationError):
+            spec.primary_nic()
+
+    def test_nic_named(self):
+        spec = two_socket()
+        assert spec.nic_named("nic").rate_gbps == 200.0
+        with pytest.raises(ValidationError):
+            spec.nic_named("ghost")
+
+
+class TestPresets:
+    def test_lynxdtn_matches_paper(self):
+        from repro.hw.presets import lynxdtn_spec
+
+        spec = lynxdtn_spec()
+        assert spec.num_sockets == 2
+        assert spec.total_cores == 32
+        assert spec.sockets[0].ghz == 3.1
+        # Streaming NIC on NUMA 1, 200 Gbps; LUSTRE NIC unused.
+        assert spec.nic_socket() == 1
+        assert spec.primary_nic().rate_gbps == 200.0
+        assert not spec.nics[0].usable
+
+    def test_updraft_matches_paper(self):
+        from repro.hw.presets import updraft_spec
+
+        spec = updraft_spec(2)
+        assert spec.name == "updraft2"
+        assert spec.total_cores == 32
+        assert spec.primary_nic().rate_gbps == 100.0
+
+    def test_polaris_matches_paper(self):
+        from repro.hw.presets import polaris_spec
+
+        spec = polaris_spec()
+        assert spec.num_sockets == 1
+        assert spec.total_cores == 32
+        assert spec.sockets[0].ghz == 2.8
+        assert spec.primary_nic().rate_gbps == 100.0

@@ -1,0 +1,76 @@
+"""CLI edge cases beyond the happy paths in test_cli/test_serialize."""
+
+import pytest
+
+from repro.cli import experiment_main, live_main, plan_main, run_main
+from repro.util.errors import ValidationError
+
+
+class TestExperimentCliEdges:
+    def test_failed_claims_exit_nonzero(self, monkeypatch, capsys):
+        from repro.experiments import registry
+        from repro.experiments.base import ExperimentResult
+        from repro.util.tables import Table
+
+        def failing_run(**_):
+            t = Table(headers=["x"])
+            t.add(1)
+            return ExperimentResult(
+                experiment="fig9", table=t, claims={"doomed": False}
+            )
+
+        monkeypatch.setattr(registry, "get_experiment", lambda n: failing_run)
+        monkeypatch.setattr("repro.cli.get_experiment", lambda n: failing_run)
+        assert experiment_main(["fig9", "--quick"]) == 1
+        assert "FAILED claims" in capsys.readouterr().err
+
+
+class TestLiveCliEdges:
+    def test_listen_and_connect_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            live_main(
+                ["--listen", "127.0.0.1:1", "--connect", "127.0.0.1:2"]
+            )
+
+    def test_connect_to_nowhere_fails(self):
+        from repro.util.errors import TransportError
+
+        with pytest.raises(TransportError):
+            live_main(
+                ["--connect", "127.0.0.1:9", "--chunks", "1",
+                 "--detector", "20x20", "--connections", "1"]
+            )
+
+
+class TestPlanRunEdges:
+    def test_run_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_main([str(tmp_path / "ghost.json")])
+
+    def test_run_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{]")
+        with pytest.raises(ValidationError):
+            run_main([str(path)])
+
+    def test_plan_unknown_machine(self, tmp_path):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            plan_main(
+                ["--stream", "s:ghost:lynxdtn:aps-lan",
+                 "-o", str(tmp_path / "x.json")]
+            )
+
+    def test_plan_multiple_streams(self, tmp_path, capsys):
+        out = tmp_path / "multi.json"
+        rc = plan_main(
+            [
+                "--stream", "a:updraft1:lynxdtn:aps-lan",
+                "--stream", "b:updraft2:lynxdtn:aps-lan",
+                "--chunks", "50",
+                "-o", str(out),
+            ]
+        )
+        assert rc == 0
+        assert "2 streams" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Cross-module integration: planner → simulator → paper numbers."""
+
+import pytest
+
+from repro import (
+    APS_LAN_PATH,
+    ConfigGenerator,
+    HardwareKnowledgeBase,
+    StreamRequest,
+    Workload,
+    lynxdtn_spec,
+    run_scenario,
+    updraft_spec,
+)
+from repro.core.tables import TABLE3
+from repro.experiments.fig12 import measure as fig12_measure
+from repro.experiments.fig14 import measure as fig14_measure
+
+
+@pytest.fixture(scope="module")
+def kb():
+    kb = HardwareKnowledgeBase()
+    kb.add_machine(updraft_spec())
+    kb.add_machine(lynxdtn_spec())
+    kb.add_path(APS_LAN_PATH)
+    return kb
+
+
+class TestPlannerToSimulator:
+    def test_generated_plan_saturates_sender(self, kb):
+        gen = ConfigGenerator(kb)
+        w = Workload([StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan",
+                                    num_chunks=150)])
+        result = run_scenario(gen.generate(w))
+        achievable = gen.achievable_gbps(kb.machine("updraft1"), 2.0)
+        assert result.total_delivered_gbps >= 0.92 * achievable
+
+    def test_plan_beats_naive_placement(self, kb):
+        """The planner's layout must beat an unplanned one that shares
+        ingest cores with compression (the DESIGN.md §4 trap)."""
+        from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+        from repro.core.placement import PlacementSpec
+
+        gen = ConfigGenerator(kb)
+        w = Workload([StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan",
+                                    num_chunks=150)])
+        planned = run_scenario(gen.generate(w)).total_delivered_gbps
+
+        naive_stream = StreamConfig(
+            stream_id="s1", sender="updraft1", receiver="lynxdtn",
+            path="aps-lan", num_chunks=150,
+            ingest=StageConfig(8, PlacementSpec.split([0, 1])),
+            compress=StageConfig(32, PlacementSpec.split([0, 1])),
+            send=StageConfig(8, PlacementSpec.socket(1)),
+            recv=StageConfig(8, PlacementSpec.socket(1)),
+            decompress=StageConfig(16, PlacementSpec.split([0, 1])),
+        )
+        naive = run_scenario(
+            ScenarioConfig(
+                name="naive",
+                machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+                paths={"aps-lan": APS_LAN_PATH},
+                streams=[naive_stream],
+            )
+        ).total_delivered_gbps
+        assert planned > 1.2 * naive
+
+
+class TestPaperCalibration:
+    """The two headline numbers, from the experiment entry points."""
+
+    def test_fig12_baseline_37gbps(self):
+        got = fig12_measure(TABLE3["A"], 8, 1)
+        assert got == pytest.approx(37.0, rel=0.05)
+
+    def test_fig12_best_near_97gbps(self):
+        got = fig12_measure(TABLE3["F"], 8, 1)
+        assert got == pytest.approx(97.0, rel=0.08)
+
+    def test_fig14_speedup_band(self):
+        rt = fig14_measure(True, num_chunks=100)
+        os_ = fig14_measure(False, num_chunks=100)
+        speedup = rt.total_delivered_gbps / os_.total_delivered_gbps
+        assert 1.2 <= speedup <= 1.8  # paper: 1.48
+        # Runtime near the paper's absolute numbers.
+        assert rt.total_delivered_gbps == pytest.approx(213.0, rel=0.08)

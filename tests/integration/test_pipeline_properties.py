@@ -1,0 +1,138 @@
+"""Property-based integration tests: arbitrary pipeline shapes behave.
+
+For any valid combination of stage counts, placements, queue depths and
+chunk workloads, the simulated pipeline must
+
+- deliver every chunk exactly once (conservation),
+- terminate (no deadlock within the generous sim-time guard),
+- report a positive throughput,
+- never report a stage rate above physical resource limits.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import run_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+
+PLACEMENTS = [
+    PlacementSpec.socket(0),
+    PlacementSpec.socket(1),
+    PlacementSpec.split([0, 1]),
+    PlacementSpec.os_managed(hint_socket=1),
+]
+
+
+def stage_strategy(max_count=8):
+    return st.builds(
+        StageConfig,
+        count=st.integers(1, max_count),
+        placement=st.sampled_from(PLACEMENTS),
+    )
+
+
+@st.composite
+def stream_configs(draw):
+    n = draw(st.integers(1, 2))  # streams
+    streams = []
+    for i in range(n):
+        has_hop = draw(st.booleans())
+        has_compress = draw(st.booleans())
+        has_decompress = has_hop and draw(st.booleans())
+        sr_count = draw(st.integers(1, 4))
+        sr = StageConfig(sr_count, draw(st.sampled_from(PLACEMENTS)))
+        kwargs = {}
+        if has_hop:
+            kwargs["send"] = sr
+            kwargs["recv"] = StageConfig(
+                sr_count, draw(st.sampled_from(PLACEMENTS))
+            )
+        if has_compress:
+            kwargs["compress"] = draw(stage_strategy())
+        if has_decompress:
+            kwargs["decompress"] = draw(stage_strategy())
+        if not kwargs:
+            kwargs["compress"] = draw(stage_strategy())
+        streams.append(
+            StreamConfig(
+                stream_id=f"s{i}",
+                sender="updraft1",
+                receiver="lynxdtn" if has_hop else "updraft1",
+                path="aps-lan",
+                num_chunks=draw(st.integers(5, 25)),
+                chunk_bytes=draw(
+                    st.sampled_from([1_000_000, 5_529_600, 11_059_200])
+                ),
+                ratio_mean=draw(st.sampled_from([1.0, 2.0, 3.0])),
+                ratio_sigma=0.0,
+                source_socket=draw(st.sampled_from([None, 0, 1])),
+                queue_capacity=draw(st.integers(1, 8)),
+                **kwargs,
+            )
+        )
+    return streams
+
+
+@given(streams=stream_configs(), seed=st.integers(0, 1000))
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_pipeline_conserves_chunks(streams, seed):
+    scenario = ScenarioConfig(
+        name="property",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=streams,
+        seed=seed,
+        warmup_chunks=2,
+        max_sim_time=120.0,
+    )
+    result = run_scenario(scenario)
+    for cfg in streams:
+        s = result.streams[cfg.stream_id]
+        assert s.chunks_delivered == cfg.num_chunks
+        # A positive steady rate needs completions beyond the warmup skip
+        # plus one synchronized batch of the final stage's threads
+        # (batch-tie exclusion in the estimator).
+        final_count = list(cfg.stages().values())[-1].count
+        if cfg.num_chunks > 2 + 2 * final_count:
+            assert s.delivered_gbps > 0.0
+        if cfg.send is not None:
+            # Wire rate can never exceed the path's physical goodput.
+            assert s.wire_gbps <= APS_LAN_PATH.bandwidth_gbps * 1.001
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_os_placement_is_seed_stable(seed):
+    """Same seed -> identical result; different seeds may differ."""
+    stream = StreamConfig(
+        stream_id="s",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        num_chunks=15,
+        compress=StageConfig(4, PlacementSpec.os_managed(hint_socket=0)),
+        send=StageConfig(2, PlacementSpec.os_managed(hint_socket=1)),
+        recv=StageConfig(2, PlacementSpec.os_managed(hint_socket=1)),
+        source_socket=0,
+    )
+
+    def run():
+        return run_scenario(
+            ScenarioConfig(
+                name="stable",
+                machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+                paths={"aps-lan": APS_LAN_PATH},
+                streams=[stream],
+                seed=seed,
+                warmup_chunks=2,
+            )
+        ).streams["s"].delivered_gbps
+
+    assert run() == pytest.approx(run(), rel=1e-12)

@@ -1,0 +1,35 @@
+"""Best-effort thread affinity."""
+
+import os
+
+import pytest
+
+from repro.live.affinity import current_affinity, pin_current_thread, supports_affinity
+
+
+class TestPinning:
+    def test_out_of_range_cpus_noop(self):
+        assert pin_current_thread([10_000]) is False
+
+    def test_empty_noop(self):
+        assert pin_current_thread([]) is False
+
+    def test_pin_to_cpu0_when_supported(self):
+        if not supports_affinity():
+            pytest.skip("host does not support affinity")
+        before = current_affinity()
+        try:
+            assert pin_current_thread([0]) is True
+            assert current_affinity() == {0}
+        finally:
+            if before:
+                os.sched_setaffinity(0, before)
+
+    def test_current_affinity_shape(self):
+        aff = current_affinity()
+        assert aff is None or (isinstance(aff, set) and aff)
+
+    def test_supports_affinity_consistent(self):
+        # On a 1-CPU host pinning is pointless and must be reported off.
+        if os.cpu_count() == 1:
+            assert not supports_affinity()

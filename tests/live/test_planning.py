@@ -1,0 +1,88 @@
+"""Plan-to-live affinity translation."""
+
+import pytest
+
+from repro.core.config import StageConfig, StreamConfig
+from repro.core.placement import PlacementSpec
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.hw.topology import CoreId
+from repro.live.planning import affinity_from_stream
+from repro.util.errors import ConfigurationError
+
+
+def stream(**kw):
+    defaults = dict(
+        stream_id="s",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        compress=StageConfig(4, PlacementSpec.socket(0)),
+        send=StageConfig(2, PlacementSpec.socket(1)),
+        recv=StageConfig(2, PlacementSpec.socket(1)),
+        decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+    )
+    defaults.update(kw)
+    return StreamConfig(**defaults)
+
+
+class TestTranslation:
+    def test_socket_placements_translate(self):
+        aff = affinity_from_stream(
+            stream(), updraft_spec(), lynxdtn_spec(), host_cpus=64
+        )
+        # Socket 0 of the modelled sender = global cores 0..15.
+        assert aff["compress"] == list(range(16))
+        # Socket 1 = global cores 16..31.
+        assert aff["send"] == list(range(16, 32))
+        assert aff["recv"] == list(range(16, 32))
+        assert aff["decompress"] == list(range(32))
+
+    def test_pinned_placements_translate(self):
+        s = stream(
+            compress=StageConfig(
+                2, PlacementSpec.pinned([CoreId(0, 3), CoreId(1, 5)])
+            )
+        )
+        aff = affinity_from_stream(s, updraft_spec(), lynxdtn_spec(), host_cpus=64)
+        assert aff["compress"] == [3, 21]
+
+    def test_modulo_folding_on_small_host(self):
+        aff = affinity_from_stream(
+            stream(), updraft_spec(), lynxdtn_spec(), host_cpus=8
+        )
+        assert aff["compress"] == list(range(8))  # 16 cores fold onto 8
+        assert all(0 <= c < 8 for cpus in aff.values() for c in cpus)
+
+    def test_os_managed_stays_unpinned(self):
+        s = stream(recv=StageConfig(2, PlacementSpec.os_managed(hint_socket=1)),
+                   send=StageConfig(2, PlacementSpec.socket(1)))
+        aff = affinity_from_stream(s, updraft_spec(), lynxdtn_spec(), host_cpus=64)
+        assert "recv" not in aff
+
+    def test_absent_stage_skipped(self):
+        s = stream(decompress=None)
+        aff = affinity_from_stream(s, updraft_spec(), lynxdtn_spec(), host_cpus=64)
+        assert "decompress" not in aff
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            affinity_from_stream(
+                stream(), updraft_spec(), lynxdtn_spec(), host_cpus=0
+            )
+
+    def test_feeds_into_live_config(self):
+        """The translated dict is accepted by LiveConfig and a pipeline
+        run completes with it (pinning is best-effort on this host)."""
+        from repro.data.chunking import Chunk
+        from repro.live import LiveConfig, LivePipeline
+
+        aff = affinity_from_stream(
+            stream(), updraft_spec(), lynxdtn_spec()
+        )
+        pipe = LivePipeline(LiveConfig(codec="zlib", affinity=aff))
+        chunks = [
+            Chunk(stream_id="s", index=i, nbytes=512, payload=b"x" * 512)
+            for i in range(4)
+        ]
+        report = pipe.run(iter(chunks))
+        assert report.ok

@@ -1,0 +1,123 @@
+"""Closable queues for live threads."""
+
+import threading
+
+import pytest
+
+from repro.live.queues import ClosableQueue, Closed
+from repro.util.errors import ValidationError
+
+
+class TestBasics:
+    def test_put_get(self):
+        q = ClosableQueue()
+        q.put(1)
+        assert q.get(timeout=1) == 1
+
+    def test_fifo(self):
+        q = ClosableQueue(capacity=10)
+        for i in range(5):
+            q.put(i)
+        assert [q.get(timeout=1) for _ in range(5)] == list(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ClosableQueue(capacity=0)
+        with pytest.raises(ValidationError):
+            ClosableQueue(producers=0)
+
+
+class TestClose:
+    def test_get_after_close_raises(self):
+        q = ClosableQueue()
+        q.close()
+        with pytest.raises(Closed):
+            q.get(timeout=1)
+
+    def test_drain_before_closed(self):
+        q = ClosableQueue(capacity=4)
+        q.put("a")
+        q.put("b")
+        q.close()
+        assert q.get(timeout=1) == "a"
+        assert q.get(timeout=1) == "b"
+        with pytest.raises(Closed):
+            q.get(timeout=1)
+
+    def test_multi_producer_close_counting(self):
+        q = ClosableQueue(producers=3)
+        q.close()
+        q.close()
+        assert not q.closed
+        q.close()
+        assert q.closed
+
+    def test_too_many_closes(self):
+        q = ClosableQueue(producers=1)
+        q.close()
+        with pytest.raises(ValidationError):
+            q.close()
+
+    def test_put_after_full_close_rejected(self):
+        q = ClosableQueue()
+        q.close()
+        with pytest.raises(ValidationError):
+            q.put(1)
+
+
+class TestThreading:
+    def test_consumer_wakes_on_close(self):
+        q = ClosableQueue()
+        results = []
+
+        def consume():
+            try:
+                q.get()
+            except Closed:
+                results.append("closed")
+
+        t = threading.Thread(target=consume)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert results == ["closed"]
+
+    def test_backpressure_blocks_producer(self):
+        import queue as stdlib_queue
+
+        q = ClosableQueue(capacity=1)
+        q.put("a")
+        with pytest.raises(stdlib_queue.Full):
+            q.put("b", timeout=0.05)
+
+    def test_many_items_through_threads(self):
+        q = ClosableQueue(capacity=4, producers=2)
+        seen = []
+        lock = threading.Lock()
+
+        def produce(start):
+            for i in range(start, start + 50):
+                q.put(i)
+            q.close()
+
+        def consume():
+            while True:
+                try:
+                    item = q.get()
+                except Closed:
+                    return
+                with lock:
+                    seen.append(item)
+
+        threads = [
+            threading.Thread(target=produce, args=(0,)),
+            threading.Thread(target=produce, args=(100,)),
+            threading.Thread(target=consume),
+            threading.Thread(target=consume),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(seen) == list(range(0, 50)) + list(range(100, 150))

@@ -1,0 +1,78 @@
+"""Stateful property test for the live ClosableQueue (single-threaded
+protocol checks; the threaded behaviour is covered in test_queues)."""
+
+import queue as stdlib_queue
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.live.queues import ClosableQueue, Closed
+from repro.util.errors import ValidationError
+
+
+class QueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.q = ClosableQueue(capacity=4, producers=2)
+        self.model: list[int] = []
+        self.open_producers = 2
+        self.counter = 0
+
+    @precondition(lambda self: self.open_producers > 0 and len(self.model) < 4)
+    @rule()
+    def put(self):
+        item = self.counter
+        self.counter += 1
+        self.q.put(item, timeout=1)
+        self.model.append(item)
+
+    @precondition(lambda self: self.open_producers > 0 and len(self.model) >= 4)
+    @rule()
+    def put_full_times_out(self):
+        with pytest.raises(stdlib_queue.Full):
+            self.q.put(999_999, timeout=0.01)
+
+    @rule()
+    def get(self):
+        if self.model:
+            assert self.q.get(timeout=1) == self.model.pop(0)
+        elif self.open_producers == 0:
+            with pytest.raises(Closed):
+                self.q.get(timeout=0.05)
+        else:
+            with pytest.raises(stdlib_queue.Empty):
+                self.q.get(timeout=0.01)
+
+    @precondition(lambda self: self.open_producers > 0)
+    @rule()
+    def close_one(self):
+        self.q.close()
+        self.open_producers -= 1
+
+    @precondition(lambda self: self.open_producers == 0)
+    @rule()
+    def close_extra_rejected(self):
+        with pytest.raises(ValidationError):
+            self.q.close()
+
+    @invariant()
+    def closed_flag_matches(self):
+        assert self.q.closed == (self.open_producers == 0)
+
+    @invariant()
+    def size_matches_model(self):
+        assert self.q.qsize() == len(self.model)
+
+
+TestQueueStateful = QueueMachine.TestCase
+TestQueueStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,112 @@
+"""Two-endpoint live pipeline over localhost TCP."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.chunking import Chunk
+from repro.live.remote import ReceiverServer, SenderClient
+from repro.util.errors import TransportError, ValidationError
+from repro.util.rng import make_rng
+
+
+def chunks(n=8, size=2048, stream="tcp-s", seed=1):
+    rng = make_rng(seed, "remote-test")
+    for i in range(n):
+        yield Chunk(
+            stream_id=stream,
+            index=i,
+            nbytes=size,
+            payload=rng.integers(0, 256, size, dtype=np.uint8).tobytes(),
+        )
+
+
+def run_pair(server, client_kwargs, source, sink=None):
+    """Drive server + client concurrently; return both reports."""
+    host, port = server.address
+    reports = {}
+
+    def serve():
+        reports["rx"] = server.serve(sink=sink)
+
+    t = threading.Thread(target=serve, daemon=True)
+    t.start()
+    client = SenderClient(host, port, **client_kwargs)
+    reports["tx"] = client.run(source)
+    t.join(timeout=30)
+    assert not t.is_alive(), "receiver did not finish"
+    return reports["tx"], reports["rx"]
+
+
+class TestEndToEnd:
+    def test_single_connection(self):
+        server = ReceiverServer(codec="zlib", connections=1)
+        tx, rx = run_pair(server, dict(codec="zlib", connections=1), chunks(6))
+        assert tx.ok, tx.errors
+        assert rx.ok, rx.errors
+        assert rx.chunks == 6
+        assert rx.payload_bytes == 6 * 2048
+        assert tx.wire_bytes == rx.wire_bytes
+
+    def test_multiple_connections(self):
+        server = ReceiverServer(codec="zlib", connections=3, decompress_threads=2)
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=3, compress_threads=2),
+            chunks(12),
+        )
+        assert tx.ok and rx.ok
+        assert rx.chunks == 12
+
+    def test_payload_integrity(self):
+        originals = {}
+
+        def source():
+            for c in chunks(5):
+                originals[c.index] = c.payload
+                yield c
+
+        received = {}
+        server = ReceiverServer(codec="zlib", connections=1)
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=1),
+            source(),
+            sink=lambda s, i, d: received.__setitem__(i, d),
+        )
+        assert rx.ok
+        assert received == originals
+
+    def test_codec_mismatch_detected(self):
+        """Sender compresses with zlib, receiver expects LZ4 frames —
+        the decompressor must error, not deliver garbage."""
+        server = ReceiverServer(codec="lz4", connections=1, join_timeout=30)
+        tx, rx = run_pair(server, dict(codec="zlib", connections=1), chunks(2))
+        assert not rx.ok
+        assert any("decompressor" in e for e in rx.errors)
+
+    def test_summary_renders(self):
+        server = ReceiverServer(codec="zlib", connections=1)
+        tx, rx = run_pair(server, dict(codec="zlib", connections=1), chunks(2))
+        assert "sender" in tx.summary()
+        assert "receiver" in rx.summary()
+
+
+class TestFailureModes:
+    def test_connect_refused(self):
+        client = SenderClient("127.0.0.1", 1, connect_timeout=1)
+        with pytest.raises(TransportError, match="cannot connect"):
+            client.run(chunks(1))
+
+    def test_accept_timeout(self):
+        server = ReceiverServer(connections=1, accept_timeout=0.2)
+        report = server.serve()
+        assert not report.ok
+        assert "timed out" in report.errors[0]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ReceiverServer(connections=0)
+        with pytest.raises(ValidationError):
+            SenderClient("h", 1, connections=0)

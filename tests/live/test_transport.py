@@ -1,0 +1,121 @@
+"""Framed socket transport."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.live.transport import (
+    Frame,
+    FramedReceiver,
+    FramedSender,
+    socket_pipe,
+)
+from repro.util.errors import TransportError
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        tx, rx = socket_pipe()
+        tx.send(Frame("s1", 7, b"payload", compressed=True, orig_len=100))
+        f = rx.recv()
+        assert f.stream_id == "s1"
+        assert f.index == 7
+        assert f.payload == b"payload"
+        assert f.compressed
+        assert f.orig_len == 100
+
+    def test_empty_payload(self):
+        tx, rx = socket_pipe()
+        tx.send(Frame("s", 0, b""))
+        assert rx.recv().payload == b""
+
+    def test_eos_frame(self):
+        tx, rx = socket_pipe()
+        tx.send(Frame.end_of_stream("s1"))
+        f = rx.recv()
+        assert f.eos and f.payload == b""
+
+    def test_many_frames_in_order(self):
+        tx, rx = socket_pipe()
+        payloads = [bytes([i]) * (i * 100 + 1) for i in range(20)]
+
+        def send_all():
+            for i, p in enumerate(payloads):
+                tx.send(Frame("s", i, p))
+            tx.close()
+
+        t = threading.Thread(target=send_all)
+        t.start()
+        for i, p in enumerate(payloads):
+            f = rx.recv()
+            assert f.index == i and f.payload == p
+        assert rx.recv() is None  # clean shutdown
+        t.join()
+
+    def test_large_frame(self):
+        tx, rx = socket_pipe()
+        payload = bytes(range(256)) * 8192  # 2 MiB
+
+        def send():
+            tx.send(Frame("big", 0, payload))
+
+        t = threading.Thread(target=send)
+        t.start()
+        assert rx.recv().payload == payload
+        t.join()
+
+    def test_unicode_stream_id(self):
+        tx, rx = socket_pipe()
+        tx.send(Frame("détecteur-1", 0, b"x"))
+        assert rx.recv().stream_id == "détecteur-1"
+
+
+class TestIntegrity:
+    def _corrupt_wire(self, mutate):
+        a, b = socket.socketpair()
+        tx = FramedSender(a)
+        tx.send(Frame("s", 0, b"hello world"))
+        a.shutdown(socket.SHUT_WR)
+        raw = bytearray()
+        while True:
+            part = b.recv(65536)
+            if not part:
+                break
+            raw += part
+        mutate(raw)
+        c, d = socket.socketpair()
+        c.sendall(bytes(raw))
+        c.shutdown(socket.SHUT_WR)
+        return FramedReceiver(d)
+
+    def test_checksum_detects_payload_corruption(self):
+        rx = self._corrupt_wire(lambda raw: raw.__setitem__(len(raw) - 1, raw[-1] ^ 1))
+        with pytest.raises(TransportError, match="checksum"):
+            rx.recv()
+
+    def test_bad_magic(self):
+        rx = self._corrupt_wire(lambda raw: raw.__setitem__(0, 0))
+        with pytest.raises(TransportError, match="magic"):
+            rx.recv()
+
+    def test_truncated_frame(self):
+        a, b = socket.socketpair()
+        FramedSender(a).send(Frame("s", 0, b"hello world"))
+        # Reader sees only a prefix, then EOF.
+        raw = b.recv(10)
+        c, d = socket.socketpair()
+        c.sendall(raw)
+        c.shutdown(socket.SHUT_WR)
+        with pytest.raises(TransportError):
+            FramedReceiver(d).recv()
+
+    def test_oversized_stream_id_rejected_on_send(self):
+        tx, _ = socket_pipe()
+        with pytest.raises(TransportError):
+            tx.send(Frame("x" * 5000, 0, b""))
+
+    def test_clean_eof_returns_none(self):
+        tx, rx = socket_pipe()
+        tx.close()
+        assert rx.recv() is None

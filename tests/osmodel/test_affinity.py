@@ -1,0 +1,72 @@
+"""Affinity masks."""
+
+import pytest
+
+from repro.hw.presets import lynxdtn_spec
+from repro.hw.topology import CoreId
+from repro.osmodel.affinity import AffinityMask
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def spec():
+    return lynxdtn_spec()
+
+
+class TestConstructors:
+    def test_all_cores(self, spec):
+        mask = AffinityMask.all_cores(spec)
+        assert len(mask) == 32
+
+    def test_socket(self, spec):
+        mask = AffinityMask.socket(spec, 1)
+        assert len(mask) == 16
+        assert mask.sockets_covered() == {1}
+
+    def test_sockets_union(self, spec):
+        mask = AffinityMask.sockets(spec, [0, 1])
+        assert len(mask) == 32
+
+    def test_single(self, spec):
+        mask = AffinityMask.single(spec, CoreId(0, 3))
+        assert len(mask) == 1
+        assert CoreId(0, 3) in mask
+
+    def test_empty_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            AffinityMask(spec, frozenset())
+
+    def test_foreign_core_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            AffinityMask(spec, frozenset([CoreId(5, 0)]))
+
+    def test_bad_socket_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            AffinityMask.socket(spec, 9)
+
+
+class TestQueries:
+    def test_contains(self, spec):
+        mask = AffinityMask.socket(spec, 0)
+        assert CoreId(0, 0) in mask
+        assert CoreId(1, 0) not in mask
+
+    def test_sorted_cores_deterministic(self, spec):
+        mask = AffinityMask.all_cores(spec)
+        cores = mask.sorted_cores()
+        assert cores == sorted(cores)
+        assert cores[0] == CoreId(0, 0)
+
+    def test_restrict_to_socket(self, spec):
+        mask = AffinityMask.all_cores(spec).restrict_to_socket(1)
+        assert mask.sockets_covered() == {1}
+
+    def test_restrict_to_missing_socket(self, spec):
+        mask = AffinityMask.socket(spec, 0)
+        with pytest.raises(ValidationError):
+            mask.restrict_to_socket(1)
+
+    def test_immutable(self, spec):
+        mask = AffinityMask.socket(spec, 0)
+        with pytest.raises(AttributeError):
+            mask.cores = frozenset()

@@ -1,0 +1,51 @@
+"""First-touch page placement model."""
+
+import pytest
+
+from repro.hw.presets import lynxdtn_spec
+from repro.hw.topology import CoreId
+from repro.osmodel.firsttouch import FirstTouchAllocator
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def alloc():
+    return FirstTouchAllocator(lynxdtn_spec())
+
+
+class TestFirstTouch:
+    def test_homes_on_touching_socket(self, alloc):
+        assert alloc.touch(CoreId(0, 3), 100) == 0
+        assert alloc.touch(CoreId(1, 3), 100) == 1
+
+    def test_history_recorded(self, alloc):
+        alloc.touch(CoreId(0, 0), 100, label="buf")
+        (a,) = alloc.allocations
+        assert a.label == "buf" and a.policy == "first-touch" and a.socket == 0
+
+    def test_negative_size_rejected(self, alloc):
+        with pytest.raises(ValidationError):
+            alloc.touch(CoreId(0, 0), -1)
+
+    def test_on_socket_totals(self, alloc):
+        alloc.touch(CoreId(0, 0), 100)
+        alloc.touch(CoreId(0, 1), 50)
+        alloc.touch(CoreId(1, 0), 70)
+        assert alloc.on_socket(0) == 150
+        assert alloc.on_socket(1) == 70
+
+
+class TestBind:
+    def test_bind_overrides_first_touch(self, alloc):
+        alloc.bind(1)
+        assert alloc.touch(CoreId(0, 0), 100) == 1
+        assert alloc.allocations[-1].policy == "bind"
+
+    def test_unbind_restores(self, alloc):
+        alloc.bind(1)
+        alloc.bind(None)
+        assert alloc.touch(CoreId(0, 0), 100) == 0
+
+    def test_bind_bad_socket(self, alloc):
+        with pytest.raises(ValidationError):
+            alloc.bind(5)

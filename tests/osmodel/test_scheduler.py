@@ -1,0 +1,169 @@
+"""OS scheduler model: placement, wake-affinity packing, migration."""
+
+import pytest
+
+from repro.hw.presets import lynxdtn_spec
+from repro.hw.topology import CoreId
+from repro.osmodel.affinity import AffinityMask
+from repro.osmodel.scheduler import OsScheduler
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+@pytest.fixture
+def spec():
+    return lynxdtn_spec()
+
+
+def scheduler(spec, **kw):
+    return OsScheduler(spec, seed=1, **kw)
+
+
+class TestPlacement:
+    def test_least_loaded_fills_idle_cores_first(self, spec):
+        sched = scheduler(spec, wake_affinity=0.0)
+        cores = [sched.place(i, AffinityMask.all_cores(spec)) for i in range(32)]
+        assert len(set(cores)) == 32  # one thread per core before doubling
+
+    def test_mask_respected(self, spec):
+        sched = scheduler(spec)
+        mask = AffinityMask.socket(spec, 1)
+        for i in range(8):
+            assert sched.place(i, mask).socket == 1
+
+    def test_single_core_mask_pins(self, spec):
+        sched = scheduler(spec)
+        core = CoreId(0, 7)
+        assert sched.place("t", AffinityMask.single(spec, core)) == core
+        assert sched.loads[core] == 1
+
+    def test_double_place_rejected(self, spec):
+        sched = scheduler(spec)
+        sched.place("t", AffinityMask.all_cores(spec))
+        with pytest.raises(ConfigurationError):
+            sched.place("t", AffinityMask.all_cores(spec))
+
+    def test_current_unknown_thread(self, spec):
+        with pytest.raises(ConfigurationError):
+            scheduler(spec).current("ghost")
+
+
+class TestWakeAffinityPacking:
+    def test_hinted_threads_pack_hint_socket(self, spec):
+        sched = scheduler(spec, wake_affinity=1.0, spill_threshold=1)
+        mask = AffinityMask.all_cores(spec)
+        placements = [
+            sched.place(i, mask, hint_socket=1) for i in range(32)
+        ]
+        on_hint = sum(1 for c in placements if c.socket == 1)
+        # spill_threshold=1 lets the hint socket fill to 2 threads/core.
+        assert on_hint == 32
+
+    def test_spill_threshold_zero_spreads(self, spec):
+        sched = scheduler(spec, wake_affinity=1.0, spill_threshold=0)
+        mask = AffinityMask.all_cores(spec)
+        placements = [
+            sched.place(i, mask, hint_socket=1) for i in range(32)
+        ]
+        on_hint = sum(1 for c in placements if c.socket == 1)
+        assert on_hint == 16  # hint socket only while it has idle cores
+
+    def test_no_hint_no_packing(self, spec):
+        sched = scheduler(spec, wake_affinity=1.0)
+        mask = AffinityMask.all_cores(spec)
+        placements = [sched.place(i, mask) for i in range(32)]
+        assert sum(1 for c in placements if c.socket == 1) == 16
+
+    def test_probabilistic_packing_majority(self, spec):
+        sched = scheduler(spec, wake_affinity=0.85, spill_threshold=1)
+        mask = AffinityMask.all_cores(spec)
+        placements = [
+            sched.place(i, mask, hint_socket=1) for i in range(32)
+        ]
+        on_hint = sum(1 for c in placements if c.socket == 1)
+        # "the majority function within a single NUMA domain"
+        assert on_hint > 20
+
+
+class TestReschedule:
+    def test_sticky_without_balancer(self, spec):
+        sched = scheduler(spec, migrate_prob=0.0)
+        core = sched.place("t", AffinityMask.all_cores(spec))
+        for _ in range(50):
+            assert sched.reschedule("t") == core
+
+    def test_migration_relieves_imbalance(self, spec):
+        sched = scheduler(spec, wake_affinity=0.0, migrate_prob=1.0)
+        mask = AffinityMask.all_cores(spec)
+        # Pile 3 threads onto one core via single-core masks...
+        pinned_mask = AffinityMask.single(spec, CoreId(0, 0))
+        for i in range(3):
+            sched.place(f"pin{i}", pinned_mask)
+        # ...then give a free thread that same core as start by placing
+        # with an all-core mask after loading everything else to 1.
+        t = sched.place("free", mask)
+        moved = sched.reschedule("free")
+        assert sched.loads[moved] <= sched.loads[t] or moved == t
+
+    def test_migration_counted(self, spec):
+        sched = scheduler(spec, wake_affinity=0.0, migrate_prob=1.0)
+        pinned_mask = AffinityMask.single(spec, CoreId(0, 0))
+        for i in range(4):
+            sched.place(f"pin{i}", pinned_mask)
+        # A movable thread trapped on the hot core.
+        sched._assignment["free"] = CoreId(0, 0)
+        sched._masks["free"] = AffinityMask.all_cores(spec)
+        sched.loads[CoreId(0, 0)] += 1
+        before = sched.migrations
+        for _ in range(20):
+            sched.reschedule("free")
+        assert sched.migrations > before
+
+
+class TestForceMigrate:
+    def test_moves_and_reaccounts(self, spec):
+        sched = scheduler(spec)
+        src = sched.place("t", AffinityMask.all_cores(spec))
+        dst = CoreId(1, 9) if src != CoreId(1, 9) else CoreId(1, 10)
+        sched.force_migrate("t", dst)
+        assert sched.current("t") == dst
+        assert sched.loads[src] == 0
+        assert sched.loads[dst] == 1
+
+    def test_respects_mask(self, spec):
+        sched = scheduler(spec)
+        sched.place("t", AffinityMask.socket(spec, 0))
+        with pytest.raises(ConfigurationError):
+            sched.force_migrate("t", CoreId(1, 0))
+
+    def test_noop_same_core(self, spec):
+        sched = scheduler(spec)
+        core = sched.place("t", AffinityMask.single(spec, CoreId(0, 1)))
+        sched.force_migrate("t", core)
+        assert sched.migrations == 0
+
+
+class TestRemove:
+    def test_releases_load(self, spec):
+        sched = scheduler(spec)
+        core = sched.place("t", AffinityMask.all_cores(spec))
+        sched.remove("t")
+        assert sched.loads[core] == 0
+        with pytest.raises(ConfigurationError):
+            sched.current("t")
+
+
+class TestValidation:
+    def test_params(self, spec):
+        with pytest.raises(ValidationError):
+            OsScheduler(spec, wake_affinity=1.5)
+        with pytest.raises(ValidationError):
+            OsScheduler(spec, migrate_prob=-0.1)
+        with pytest.raises(ValidationError):
+            OsScheduler(spec, spill_threshold=-1)
+
+    def test_socket_load(self, spec):
+        sched = scheduler(spec)
+        sched.place("a", AffinityMask.socket(spec, 1))
+        sched.place("b", AffinityMask.socket(spec, 1))
+        assert sched.socket_load(1) == 2
+        assert sched.socket_load(0) == 0

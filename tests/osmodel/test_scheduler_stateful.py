@@ -1,0 +1,96 @@
+"""Stateful property test: scheduler bookkeeping never drifts.
+
+Random interleavings of place / reschedule / force_migrate / remove
+must preserve the core invariants:
+
+- per-core load equals the number of threads assigned to that core;
+- every thread sits inside its affinity mask;
+- total load equals the number of live threads.
+"""
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hw.presets import lynxdtn_spec
+from repro.osmodel.affinity import AffinityMask
+from repro.osmodel.scheduler import OsScheduler
+
+SPEC = lynxdtn_spec()
+MASKS = [
+    AffinityMask.all_cores(SPEC),
+    AffinityMask.socket(SPEC, 0),
+    AffinityMask.socket(SPEC, 1),
+]
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sched = OsScheduler(SPEC, seed=3)
+        self.live: dict[int, AffinityMask] = {}
+        self.counter = 0
+
+    @rule(mask_idx=st.integers(0, len(MASKS) - 1),
+          hint=st.sampled_from([None, 0, 1]))
+    def place(self, mask_idx, hint):
+        tid = self.counter
+        self.counter += 1
+        mask = MASKS[mask_idx]
+        core = self.sched.place(tid, mask, hint_socket=hint)
+        assert core in mask
+        self.live[tid] = mask
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def reschedule(self, pick):
+        tid = pick.choice(sorted(self.live))
+        core = self.sched.reschedule(tid)
+        assert core in self.live[tid]
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False), core_idx=st.integers(0, 31))
+    def force_migrate(self, pick, core_idx):
+        tid = pick.choice(sorted(self.live))
+        mask = self.live[tid]
+        target = SPEC.all_cores()[core_idx]
+        if target in mask:
+            self.sched.force_migrate(tid, target)
+            assert self.sched.current(tid) == target
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def remove(self, pick):
+        tid = pick.choice(sorted(self.live))
+        self.sched.remove(tid)
+        del self.live[tid]
+
+    @invariant()
+    def loads_match_assignments(self):
+        expected = Counter(
+            self.sched.current(tid) for tid in self.live
+        )
+        for core, load in self.sched.loads.items():
+            assert load == expected.get(core, 0), core
+
+    @invariant()
+    def total_load_is_live_threads(self):
+        assert sum(self.sched.loads.values()) == len(self.live)
+
+    @invariant()
+    def threads_respect_masks(self):
+        for tid, mask in self.live.items():
+            assert self.sched.current(tid) in mask
+
+
+TestSchedulerStateful = SchedulerMachine.TestCase
+TestSchedulerStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,228 @@
+"""Discrete-event kernel: events, timeouts, processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event, Interrupt, Timeout
+from repro.util.errors import SimulationError
+
+
+class TestEvent:
+    def test_trigger_sets_value(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.trigger(42)
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_value_before_trigger_raises(self):
+        ev = Engine().event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_raises(self):
+        ev = Engine().event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_callbacks_run_on_process(self):
+        eng = Engine()
+        ev = eng.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.trigger("x")
+        eng.run()
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        eng = Engine()
+        fired = []
+        t = eng.timeout(2.5)
+        t.callbacks.append(lambda e: fired.append(eng.now))
+        eng.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().timeout(-1)
+
+    def test_value_passthrough(self):
+        eng = Engine()
+        t = eng.timeout(1.0, "payload")
+        eng.run()
+        assert t.value == "payload"
+
+    def test_ordering(self):
+        eng = Engine()
+        order = []
+        for d in (3.0, 1.0, 2.0):
+            eng.timeout(d).callbacks.append(lambda e, d=d: order.append(d))
+        eng.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_fifo_at_same_time(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.timeout(1.0).callbacks.append(lambda e, i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_simple_sequence(self):
+        eng = Engine()
+        trace = []
+
+        def proc():
+            trace.append(eng.now)
+            yield eng.timeout(1.0)
+            trace.append(eng.now)
+            yield eng.timeout(2.0)
+            trace.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert trace == [0.0, 1.0, 3.0]
+
+    def test_return_value_via_event(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return "done"
+
+        p = eng.process(proc())
+        assert eng.run(p) == "done"
+
+    def test_wait_on_process(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(2.0)
+            return 5
+
+        def parent():
+            v = yield eng.process(child())
+            return v * 2
+
+        p = eng.process(parent())
+        assert eng.run(p) == 10
+        assert eng.now == 2.0
+
+    def test_yield_non_event_raises(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.process(bad())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            eng.run()
+
+    def test_exception_propagates(self):
+        eng = Engine()
+
+        def boom():
+            yield eng.timeout(1.0)
+            raise RuntimeError("bang")
+
+        eng.process(boom())
+        with pytest.raises(RuntimeError, match="bang"):
+            eng.run()
+
+    def test_interrupt(self):
+        eng = Engine()
+        caught = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                caught.append((eng.now, i.cause))
+
+        p = eng.process(sleeper())
+
+        def interrupter():
+            yield eng.timeout(1.0)
+            p.interrupt("wakeup")
+
+        eng.process(interrupter())
+        eng.run()
+        assert caught == [(1.0, "wakeup")]
+
+    def test_interrupt_finished_process_raises(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(0.1)
+
+        p = eng.process(quick())
+        eng.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+
+        p = eng.process(proc())
+        assert p.is_alive
+        eng.run()
+        assert not p.is_alive
+
+
+class TestEngineRun:
+    def test_run_until_time(self):
+        eng = Engine()
+        fired = []
+        eng.timeout(1.0).callbacks.append(lambda e: fired.append(1))
+        eng.timeout(5.0).callbacks.append(lambda e: fired.append(5))
+        eng.run(until=2.0)
+        assert fired == [1]
+        assert eng.now == 2.0
+
+    def test_run_until_event_deadlock_detected(self):
+        eng = Engine()
+        never = eng.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run(never)
+
+    def test_step_empty_heap_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() == float("inf")
+        eng.timeout(3.0)
+        assert eng.peek() == 3.0
+
+    def test_all_of(self):
+        eng = Engine()
+        e1, e2 = eng.timeout(1.0, "a"), eng.timeout(2.0, "b")
+        combo = eng.all_of([e1, e2])
+        assert eng.run(combo) == ["a", "b"]
+        assert eng.now == 2.0
+
+    def test_all_of_empty(self):
+        eng = Engine()
+        combo = eng.all_of([])
+        assert eng.run(combo) == []
+
+    def test_clock_never_goes_backwards(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            for _ in range(20):
+                yield eng.timeout(0.1)
+                times.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert times == sorted(times)

@@ -1,0 +1,96 @@
+"""Metrics collection over flow intervals."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.flows import Flow, FlowNetwork, Resource
+from repro.sim.metrics import MetricsCollector
+
+
+def setup():
+    eng = Engine()
+    net = FlowNetwork(eng)
+    metrics = MetricsCollector(eng, net)
+    return eng, net, metrics
+
+
+class TestResourceUsage:
+    def test_usage_integrates(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        done = net.run(Flow(100, {r: 1.0}))
+        eng.run(done)
+        assert m.resource_usage["r"] == pytest.approx(100.0)
+
+    def test_utilization_full(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        done = net.run(Flow(100, {r: 1.0}))
+        eng.run(done)
+        assert m.utilization(r) == pytest.approx(1.0)
+
+    def test_utilization_partial(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        done = net.run(Flow(100, {r: 1.0}, max_rate=5.0))
+        eng.run(done)
+        assert m.utilization(r) == pytest.approx(0.5)
+
+    def test_utilization_by_name(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        eng.run(net.run(Flow(10, {r: 1.0})))
+        assert m.utilization("r") == pytest.approx(1.0)
+
+    def test_unknown_resource_zero(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        eng.run(net.run(Flow(10, {r: 1.0})))
+        assert m.utilization("other") == 0.0
+
+
+class TestCoreMaps:
+    def test_remote_attribution(self):
+        eng, net, m = setup()
+        core = Resource("m/c0", 1.0, kind="core")
+        qpi = Resource("m/qpi", 100.0, kind="interconnect")
+        mc = Resource("m/mc0", 100.0, kind="memory")
+        flow = Flow(
+            50,
+            {core: 0.01, qpi: 1.0, mc: 1.0},
+            tags={"core": "m/c0"},
+        )
+        eng.run(net.run(flow))
+        assert m.core_remote_bytes["m/c0"] == pytest.approx(50.0)
+        assert m.core_mem_bytes["m/c0"] == pytest.approx(50.0)
+
+    def test_remote_map_normalized(self):
+        eng, net, m = setup()
+        c0 = Resource("c0", 1.0, kind="core")
+        c1 = Resource("c1", 1.0, kind="core")
+        qpi = Resource("qpi", 1000.0, kind="interconnect")
+        f0 = Flow(100, {c0: 0.001, qpi: 1.0}, tags={"core": "c0"})
+        f1 = Flow(50, {c1: 0.001, qpi: 1.0}, tags={"core": "c1"})
+        d0, d1 = net.run(f0), net.run(f1)
+        eng.run(d0)
+        eng.run(d1)
+        remote = m.remote_access_map(["c0", "c1"])
+        assert remote["c0"] == pytest.approx(1.0)
+        assert remote["c1"] == pytest.approx(0.5)
+
+    def test_remote_map_all_zero(self):
+        eng, net, m = setup()
+        remote = m.remote_access_map(["c0"])
+        assert remote == {"c0": 0.0}
+
+
+class TestReset:
+    def test_reset_clears_history(self):
+        eng, net, m = setup()
+        r = Resource("r", 10.0)
+        eng.run(net.run(Flow(100, {r: 1.0})))
+        m.reset()
+        assert m.resource_usage == {}
+        assert m.elapsed == 0.0
+        eng.run(net.run(Flow(50, {r: 1.0})))
+        assert m.resource_usage["r"] == pytest.approx(50.0)

@@ -1,0 +1,179 @@
+"""Bounded simulated stores (pipeline queues)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.queues import Store
+from repro.util.errors import ValidationError
+
+
+def drive(eng, *procs):
+    for p in procs:
+        eng.process(p)
+    eng.run()
+
+
+class TestBasics:
+    def test_put_then_get(self):
+        eng = Engine()
+        s = Store(eng)
+        got = []
+
+        def producer():
+            yield s.put("x")
+
+        def consumer():
+            got.append((yield s.get()))
+
+        drive(eng, producer(), consumer())
+        assert got == ["x"]
+
+    def test_fifo_order(self):
+        eng = Engine()
+        s = Store(eng)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield s.put(i)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield s.get()))
+
+        drive(eng, producer(), consumer())
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        s = Store(eng)
+        got = []
+
+        def consumer():
+            got.append((yield s.get()))
+            got.append(eng.now)
+
+        def producer():
+            yield eng.timeout(3.0)
+            yield s.put("late")
+
+        drive(eng, consumer(), producer())
+        assert got == ["late", 3.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            Store(Engine(), capacity=0)
+
+    def test_len(self):
+        eng = Engine()
+        s = Store(eng)
+        s.try_put(1)
+        s.try_put(2)
+        assert len(s) == 2
+
+
+class TestBackpressure:
+    def test_put_blocks_when_full(self):
+        eng = Engine()
+        s = Store(eng, capacity=1)
+        times = []
+
+        def producer():
+            yield s.put("a")
+            times.append(("a", eng.now))
+            yield s.put("b")
+            times.append(("b", eng.now))
+
+        def consumer():
+            yield eng.timeout(5.0)
+            yield s.get()
+
+        drive(eng, producer(), consumer())
+        assert times == [("a", 0.0), ("b", 5.0)]
+
+    def test_waiting_putters_fifo(self):
+        eng = Engine()
+        s = Store(eng, capacity=1)
+        got = []
+
+        def producer(tag):
+            yield s.put(tag)
+
+        def consumer():
+            for _ in range(3):
+                yield eng.timeout(1.0)
+                got.append((yield s.get()))
+
+        drive(eng, producer("a"), producer("b"), producer("c"), consumer())
+        assert got == ["a", "b", "c"]
+
+    def test_try_put_respects_capacity(self):
+        eng = Engine()
+        s = Store(eng, capacity=1)
+        assert s.try_put(1)
+        assert not s.try_put(2)
+
+    def test_try_put_hands_to_waiter(self):
+        eng = Engine()
+        s = Store(eng, capacity=1)
+        got = []
+
+        def consumer():
+            got.append((yield s.get()))
+
+        eng.process(consumer())
+        eng.run()  # consumer now waiting
+        assert s.try_put("direct")
+        eng.run()
+        assert got == ["direct"]
+
+    def test_force_put_ignores_capacity(self):
+        eng = Engine()
+        s = Store(eng, capacity=1)
+        s.force_put(1)
+        s.force_put(2)
+        s.force_put(3)
+        assert len(s) == 3
+
+    def test_is_full(self):
+        eng = Engine()
+        s = Store(eng, capacity=2)
+        assert not s.is_full
+        s.try_put(1)
+        s.try_put(2)
+        assert s.is_full
+
+    def test_unbounded_never_full(self):
+        eng = Engine()
+        s = Store(eng)
+        for i in range(100):
+            assert s.try_put(i)
+        assert not s.is_full
+
+
+class TestMultipleWorkers:
+    def test_work_sharing(self):
+        """Two consumers drain a shared store; every item seen once."""
+        eng = Engine()
+        s = Store(eng, capacity=2)
+        seen = []
+
+        def producer():
+            for i in range(10):
+                yield s.put(i)
+
+        def consumer(tag):
+            while True:
+                item = yield s.get()
+                if item is None:
+                    break
+                seen.append(item)
+                yield eng.timeout(1.0)
+
+        def closer():
+            yield eng.timeout(50.0)
+            yield s.put(None)
+            yield s.put(None)
+
+        drive(eng, producer(), consumer("a"), consumer("b"), closer())
+        assert sorted(seen) == list(range(10))

@@ -1,0 +1,57 @@
+"""ASCII heatmap rendering."""
+
+import pytest
+
+from repro.util.heatmap import SHADES, render_heatmap, shade
+
+
+class TestShade:
+    def test_extremes(self):
+        assert shade(0.0) == " "
+        assert shade(1.0) == "@"
+
+    def test_midpoint(self):
+        assert shade(0.5) in SHADES[3:7]
+
+    def test_clipping(self):
+        assert shade(5.0) == "@"
+        assert shade(-1.0) == " "
+
+    def test_custom_vmax(self):
+        assert shade(50.0, vmax=100.0) == shade(0.5)
+
+    def test_zero_vmax(self):
+        assert shade(1.0, vmax=0.0) == " "
+
+
+class TestRenderHeatmap:
+    def test_structure(self):
+        out = render_heatmap(
+            ["r0", "r1"],
+            {"colA": {"r0": 1.0, "r1": 0.0}, "colB": {"r0": 0.0, "r1": 1.0}},
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any(line.startswith("r0") and "@" in line for line in lines)
+        assert "scale" in lines[-1]
+
+    def test_missing_cells_default_zero(self):
+        out = render_heatmap(["r0"], {"c": {}}, legend=False)
+        assert out.splitlines()[-1].endswith(" ")
+
+    def test_auto_vmax(self):
+        out = render_heatmap(["r0"], {"c": {"r0": 42.0}})
+        assert "42" in out  # legend reflects the detected maximum
+        assert "@" in out  # the max cell is fully shaded
+
+    def test_vertical_headers(self):
+        out = render_heatmap(["r"], {"ab": {"r": 0.0}}, legend=False)
+        lines = out.splitlines()
+        # Two header lines spelling "a" then "b".
+        assert lines[0].strip() == "a"
+        assert lines[1].strip() == "b"
+
+    def test_empty_columns(self):
+        out = render_heatmap(["r0"], {}, legend=False)
+        assert "r0" in out

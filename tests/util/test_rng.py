@@ -1,0 +1,38 @@
+"""Deterministic seed derivation."""
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_label_path_not_concatenation(self):
+        # ("ab", "c") and ("a", "bc") must differ: labels are delimited.
+        assert derive_seed(7, "ab", "c") != derive_seed(7, "a", "bc")
+
+    def test_63_bit_range(self):
+        for i in range(50):
+            s = derive_seed(1, i)
+            assert 0 <= s < 2**63
+
+    def test_non_string_labels(self):
+        assert derive_seed(7, 1, 2.5, None) == derive_seed(7, "1", "2.5", "None")
+
+
+class TestMakeRng:
+    def test_reproducible_stream(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_independent_streams(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "y").random(5)
+        assert not (a == b).all()

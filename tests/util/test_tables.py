@@ -1,0 +1,57 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]])
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(headers=["k", "v"], title="demo")
+        t.add("x", 1)
+        t.add("y", 2)
+        out = t.render()
+        assert "demo" in out and "x" in out and "y" in out
+
+    def test_add_arity_check(self):
+        t = Table(headers=["k", "v"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+    def test_column(self):
+        t = Table(headers=["k", "v"])
+        t.add("x", 1)
+        t.add("y", 2)
+        assert t.column("v") == [1, 2]
+        assert t.column("k") == ["x", "y"]
+
+    def test_column_unknown(self):
+        t = Table(headers=["k"])
+        with pytest.raises(KeyError):
+            t.column("nope")

@@ -1,0 +1,123 @@
+"""TimeSeries, RateMeter and WindowStats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.timeseries import RateMeter, TimeSeries, WindowStats
+
+
+class TestTimeSeries:
+    def test_add_and_len(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        ts.add(1.0, 3.0)
+        assert len(ts) == 2
+
+    def test_time_monotonicity_enforced(self):
+        ts = TimeSeries()
+        ts.add(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.add(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.add(1.0, 0.0)
+        ts.add(1.0, 1.0)  # batch completions share timestamps
+
+    def test_mean(self):
+        ts = TimeSeries()
+        ts.add(0, 2.0)
+        ts.add(1, 4.0)
+        assert ts.mean() == 3.0
+
+    def test_mean_empty_nan(self):
+        assert math.isnan(TimeSeries().mean())
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.add(0.0, 10.0)  # holds for 1s
+        ts.add(1.0, 0.0)  # holds for 3s
+        ts.add(4.0, 99.0)  # terminal sample: no span
+        assert ts.time_weighted_mean() == pytest.approx((10 * 1 + 0 * 3) / 4)
+
+    def test_asarrays(self):
+        ts = TimeSeries()
+        ts.add(0, 1)
+        t, v = ts.asarrays()
+        assert t.tolist() == [0.0] and v.tolist() == [1.0]
+
+
+class TestRateMeter:
+    def test_rate_simple(self):
+        m = RateMeter()
+        m.add(0.0, 100.0)
+        m.add(10.0, 100.0)
+        assert m.rate() == pytest.approx(20.0)
+
+    def test_rate_window(self):
+        m = RateMeter()
+        for t in range(11):
+            m.add(float(t), 5.0)
+        assert m.rate(start=5.0, end=10.0) == pytest.approx(6.0)
+
+    def test_rate_empty(self):
+        assert RateMeter().rate() == 0.0
+
+    def test_rate_zero_span(self):
+        m = RateMeter()
+        m.add(1.0, 10.0)
+        assert m.rate() == 0.0
+
+    def test_total_since(self):
+        m = RateMeter()
+        m.add(0.0, 1.0)
+        m.add(5.0, 2.0)
+        assert m.total() == 3.0
+        assert m.total(since=1.0) == 2.0
+
+    def test_time_backwards_rejected(self):
+        m = RateMeter()
+        m.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            m.add(4.0, 1.0)
+
+
+class TestWindowStats:
+    def test_mean_and_extrema(self):
+        w = WindowStats()
+        for x in (1.0, 2.0, 3.0):
+            w.add(x)
+        assert w.mean == 2.0
+        assert w.minimum == 1.0
+        assert w.maximum == 3.0
+
+    def test_variance_two_samples(self):
+        w = WindowStats()
+        w.add(1.0)
+        w.add(3.0)
+        assert w.variance == pytest.approx(2.0)
+        assert w.stdev == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_nan(self):
+        w = WindowStats()
+        assert math.isnan(w.mean)
+        assert math.isnan(w.variance)
+
+    def test_single_sample_variance_nan(self):
+        w = WindowStats()
+        w.add(1.0)
+        assert math.isnan(w.variance)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_welford_matches_numpy(self, xs):
+        import numpy as np
+
+        w = WindowStats()
+        for x in xs:
+            w.add(x)
+        assert w.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+        assert w.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), rel=1e-6, abs=1e-4
+        )
