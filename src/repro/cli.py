@@ -8,6 +8,7 @@
 ``repro-live`` runs the real-thread pipeline on this host::
 
     repro-live --chunks 12 --codec zlib --connections 2
+    repro-live --chunks 12 --trace-out trace.json   # Chrome/Perfetto trace
 
 ``repro-plan`` / ``repro-run`` are the paper's Figure-4 workflow: the
 configuration generator writes a scenario file; the runtime executes
@@ -16,6 +17,13 @@ it::
     repro-plan --stream det1:updraft1:lynxdtn:aps-lan -o plan.json
     repro-run plan.json
     repro-run plan.json --os-baseline   # same counts, OS placement
+    repro-run plan.json --trace-out trace.json   # virtual-clock trace
+
+``repro-telemetry`` exercises the unified observability layer on either
+substrate and dumps/exports what it collected::
+
+    repro-telemetry dump --substrate live --format prom
+    repro-telemetry export --substrate sim -o trace.json
 """
 
 from __future__ import annotations
@@ -94,9 +102,40 @@ def live_main(argv: list[str] | None = None) -> int:
         metavar="HOST:PORT",
         help="run as the sending endpoint against a --listen receiver",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="collect telemetry and write a Chrome trace_event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="collect telemetry and write Prometheus text exposition",
+    )
     args = parser.parse_args(argv)
     if args.listen and args.connect:
         parser.error("--listen and --connect are mutually exclusive")
+
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+
+    def finish_telemetry() -> None:
+        if telemetry is None:
+            return
+        if args.trace_out:
+            n = telemetry.write_chrome_trace(args.trace_out)
+            print(f"wrote {n} trace events to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(telemetry.prometheus_text())
+            print(f"wrote metrics to {args.metrics_out}")
+        report = telemetry.pipeline_report()
+        if report.stages:
+            print(report.render())
 
     from repro.data import SpheresDataset, SpheresPhantom
     from repro.data.chunking import DatasetChunkSource
@@ -127,11 +166,13 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             decompress_threads=args.decompress_threads,
+            telemetry=telemetry,
         )
         print(f"listening on {server.address[0]}:{server.address[1]} "
               f"for {args.connections} connection(s)...")
         report = server.serve()
         print(report.summary())
+        finish_telemetry()
         return 0 if report.ok else 1
 
     if args.connect:
@@ -144,9 +185,11 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             compress_threads=args.compress_threads,
+            telemetry=telemetry,
         )
         report = client.run(make_source())
         print(report.summary())
+        finish_telemetry()
         return 0 if report.ok else 1
 
     from repro.live import LiveConfig, LivePipeline
@@ -157,10 +200,12 @@ def live_main(argv: list[str] | None = None) -> int:
             compress_threads=args.compress_threads,
             decompress_threads=args.decompress_threads,
             connections=args.connections,
-        )
+        ),
+        telemetry=telemetry,
     )
     report = pipeline.run(make_source())
     print(report.summary())
+    finish_telemetry()
     return 0 if report.ok else 1
 
 
@@ -220,14 +265,39 @@ def run_main(argv: list[str] | None = None) -> int:
         description="Execute a scenario configuration file on the simulator.",
     )
     parser.add_argument("scenario", help="path to a repro-plan JSON file")
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="collect telemetry on the virtual clock and write a Chrome "
+        "trace_event JSON of every simulated stage span",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="collect telemetry and write Prometheus text exposition",
+    )
     args = parser.parse_args(argv)
 
-    from repro.core.runtime import run_scenario
+    from repro.core.runtime import SimRuntime, run_scenario
     from repro.core.serialize import load_scenario
     from repro.util.tables import Table
 
     scenario = load_scenario(args.scenario)
-    result = run_scenario(scenario)
+    if args.trace_out or args.metrics_out:
+        runtime = SimRuntime(scenario, telemetry=True)
+        result = runtime.run()
+        tel = runtime.telemetry
+        if args.trace_out:
+            n = tel.write_chrome_trace(args.trace_out)
+            print(f"wrote {n} trace events to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(tel.prometheus_text())
+            print(f"wrote metrics to {args.metrics_out}")
+        for sid in sorted(result.streams):
+            print(tel.pipeline_report(sid).render())
+    else:
+        result = run_scenario(scenario)
     table = Table(
         headers=["stream", "chunks", "network Gbps", "end-to-end Gbps"],
         title=f"scenario {result.name!r} ({result.sim_time:.2f}s simulated)",
@@ -239,6 +309,112 @@ def run_main(argv: list[str] | None = None) -> int:
     table.add("TOTAL", "-", round(result.total_wire_gbps, 2),
               round(result.total_delivered_gbps, 2))
     print(table.render())
+    return 0
+
+
+def _collect_telemetry(substrate: str, chunks: int, seed: int, codec: str):
+    """Run a small canned pipeline on ``substrate``, return its Telemetry."""
+    from repro.telemetry import Telemetry
+
+    if substrate == "live":
+        from repro.data import SpheresDataset, SpheresPhantom
+        from repro.data.chunking import DatasetChunkSource
+        from repro.live import LiveConfig, LivePipeline
+
+        dataset = SpheresDataset(
+            SpheresPhantom(
+                cylinder_radius=300,
+                cylinder_height=240,
+                volume_fraction=0.2,
+                seed=seed,
+            ),
+            detector_shape=(64, 64),
+            num_projections=max(chunks, 1),
+            seed=seed,
+        )
+        source = DatasetChunkSource("live", dataset, limit=chunks).chunks()
+        telemetry = Telemetry()
+        pipeline = LivePipeline(LiveConfig(codec=codec), telemetry=telemetry)
+        report = pipeline.run(source)
+        if not report.ok:
+            raise SystemExit(f"live run failed: {'; '.join(report.errors)}")
+        return telemetry
+
+    from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+    from repro.core.runtime import SimRuntime
+    from repro.experiments.base import paper_testbed
+
+    workload = Workload(
+        [
+            StreamRequest(
+                "det1", "updraft1", "lynxdtn", "aps-lan", num_chunks=chunks
+            )
+        ],
+        name="telemetry-cli",
+        seed=seed,
+    )
+    scenario = ConfigGenerator(paper_testbed()).generate(workload)
+    runtime = SimRuntime(scenario, telemetry=True)
+    runtime.run()
+    return runtime.telemetry
+
+
+def telemetry_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description="Exercise the unified telemetry layer: run a small "
+        "pipeline on either substrate and dump metrics or export a trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--substrate",
+            choices=["live", "sim"],
+            default="live",
+            help="real threads+sockets, or the virtual-clock simulator",
+        )
+        p.add_argument("--chunks", type=int, default=8)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--codec", default="zlib", help="live substrate codec")
+
+    dump = sub.add_parser(
+        "dump", help="print collected metrics and the pipeline report"
+    )
+    common(dump)
+    dump.add_argument(
+        "--format",
+        choices=["prom", "json", "report"],
+        default="report",
+        help="prom = Prometheus text exposition, json = metric snapshot, "
+        "report = per-stage service/queue-wait table",
+    )
+
+    export = sub.add_parser(
+        "export", help="write the run's spans as Chrome trace_event JSON"
+    )
+    common(export)
+    export.add_argument("-o", "--output", required=True, metavar="PATH")
+
+    args = parser.parse_args(argv)
+    telemetry = _collect_telemetry(
+        args.substrate, args.chunks, args.seed, args.codec
+    )
+
+    if args.command == "dump":
+        if args.format == "prom":
+            print(telemetry.prometheus_text(), end="")
+        elif args.format == "json":
+            import json
+
+            print(json.dumps(telemetry.json_snapshot(), indent=2))
+        else:
+            print(telemetry.pipeline_report().render())
+        return 0
+
+    n = telemetry.write_chrome_trace(args.output)
+    print(f"wrote {n} trace events to {args.output}")
+    print(telemetry.pipeline_report().render())
     return 0
 
 

@@ -82,20 +82,49 @@ class ScenarioResult:
 
 
 class SimRuntime:
-    """Builds and runs one scenario on the fluid simulator."""
+    """Builds and runs one scenario on the fluid simulator.
 
-    def __init__(self, scenario: ScenarioConfig, *, trace: bool = False) -> None:
+    ``telemetry`` attaches the unified observability layer
+    (:mod:`repro.telemetry`) on the *virtual* clock: pass ``True`` to
+    build one internally, or an existing :class:`~repro.telemetry.Telemetry`
+    to share (its clock is rebound to this runtime's engine).  With
+    telemetry attached a tracer is always built, so spans flow into the
+    shared span store and Chrome traces / pipeline reports work on
+    simulated time exactly as they do on wall time.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        *,
+        trace: bool = False,
+        telemetry: "bool | object" = False,
+    ) -> None:
         scenario.validate()
         self.scenario = scenario
         self.engine = Engine()
         self.network = FlowNetwork(self.engine)
-        self.metrics = MetricsCollector(self.engine, self.network)
-        #: Per-chunk tracer (populated when ``trace=True``).
+        #: Unified metrics/span layer (None when disabled).
+        self.telemetry = None
+        if telemetry:
+            from repro.telemetry import SimClock, Telemetry
+
+            self.telemetry = (
+                Telemetry() if telemetry is True else telemetry
+            )
+            self.telemetry.set_clock(SimClock(self.engine))
+        self.metrics = MetricsCollector(
+            self.engine,
+            self.network,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
+        #: Per-chunk tracer (populated when ``trace=True`` or telemetry
+        #: is attached).
         self.tracer = None
-        if trace:
+        if trace or self.telemetry is not None:
             from repro.sim.trace import ChunkTracer
 
-            self.tracer = ChunkTracer()
+            self.tracer = ChunkTracer(telemetry=self.telemetry)
         self.machines: dict[str, Machine] = {
             name: Machine(self.engine, spec, csw_penalty=scenario.csw_penalty)
             for name, spec in scenario.machines.items()
@@ -149,6 +178,7 @@ class SimRuntime:
             sender_nic=sender.nic() if has_hop else None,
             receiver_nic=receiver.nic() if has_hop else None,
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         self.stream_contexts[cfg.stream_id] = ctx
         if self.tracer is not None:
@@ -156,6 +186,8 @@ class SimRuntime:
             if cfg.send is not None:
                 counts["wire"] = cfg.send.count  # one pump per connection
             self.tracer.set_thread_counts(cfg.stream_id, counts)
+            if self.telemetry is not None:
+                self.telemetry.thread_counts.update(counts)
 
         source = SyntheticChunkSource(
             stream_id=cfg.stream_id,
@@ -401,6 +433,14 @@ class SimRuntime:
             names = machine.core_names()
             core_util[name] = self.metrics.core_utilization_map(names)
             remote[name] = self.metrics.remote_access_map(names)
+        if self.telemetry is not None:
+            self.metrics.publish_utilization()
+            # Queue occupancy on the virtual clock: gauge value = the
+            # time-weighted mean depth, high_water = the peak.
+            for qname, stats in self.queue_report().items():
+                gauge = self.telemetry.queue_gauge(qname)
+                gauge.set(stats["max"])
+                gauge.set(stats["mean"])
         return ScenarioResult(
             name=self.scenario.name,
             sim_time=self.engine.now,

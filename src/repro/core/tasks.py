@@ -114,6 +114,9 @@ class StreamContext:
     meters: dict[StageKind, StageMeters] = field(default_factory=dict)
     #: Optional per-chunk tracer (see :mod:`repro.sim.trace`).
     tracer: "object | None" = None
+    #: Optional unified telemetry (see :mod:`repro.telemetry`); counters
+    #: and frame totals are emitted on the engine's virtual clock.
+    telemetry: "object | None" = None
 
     def meter(self, kind: StageKind) -> StageMeters:
         return self.meters.setdefault(kind, StageMeters())
@@ -377,6 +380,10 @@ def stage_worker_proc(
                     chunk.stream_id, chunk.index, kind.value,
                     t0, ctx.engine.now, str(core),
                 )
+            if ctx.telemetry is not None:
+                ctx.telemetry.record_chunk(
+                    kind.value, chunk.stream_id, chunk.nbytes
+                )
             if outq is not None:
                 yield outq.put(chunk)
     finally:
@@ -416,6 +423,10 @@ def send_worker_proc(
                     chunk.stream_id, chunk.index, "send",
                     t0, ctx.engine.now, str(core),
                 )
+            if ctx.telemetry is not None:
+                ctx.telemetry.record_chunk(
+                    "send", chunk.stream_id, chunk.nbytes
+                )
             yield sockq.put(chunk)
     finally:
         home.release()
@@ -445,6 +456,11 @@ def wire_pump_proc(
             ctx.tracer.record(
                 chunk.stream_id, chunk.index, "wire", t0, ctx.engine.now
             )
+        if ctx.telemetry is not None:
+            ctx.telemetry.record_chunk("wire", chunk.stream_id, chunk.nbytes)
+            # The simulated hop is both ends of the transport at once.
+            ctx.telemetry.record_frame("tx", chunk.wire_bytes)
+            ctx.telemetry.record_frame("rx", chunk.wire_bytes)
         yield arrq.put(chunk)
 
 

@@ -4,6 +4,11 @@ The paper's stages hand chunks through thread-safe queues; Python's
 ``queue.Queue`` provides the thread safety, this wrapper adds the
 end-of-stream protocol every stage needs: a producer-side ``close()``
 that wakes all consumers exactly once each, with items drained first.
+
+With a :class:`~repro.telemetry.Telemetry` attached (and a ``name``),
+every put/get publishes the instantaneous depth to the
+``pipeline_queue_depth{queue=...}`` gauge, whose high-water mark is the
+practical signal for sizing the paper's bounded queues.
 """
 
 from __future__ import annotations
@@ -29,21 +34,54 @@ class ClosableQueue:
 
     _SENTINEL = object()
 
-    def __init__(self, capacity: int = 8, producers: int = 1) -> None:
+    def __init__(
+        self,
+        capacity: int = 8,
+        producers: int = 1,
+        *,
+        name: str = "queue",
+        telemetry=None,
+    ) -> None:
         if capacity < 1:
             raise ValidationError("capacity must be >= 1")
         if producers < 1:
             raise ValidationError("producers must be >= 1")
+        self.name = name
         self._q: queue.Queue[Any] = queue.Queue(maxsize=capacity)
         self._lock = threading.Lock()
         self._open_producers = producers
         self._closed = threading.Event()
+        #: Deepest the queue has ever been (also on the telemetry gauge
+        #: as ``high_water`` when one is attached).
+        self.max_depth = 0
+        self._gauge = (
+            telemetry.queue_gauge(name) if telemetry is not None else None
+        )
+
+    def _observe_depth(self) -> int:
+        depth = self._q.qsize()
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if self._gauge is not None:
+            self._gauge.set(depth)
+        return depth
 
     def put(self, item: Any, timeout: float | None = None) -> None:
-        """Enqueue; blocks on a full queue (backpressure)."""
-        if self._closed.is_set():
-            raise ValidationError("put() on a fully closed queue")
-        self._q.put(item, timeout=timeout)
+        """Enqueue; blocks on a full queue (backpressure).
+
+        The closed check and the enqueue are atomic under ``_lock`` so a
+        ``put()`` can never race a final ``close()``: either the put
+        lands before the queue seals, or it observes the seal and
+        raises.  (``close()`` of *other* producers may block behind a
+        put that is waiting out backpressure — harmless, since those
+        producers are done producing, and consumers drain without the
+        lock.)
+        """
+        with self._lock:
+            if self._closed.is_set():
+                raise ValidationError("put() on a fully closed queue")
+            self._q.put(item, timeout=timeout)
+        self._observe_depth()
 
     def get(self, timeout: float | None = None) -> Any:
         """Dequeue; raises :class:`Closed` once drained and closed."""
@@ -61,6 +99,7 @@ class ClosableQueue:
                     if timeout is not None:
                         raise
                     continue
+            self._observe_depth()
             if item is self._SENTINEL:
                 raise Closed
             return item
@@ -80,3 +119,7 @@ class ClosableQueue:
 
     def qsize(self) -> int:
         return self._q.qsize()
+
+    def sample_occupancy(self) -> int:
+        """Publish and return the current depth (for external samplers)."""
+        return self._observe_depth()

@@ -69,6 +69,7 @@ class ReceiverServer:
         queue_capacity: int = 8,
         accept_timeout: float = 30.0,
         join_timeout: float = 120.0,
+        telemetry=None,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
@@ -78,6 +79,11 @@ class ReceiverServer:
         self.queue_capacity = queue_capacity
         self.accept_timeout = accept_timeout
         self.join_timeout = join_timeout
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.thread_counts.update(
+                {"recv": connections, "decompress": decompress_threads}
+            )
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(accept_timeout)
 
@@ -105,7 +111,12 @@ class ReceiverServer:
             if sink is not None:
                 sink(stream_id, index, data)
 
-        wireq = ClosableQueue(self.queue_capacity, producers=self.connections)
+        wireq = ClosableQueue(
+            self.queue_capacity,
+            producers=self.connections,
+            name="wireq",
+            telemetry=self.telemetry,
+        )
         threads: list[threading.Thread] = []
         errors: list[str] = []
         try:
@@ -126,7 +137,12 @@ class ReceiverServer:
             threads.append(
                 threading.Thread(
                     target=workers.receiver,
-                    args=(FramedReceiver(conn), wireq, stats["recv"]),
+                    args=(
+                        FramedReceiver(conn, telemetry=self.telemetry),
+                        wireq,
+                        stats["recv"],
+                    ),
+                    kwargs={"telemetry": self.telemetry},
                     name=f"recv-{i}",
                     daemon=True,
                 )
@@ -136,6 +152,7 @@ class ReceiverServer:
                 threading.Thread(
                     target=workers.decompressor,
                     args=(self.codec, wireq, stats["decompress"], counting_sink),
+                    kwargs={"telemetry": self.telemetry},
                     name=f"decompress-{i}",
                     daemon=True,
                 )
@@ -172,6 +189,7 @@ class SenderClient:
         queue_capacity: int = 8,
         connect_timeout: float = 30.0,
         join_timeout: float = 120.0,
+        telemetry=None,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
@@ -183,6 +201,11 @@ class SenderClient:
         self.queue_capacity = queue_capacity
         self.connect_timeout = connect_timeout
         self.join_timeout = join_timeout
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.thread_counts.update(
+                {"feed": 1, "compress": compress_threads, "send": connections}
+            )
 
     def run(self, source: Iterable[Chunk]) -> EndpointReport:
         """Stream every chunk of ``source`` to the receiver."""
@@ -192,15 +215,22 @@ class SenderClient:
             "compress": workers.StageStats("compress"),
             "send": workers.StageStats("send"),
         }
-        rawq = ClosableQueue(self.queue_capacity, producers=1)
-        sendq = ClosableQueue(self.queue_capacity, producers=self.compress_threads)
+        rawq = ClosableQueue(
+            self.queue_capacity, producers=1, name="rawq",
+            telemetry=self.telemetry,
+        )
+        sendq = ClosableQueue(
+            self.queue_capacity, producers=self.compress_threads,
+            name="sendq", telemetry=self.telemetry,
+        )
         errors: list[str] = []
         try:
             senders = [
                 FramedSender(
                     socket.create_connection(
                         (self.host, self.port), timeout=self.connect_timeout
-                    )
+                    ),
+                    telemetry=self.telemetry,
                 )
                 for _ in range(self.connections)
             ]
@@ -215,6 +245,7 @@ class SenderClient:
             threading.Thread(
                 target=workers.feeder,
                 args=(source, rawq, stats["feed"]),
+                kwargs={"telemetry": self.telemetry},
                 name="feeder",
                 daemon=True,
             )
@@ -224,6 +255,7 @@ class SenderClient:
                 threading.Thread(
                     target=workers.compressor,
                     args=(self.codec, rawq, sendq, stats["compress"]),
+                    kwargs={"telemetry": self.telemetry},
                     name=f"compress-{i}",
                     daemon=True,
                 )
@@ -233,7 +265,7 @@ class SenderClient:
                 threading.Thread(
                     target=workers.sender,
                     args=(tx, sendq, stats["send"]),
-                    kwargs={"compressed": True},
+                    kwargs={"compressed": True, "telemetry": self.telemetry},
                     name=f"send-{i}",
                     daemon=True,
                 )

@@ -58,6 +58,8 @@ class LiveReport:
     elapsed: float
     stage_stats: dict[str, workers.StageStats]
     errors: list[str]
+    #: Unified metrics/spans for the run (None when telemetry was off).
+    telemetry: "object | None" = None
 
     @property
     def ok(self) -> bool:
@@ -88,11 +90,33 @@ class LiveReport:
 
 
 class LivePipeline:
-    """Single-host pipeline over in-process socketpairs."""
+    """Single-host pipeline over in-process socketpairs.
 
-    def __init__(self, config: LiveConfig | None = None, codec: Codec | None = None):
+    Pass a :class:`~repro.telemetry.Telemetry` to collect wall-clock
+    spans, stage counters, queue-occupancy gauges and transport totals
+    for the run; it is echoed back on the :class:`LiveReport`.
+    """
+
+    def __init__(
+        self,
+        config: LiveConfig | None = None,
+        codec: Codec | None = None,
+        *,
+        telemetry=None,
+    ):
         self.config = config or LiveConfig()
         self.codec = codec or get_codec(self.config.codec)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.thread_counts.update(
+                {
+                    "feed": 1,
+                    "compress": self.config.compress_threads,
+                    "send": self.config.connections,
+                    "recv": self.config.connections,
+                    "decompress": self.config.decompress_threads,
+                }
+            )
 
     def run(
         self,
@@ -127,13 +151,26 @@ class LivePipeline:
                 expected[(chunk.stream_id, chunk.index)] = len(chunk.payload)
                 yield chunk
 
+        tel = self.telemetry
         stats = {
             name: workers.StageStats(name)
             for name in ("feed", "compress", "send", "recv", "decompress")
         }
-        rawq = ClosableQueue(cfg.queue_capacity, producers=1)
-        sendq = ClosableQueue(cfg.queue_capacity, producers=cfg.compress_threads)
-        wireq = ClosableQueue(cfg.queue_capacity, producers=cfg.connections)
+        rawq = ClosableQueue(
+            cfg.queue_capacity, producers=1, name="rawq", telemetry=tel
+        )
+        sendq = ClosableQueue(
+            cfg.queue_capacity,
+            producers=cfg.compress_threads,
+            name="sendq",
+            telemetry=tel,
+        )
+        wireq = ClosableQueue(
+            cfg.queue_capacity,
+            producers=cfg.connections,
+            name="wireq",
+            telemetry=tel,
+        )
 
         threads: list[threading.Thread] = []
 
@@ -144,7 +181,8 @@ class LivePipeline:
             threads.append(t)
 
         aff = cfg.affinity
-        spawn("feeder", workers.feeder, tracked_source(), rawq, stats["feed"], aff.get("feed"))
+        spawn("feeder", workers.feeder, tracked_source(), rawq, stats["feed"],
+              aff.get("feed"), telemetry=tel)
         for i in range(cfg.compress_threads):
             spawn(
                 f"compress-{i}",
@@ -154,9 +192,10 @@ class LivePipeline:
                 sendq,
                 stats["compress"],
                 aff.get("compress"),
+                telemetry=tel,
             )
         for i in range(cfg.connections):
-            tx, rx = socket_pipe()
+            tx, rx = socket_pipe(telemetry=tel)
             spawn(
                 f"send-{i}",
                 workers.sender,
@@ -165,6 +204,7 @@ class LivePipeline:
                 stats["send"],
                 compressed=True,
                 cpus=aff.get("send"),
+                telemetry=tel,
             )
             spawn(
                 f"recv-{i}",
@@ -173,6 +213,7 @@ class LivePipeline:
                 wireq,
                 stats["recv"],
                 aff.get("recv"),
+                telemetry=tel,
             )
         for i in range(cfg.decompress_threads):
             spawn(
@@ -183,6 +224,7 @@ class LivePipeline:
                 stats["decompress"],
                 counting_sink,
                 aff.get("decompress"),
+                telemetry=tel,
             )
 
         t0 = time.perf_counter()
@@ -213,4 +255,5 @@ class LivePipeline:
             elapsed=elapsed,
             stage_stats=stats,
             errors=errors,
+            telemetry=tel,
         )

@@ -55,10 +55,17 @@ class Frame:
 
 
 class FramedSender:
-    """Serializes frames onto a connected socket."""
+    """Serializes frames onto a connected socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    With a :class:`~repro.telemetry.Telemetry` attached, every frame
+    bumps ``transport_frames_total{direction="tx"}`` and
+    ``transport_bytes_total{direction="tx"}`` (header + payload — the
+    actual wire footprint).
+    """
+
+    def __init__(self, sock: socket.socket, *, telemetry=None) -> None:
         self.sock = sock
+        self.telemetry = telemetry
 
     def send(self, frame: Frame) -> None:
         sid = frame.stream_id.encode()
@@ -79,10 +86,13 @@ class FramedSender:
             ),
             frame.payload,
         ]
+        wire = b"".join(parts)
         try:
-            self.sock.sendall(b"".join(parts))
+            self.sock.sendall(wire)
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
+        if self.telemetry is not None:
+            self.telemetry.record_frame("tx", len(wire))
 
     def close(self) -> None:
         try:
@@ -92,10 +102,14 @@ class FramedSender:
 
 
 class FramedReceiver:
-    """Parses frames off a connected socket."""
+    """Parses frames off a connected socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    Mirrors :class:`FramedSender`'s counters on the ``rx`` direction.
+    """
+
+    def __init__(self, sock: socket.socket, *, telemetry=None) -> None:
         self.sock = sock
+        self.telemetry = telemetry
 
     def _read_exact(self, n: int) -> bytes:
         chunks: list[bytes] = []
@@ -139,6 +153,10 @@ class FramedReceiver:
             raise TransportError(
                 f"checksum mismatch on {sid}#{index} ({length} bytes)"
             )
+        if self.telemetry is not None:
+            self.telemetry.record_frame(
+                "rx", _HEADER.size + sid_len + _BODY.size + length
+            )
         return Frame(
             stream_id=sid,
             index=index,
@@ -155,7 +173,10 @@ class FramedReceiver:
             pass
 
 
-def socket_pipe() -> tuple[FramedSender, FramedReceiver]:
+def socket_pipe(*, telemetry=None) -> tuple[FramedSender, FramedReceiver]:
     """An in-process transport (socketpair) for local pipelines/tests."""
     a, b = socket.socketpair()
-    return FramedSender(a), FramedReceiver(b)
+    return (
+        FramedSender(a, telemetry=telemetry),
+        FramedReceiver(b, telemetry=telemetry),
+    )

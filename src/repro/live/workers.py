@@ -4,12 +4,18 @@ Each function is the target of one ``threading.Thread`` and mirrors a
 Figure-2 stage: pull from the upstream queue, work, push downstream,
 close on end-of-stream.  Failures are captured into the shared
 :class:`StageStats` rather than dying silently inside a thread.
+
+Per-chunk timing goes through the shared telemetry span idiom
+(:func:`repro.telemetry.stage_span`): one context manager both feeds
+the legacy :class:`StageStats` and — when a
+:class:`~repro.telemetry.Telemetry` is attached — records a wall-clock
+span plus the canonical pipeline counters, so a live run produces the
+same observability surface as a simulated one.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -18,6 +24,7 @@ from repro.data.chunking import Chunk
 from repro.live.affinity import pin_current_thread
 from repro.live.queues import ClosableQueue, Closed
 from repro.live.transport import Frame, FramedReceiver, FramedSender
+from repro.telemetry.spans import stage_span
 
 
 @dataclass
@@ -49,22 +56,44 @@ def _maybe_pin(cpus: list[int] | None) -> None:
         pin_current_thread(cpus)
 
 
+def _finish(
+    stats: StageStats,
+    telemetry,
+    stage: str,
+    stream_id: str,
+    bytes_in: int,
+    bytes_out: int,
+    elapsed: float,
+) -> None:
+    """Book one chunk into the legacy stats and the shared telemetry."""
+    stats.record(bytes_in, bytes_out, elapsed)
+    if telemetry is not None:
+        telemetry.record_chunk(stage, stream_id, bytes_in)
+
+
 def feeder(
     source: Iterable[Chunk],
     outq: ClosableQueue,
     stats: StageStats,
     cpus: list[int] | None = None,
+    *,
+    telemetry=None,
 ) -> None:
     """Pushes source chunks into the pipeline (the data generator)."""
     _maybe_pin(cpus)
+    track = threading.current_thread().name
     try:
         for chunk in source:
-            t0 = time.perf_counter()
             payload = chunk.payload
             if payload is None:
                 raise ValueError(f"live chunks need payloads ({chunk.stream_id}#{chunk.index})")
-            outq.put(chunk)
-            stats.record(len(payload), len(payload), time.perf_counter() - t0)
+            with stage_span(
+                telemetry, "feed", stream_id=chunk.stream_id,
+                chunk_id=chunk.index, track=track,
+            ) as sp:
+                outq.put(chunk)
+            _finish(stats, telemetry, "feed", chunk.stream_id,
+                    len(payload), len(payload), sp.duration)
     except Exception as exc:  # noqa: BLE001 - thread boundary
         stats.fail(f"feeder: {exc!r}")
     finally:
@@ -77,22 +106,25 @@ def compressor(
     outq: ClosableQueue,
     stats: StageStats,
     cpus: list[int] | None = None,
+    *,
+    telemetry=None,
 ) -> None:
     """{C}: compress chunk payloads."""
     _maybe_pin(cpus)
+    track = threading.current_thread().name
     try:
         while True:
             try:
                 chunk = inq.get()
             except Closed:
                 break
-            t0 = time.perf_counter()
-            chunk.wire_payload = codec.compress(chunk.payload)
-            stats.record(
-                len(chunk.payload),
-                len(chunk.wire_payload),
-                time.perf_counter() - t0,
-            )
+            with stage_span(
+                telemetry, "compress", stream_id=chunk.stream_id,
+                chunk_id=chunk.index, track=track,
+            ) as sp:
+                chunk.wire_payload = codec.compress(chunk.payload)
+            _finish(stats, telemetry, "compress", chunk.stream_id,
+                    len(chunk.payload), len(chunk.wire_payload), sp.duration)
             outq.put(chunk)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"compressor: {exc!r}")
@@ -107,9 +139,11 @@ def sender(
     *,
     compressed: bool,
     cpus: list[int] | None = None,
+    telemetry=None,
 ) -> None:
     """{S}: one TCP connection's sending thread."""
     _maybe_pin(cpus)
+    track = threading.current_thread().name
     stream_ids: set[str] = set()
     try:
         while True:
@@ -118,18 +152,22 @@ def sender(
             except Closed:
                 break
             payload = chunk.wire_payload if compressed else chunk.payload
-            t0 = time.perf_counter()
-            transport.send(
-                Frame(
-                    stream_id=chunk.stream_id,
-                    index=chunk.index,
-                    payload=payload,
-                    compressed=compressed,
-                    orig_len=len(chunk.payload),
+            with stage_span(
+                telemetry, "send", stream_id=chunk.stream_id,
+                chunk_id=chunk.index, track=track,
+            ) as sp:
+                transport.send(
+                    Frame(
+                        stream_id=chunk.stream_id,
+                        index=chunk.index,
+                        payload=payload,
+                        compressed=compressed,
+                        orig_len=len(chunk.payload),
+                    )
                 )
-            )
             stream_ids.add(chunk.stream_id)
-            stats.record(len(payload), len(payload), time.perf_counter() - t0)
+            _finish(stats, telemetry, "send", chunk.stream_id,
+                    len(payload), len(payload), sp.duration)
         for sid in stream_ids or {"-"}:
             transport.send(Frame.end_of_stream(sid))
     except Exception as exc:  # noqa: BLE001
@@ -143,16 +181,25 @@ def receiver(
     outq: ClosableQueue,
     stats: StageStats,
     cpus: list[int] | None = None,
+    *,
+    telemetry=None,
 ) -> None:
     """{R}: one TCP connection's receiving thread."""
     _maybe_pin(cpus)
+    track = threading.current_thread().name
     try:
         while True:
-            t0 = time.perf_counter()
-            frame = transport.recv()
+            with stage_span(telemetry, "recv", track=track) as sp:
+                frame = transport.recv()
+                if frame is None or frame.eos:
+                    sp.discard = True
+                else:
+                    sp.stream_id = frame.stream_id
+                    sp.chunk_id = frame.index
             if frame is None or frame.eos:
                 break
-            stats.record(len(frame.payload), len(frame.payload), time.perf_counter() - t0)
+            _finish(stats, telemetry, "recv", frame.stream_id,
+                    len(frame.payload), len(frame.payload), sp.duration)
             outq.put(frame)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"receiver: {exc!r}")
@@ -166,27 +213,34 @@ def decompressor(
     stats: StageStats,
     sink: Callable[[str, int, bytes], None],
     cpus: list[int] | None = None,
+    *,
+    telemetry=None,
 ) -> None:
     """{D}: decompress received frames and deliver to the sink."""
     _maybe_pin(cpus)
+    track = threading.current_thread().name
     try:
         while True:
             try:
                 frame = inq.get()
             except Closed:
                 break
-            t0 = time.perf_counter()
-            data = (
-                codec.decompress(frame.payload)
-                if frame.compressed
-                else frame.payload
-            )
+            with stage_span(
+                telemetry, "decompress", stream_id=frame.stream_id,
+                chunk_id=frame.index, track=track,
+            ) as sp:
+                data = (
+                    codec.decompress(frame.payload)
+                    if frame.compressed
+                    else frame.payload
+                )
             if frame.orig_len and len(data) != frame.orig_len:
                 raise ValueError(
                     f"{frame.stream_id}#{frame.index}: decompressed to "
                     f"{len(data)} bytes, expected {frame.orig_len}"
                 )
-            stats.record(len(frame.payload), len(data), time.perf_counter() - t0)
+            _finish(stats, telemetry, "decompress", frame.stream_id,
+                    len(frame.payload), len(data), sp.duration)
             sink(frame.stream_id, frame.index, data)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"decompressor: {exc!r}")

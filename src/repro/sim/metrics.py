@@ -10,6 +10,12 @@ raw material for the paper's exhibits:
 
 Chunk-completion throughput is recorded at the runtime layer (it knows
 payload sizes); this module only sees resources and rates.
+
+With a :class:`~repro.telemetry.registry.MetricRegistry` attached the
+collector mirrors its accumulations into labeled counters
+(``sim_resource_units_total{resource,kind}``) and publishes utilization
+gauges on demand (:meth:`publish_utilization`), so simulated resource
+consumption is inspectable through the same exporters as live metrics.
 """
 
 from __future__ import annotations
@@ -23,9 +29,23 @@ from repro.sim.flows import Flow, FlowNetwork, Resource
 class MetricsCollector:
     """Integrates per-resource and per-core consumption over sim time."""
 
-    def __init__(self, engine: Engine, network: FlowNetwork) -> None:
+    def __init__(
+        self, engine: Engine, network: FlowNetwork, *, registry=None
+    ) -> None:
         self.engine = engine
         self.network = network
+        self.registry = registry
+        self._usage_counters: dict[str, object] = {}
+        self._usage_family = (
+            registry.counter(
+                "sim_resource_units_total",
+                "Simulated units consumed per resource "
+                "(core-seconds, bytes, ...)",
+                ("resource", "kind"),
+            )
+            if registry is not None
+            else None
+        )
         self.start_time = engine.now
         #: resource name -> total units consumed (core-seconds, bytes, ...)
         self.resource_usage: dict[str, float] = defaultdict(float)
@@ -55,6 +75,14 @@ class MetricsCollector:
                 self.resource_usage[r.name] += amount
                 self.resource_capacity.setdefault(r.name, r.capacity)
                 kind = r.tags.get("kind")
+                if self._usage_family is not None:
+                    counter = self._usage_counters.get(r.name)
+                    if counter is None:
+                        counter = self._usage_family.labels(
+                            resource=r.name, kind=kind or "other"
+                        )
+                        self._usage_counters[r.name] = counter
+                    counter.inc(amount)
                 if core_name is not None:
                     if kind == "interconnect":
                         self.core_remote_bytes[core_name] += amount
@@ -67,7 +95,8 @@ class MetricsCollector:
         """Drop accumulated metrics; measurement restarts at ``now``.
 
         Call at the end of a warm-up phase so pipeline fill does not bias
-        utilization averages.
+        utilization averages.  Registry counters are *not* reset — they
+        stay monotonic lifetime totals, as counters must.
         """
         self.start_time = self.engine.now
         self.resource_usage.clear()
@@ -95,6 +124,23 @@ class MetricsCollector:
     def core_utilization_map(self, core_names: list[str]) -> dict[str, float]:
         """Utilization per named core (0 for cores never used)."""
         return {name: self.utilization(name) for name in core_names}
+
+    def publish_utilization(self) -> None:
+        """Set ``sim_resource_utilization`` gauges from current totals.
+
+        No-op without an attached registry.  Gauges (not counters):
+        utilization is an instantaneous ratio over the elapsed window,
+        re-published whenever the runtime reports.
+        """
+        if self.registry is None:
+            return
+        family = self.registry.gauge(
+            "sim_resource_utilization",
+            "Fraction of simulated resource capacity consumed",
+            ("resource",),
+        )
+        for name in self.resource_usage:
+            family.labels(resource=name).set(self.utilization(name))
 
     def remote_access_map(
         self, core_names: list[str], *, normalize: bool = True

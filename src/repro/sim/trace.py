@@ -2,14 +2,13 @@
 
 When a :class:`~repro.core.runtime.SimRuntime` is built with
 ``trace=True``, every stage records a :class:`StageSpan` per chunk:
-when work started, when it finished, and where it ran.  From the spans
-the tracer derives the numbers a performance engineer actually wants:
-
-- per-stage service-time statistics,
-- per-stage *queue wait* (gap between the previous stage finishing a
-  chunk and the next stage starting it — where backpressure lives),
-- end-to-end pipeline residence per chunk,
-- the bottleneck stage (the one with the highest busy utilization).
+when work started, when it finished, and where it ran.  Since the
+telemetry subsystem landed, this module is a thin adapter: spans live
+in a :class:`~repro.telemetry.spans.SpanStore` and every derived number
+(per-stage service time, queue wait, the bottleneck stage) comes from
+:class:`~repro.telemetry.report.PipelineReport` — the *same* code path
+the live pipeline's telemetry uses, so a simulated trace and a live
+trace answer "which stage is the bottleneck?" identically.
 
 This is the paper's "bottlenecks within the end-to-end pipeline shift
 across different segments" analysis (§4.1), made inspectable.
@@ -17,48 +16,39 @@ across different segments" analysis (§4.1), made inspectable.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from repro.telemetry.report import PipelineReport, StageAggregate
+from repro.telemetry.spans import Span, SpanStore
 
-from repro.util.timeseries import WindowStats
+#: One stage's work interval for one chunk.  ``StageSpan`` predates the
+#: telemetry subsystem; it is now literally a telemetry span (the old
+#: ``chunk_index``/``core`` field names remain available as properties).
+StageSpan = Span
 
-
-@dataclass(frozen=True)
-class StageSpan:
-    """One stage's work interval for one chunk."""
-
-    stream_id: str
-    chunk_index: int
-    stage: str
-    start: float
-    end: float
-    core: str | None = None
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-@dataclass
-class StageSummary:
-    """Aggregated timing for one stage of one stream."""
-
-    service: WindowStats = field(default_factory=WindowStats)
-    queue_wait: WindowStats = field(default_factory=WindowStats)
-    busy_seconds: float = 0.0
-    chunks: int = 0
+#: Aggregated per-stage timing; kept as an alias for trace-era imports.
+StageSummary = StageAggregate
 
 
 class ChunkTracer:
-    """Collects stage spans; derives timelines and summaries."""
+    """Collects stage spans; derives timelines and summaries.
 
-    def __init__(self) -> None:
-        #: (stream, chunk) -> spans in pipeline order of recording.
-        self._spans: dict[tuple[str, int], list[StageSpan]] = defaultdict(list)
+    Spans land in ``self.spans`` — pass a shared
+    :class:`~repro.telemetry.spans.SpanStore` (or a whole
+    :class:`~repro.telemetry.Telemetry`, which also feeds the
+    stage-seconds histogram) to make the trace visible to exporters.
+    """
+
+    def __init__(self, spans: SpanStore | None = None, *, telemetry=None) -> None:
+        if spans is None:
+            spans = telemetry.spans if telemetry is not None else SpanStore()
+        self.spans = spans
+        self._telemetry = telemetry
         #: stream -> {stage -> thread count}, supplied by the runtime so
         #: bottleneck detection can use per-thread utilization.
         self._threads: dict[str, dict[str, int]] = {}
-        self.total_spans = 0
+
+    @property
+    def total_spans(self) -> int:
+        return len(self.spans)
 
     def set_thread_counts(self, stream_id: str, counts: dict[str, int]) -> None:
         """Record how many threads serve each stage of a stream."""
@@ -75,21 +65,22 @@ class ChunkTracer:
         end: float,
         core: str | None = None,
     ) -> None:
-        if end < start:
-            raise ValueError(
-                f"span for {stream_id}#{chunk_index}/{stage} ends before it starts"
+        if self._telemetry is not None:
+            self._telemetry.record_span(
+                stage, start, end,
+                stream_id=stream_id, chunk_id=chunk_index, track=core,
             )
-        self._spans[(stream_id, chunk_index)].append(
-            StageSpan(stream_id, chunk_index, stage, start, end, core)
-        )
-        self.total_spans += 1
+        else:
+            self.spans.record(
+                stage, start, end,
+                stream_id=stream_id, chunk_id=chunk_index, track=core,
+            )
 
     # -- queries -----------------------------------------------------------
 
     def timeline(self, stream_id: str, chunk_index: int) -> list[StageSpan]:
         """Spans of one chunk, ordered by start time."""
-        spans = self._spans.get((stream_id, chunk_index), [])
-        return sorted(spans, key=lambda s: (s.start, s.end))
+        return self.spans.for_chunk(stream_id, chunk_index)
 
     def residence_time(self, stream_id: str, chunk_index: int) -> float:
         """First-start to last-end across the chunk's pipeline."""
@@ -99,25 +90,19 @@ class ChunkTracer:
         return tl[-1].end - tl[0].start
 
     def chunks_of(self, stream_id: str) -> list[int]:
-        return sorted(
-            idx for (sid, idx) in self._spans if sid == stream_id
+        return sorted({s.chunk_id for s in self.spans.for_stream(stream_id)})
+
+    def pipeline_report(self, stream_id: str) -> PipelineReport:
+        """The unified telemetry report for one stream's trace."""
+        return PipelineReport.from_spans(
+            self.spans.for_stream(stream_id),
+            stream_id=stream_id,
+            thread_counts=self._threads.get(stream_id),
         )
 
     def summarize(self, stream_id: str) -> dict[str, StageSummary]:
         """Per-stage service/queue-wait statistics for one stream."""
-        out: dict[str, StageSummary] = defaultdict(StageSummary)
-        for idx in self.chunks_of(stream_id):
-            tl = self.timeline(stream_id, idx)
-            prev_end: float | None = None
-            for span in tl:
-                s = out[span.stage]
-                s.service.add(span.duration)
-                s.busy_seconds += span.duration
-                s.chunks += 1
-                if prev_end is not None:
-                    s.queue_wait.add(max(0.0, span.start - prev_end))
-                prev_end = span.end
-        return dict(out)
+        return self.pipeline_report(stream_id).stages
 
     def stage_utilization(self, stream_id: str) -> dict[str, float]:
         """Busy fraction per stage: busy_seconds / (threads × span).
@@ -125,23 +110,7 @@ class ChunkTracer:
         Needs thread counts (:meth:`set_thread_counts`); stages without
         a known count assume 1 thread.
         """
-        spans = [
-            s
-            for (sid, _), lst in self._spans.items()
-            if sid == stream_id
-            for s in lst
-        ]
-        if not spans:
-            return {}
-        t0 = min(s.start for s in spans)
-        t1 = max(s.end for s in spans)
-        makespan = max(t1 - t0, 1e-12)
-        counts = self._threads.get(stream_id, {})
-        summary = self.summarize(stream_id)
-        return {
-            stage: s.busy_seconds / (counts.get(stage, 1) * makespan)
-            for stage, s in summary.items()
-        }
+        return self.pipeline_report(stream_id).stage_utilization()
 
     def bottleneck(self, stream_id: str) -> str | None:
         """The stage whose threads are busiest (highest utilization).
@@ -151,30 +120,8 @@ class ChunkTracer:
         utilization identifies it even when thread counts differ wildly
         between stages.
         """
-        util = self.stage_utilization(stream_id)
-        if not util:
-            return None
-        return max(util.items(), key=lambda kv: kv[1])[0]
+        return self.pipeline_report(stream_id).bottleneck
 
     def report(self, stream_id: str) -> str:
         """Human-readable per-stage table."""
-        summary = self.summarize(stream_id)
-        util = self.stage_utilization(stream_id)
-        counts = self._threads.get(stream_id, {})
-        lines = [f"trace summary for stream {stream_id!r}:"]
-        lines.append(
-            f"  {'stage':<12} {'thr':>4} {'chunks':>6} {'service(ms)':>12} "
-            f"{'q-wait(ms)':>11} {'busy(s)':>8} {'util':>5}"
-        )
-        for stage, s in summary.items():
-            service_ms = s.service.mean * 1e3 if s.chunks else 0.0
-            wait_ms = s.queue_wait.mean * 1e3 if s.queue_wait.n else 0.0
-            lines.append(
-                f"  {stage:<12} {counts.get(stage, 1):>4} {s.chunks:>6} "
-                f"{service_ms:>12.2f} {wait_ms:>11.2f} "
-                f"{s.busy_seconds:>8.2f} {util.get(stage, 0.0):>5.2f}"
-            )
-        bn = self.bottleneck(stream_id)
-        if bn:
-            lines.append(f"  bottleneck stage: {bn}")
-        return "\n".join(lines)
+        return self.pipeline_report(stream_id).render()

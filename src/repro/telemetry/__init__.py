@@ -1,0 +1,62 @@
+"""repro.telemetry — unified metrics + span tracing for sim and live runs.
+
+The observability layer the paper's workflow needs (measure → diagnose
+the bottleneck stage → re-place threads, §4.1), shared by both execution
+substrates:
+
+- :class:`MetricRegistry` — labeled :class:`Counter
+  <repro.telemetry.registry.CounterSeries>` / gauge / histogram series
+  with thread-safe updates;
+- :class:`SpanStore` / :func:`stage_span` — per-chunk stage spans on a
+  pluggable :class:`Clock` (wall time live, virtual time in the sim);
+- exporters — Prometheus text, JSON snapshot, Chrome ``trace_event``
+  (open in ``chrome://tracing`` or Perfetto);
+- :class:`PipelineReport` — per-stage service time, queue wait and the
+  bottleneck stage, derived identically for sim and live traces.
+
+Most call sites only need :class:`Telemetry`, the facade bundling all
+of the above.  See ``docs/telemetry.md``.
+"""
+
+from repro.telemetry.clock import Clock, ManualClock, SimClock, WallClock
+from repro.telemetry.export import (
+    chrome_trace,
+    json_snapshot,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.telemetry.facade import Telemetry
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricFamily,
+    MetricRegistry,
+)
+from repro.telemetry.report import PipelineReport, StageAggregate
+from repro.telemetry.spans import ActiveSpan, Span, SpanStore, stage_span
+
+__all__ = [
+    "ActiveSpan",
+    "Clock",
+    "CounterSeries",
+    "DEFAULT_BUCKETS",
+    "GaugeSeries",
+    "HistogramSeries",
+    "ManualClock",
+    "MetricFamily",
+    "MetricRegistry",
+    "PipelineReport",
+    "SimClock",
+    "Span",
+    "SpanStore",
+    "StageAggregate",
+    "Telemetry",
+    "WallClock",
+    "chrome_trace",
+    "json_snapshot",
+    "prometheus_text",
+    "stage_span",
+    "write_chrome_trace",
+]

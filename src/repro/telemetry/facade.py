@@ -1,0 +1,162 @@
+"""The `Telemetry` facade: one object both substrates write into.
+
+It bundles a :class:`~repro.telemetry.registry.MetricRegistry`, a
+:class:`~repro.telemetry.spans.SpanStore` and a pluggable clock, and
+pre-registers the *canonical pipeline metric families* so the simulator
+and the live runtime report through identical names:
+
+==============================  =========  ==========================
+family                          type       labels
+==============================  =========  ==========================
+``pipeline_chunks_total``       counter    stage, stream
+``pipeline_bytes_total``        counter    stage, stream
+``pipeline_stage_seconds``      histogram  stage
+``pipeline_queue_depth``        gauge      queue
+``transport_frames_total``      counter    direction
+``transport_bytes_total``       counter    direction
+==============================  =========  ==========================
+
+The sim-vs-live parity test in ``tests/integration`` holds the two
+substrates to this contract.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from repro.telemetry.clock import Clock, WallClock
+from repro.telemetry.export import (
+    chrome_trace,
+    json_snapshot,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.telemetry.registry import GaugeSeries, MetricRegistry
+from repro.telemetry.report import PipelineReport
+from repro.telemetry.spans import ActiveSpan, Span, SpanStore
+
+
+class Telemetry:
+    """Metrics + spans for one pipeline run (sim or live)."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock or WallClock()
+        self.registry = MetricRegistry()
+        self.spans = SpanStore(clock=self.clock)
+        #: stage -> thread count, for per-thread bottleneck utilization.
+        self.thread_counts: dict[str, int] = {}
+        self._chunks = self.registry.counter(
+            "pipeline_chunks_total",
+            "Chunks completed per pipeline stage",
+            ("stage", "stream"),
+        )
+        self._bytes = self.registry.counter(
+            "pipeline_bytes_total",
+            "Uncompressed payload bytes processed per pipeline stage",
+            ("stage", "stream"),
+        )
+        self._stage_seconds = self.registry.histogram(
+            "pipeline_stage_seconds",
+            "Per-chunk service time per pipeline stage",
+            ("stage",),
+        )
+        self._queue_depth = self.registry.gauge(
+            "pipeline_queue_depth",
+            "Inter-stage queue occupancy",
+            ("queue",),
+        )
+        self._frames = self.registry.counter(
+            "transport_frames_total",
+            "Frames moved over the transport",
+            ("direction",),
+        )
+        self._tbytes = self.registry.counter(
+            "transport_bytes_total",
+            "Wire bytes moved over the transport",
+            ("direction",),
+        )
+
+    def set_clock(self, clock: Clock) -> None:
+        """Rebind the time source (the sim engine exists after __init__)."""
+        self.clock = clock
+        self.spans.clock = clock
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        stage: str,
+        *,
+        stream_id: str = "",
+        chunk_id: int = -1,
+        track: str | None = None,
+    ) -> Iterator[ActiveSpan]:
+        """Time a block; records the span and the stage-seconds sample."""
+        with self.spans.span(
+            stage, stream_id=stream_id, chunk_id=chunk_id, track=track
+        ) as handle:
+            yield handle
+        if not handle.discard:
+            self._stage_seconds.labels(stage=stage).observe(handle.duration)
+
+    def record_span(
+        self,
+        stage: str,
+        start: float,
+        end: float,
+        *,
+        stream_id: str = "",
+        chunk_id: int = -1,
+        track: str | None = None,
+    ) -> Span:
+        """Explicit begin/end recording (the simulator's virtual clock)."""
+        span = self.spans.record(
+            stage, start, end, stream_id=stream_id, chunk_id=chunk_id,
+            track=track,
+        )
+        self._stage_seconds.labels(stage=stage).observe(span.duration)
+        return span
+
+    # -- canonical pipeline metrics --------------------------------------
+
+    def record_chunk(self, stage: str, stream_id: str, nbytes: int) -> None:
+        """One chunk left ``stage``: bump the chunk and byte counters."""
+        self._chunks.labels(stage=stage, stream=stream_id).inc()
+        self._bytes.labels(stage=stage, stream=stream_id).inc(nbytes)
+
+    def record_frame(self, direction: str, nbytes: int) -> None:
+        """One transport frame moved (``direction`` is ``tx`` or ``rx``)."""
+        self._frames.labels(direction=direction).inc()
+        self._tbytes.labels(direction=direction).inc(nbytes)
+
+    def queue_gauge(self, queue: str) -> GaugeSeries:
+        """The occupancy gauge series for one named queue."""
+        return self._queue_depth.labels(queue=queue)
+
+    # -- derived views ---------------------------------------------------
+
+    def pipeline_report(
+        self,
+        stream_id: str | None = None,
+        *,
+        thread_counts: Mapping[str, int] | None = None,
+    ) -> PipelineReport:
+        """Service/queue-wait/bottleneck analysis over collected spans."""
+        counts = thread_counts if thread_counts is not None else self.thread_counts
+        return PipelineReport.from_spans(
+            self.spans.snapshot(), stream_id=stream_id, thread_counts=counts
+        )
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.registry)
+
+    def json_snapshot(self) -> dict[str, Any]:
+        return json_snapshot(self.registry)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        return chrome_trace(self.spans.snapshot())
+
+    def write_chrome_trace(self, path: str) -> int:
+        return write_chrome_trace(self.spans.snapshot(), path)

@@ -1,0 +1,127 @@
+"""Derive pipeline diagnostics from spans: service, queue wait, bottleneck.
+
+This is the paper's *measure → diagnose → re-place* loop's "diagnose"
+step (§4.1), computed identically for both substrates: group spans per
+chunk, read per-stage service time directly and *queue wait* as the gap
+between the previous stage finishing a chunk and the next one starting
+it, then pick the bottleneck as the stage whose threads are busiest
+(busy_seconds / (threads × makespan)).  ``sim/trace.py``'s
+:class:`~repro.sim.trace.ChunkTracer` delegates here, so a simulated
+trace and a live trace answer the bottleneck question through one code
+path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.telemetry.spans import Span
+from repro.util.timeseries import WindowStats
+
+
+@dataclass
+class StageAggregate:
+    """Aggregated timing for one pipeline stage."""
+
+    service: WindowStats = field(default_factory=WindowStats)
+    queue_wait: WindowStats = field(default_factory=WindowStats)
+    busy_seconds: float = 0.0
+    chunks: int = 0
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage statistics and the bottleneck verdict for one stream."""
+
+    stream_id: str
+    stages: dict[str, StageAggregate]
+    #: stage -> thread count used for per-thread utilization (default 1).
+    thread_counts: dict[str, int]
+    #: first-start to last-end across every span considered.
+    makespan: float
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[Span],
+        *,
+        stream_id: str | None = None,
+        thread_counts: Mapping[str, int] | None = None,
+    ) -> "PipelineReport":
+        """Build a report from raw spans.
+
+        With ``stream_id`` given only that stream's spans are used;
+        otherwise all spans are pooled (useful for single-stream live
+        runs where every chunk shares one stream id anyway).
+        """
+        selected = [
+            s for s in spans if stream_id is None or s.stream_id == stream_id
+        ]
+        stages: dict[str, StageAggregate] = defaultdict(StageAggregate)
+        by_chunk: dict[tuple[str, int], list[Span]] = defaultdict(list)
+        for s in selected:
+            by_chunk[(s.stream_id, s.chunk_id)].append(s)
+        for key in sorted(by_chunk):
+            timeline = sorted(by_chunk[key], key=lambda s: (s.start, s.end))
+            prev_end: float | None = None
+            for span in timeline:
+                agg = stages[span.stage]
+                agg.service.add(span.duration)
+                agg.busy_seconds += span.duration
+                agg.chunks += 1
+                if prev_end is not None:
+                    agg.queue_wait.add(max(0.0, span.start - prev_end))
+                prev_end = span.end
+        makespan = 0.0
+        if selected:
+            t0 = min(s.start for s in selected)
+            t1 = max(s.end for s in selected)
+            makespan = max(t1 - t0, 0.0)
+        return cls(
+            stream_id=stream_id or "",
+            stages=dict(stages),
+            thread_counts=dict(thread_counts or {}),
+            makespan=makespan,
+        )
+
+    # -- diagnosis -------------------------------------------------------
+
+    def stage_utilization(self) -> dict[str, float]:
+        """Busy fraction per stage: busy_seconds / (threads × makespan)."""
+        span = max(self.makespan, 1e-12)
+        return {
+            stage: agg.busy_seconds / (self.thread_counts.get(stage, 1) * span)
+            for stage, agg in self.stages.items()
+        }
+
+    @property
+    def bottleneck(self) -> str | None:
+        """The stage whose threads are busiest, or None without spans."""
+        util = self.stage_utilization()
+        if not util:
+            return None
+        return max(util.items(), key=lambda kv: kv[1])[0]
+
+    def render(self) -> str:
+        """Human-readable per-stage table (the ``repro telemetry`` view)."""
+        title = f"stream {self.stream_id!r}" if self.stream_id else "pipeline"
+        lines = [f"telemetry report for {title}:"]
+        lines.append(
+            f"  {'stage':<12} {'thr':>4} {'chunks':>6} {'service(ms)':>12} "
+            f"{'q-wait(ms)':>11} {'busy(s)':>8} {'util':>5}"
+        )
+        util = self.stage_utilization()
+        for stage, agg in self.stages.items():
+            service_ms = agg.service.mean * 1e3 if agg.chunks else 0.0
+            wait_ms = agg.queue_wait.mean * 1e3 if agg.queue_wait.n else 0.0
+            lines.append(
+                f"  {stage:<12} {self.thread_counts.get(stage, 1):>4} "
+                f"{agg.chunks:>6} {service_ms:>12.2f} {wait_ms:>11.2f} "
+                f"{agg.busy_seconds:>8.2f} {util.get(stage, 0.0):>5.2f}"
+            )
+        bn = self.bottleneck
+        if bn:
+            lines.append(f"  bottleneck stage: {bn}")
+        return "\n".join(lines)

@@ -65,6 +65,82 @@ class TestClose:
             q.put(1)
 
 
+class TestTelemetry:
+    def test_depth_gauge_tracks_occupancy(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        q = ClosableQueue(capacity=8, name="sendq", telemetry=tel)
+        for i in range(3):
+            q.put(i)
+        gauge = tel.queue_gauge("sendq")
+        assert gauge.value == 3
+        q.get(timeout=1)
+        assert gauge.value == 2
+        assert gauge.high_water == 3
+        assert q.max_depth == 3
+
+    def test_sample_occupancy_publishes_current_depth(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        q = ClosableQueue(capacity=8, name="wireq", telemetry=tel)
+        q.put("x")
+        assert q.sample_occupancy() == 1
+        assert tel.queue_gauge("wireq").value == 1
+
+    def test_max_depth_without_telemetry(self):
+        q = ClosableQueue(capacity=8)
+        q.put(1)
+        q.put(2)
+        assert q.max_depth == 2
+
+
+class TestPutCloseRace:
+    def test_put_never_lands_after_final_close(self):
+        """A put racing the sealing close either lands or raises.
+
+        Before the check-and-put became atomic, a put could pass the
+        closed check, lose the CPU, and enqueue onto a sealed queue —
+        stranding the item past the consumers' Closed signal.  Here we
+        hammer the interleaving: every produced item must either be
+        consumed or have raised ValidationError at the producer.
+        """
+        for _ in range(50):
+            q = ClosableQueue(capacity=64, producers=1)
+            outcome = {}
+            consumed = []
+            barrier = threading.Barrier(2)
+
+            def produce():
+                barrier.wait()
+                try:
+                    q.put("item")
+                    outcome["put"] = "ok"
+                except ValidationError:
+                    outcome["put"] = "rejected"
+
+            def close():
+                barrier.wait()
+                q.close()
+
+            producer = threading.Thread(target=produce)
+            closer = threading.Thread(target=close)
+            producer.start()
+            closer.start()
+            producer.join(timeout=5)
+            closer.join(timeout=5)
+            while True:
+                try:
+                    consumed.append(q.get(timeout=0.2))
+                except Closed:
+                    break
+            if outcome["put"] == "ok":
+                assert consumed == ["item"]
+            else:
+                assert consumed == []
+
+
 class TestThreading:
     def test_consumer_wakes_on_close(self):
         q = ClosableQueue()

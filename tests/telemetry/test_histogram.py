@@ -1,0 +1,90 @@
+"""Histogram bucketing and quantile estimation."""
+
+import math
+
+import pytest
+
+from repro.telemetry import MetricRegistry
+from repro.util.errors import ValidationError
+
+
+def make_hist(buckets=(0.1, 0.2, 0.5, 1.0)):
+    return (
+        MetricRegistry()
+        .histogram("t_seconds", buckets=buckets)
+        .labels()
+    )
+
+
+class TestBuckets:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = make_hist()
+        for v in (0.05, 0.15, 0.3, 0.7, 2.0):
+            h.observe(v)
+        # per-bucket (non-cumulative): <=0.1, <=0.2, <=0.5, <=1.0, +inf
+        assert h.bucket_counts == [1, 1, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(3.2)
+
+    def test_value_on_boundary_counts_as_le(self):
+        h = make_hist()
+        h.observe(0.2)
+        assert h.bucket_counts == [0, 1, 0, 0, 0]
+
+    def test_mean(self):
+        h = make_hist()
+        for v in (0.1, 0.3):
+            h.observe(v)
+        assert h.mean == pytest.approx(0.2)
+        assert math.isnan(make_hist().mean)
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(make_hist().quantile(0.5))
+
+    def test_extremes_are_exact(self):
+        h = make_hist()
+        for v in (0.13, 0.42, 0.97):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.13
+        assert h.quantile(1.0) == 0.97
+
+    def test_single_observation_every_quantile(self):
+        h = make_hist()
+        h.observe(0.3)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.3)
+
+    def test_median_within_bucket_width(self):
+        # 100 uniform values in (0, 1]; true median 0.5 lies in the
+        # (0.2, 0.5] bucket boundary region — estimate must be within
+        # the enclosing bucket.
+        h = make_hist()
+        for i in range(1, 101):
+            h.observe(i / 100)
+        est = h.quantile(0.5)
+        assert 0.2 <= est <= 0.51
+
+    def test_monotonic_in_q(self):
+        h = make_hist()
+        for i in range(1, 101):
+            h.observe(i / 100)
+        qs = [h.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_tight_cluster_clamped_by_min_max(self):
+        # All mass in one wide bucket: interpolation must not escape
+        # the observed [min, max] envelope.
+        h = make_hist(buckets=(1.0, 100.0))
+        for v in (40.0, 41.0, 42.0):
+            h.observe(v)
+        assert 40.0 <= h.quantile(0.5) <= 42.0
+
+    def test_invalid_q_rejected(self):
+        h = make_hist()
+        h.observe(0.1)
+        with pytest.raises(ValidationError):
+            h.quantile(1.5)
+        with pytest.raises(ValidationError):
+            h.quantile(-0.1)

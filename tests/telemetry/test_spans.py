@@ -1,0 +1,98 @@
+"""Span recording on pluggable clocks."""
+
+import pytest
+
+from repro.telemetry import ManualClock, Span, SpanStore, Telemetry
+from repro.telemetry.spans import stage_span
+
+
+class TestSpan:
+    def test_duration_and_aliases(self):
+        s = Span("det1", 3, "compress", 1.0, 1.5, track="core-0")
+        assert s.duration == pytest.approx(0.5)
+        assert s.chunk_index == 3
+        assert s.core == "core-0"
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span("s", 0, "x", 2.0, 1.0)
+
+
+class TestSpanStore:
+    def test_context_manager_on_manual_clock(self):
+        clock = ManualClock()
+        store = SpanStore(clock=clock)
+        with store.span("compress", stream_id="s", chunk_id=0):
+            clock.advance(0.25)
+        (span,) = store.snapshot()
+        assert span.stage == "compress"
+        assert span.duration == pytest.approx(0.25)
+
+    def test_identity_fillable_inside_block(self):
+        store = SpanStore(clock=ManualClock())
+        with store.span("recv") as sp:
+            sp.stream_id = "learned-late"
+            sp.chunk_id = 7
+        (span,) = store.snapshot()
+        assert (span.stream_id, span.chunk_id) == ("learned-late", 7)
+
+    def test_discard_drops_span(self):
+        store = SpanStore(clock=ManualClock())
+        with store.span("recv") as sp:
+            sp.discard = True
+        assert len(store) == 0
+
+    def test_span_recorded_even_on_exception(self):
+        clock = ManualClock()
+        store = SpanStore(clock=clock)
+        with pytest.raises(RuntimeError):
+            with store.span("compress", stream_id="s", chunk_id=1):
+                clock.advance(0.1)
+                raise RuntimeError("codec blew up")
+        (span,) = store.snapshot()
+        assert span.duration == pytest.approx(0.1)
+
+    def test_explicit_record(self):
+        store = SpanStore()
+        store.record("wire", 1.0, 3.0, stream_id="s", chunk_id=2)
+        (span,) = store.snapshot()
+        assert span.duration == 2.0
+
+    def test_for_chunk_sorted_by_start(self):
+        store = SpanStore()
+        store.record("send", 2.0, 3.0, stream_id="s", chunk_id=0)
+        store.record("feed", 0.0, 1.0, stream_id="s", chunk_id=0)
+        store.record("feed", 0.0, 1.0, stream_id="other", chunk_id=0)
+        timeline = store.for_chunk("s", 0)
+        assert [s.stage for s in timeline] == ["feed", "send"]
+
+    def test_open_handle_has_no_duration(self):
+        store = SpanStore(clock=ManualClock())
+        with store.span("x") as sp:
+            with pytest.raises(RuntimeError):
+                _ = sp.duration
+        assert sp.duration == 0.0
+
+
+class TestStageSpanHelper:
+    def test_without_telemetry_still_times(self):
+        with stage_span(None, "compress") as sp:
+            pass
+        assert sp.duration >= 0.0
+
+    def test_with_telemetry_records_span_and_histogram(self):
+        clock = ManualClock()
+        tel = Telemetry(clock=clock)
+        with stage_span(tel, "compress", stream_id="s", chunk_id=0):
+            clock.advance(0.5)
+        assert len(tel.spans) == 1
+        hist = tel.registry.get("pipeline_stage_seconds").labels("compress")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.5)
+
+    def test_discard_skips_histogram_too(self):
+        tel = Telemetry(clock=ManualClock())
+        with stage_span(tel, "recv") as sp:
+            sp.discard = True
+        assert len(tel.spans) == 0
+        assert tel.registry.get("pipeline_stage_seconds").labels("recv").count == 0
