@@ -9,6 +9,8 @@
 
     repro-live --chunks 12 --codec zlib --connections 2
     repro-live --chunks 12 --trace-out trace.json   # Chrome/Perfetto trace
+    repro-live --chunks 24 --fault drop:at=5 --fault corrupt:at=11
+    repro-live --connect host:9000 --fault drop:at=5 --json-out out.json
 
 ``repro-plan`` / ``repro-run`` are the paper's Figure-4 workflow: the
 configuration generator writes a scenario file; the runtime executes
@@ -113,15 +115,53 @@ def live_main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="collect telemetry and write Prometheus text exposition",
     )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="KIND[:k=v,...]",
+        help="inject a sender-side transport fault (chaos testing); "
+        "repeatable. Kinds: corrupt, truncate, drop, delay. Keys: "
+        "at=<frame>, conn=<connection>, delay=<s>, count=<n>. "
+        "Example: drop:at=5",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the run result as JSON (shared result envelope)",
+    )
     args = parser.parse_args(argv)
     if args.listen and args.connect:
         parser.error("--listen and --connect are mutually exclusive")
+    if args.listen and args.fault:
+        parser.error("--fault is sender-side; use it with --connect or "
+                     "the in-process loopback, not --listen")
+
+    from repro.faults import FaultInjector, parse_fault
+    from repro.util.errors import ValidationError
+
+    try:
+        fault_specs = [parse_fault(text) for text in args.fault]
+    except ValidationError as exc:
+        parser.error(str(exc))
 
     telemetry = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or fault_specs:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
+    injector = (
+        FaultInjector(fault_specs, telemetry=telemetry)
+        if fault_specs
+        else None
+    )
+
+    def write_json(report) -> None:
+        if args.json_out:
+            from repro.core.results import write_result_json
+
+            write_result_json(report, args.json_out)
+            print(f"wrote result to {args.json_out}")
 
     def finish_telemetry() -> None:
         if telemetry is None:
@@ -173,6 +213,7 @@ def live_main(argv: list[str] | None = None) -> int:
         report = server.serve()
         print(report.summary())
         finish_telemetry()
+        write_json(report)
         return 0 if report.ok else 1
 
     if args.connect:
@@ -186,11 +227,66 @@ def live_main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             compress_threads=args.compress_threads,
             telemetry=telemetry,
+            injector=injector,
         )
         report = client.run(make_source())
         print(report.summary())
         finish_telemetry()
+        write_json(report)
         return 0 if report.ok else 1
+
+    if injector is not None:
+        # Faults need the resilient TCP endpoints; run both over
+        # loopback (the in-process socketpair pipeline has no recovery).
+        import threading
+
+        from repro.live.remote import ReceiverServer, SenderClient
+
+        server = ReceiverServer(
+            port=0,
+            codec=args.codec,
+            connections=args.connections,
+            decompress_threads=args.decompress_threads,
+            telemetry=telemetry,
+        )
+        host, port = server.address
+        box: dict = {}
+
+        def serve() -> None:
+            box["report"] = server.serve()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        client = SenderClient(
+            host,
+            port,
+            codec=args.codec,
+            connections=args.connections,
+            compress_threads=args.compress_threads,
+            telemetry=telemetry,
+            injector=injector,
+        )
+        sender_report = client.run(make_source())
+        thread.join(client.timeouts.join)
+        report = box.get("report")
+        print(sender_report.summary())
+        if report is not None:
+            print(report.summary())
+        if telemetry is not None:
+            print(
+                "resilience: retries="
+                f"{telemetry.counter_value('transport_retries_total'):.0f} "
+                "redeliveries="
+                f"{telemetry.counter_value('transport_redeliveries_total'):.0f} "
+                "rejected="
+                f"{telemetry.counter_value('transport_frames_rejected_total'):.0f} "
+                "deduped="
+                f"{telemetry.counter_value('transport_frames_deduped_total'):.0f}"
+            )
+        finish_telemetry()
+        write_json(sender_report)
+        ok = sender_report.ok and report is not None and report.ok
+        return 0 if ok else 1
 
     from repro.live import LiveConfig, LivePipeline
 
@@ -206,6 +302,7 @@ def live_main(argv: list[str] | None = None) -> int:
     report = pipeline.run(make_source())
     print(report.summary())
     finish_telemetry()
+    write_json(report)
     return 0 if report.ok else 1
 
 
@@ -276,6 +373,11 @@ def run_main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="collect telemetry and write Prometheus text exposition",
     )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the run result as JSON (shared result envelope)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.runtime import SimRuntime, run_scenario
@@ -309,6 +411,11 @@ def run_main(argv: list[str] | None = None) -> int:
     table.add("TOTAL", "-", round(result.total_wire_gbps, 2),
               round(result.total_delivered_gbps, 2))
     print(table.render())
+    if args.json_out:
+        from repro.core.results import write_result_json
+
+        write_result_json(result, args.json_out)
+        print(f"wrote result to {args.json_out}")
     return 0
 
 

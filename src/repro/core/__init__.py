@@ -33,6 +33,7 @@ from repro.core.params import (
     PathSpec,
 )
 from repro.core.placement import PlacementSpec, ThreadHome, resolve_placement
+from repro.core.results import RunResult, result_envelope, write_result_json
 from repro.core.serialize import (
     load_scenario,
     save_scenario,
@@ -59,6 +60,7 @@ __all__ = [
     "PathSpec",
     "PlacementSpec",
     "Prediction",
+    "RunResult",
     "ScenarioConfig",
     "ScenarioResult",
     "SimRuntime",
@@ -74,8 +76,10 @@ __all__ = [
     "Workload",
     "load_scenario",
     "resolve_placement",
+    "result_envelope",
     "run_scenario",
     "save_scenario",
     "scenario_from_json",
     "scenario_to_json",
+    "write_result_json",
 ]

@@ -41,10 +41,20 @@ class FaultSpec:
       a GC pause, page fault storm, or interrupt burst;
     - ``kind="degrade"``: from its ``at_chunk``-th chunk on, the thread
       adds ``duration`` seconds of dead time per chunk — a thermally
-      throttled or noisy-neighboured core.
+      throttled or noisy-neighboured core;
+    - ``kind="crash"``: the thread dies mid-way through its
+      ``at_chunk``-th chunk and restarts: the work already done on that
+      chunk is lost (its flow runs once for nothing), recovery takes
+      ``duration`` seconds, then the chunk is reprocessed;
+    - ``kind="reconnect"``: same shape on a connection — the in-flight
+      transfer is lost, re-dialing costs ``duration`` seconds (the live
+      runtime's capped backoff), and the chunk is redelivered.
 
-    Faults exercise the pipeline's backpressure: upstream stages must
-    block on full queues and drain afterwards with no chunk lost.
+    ``crash``/``reconnect`` mirror the live substrate's fault injection
+    (:mod:`repro.faults`): both bump the shared telemetry resilience
+    counters, so sim and live chaos runs read identically.  Faults
+    exercise the pipeline's backpressure: upstream stages must block on
+    full queues and drain afterwards with no chunk lost.
     """
 
     stage: str  # StageKind value, e.g. "compress"
@@ -53,8 +63,10 @@ class FaultSpec:
     duration: float = 0.05
     kind: str = "stall"
 
+    KINDS = ("stall", "degrade", "crash", "reconnect")
+
     def __post_init__(self) -> None:
-        if self.kind not in ("stall", "degrade"):
+        if self.kind not in self.KINDS:
             raise ValidationError(f"unknown fault kind {self.kind!r}")
         if self.duration < 0:
             raise ValidationError("fault duration must be >= 0")

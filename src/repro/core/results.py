@@ -1,0 +1,69 @@
+"""The shared result-object protocol for every run entry point.
+
+The repo grew one result class per substrate —
+:class:`~repro.core.runtime.StreamResult` /
+:class:`~repro.core.runtime.ScenarioResult` for the simulator,
+:class:`~repro.live.runtime.LiveReport` for the in-process live
+pipeline, :class:`~repro.live.remote.EndpointReport` for the TCP
+endpoints — each with its own spelling of "did it work" and "show me".
+:class:`RunResult` is the common surface they all implement:
+
+- ``ok`` — True when the run completed without errors;
+- ``summary()`` — a short human-readable account;
+- ``to_dict()`` — a JSON-serializable dict (``json.dump``-able as-is).
+
+Callers that fan out over substrates (the CLI, benchmark drivers,
+parity tests) can treat any result uniformly::
+
+    result = run_scenario(scenario)        # or pipeline.run(...), etc.
+    if not result.ok:
+        sys.exit(result.summary())
+    json.dump(result_envelope(result), fh)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """What every substrate's run result can do."""
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without errors."""
+        ...
+
+    def summary(self) -> str:
+        """Short human-readable account of the run."""
+        ...
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view of the run."""
+        ...
+
+
+def result_envelope(result: RunResult, **extra: Any) -> dict[str, Any]:
+    """Wrap a result dict with the class name (stable JSON shape)."""
+    return {
+        "kind": type(result).__name__,
+        "ok": result.ok,
+        "result": result.to_dict(),
+        **extra,
+    }
+
+
+def write_result_json(result: RunResult, path: str, **extra: Any) -> None:
+    """Dump ``result_envelope(result)`` to ``path`` (CLI ``--json-out``).
+
+    Parent directories are created as needed.
+    """
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_envelope(result, **extra), fh, indent=2)
+        fh.write("\n")

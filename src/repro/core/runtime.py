@@ -48,7 +48,12 @@ logger = get_logger("core.runtime")
 
 @dataclass
 class StreamResult:
-    """Measured outcome of one stream."""
+    """Measured outcome of one stream.
+
+    Implements the shared result protocol
+    (:class:`repro.core.results.RunResult`): ``ok``, ``summary()``,
+    ``to_dict()``.
+    """
 
     stream_id: str
     chunks_delivered: int
@@ -59,10 +64,36 @@ class StreamResult:
     #: Steady-state uncompressed-byte rates per stage, Gbps.
     stage_gbps: dict[str, float] = field(default_factory=dict)
 
+    @property
+    def ok(self) -> bool:
+        return self.chunks_delivered > 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.stream_id}: chunks={self.chunks_delivered} "
+            f"delivered={self.delivered_gbps:.2f}Gbps "
+            f"wire={self.wire_gbps:.2f}Gbps"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "stream_id": self.stream_id,
+            "ok": self.ok,
+            "chunks_delivered": self.chunks_delivered,
+            "delivered_gbps": self.delivered_gbps,
+            "wire_gbps": self.wire_gbps,
+            "stage_gbps": dict(self.stage_gbps),
+        }
+
 
 @dataclass
 class ScenarioResult:
-    """Aggregate outcome of a scenario run."""
+    """Aggregate outcome of a scenario run.
+
+    Implements the shared result protocol
+    (:class:`repro.core.results.RunResult`): ``ok``, ``summary()``,
+    ``to_dict()``.
+    """
 
     name: str
     sim_time: float
@@ -71,6 +102,8 @@ class ScenarioResult:
     core_utilization: dict[str, dict[str, float]]
     #: Per-machine per-core normalized remote (QPI) traffic.
     remote_access: dict[str, dict[str, float]]
+    #: Unified metrics/spans for the run (None when telemetry was off).
+    telemetry: "object | None" = None
 
     @property
     def total_delivered_gbps(self) -> float:
@@ -79,6 +112,34 @@ class ScenarioResult:
     @property
     def total_wire_gbps(self) -> float:
         return sum(s.wire_gbps for s in self.streams.values())
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.streams.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.name}: sim_time={self.sim_time:.2f}s "
+            f"total={self.total_delivered_gbps:.2f}Gbps "
+            f"wire={self.total_wire_gbps:.2f}Gbps"
+        ]
+        for stream in self.streams.values():
+            lines.append("  " + stream.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "sim_time": self.sim_time,
+            "total_delivered_gbps": self.total_delivered_gbps,
+            "total_wire_gbps": self.total_wire_gbps,
+            "streams": {
+                sid: s.to_dict() for sid, s in self.streams.items()
+            },
+            "core_utilization": self.core_utilization,
+            "remote_access": self.remote_access,
+        }
 
 
 class SimRuntime:
@@ -447,12 +508,22 @@ class SimRuntime:
             streams=streams,
             core_utilization=core_util,
             remote_access=remote,
+            telemetry=self.telemetry,
         )
 
 
-def run_scenario(scenario: ScenarioConfig) -> ScenarioResult:
-    """Convenience one-shot: build, run, report."""
-    return SimRuntime(scenario).run()
+def run_scenario(
+    scenario: ScenarioConfig, *, telemetry: "bool | object" = False
+) -> ScenarioResult:
+    """Convenience one-shot: build, run, report.
+
+    ``telemetry`` follows the blessed shape (``docs/telemetry.md``):
+    ``True`` builds a fresh :class:`~repro.telemetry.Telemetry` on the
+    virtual clock, an instance is shared (clock rebound), ``False``
+    disables collection.  The instance rides back on
+    ``ScenarioResult.telemetry``.
+    """
+    return SimRuntime(scenario, telemetry=telemetry).run()
 
 
 class _Local:

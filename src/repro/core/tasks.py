@@ -54,9 +54,9 @@ class StageMeters:
     wire_meter: RateMeter = field(default_factory=RateMeter)
     chunks: int = 0
 
-    def record(self, t: float, chunk: Chunk) -> None:
-        self.bytes_meter.add(t, chunk.nbytes)
-        self.wire_meter.add(t, chunk.wire_bytes)
+    def record(self, t: float, chunk: Chunk, start: float | None = None) -> None:
+        self.bytes_meter.add(t, chunk.nbytes, start)
+        self.wire_meter.add(t, chunk.wire_bytes, start)
         self.chunks += 1
 
     def steady_rate_Bps(self, skip: int, *, wire: bool = False) -> float:
@@ -66,6 +66,13 @@ class StageMeters:
         with N synchronized workers, chunks finish in batches of N at
         identical simulated instants, and counting the batch that
         *defines* t0 would overstate the rate by up to (N-1)/chunks.
+
+        Work that *straddles* the window start is prorated: a flow that
+        began before t0 but completed inside the window only transferred
+        part of its bytes after t0, and crediting all of them to the
+        window can report a rate above the physical link capacity on
+        short runs (pipelined transfers in flight at t0 all land in a
+        window much shorter than their own duration).
         """
         meter = self.wire_meter if wire else self.bytes_meter
         events = meter.events
@@ -75,7 +82,14 @@ class StageMeters:
         t1 = events[-1][0]
         if t1 <= t0:
             return 0.0
-        amount = sum(a for t, a in events[skip + 1 :] if t > t0)
+        amount = 0.0
+        for (t, a), s in zip(events[skip + 1 :], meter.starts[skip + 1 :]):
+            if t <= t0:
+                continue
+            if s >= t0 or t <= s:
+                amount += a
+            else:
+                amount += a * (t - t0) / (t - s)
         return amount / (t1 - t0)
 
 
@@ -329,19 +343,44 @@ def dispatcher_proc(
         outq.force_put(END)
 
 
-def _fault_delay(
+def _fault_plan(
     ctx: StreamContext, stage_value: str, index: int, processed: int
-) -> float:
-    """Injected dead time for this thread before its next chunk."""
-    total = 0.0
+) -> tuple[float, list[str]]:
+    """Injected (dead_time, redo_kinds) for this thread's next chunk.
+
+    ``redo_kinds`` lists the one-shot ``crash``/``reconnect`` faults
+    firing on this chunk: the worker runs the chunk's flow once for
+    nothing (the work lost with the dead thread / dropped connection),
+    pays the fault's ``duration`` as recovery time, then processes the
+    chunk for real — the same recovery cost shape the resilient live
+    transport exhibits (backoff + replay of the unacknowledged tail).
+    """
+    delay = 0.0
+    redo: list[str] = []
     for fault in ctx.config.faults:
         if fault.stage != stage_value or fault.thread_index != index:
             continue
         if fault.kind == "stall" and processed == fault.at_chunk:
-            total += fault.duration
+            delay += fault.duration
         elif fault.kind == "degrade" and processed >= fault.at_chunk:
-            total += fault.duration
-    return total
+            delay += fault.duration
+        elif (
+            fault.kind in ("crash", "reconnect")
+            and processed == fault.at_chunk
+        ):
+            delay += fault.duration
+            redo.append(fault.kind)
+    return delay, redo
+
+
+def _record_recovery(ctx: StreamContext, fault_kind: str) -> None:
+    """Book one crash/reconnect recovery into the resilience ledger."""
+    if ctx.telemetry is None:
+        return
+    ctx.telemetry.record_fault(fault_kind)
+    ctx.telemetry.record_retry()
+    if fault_kind == "reconnect":
+        ctx.telemetry.record_redelivery()
 
 
 def stage_worker_proc(
@@ -364,8 +403,13 @@ def stage_worker_proc(
             chunk = yield inq.get()
             if chunk is END:
                 break
-            delay = _fault_delay(ctx, kind.value, index, processed)
+            delay, redo = _fault_plan(ctx, kind.value, index, processed)
             processed += 1
+            for fault_kind in redo:
+                # Wasted pass: the work lost to the crash/drop.
+                core = home.next_chunk()
+                yield ctx.network.run(flow_builder(ctx, chunk, core))
+                _record_recovery(ctx, fault_kind)
             if delay > 0.0:
                 yield ctx.engine.timeout(delay)
             core = home.next_chunk()
@@ -374,7 +418,7 @@ def stage_worker_proc(
             yield ctx.network.run(flow)
             if first_touch:
                 chunk.home_socket = core.socket
-            meters.record(ctx.engine.now, chunk)
+            meters.record(ctx.engine.now, chunk, start=t0)
             if ctx.tracer is not None:
                 ctx.tracer.record(
                     chunk.stream_id, chunk.index, kind.value,
@@ -409,15 +453,20 @@ def send_worker_proc(
             if chunk is END:
                 sockq.force_put(END)
                 break
-            delay = _fault_delay(ctx, "send", index, processed)
+            delay, redo = _fault_plan(ctx, "send", index, processed)
             processed += 1
+            for fault_kind in redo:
+                # Wasted pass: the transfer lost with the connection.
+                core = home.next_chunk()
+                yield ctx.network.run(send_flow(ctx, chunk, core))
+                _record_recovery(ctx, fault_kind)
             if delay > 0.0:
                 yield ctx.engine.timeout(delay)
             core = home.next_chunk()
             t0 = ctx.engine.now
             yield ctx.network.run(send_flow(ctx, chunk, core))
             chunk.home_socket = core.socket  # kernel buffer, first touch
-            meters.record(ctx.engine.now, chunk)
+            meters.record(ctx.engine.now, chunk, start=t0)
             if ctx.tracer is not None:
                 ctx.tracer.record(
                     chunk.stream_id, chunk.index, "send",
@@ -451,7 +500,7 @@ def wire_pump_proc(
         t0 = ctx.engine.now
         yield ctx.network.run(flow)
         chunk.home_socket = ctx.receiver_nic.socket  # DMA target
-        wire.record(ctx.engine.now, chunk)
+        wire.record(ctx.engine.now, chunk, start=t0)
         if ctx.tracer is not None:
             ctx.tracer.record(
                 chunk.stream_id, chunk.index, "wire", t0, ctx.engine.now

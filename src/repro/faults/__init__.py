@@ -1,0 +1,33 @@
+"""repro.faults — fault injection and resilience policies.
+
+The paper's pipeline assumes a lossless network and never-failing
+stages; this package supplies the machinery to break that assumption on
+purpose and to survive it:
+
+- :class:`LiveFaultSpec` / :func:`parse_fault` — wire-level faults for
+  the live substrate (corrupt, truncate, drop, delay);
+- :class:`FaultInjector` — deterministic counter-based trigger hooked
+  into :class:`~repro.live.transport.FramedSender`;
+- :class:`RetryPolicy` — capped exponential backoff for the resilient
+  sender's reconnect loop;
+- :class:`TimeoutPolicy` — the consolidated live-endpoint timeout
+  knobs.
+
+Simulator-side faults stay on :class:`repro.core.config.FaultSpec`
+(``stall`` / ``degrade`` / ``crash`` / ``reconnect``) so a scenario
+file can model the same recovery cost the live substrate pays for
+real.  See ``docs/resilience.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import RetryPolicy, TimeoutPolicy
+from repro.faults.spec import LIVE_FAULT_KINDS, LiveFaultSpec, parse_fault
+
+__all__ = [
+    "FaultInjector",
+    "LIVE_FAULT_KINDS",
+    "LiveFaultSpec",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "parse_fault",
+]

@@ -1,0 +1,77 @@
+"""Deterministic fault injection for the live transport.
+
+A :class:`FaultInjector` is attached to one sender's
+:class:`~repro.live.transport.FramedSender` instances (one injector
+shared across all of that sender's connections).  The transport asks it
+before every frame goes out; the injector answers with the
+:class:`~repro.faults.spec.LiveFaultSpec` to apply, or ``None``.
+
+Triggering is counter-based, not random: spec ``at_frame=N`` fires on
+the N-th frame the *sender as a whole* puts on the wire, which makes
+chaos tests reproducible without seeding a RNG.  Each spec fires at
+most ``count`` times; retransmitted frames count like any other frame
+(so a fault with ``count=1`` cannot re-kill its own retransmission).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.faults.spec import LiveFaultSpec
+
+
+class FaultInjector:
+    """Decides which transmitted frames get sabotaged, and how."""
+
+    def __init__(
+        self,
+        specs: Iterable[LiveFaultSpec] = (),
+        *,
+        telemetry=None,
+    ) -> None:
+        self._entries: list[list] = [[spec, spec.count] for spec in specs]
+        self._lock = threading.Lock()
+        self._frames_seen = 0
+        self._fired: list[tuple[int, LiveFaultSpec]] = []
+        self.telemetry = telemetry
+
+    @property
+    def frames_seen(self) -> int:
+        """Frames the attached sender has attempted so far."""
+        return self._frames_seen
+
+    @property
+    def fired(self) -> Sequence[tuple[int, LiveFaultSpec]]:
+        """(frame number, spec) pairs for every fault that fired."""
+        return tuple(self._fired)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every spec has fired its full ``count``."""
+        with self._lock:
+            return all(remaining <= 0 for _, remaining in self._entries)
+
+    def on_send(self, frame, connection: int = 0) -> LiveFaultSpec | None:
+        """Called by the transport before each frame; picks the fault.
+
+        At most one spec fires per frame (the first armed match, in
+        declaration order).
+        """
+        with self._lock:
+            n = self._frames_seen
+            self._frames_seen += 1
+            for entry in self._entries:
+                spec, remaining = entry
+                if remaining <= 0 or n < spec.at_frame:
+                    continue
+                if spec.connection is not None and spec.connection != connection:
+                    continue
+                entry[1] = remaining - 1
+                self._fired.append((n, spec))
+                break
+            else:
+                return None
+        if self.telemetry is not None:
+            self.telemetry.record_fault(spec.kind)
+        return spec

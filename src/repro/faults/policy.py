@@ -1,0 +1,70 @@
+"""Resilience policies shared by the live endpoints.
+
+:class:`RetryPolicy` shapes the sender's reconnect loop (capped
+exponential backoff); :class:`TimeoutPolicy` is the single home for
+every live-endpoint timeout knob — it replaces the scattered
+``accept_timeout`` / ``connect_timeout`` / ``join_timeout`` keyword
+arguments that :class:`~repro.live.remote.ReceiverServer`,
+:class:`~repro.live.remote.SenderClient` and
+:class:`~repro.live.runtime.LiveConfig` each grew independently (the
+old kwargs survive as deprecated aliases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for transport reconnects."""
+
+    #: Reconnect attempts before the sender gives up on a connection.
+    max_attempts: int = 5
+    #: Sleep before the first retry, seconds.
+    base_delay: float = 0.05
+    #: Backoff growth factor per failed attempt.
+    multiplier: float = 2.0
+    #: Ceiling on any single backoff sleep, seconds.
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValidationError("multiplier must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based), seconds."""
+        if attempt < 0:
+            raise ValidationError("attempt must be >= 0")
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def schedule(self) -> list[float]:
+        """The full backoff schedule, for logs and tests."""
+        return [self.backoff(i) for i in range(self.max_attempts)]
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Every live-endpoint timeout, in one place (seconds)."""
+
+    #: Sender: establishing one TCP connection.
+    connect: float = 30.0
+    #: Receiver: longest tolerated stall with no frames, accepts or
+    #: stream completions before ``serve()`` gives up.
+    accept: float = 30.0
+    #: Both endpoints: joining worker threads at the end of a run.
+    join: float = 120.0
+    #: Sender: waiting for the receiver to acknowledge the last frames
+    #: after end-of-stream.
+    drain: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("connect", "accept", "join", "drain"):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"timeout {name!r} must be > 0")

@@ -10,8 +10,15 @@ sockets, per-chunk checksums, and best-effort CPU affinity via
 Python's GIL means live throughput numbers say nothing about the
 paper's claims (DESIGN.md §2); integrity and plumbing are what this
 path verifies — and what `examples/live_pipeline.py` demonstrates.
+
+Resilience (``docs/resilience.md``): the TCP endpoints survive
+connection loss and frame corruption — the sender reconnects with
+capped exponential backoff (:class:`~repro.faults.RetryPolicy`) and
+replays unacknowledged frames, the receiver deduplicates and ACKs.
+Chaos-test them by attaching a :class:`~repro.faults.FaultInjector`.
 """
 
+from repro.faults.policy import RetryPolicy, TimeoutPolicy
 from repro.live.affinity import current_affinity, pin_current_thread
 from repro.live.planning import affinity_from_stream
 from repro.live.remote import EndpointReport, ReceiverServer, SenderClient
@@ -23,7 +30,9 @@ __all__ = [
     "ClosableQueue",
     "EndpointReport",
     "ReceiverServer",
+    "RetryPolicy",
     "SenderClient",
+    "TimeoutPolicy",
     "affinity_from_stream",
     "Closed",
     "Frame",

@@ -1,17 +1,26 @@
-"""Two-endpoint live pipeline over real TCP.
+"""Two-endpoint live pipeline over real TCP, with fault recovery.
 
 The in-process :class:`~repro.live.runtime.LivePipeline` wires sender
 and receiver through socketpairs; this module splits them into network
 endpoints so the paper's Figure-10 shape (sender machine → receiver
 machine, x TCP connections) runs for real:
 
-- :class:`ReceiverServer` — listens, accepts the expected number of
-  connections, runs receive + decompression workers, delivers to a sink;
+- :class:`ReceiverServer` — listens, accepts (and re-accepts)
+  connections, deduplicates redelivered chunks, acknowledges every
+  frame, runs receive + decompression workers, delivers to a sink;
 - :class:`SenderClient` — reads chunks from a source, compresses, and
-  ships them over its connections.
+  ships them over resilient connections that reconnect with capped
+  exponential backoff and replay whatever the receiver never
+  acknowledged.
 
-Used by ``repro-live --listen`` / ``--connect`` and by the integration
-tests (both endpoints in one process over localhost).
+Together they implement wire-format v2 (``docs/resilience.md``): at
+-least-once transmission plus receiver-side dedup on (stream, index)
+gives exactly-once delivery at the sink, which the chaos integration
+test (``tests/integration/test_chaos.py``) holds them to while
+connections are killed and frames corrupted mid-stream.
+
+Used by ``repro-live --listen`` / ``--connect`` / ``--fault`` and by
+the integration tests (both endpoints in one process over localhost).
 """
 
 from __future__ import annotations
@@ -19,20 +28,33 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable
 
 from repro.compress.codec import Codec, get_codec
 from repro.data.chunking import Chunk
+from repro.faults.policy import RetryPolicy, TimeoutPolicy
 from repro.live import workers
 from repro.live.queues import ClosableQueue
-from repro.live.transport import FramedReceiver, FramedSender
-from repro.util.errors import TransportError, ValidationError
+from repro.live.transport import Frame, FramedReceiver, FramedSender
+from repro.telemetry.facade import as_telemetry
+from repro.telemetry.spans import stage_span
+from repro.util.errors import (
+    FrameIntegrityError,
+    TransportError,
+    ValidationError,
+)
 
 
 @dataclass
 class EndpointReport:
-    """Outcome of one endpoint's run."""
+    """Outcome of one endpoint's run.
+
+    Implements the shared result protocol
+    (:class:`repro.core.results.RunResult`): ``ok``, ``summary()``,
+    ``to_dict()``.
+    """
 
     role: str
     chunks: int
@@ -40,6 +62,8 @@ class EndpointReport:
     wire_bytes: int
     elapsed: float
     errors: list[str] = field(default_factory=list)
+    #: Unified metrics/spans for the run (None when telemetry was off).
+    telemetry: "object | None" = None
 
     @property
     def ok(self) -> bool:
@@ -54,9 +78,45 @@ class EndpointReport:
             f"elapsed={self.elapsed:.2f}s [{status}]"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "role": self.role,
+            "ok": self.ok,
+            "chunks": self.chunks,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "elapsed": self.elapsed,
+            "errors": list(self.errors),
+        }
+
+
+def _deprecated_timeout(
+    timeouts: TimeoutPolicy, **legacy: float | None
+) -> TimeoutPolicy:
+    """Fold deprecated per-knob timeout kwargs into the policy."""
+    for name, value in legacy.items():
+        if value is None:
+            continue
+        warnings.warn(
+            f"{name}_timeout= is deprecated; pass "
+            f"timeouts=TimeoutPolicy({name}=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        timeouts = replace(timeouts, **{name: value})
+    return timeouts
+
 
 class ReceiverServer:
-    """Accepts sender connections and runs the receiver-side stages."""
+    """Accepts sender connections and runs the receiver-side stages.
+
+    Connection loss is survivable: the listener stays open until every
+    logical sender connection has delivered its end-of-stream and
+    closed cleanly, so a sender that reconnects mid-stream is simply
+    re-accepted.  Redelivered chunks are deduplicated on
+    (stream, index) before they reach the decompressors, and every
+    accepted frame is acknowledged back to the sender (wire-format v2).
+    """
 
     def __init__(
         self,
@@ -67,9 +127,10 @@ class ReceiverServer:
         connections: int = 1,
         decompress_threads: int = 2,
         queue_capacity: int = 8,
-        accept_timeout: float = 30.0,
-        join_timeout: float = 120.0,
-        telemetry=None,
+        timeouts: TimeoutPolicy | None = None,
+        accept_timeout: float | None = None,
+        join_timeout: float | None = None,
+        telemetry: "bool | object" = False,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
@@ -77,15 +138,26 @@ class ReceiverServer:
         self.connections = connections
         self.decompress_threads = decompress_threads
         self.queue_capacity = queue_capacity
-        self.accept_timeout = accept_timeout
-        self.join_timeout = join_timeout
-        self.telemetry = telemetry
-        if telemetry is not None:
-            telemetry.thread_counts.update(
+        self.timeouts = _deprecated_timeout(
+            timeouts or TimeoutPolicy(),
+            accept=accept_timeout,
+            join=join_timeout,
+        )
+        self.telemetry = as_telemetry(telemetry)
+        if self.telemetry is not None:
+            self.telemetry.thread_counts.update(
                 {"recv": connections, "decompress": decompress_threads}
             )
         self._listener = socket.create_server((host, port))
-        self._listener.settimeout(accept_timeout)
+
+    # Deprecated aliases (reads only; construction goes through timeouts=).
+    @property
+    def accept_timeout(self) -> float:
+        return self.timeouts.accept
+
+    @property
+    def join_timeout(self) -> float:
+        return self.timeouts.join
 
     @property
     def address(self) -> tuple[str, int]:
@@ -95,7 +167,7 @@ class ReceiverServer:
     def serve(
         self, sink: Callable[[str, int, bytes], None] | None = None
     ) -> EndpointReport:
-        """Accept the expected connections and run to end-of-stream."""
+        """Accept connections (and re-connections) to end-of-stream."""
         t0 = time.perf_counter()
         stats = {
             "recv": workers.StageStats("recv"),
@@ -111,42 +183,88 @@ class ReceiverServer:
             if sink is not None:
                 sink(stream_id, index, data)
 
+        # serve() is the only producer: handler threads feed it frames,
+        # and it seals the queue once every logical connection finished.
         wireq = ClosableQueue(
             self.queue_capacity,
-            producers=self.connections,
+            producers=1,
             name="wireq",
             telemetry=self.telemetry,
         )
-        threads: list[threading.Thread] = []
-        errors: list[str] = []
-        try:
-            conns = []
-            for _ in range(self.connections):
-                conn, _addr = self._listener.accept()
-                conns.append(conn)
-        except TimeoutError:
-            errors.append(
-                f"timed out waiting for {self.connections} connections"
-            )
-            return EndpointReport("receiver", 0, 0, 0,
-                                  time.perf_counter() - t0, errors)
-        finally:
-            self._listener.close()
+        seen: set[tuple[str, int]] = set()
+        state = {"finished": 0, "progress": 0}
+        state_lock = threading.Lock()
 
-        for i, conn in enumerate(conns):
-            threads.append(
-                threading.Thread(
-                    target=workers.receiver,
-                    args=(
-                        FramedReceiver(conn, telemetry=self.telemetry),
-                        wireq,
-                        stats["recv"],
-                    ),
-                    kwargs={"telemetry": self.telemetry},
-                    name=f"recv-{i}",
-                    daemon=True,
-                )
-            )
+        def bump_progress() -> None:
+            with state_lock:
+                state["progress"] += 1
+
+        def handler(conn: socket.socket) -> None:
+            """One accepted socket: frames in, ACKs out, until EOF.
+
+            A session finishes a *logical* connection only when it saw
+            end-of-stream AND a clean EOF — the sender half-closes only
+            after all its frames were acknowledged, so a session that
+            dies earlier will be resumed by a re-accepted connection.
+            """
+            rx = FramedReceiver(conn, telemetry=self.telemetry)
+            ack_tx = FramedSender(conn)
+            track = threading.current_thread().name
+            saw_eos = False
+            try:
+                while True:
+                    with stage_span(self.telemetry, "recv", track=track) as sp:
+                        frame = rx.recv()
+                        if frame is None or frame.eos or frame.ack:
+                            sp.discard = True
+                        else:
+                            sp.stream_id = frame.stream_id
+                            sp.chunk_id = frame.index
+                    if frame is None:
+                        break
+                    bump_progress()
+                    if frame.ack:
+                        continue  # senders don't ACK; tolerate and move on
+                    if frame.eos:
+                        saw_eos = True
+                        ack_tx.send(Frame.ack_for(frame))
+                        continue
+                    key = (frame.stream_id, frame.index)
+                    with state_lock:
+                        duplicate = key in seen
+                        if not duplicate:
+                            seen.add(key)
+                    if duplicate:
+                        if self.telemetry is not None:
+                            self.telemetry.record_dedup()
+                    else:
+                        stats["recv"].record(
+                            len(frame.payload), len(frame.payload), sp.duration
+                        )
+                        if self.telemetry is not None:
+                            self.telemetry.record_chunk(
+                                "recv", frame.stream_id, len(frame.payload)
+                            )
+                        wireq.put(frame)
+                    ack_tx.send(Frame.ack_for(frame))
+            except FrameIntegrityError:
+                # The byte stream can't be trusted for framing any more:
+                # drop the connection, let the sender replay.
+                if self.telemetry is not None:
+                    self.telemetry.record_rejected()
+            except (TransportError, OSError):
+                pass  # connection lost; the sender reconnects
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                with state_lock:
+                    if saw_eos:
+                        state["finished"] += 1
+                    state["progress"] += 1
+
+        threads: list[threading.Thread] = []
         for i in range(self.decompress_threads):
             threads.append(
                 threading.Thread(
@@ -159,8 +277,68 @@ class ReceiverServer:
             )
         for t in threads:
             t.start()
+
+        errors: list[str] = []
+        handler_threads: list[threading.Thread] = []
+        live_conns: list[socket.socket] = []
+        accepted = 0
+        self._listener.settimeout(min(0.25, self.timeouts.accept / 2))
+        last_progress = -1
+        last_change = time.monotonic()
+        try:
+            while True:
+                with state_lock:
+                    finished = state["finished"]
+                    progress = state["progress"]
+                if finished >= self.connections:
+                    break
+                now = time.monotonic()
+                if progress != last_progress:
+                    last_progress = progress
+                    last_change = now
+                elif now - last_change > self.timeouts.accept:
+                    errors.append(
+                        f"timed out waiting for {self.connections} "
+                        f"connections to finish ({finished} complete, "
+                        f"{accepted} accepted)"
+                    )
+                    break
+                try:
+                    conn, _addr = self._listener.accept()
+                except (TimeoutError, socket.timeout):
+                    continue
+                except OSError as exc:
+                    errors.append(f"accept failed: {exc}")
+                    break
+                bump_progress()
+                live_conns.append(conn)
+                t = threading.Thread(
+                    target=handler,
+                    args=(conn,),
+                    name=f"recv-{accepted}",
+                    daemon=True,
+                )
+                accepted += 1
+                handler_threads.append(t)
+                t.start()
+        finally:
+            self._listener.close()
+
+        if errors:
+            # Gave up waiting: unblock handlers stuck in recv() so the
+            # joins below return promptly.
+            for conn in live_conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        for t in handler_threads:
+            t.join(self.timeouts.join)
+            if t.is_alive():
+                errors.append(f"thread {t.name} did not finish")
+        wireq.close()
         for t in threads:
-            t.join(self.join_timeout)
+            t.join(self.timeouts.join)
             if t.is_alive():
                 errors.append(f"thread {t.name} did not finish")
         for s in stats.values():
@@ -172,11 +350,20 @@ class ReceiverServer:
             wire_bytes=stats["recv"].bytes_in,
             elapsed=time.perf_counter() - t0,
             errors=errors,
+            telemetry=self.telemetry,
         )
 
 
 class SenderClient:
-    """Compresses chunks and ships them over TCP connections."""
+    """Compresses chunks and ships them over resilient TCP connections.
+
+    Each connection runs :func:`repro.live.workers.resilient_sender`:
+    frames are retained until acknowledged, dead connections are
+    re-dialed with ``retry``'s capped exponential backoff, and the
+    unacknowledged tail is replayed in order.  An optional
+    :class:`~repro.faults.FaultInjector` sabotages outgoing frames for
+    chaos testing.
+    """
 
     def __init__(
         self,
@@ -187,9 +374,12 @@ class SenderClient:
         connections: int = 1,
         compress_threads: int = 2,
         queue_capacity: int = 8,
-        connect_timeout: float = 30.0,
-        join_timeout: float = 120.0,
-        telemetry=None,
+        timeouts: TimeoutPolicy | None = None,
+        connect_timeout: float | None = None,
+        join_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        injector=None,
+        telemetry: "bool | object" = False,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
@@ -199,13 +389,39 @@ class SenderClient:
         self.connections = connections
         self.compress_threads = compress_threads
         self.queue_capacity = queue_capacity
-        self.connect_timeout = connect_timeout
-        self.join_timeout = join_timeout
-        self.telemetry = telemetry
-        if telemetry is not None:
-            telemetry.thread_counts.update(
+        self.timeouts = _deprecated_timeout(
+            timeouts or TimeoutPolicy(),
+            connect=connect_timeout,
+            join=join_timeout,
+        )
+        self.retry = retry or RetryPolicy()
+        self.injector = injector
+        self.telemetry = as_telemetry(telemetry)
+        if self.telemetry is not None:
+            self.telemetry.thread_counts.update(
                 {"feed": 1, "compress": compress_threads, "send": connections}
             )
+
+    # Deprecated aliases (reads only; construction goes through timeouts=).
+    @property
+    def connect_timeout(self) -> float:
+        return self.timeouts.connect
+
+    @property
+    def join_timeout(self) -> float:
+        return self.timeouts.join
+
+    def _dial(self, index: int) -> FramedSender:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeouts.connect
+        )
+        sock.settimeout(None)
+        return FramedSender(
+            sock,
+            telemetry=self.telemetry,
+            injector=self.injector,
+            connection=index,
+        )
 
     def run(self, source: Iterable[Chunk]) -> EndpointReport:
         """Stream every chunk of ``source`` to the receiver."""
@@ -225,21 +441,11 @@ class SenderClient:
         )
         errors: list[str] = []
         try:
-            senders = [
-                FramedSender(
-                    socket.create_connection(
-                        (self.host, self.port), timeout=self.connect_timeout
-                    ),
-                    telemetry=self.telemetry,
-                )
-                for _ in range(self.connections)
-            ]
+            senders = [self._dial(i) for i in range(self.connections)]
         except OSError as exc:
             raise TransportError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
-        for s in senders:
-            s.sock.settimeout(None)
 
         threads = [
             threading.Thread(
@@ -263,9 +469,14 @@ class SenderClient:
         for i, tx in enumerate(senders):
             threads.append(
                 threading.Thread(
-                    target=workers.sender,
-                    args=(tx, sendq, stats["send"]),
-                    kwargs={"compressed": True, "telemetry": self.telemetry},
+                    target=workers.resilient_sender,
+                    args=(tx, _Redial(self, i), sendq, stats["send"]),
+                    kwargs={
+                        "compressed": True,
+                        "retry": self.retry,
+                        "drain_timeout": self.timeouts.drain,
+                        "telemetry": self.telemetry,
+                    },
                     name=f"send-{i}",
                     daemon=True,
                 )
@@ -273,7 +484,7 @@ class SenderClient:
         for t in threads:
             t.start()
         for t in threads:
-            t.join(self.join_timeout)
+            t.join(self.timeouts.join)
             if t.is_alive():
                 errors.append(f"thread {t.name} did not finish")
         for s in stats.values():
@@ -285,4 +496,16 @@ class SenderClient:
             wire_bytes=stats["send"].bytes_out,
             elapsed=time.perf_counter() - t0,
             errors=errors,
+            telemetry=self.telemetry,
         )
+
+
+class _Redial:
+    """Picklable-friendly reconnect callable for one connection index."""
+
+    def __init__(self, client: SenderClient, index: int) -> None:
+        self.client = client
+        self.index = index
+
+    def __call__(self) -> FramedSender:
+        return self.client._dial(self.index)

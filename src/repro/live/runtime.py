@@ -15,14 +15,17 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable
 
 from repro.compress.codec import Codec, get_codec
 from repro.data.chunking import Chunk
+from repro.faults.policy import TimeoutPolicy
 from repro.live import workers
 from repro.live.queues import ClosableQueue
 from repro.live.transport import socket_pipe
+from repro.telemetry.facade import as_telemetry
 from repro.util.errors import ValidationError
 
 
@@ -39,17 +42,36 @@ class LiveConfig:
     affinity: dict[str, list[int]] = field(default_factory=dict)
     #: Fail the run if any chunk is missing or duplicated at the sink.
     verify: bool = True
-    join_timeout: float = 120.0
+    #: All timeout knobs in one place (see repro.faults.TimeoutPolicy).
+    timeouts: TimeoutPolicy | None = None
+    #: Deprecated: pass ``timeouts=TimeoutPolicy(join=...)`` instead.
+    join_timeout: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("compress_threads", "decompress_threads", "connections"):
             if getattr(self, name) < 1:
                 raise ValidationError(f"{name} must be >= 1")
+        timeouts = self.timeouts or TimeoutPolicy()
+        if self.join_timeout is not None:
+            warnings.warn(
+                "LiveConfig(join_timeout=...) is deprecated; pass "
+                "timeouts=TimeoutPolicy(join=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            timeouts = replace(timeouts, join=self.join_timeout)
+        self.timeouts = timeouts
+        self.join_timeout = timeouts.join
 
 
 @dataclass
 class LiveReport:
-    """Outcome of one live pipeline run."""
+    """Outcome of one live pipeline run.
+
+    Implements the shared result protocol
+    (:class:`repro.core.results.RunResult`): ``ok``, ``summary()``,
+    ``to_dict()``.
+    """
 
     chunks: int
     bytes_in: int
@@ -88,6 +110,28 @@ class LiveReport:
             lines.append("ERRORS: " + "; ".join(self.errors))
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "chunks": self.chunks,
+            "bytes_in": self.bytes_in,
+            "wire_bytes": self.wire_bytes,
+            "bytes_out": self.bytes_out,
+            "elapsed": self.elapsed,
+            "compression_ratio": self.compression_ratio,
+            "goodput_MBps": self.goodput_MBps,
+            "stages": {
+                name: {
+                    "chunks": s.chunks,
+                    "bytes_in": s.bytes_in,
+                    "bytes_out": s.bytes_out,
+                    "busy_seconds": s.busy_seconds,
+                }
+                for name, s in self.stage_stats.items()
+            },
+            "errors": list(self.errors),
+        }
+
 
 class LivePipeline:
     """Single-host pipeline over in-process socketpairs.
@@ -102,28 +146,26 @@ class LivePipeline:
         config: LiveConfig | None = None,
         codec: Codec | None = None,
         *,
-        telemetry=None,
+        telemetry: "bool | object" = False,
     ):
         self.config = config or LiveConfig()
         self.codec = codec or get_codec(self.config.codec)
-        self.telemetry = telemetry
-        if telemetry is not None:
-            telemetry.thread_counts.update(
-                {
-                    "feed": 1,
-                    "compress": self.config.compress_threads,
-                    "send": self.config.connections,
-                    "recv": self.config.connections,
-                    "decompress": self.config.decompress_threads,
-                }
-            )
+        self.telemetry = as_telemetry(telemetry)
 
     def run(
         self,
         source: Iterable[Chunk],
         sink: Callable[[str, int, bytes], None] | None = None,
+        *,
+        telemetry: "bool | object | None" = None,
     ) -> LiveReport:
-        """Stream every chunk of ``source`` through the full pipeline."""
+        """Stream every chunk of ``source`` through the full pipeline.
+
+        ``telemetry`` follows the blessed shape (``docs/telemetry.md``):
+        ``True`` builds a fresh :class:`~repro.telemetry.Telemetry`,
+        an instance is shared, ``False`` disables collection for this
+        run, and ``None`` (default) inherits the pipeline's own.
+        """
         cfg = self.config
         delivered: dict[tuple[str, int], int] = {}
         delivered_lock = threading.Lock()
@@ -151,7 +193,17 @@ class LivePipeline:
                 expected[(chunk.stream_id, chunk.index)] = len(chunk.payload)
                 yield chunk
 
-        tel = self.telemetry
+        tel = self.telemetry if telemetry is None else as_telemetry(telemetry)
+        if tel is not None:
+            tel.thread_counts.update(
+                {
+                    "feed": 1,
+                    "compress": cfg.compress_threads,
+                    "send": cfg.connections,
+                    "recv": cfg.connections,
+                    "decompress": cfg.decompress_threads,
+                }
+            )
         stats = {
             name: workers.StageStats(name)
             for name in ("feed", "compress", "send", "recv", "decompress")
@@ -232,7 +284,7 @@ class LivePipeline:
             t.start()
         errors: list[str] = []
         for t in threads:
-            t.join(cfg.join_timeout)
+            t.join(cfg.timeouts.join)
             if t.is_alive():
                 errors.append(f"thread {t.name} did not finish (deadlock?)")
         elapsed = time.perf_counter() - t0

@@ -1,30 +1,46 @@
 """Framed chunk transport over sockets — the zeroMQ stand-in.
 
-Wire format of one frame (all integers little-endian)::
+Wire format v2 of one frame (all integers little-endian)::
 
     magic     u32   0x52435046 ("RCPF")
     stream    u16   stream id length, followed by that many bytes
     index     u32   chunk index within the stream
-    flags     u16   bit 0: payload is compressed; bit 1: end-of-stream
+    flags     u16   bit 0: payload is compressed; bit 1: end-of-stream;
+                    bit 2: acknowledgement (v2)
     orig_len  u32   uncompressed payload length
     checksum  u32   xxhash32 of the (possibly compressed) payload
     length    u32   payload length
     payload   bytes
 
-End-of-stream frames carry an empty payload.  The receiver verifies the
-checksum before handing the frame up; a mismatch or malformed header
-raises :class:`~repro.util.errors.TransportError` (fail loudly — a
-corrupted scientific chunk must never be silently delivered).
+End-of-stream frames carry an empty payload.  v2 adds the ACK frame
+(bit 2): an empty-payload frame the *receiver* sends back on the same
+socket, echoing the (stream, index, eos) it just accepted — the
+resilient sender retains every frame until its ACK arrives and replays
+the unacknowledged tail after a reconnect (``docs/resilience.md``).
+v1 peers never set bit 2, so data frames parse identically.
+
+The receiver verifies the checksum before handing the frame up; a
+mismatch or malformed header raises
+:class:`~repro.util.errors.FrameIntegrityError` (fail loudly — a
+corrupted scientific chunk must never be silently delivered), while
+connection failures raise plain
+:class:`~repro.util.errors.TransportError`.
+
+A :class:`~repro.faults.FaultInjector` can be attached to a
+:class:`FramedSender`; it is consulted before every frame goes out and
+may corrupt the wire bytes, truncate the frame, drop the connection, or
+delay the send (chaos testing).
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+import time
 from dataclasses import dataclass
 
 from repro.compress.xxhash import xxhash32
-from repro.util.errors import TransportError
+from repro.util.errors import FrameIntegrityError, TransportError
 
 MAGIC = 0x52435046
 _HEADER = struct.Struct("<IH")  # magic, stream-id length
@@ -32,6 +48,7 @@ _BODY = struct.Struct("<IHIII")  # index, flags, orig_len, checksum, length
 
 FLAG_COMPRESSED = 0x1
 FLAG_EOS = 0x2
+FLAG_ACK = 0x4
 
 #: Refuse absurd frames before allocating for them.
 MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
@@ -40,7 +57,7 @@ MAX_STREAM_ID = 4096
 
 @dataclass(frozen=True)
 class Frame:
-    """One transported chunk (or end-of-stream marker)."""
+    """One transported chunk (or end-of-stream / ACK marker)."""
 
     stream_id: str
     index: int
@@ -48,10 +65,27 @@ class Frame:
     compressed: bool = False
     orig_len: int = 0
     eos: bool = False
+    ack: bool = False
 
     @classmethod
     def end_of_stream(cls, stream_id: str) -> "Frame":
         return cls(stream_id=stream_id, index=0, payload=b"", eos=True)
+
+    @classmethod
+    def ack_for(cls, frame: "Frame") -> "Frame":
+        """The acknowledgement the receiver returns for ``frame``."""
+        return cls(
+            stream_id=frame.stream_id,
+            index=frame.index,
+            payload=b"",
+            eos=frame.eos,
+            ack=True,
+        )
+
+    @property
+    def key(self) -> tuple[str, int, bool]:
+        """Identity used for ACK matching and receiver-side dedup."""
+        return (self.stream_id, self.index, self.eos)
 
 
 class FramedSender:
@@ -63,16 +97,33 @@ class FramedSender:
     actual wire footprint).
     """
 
-    def __init__(self, sock: socket.socket, *, telemetry=None) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        telemetry=None,
+        injector=None,
+        connection: int = 0,
+    ) -> None:
         self.sock = sock
         self.telemetry = telemetry
+        #: Optional :class:`~repro.faults.FaultInjector` (chaos testing).
+        self.injector = injector
+        #: Connection index reported to the injector.
+        self.connection = connection
 
     def send(self, frame: Frame) -> None:
         sid = frame.stream_id.encode()
         if len(sid) > MAX_STREAM_ID:
             raise TransportError(f"stream id too long ({len(sid)} bytes)")
-        flags = (FLAG_COMPRESSED if frame.compressed else 0) | (
-            FLAG_EOS if frame.eos else 0
+        if len(frame.payload) > MAX_FRAME_PAYLOAD:
+            raise TransportError(
+                f"frame payload {len(frame.payload)} exceeds limit"
+            )
+        flags = (
+            (FLAG_COMPRESSED if frame.compressed else 0)
+            | (FLAG_EOS if frame.eos else 0)
+            | (FLAG_ACK if frame.ack else 0)
         )
         parts = [
             _HEADER.pack(MAGIC, len(sid)),
@@ -87,12 +138,44 @@ class FramedSender:
             frame.payload,
         ]
         wire = b"".join(parts)
+        if self.injector is not None:
+            spec = self.injector.on_send(frame, self.connection)
+            if spec is not None:
+                wire = self._sabotage(spec, wire)
         try:
             self.sock.sendall(wire)
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
         if self.telemetry is not None:
             self.telemetry.record_frame("tx", len(wire))
+
+    def _sabotage(self, spec, wire: bytes) -> bytes:
+        """Apply one injected fault; returns the (possibly mangled) wire
+        bytes, or raises :class:`TransportError` for connection faults."""
+        if spec.kind == "delay":
+            time.sleep(spec.delay)
+            return wire
+        if spec.kind == "corrupt":
+            mangled = bytearray(wire)
+            mangled[-1] ^= 0xFF  # payload tail, or checksum when empty
+            return bytes(mangled)
+        if spec.kind == "truncate":
+            try:
+                self.sock.sendall(wire[: max(1, len(wire) // 2)])
+            except OSError:
+                pass
+            self._abort()
+            raise TransportError("injected fault: frame truncated mid-send")
+        if spec.kind == "drop":
+            self._abort()
+            raise TransportError("injected fault: connection dropped")
+        raise TransportError(f"unknown injected fault {spec.kind!r}")
+
+    def _abort(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         try:
@@ -139,18 +222,22 @@ class FramedReceiver:
             head += self._read_exact(_HEADER.size - len(head))
         magic, sid_len = _HEADER.unpack(head)
         if magic != MAGIC:
-            raise TransportError(f"bad frame magic 0x{magic:08X}")
+            raise FrameIntegrityError(f"bad frame magic 0x{magic:08X}")
         if sid_len > MAX_STREAM_ID:
-            raise TransportError(f"stream id length {sid_len} exceeds limit")
+            raise FrameIntegrityError(
+                f"stream id length {sid_len} exceeds limit"
+            )
         sid = self._read_exact(sid_len).decode()
         index, flags, orig_len, checksum, length = _BODY.unpack(
             self._read_exact(_BODY.size)
         )
         if length > MAX_FRAME_PAYLOAD:
-            raise TransportError(f"frame payload {length} exceeds limit")
+            raise FrameIntegrityError(
+                f"frame payload {length} exceeds limit"
+            )
         payload = self._read_exact(length) if length else b""
         if xxhash32(payload) != checksum:
-            raise TransportError(
+            raise FrameIntegrityError(
                 f"checksum mismatch on {sid}#{index} ({length} bytes)"
             )
         if self.telemetry is not None:
@@ -164,6 +251,7 @@ class FramedReceiver:
             compressed=bool(flags & FLAG_COMPRESSED),
             orig_len=orig_len,
             eos=bool(flags & FLAG_EOS),
+            ack=bool(flags & FLAG_ACK),
         )
 
     def close(self) -> None:

@@ -15,16 +15,21 @@ same observability surface as a simulated one.
 
 from __future__ import annotations
 
+import select
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.compress.codec import Codec
 from repro.data.chunking import Chunk
+from repro.faults.policy import RetryPolicy
 from repro.live.affinity import pin_current_thread
 from repro.live.queues import ClosableQueue, Closed
 from repro.live.transport import Frame, FramedReceiver, FramedSender
 from repro.telemetry.spans import stage_span
+from repro.util.errors import TransportError
 
 
 @dataclass
@@ -174,6 +179,150 @@ def sender(
         stats.fail(f"sender: {exc!r}")
     finally:
         transport.close()
+
+
+def resilient_sender(
+    transport: FramedSender,
+    reconnect: Callable[[], FramedSender],
+    inq: ClosableQueue,
+    stats: StageStats,
+    *,
+    compressed: bool,
+    retry: RetryPolicy,
+    drain_timeout: float = 30.0,
+    cpus: list[int] | None = None,
+    telemetry=None,
+) -> None:
+    """{S} with recovery: one TCP connection's at-least-once sender.
+
+    Every frame is retained until the receiver's ACK comes back on the
+    same socket; a send failure (or a dead connection discovered while
+    draining ACKs) triggers a reconnect with capped exponential backoff
+    (``retry``) followed by an in-order replay of the unacknowledged
+    tail.  The receiver deduplicates on (stream, index), which turns
+    at-least-once delivery into exactly-once at the sink.
+
+    ``reconnect`` must return a fresh connected :class:`FramedSender`
+    (same telemetry/injector wiring as ``transport``); it is only
+    called after the initial connection dies.  When no faults fire the
+    hot path is one ``send`` plus a zero-timeout ``select`` per chunk.
+    """
+    _maybe_pin(cpus)
+    track = threading.current_thread().name
+    unacked: "OrderedDict[tuple[str, int, bool], Frame]" = OrderedDict()
+    state: dict = {"tx": transport, "rx": FramedReceiver(transport.sock)}
+
+    def _drop_connection() -> None:
+        tx = state["tx"]
+        if tx is not None:
+            try:
+                tx.sock.close()
+            except OSError:
+                pass
+        state["tx"] = state["rx"] = None
+
+    def _reconnect() -> None:
+        last: Exception | None = None
+        for attempt in range(retry.max_attempts):
+            if telemetry is not None:
+                telemetry.record_retry()
+            time.sleep(retry.backoff(attempt))
+            try:
+                tx = reconnect()
+                state["tx"], state["rx"] = tx, FramedReceiver(tx.sock)
+                for frame in list(unacked.values()):
+                    tx.send(frame)
+                    if telemetry is not None:
+                        telemetry.record_redelivery()
+                return
+            except (TransportError, OSError) as exc:
+                last = exc
+                _drop_connection()
+        raise TransportError(
+            f"reconnect gave up after {retry.max_attempts} attempts: {last}"
+        )
+
+    def _collect_acks(timeout: float) -> None:
+        """Pop acknowledged frames; raises when the connection is dead."""
+        tx, rx = state["tx"], state["rx"]
+        if tx is None:
+            raise TransportError("not connected")
+        while unacked:
+            try:
+                ready, _, _ = select.select([tx.sock], [], [], timeout)
+            except (OSError, ValueError) as exc:
+                raise TransportError(f"connection lost: {exc}") from exc
+            if not ready:
+                return
+            frame = rx.recv()
+            if frame is None:
+                raise TransportError("connection closed while awaiting acks")
+            if frame.ack:
+                unacked.pop(frame.key, None)
+            timeout = 0.0
+
+    def _deliver(frame: Frame) -> None:
+        """Transmit (or queue for replay); never loses the frame."""
+        unacked[frame.key] = frame
+        while True:
+            tx = state["tx"]
+            if tx is None:
+                _reconnect()  # replays unacked, including this frame
+                return
+            try:
+                tx.send(frame)
+                return
+            except (TransportError, OSError):
+                _drop_connection()
+
+    stream_ids: set[str] = set()
+    try:
+        while True:
+            try:
+                chunk = inq.get()
+            except Closed:
+                break
+            payload = chunk.wire_payload if compressed else chunk.payload
+            with stage_span(
+                telemetry, "send", stream_id=chunk.stream_id,
+                chunk_id=chunk.index, track=track,
+            ) as sp:
+                _deliver(
+                    Frame(
+                        stream_id=chunk.stream_id,
+                        index=chunk.index,
+                        payload=payload,
+                        compressed=compressed,
+                        orig_len=len(chunk.payload),
+                    )
+                )
+            stream_ids.add(chunk.stream_id)
+            _finish(stats, telemetry, "send", chunk.stream_id,
+                    len(payload), len(payload), sp.duration)
+            try:
+                _collect_acks(0.0)
+            except (TransportError, OSError):
+                _drop_connection()
+        for sid in sorted(stream_ids) or ["-"]:
+            _deliver(Frame.end_of_stream(sid))
+        deadline = time.monotonic() + drain_timeout
+        while unacked:
+            if time.monotonic() > deadline:
+                raise TransportError(
+                    f"{len(unacked)} frames unacknowledged after "
+                    f"{drain_timeout}s"
+                )
+            try:
+                _collect_acks(0.2)
+            except (TransportError, OSError):
+                _drop_connection()
+                _reconnect()
+    except Exception as exc:  # noqa: BLE001 - thread boundary
+        stats.fail(f"sender: {exc!r}")
+    finally:
+        tx = state["tx"]
+        if tx is not None:
+            tx.close()
 
 
 def receiver(

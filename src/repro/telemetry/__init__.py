@@ -25,7 +25,7 @@ from repro.telemetry.export import (
     prometheus_text,
     write_chrome_trace,
 )
-from repro.telemetry.facade import Telemetry
+from repro.telemetry.facade import Telemetry, as_telemetry
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     CounterSeries,
@@ -54,6 +54,7 @@ __all__ = [
     "StageAggregate",
     "Telemetry",
     "WallClock",
+    "as_telemetry",
     "chrome_trace",
     "json_snapshot",
     "prometheus_text",

@@ -5,16 +5,26 @@ It bundles a :class:`~repro.telemetry.registry.MetricRegistry`, a
 pre-registers the *canonical pipeline metric families* so the simulator
 and the live runtime report through identical names:
 
-==============================  =========  ==========================
-family                          type       labels
-==============================  =========  ==========================
-``pipeline_chunks_total``       counter    stage, stream
-``pipeline_bytes_total``        counter    stage, stream
-``pipeline_stage_seconds``      histogram  stage
-``pipeline_queue_depth``        gauge      queue
-``transport_frames_total``      counter    direction
-``transport_bytes_total``       counter    direction
-==============================  =========  ==========================
+====================================  =========  ==========================
+family                                type       labels
+====================================  =========  ==========================
+``pipeline_chunks_total``             counter    stage, stream
+``pipeline_bytes_total``              counter    stage, stream
+``pipeline_stage_seconds``            histogram  stage
+``pipeline_queue_depth``              gauge      queue
+``transport_frames_total``            counter    direction
+``transport_bytes_total``             counter    direction
+``transport_retries_total``           counter    —
+``transport_redeliveries_total``      counter    —
+``transport_frames_rejected_total``   counter    —
+``transport_frames_deduped_total``    counter    —
+``transport_faults_injected_total``   counter    kind
+====================================  =========  ==========================
+
+The ``transport_retries/redeliveries/rejected/deduped`` family is the
+resilience ledger (``repro.faults`` + the resilient live endpoints);
+the simulator bumps the same counters for ``crash``/``reconnect``
+faults so sim and live chaos runs read identically.
 
 The sim-vs-live parity test in ``tests/integration`` holds the two
 substrates to this contract.
@@ -76,6 +86,27 @@ class Telemetry:
             "Wire bytes moved over the transport",
             ("direction",),
         )
+        self._retries = self.registry.counter(
+            "transport_retries_total",
+            "Reconnect attempts made after a transport failure",
+        )
+        self._redeliveries = self.registry.counter(
+            "transport_redeliveries_total",
+            "Frames re-sent after a reconnect (unacknowledged replay)",
+        )
+        self._rejected = self.registry.counter(
+            "transport_frames_rejected_total",
+            "Frames the receiver rejected for integrity failures",
+        )
+        self._deduped = self.registry.counter(
+            "transport_frames_deduped_total",
+            "Duplicate frames the receiver dropped after a retransmit",
+        )
+        self._faults = self.registry.counter(
+            "transport_faults_injected_total",
+            "Faults fired by the attached FaultInjector",
+            ("kind",),
+        )
 
     def set_clock(self, clock: Clock) -> None:
         """Rebind the time source (the sim engine exists after __init__)."""
@@ -135,6 +166,35 @@ class Telemetry:
         """The occupancy gauge series for one named queue."""
         return self._queue_depth.labels(queue=queue)
 
+    # -- resilience ledger -----------------------------------------------
+
+    def record_retry(self) -> None:
+        """One reconnect attempt after a transport failure."""
+        self._retries.inc()
+
+    def record_redelivery(self) -> None:
+        """One unacknowledged frame replayed after a reconnect."""
+        self._redeliveries.inc()
+
+    def record_rejected(self) -> None:
+        """One frame rejected by the receiver for an integrity failure."""
+        self._rejected.inc()
+
+    def record_dedup(self) -> None:
+        """One duplicate frame dropped by the receiver."""
+        self._deduped.inc()
+
+    def record_fault(self, kind: str) -> None:
+        """One injected fault fired (``kind`` names the sabotage)."""
+        self._faults.labels(kind=kind).inc()
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of one counter series (0.0 when never touched)."""
+        family = self.registry.get(name)
+        if family is None:
+            return 0.0
+        return family.labels(**labels).value
+
     # -- derived views ---------------------------------------------------
 
     def pipeline_report(
@@ -160,3 +220,18 @@ class Telemetry:
 
     def write_chrome_trace(self, path: str) -> int:
         return write_chrome_trace(self.spans.snapshot(), path)
+
+
+def as_telemetry(value: "bool | Telemetry | None") -> "Telemetry | None":
+    """Normalize the blessed ``telemetry=`` keyword shape.
+
+    Every run entry point (``run_scenario``, ``SimRuntime``,
+    ``LivePipeline``, ``ReceiverServer``, ``SenderClient``) accepts the
+    same three spellings: ``False``/``None`` → telemetry off, ``True``
+    → build a fresh :class:`Telemetry`, an instance → share it.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return Telemetry()
+    return value

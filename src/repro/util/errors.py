@@ -41,3 +41,16 @@ class CodecError(ReproError):
 
 class TransportError(ReproError):
     """A live (socket) transport failed or received a malformed frame."""
+
+
+class FrameIntegrityError(TransportError):
+    """A received frame is provably corrupt (bad magic, oversized
+    header fields, checksum mismatch).
+
+    Distinguished from plain :class:`TransportError` (connection reset,
+    mid-frame EOF) because the resilient receiver reacts differently:
+    an integrity failure means the byte stream can no longer be trusted
+    for framing, so the connection is closed and the sender must
+    reconnect and replay — and the rejection is counted in
+    ``transport_frames_rejected_total``.
+    """

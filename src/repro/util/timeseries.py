@@ -65,12 +65,21 @@ class RateMeter:
     """
 
     events: list[tuple[float, float]] = field(default_factory=list)
+    #: Work start time per event (equals the completion time when the
+    #: caller doesn't know it); lets windowed estimates prorate work
+    #: that straddles the window edge instead of over-counting it.
+    starts: list[float] = field(default_factory=list)
 
-    def add(self, t: float, amount: float) -> None:
-        """Record that ``amount`` units completed at time ``t``."""
+    def add(self, t: float, amount: float, start: float | None = None) -> None:
+        """Record that ``amount`` units completed at time ``t``.
+
+        ``start`` is when the work producing them began (defaults to
+        ``t``, i.e. instantaneous completion).
+        """
         if self.events and t < self.events[-1][0]:
             raise ValueError("time went backwards in RateMeter")
         self.events.append((float(t), float(amount)))
+        self.starts.append(float(t if start is None else start))
 
     def total(self, *, since: float = 0.0) -> float:
         """Total amount recorded at or after ``since``."""

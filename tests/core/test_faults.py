@@ -48,6 +48,11 @@ class TestFaultSpec:
         with pytest.raises(ValidationError):
             FaultSpec(stage="compress", at_chunk=-1)
 
+    def test_kinds_catalogue(self):
+        assert FaultSpec.KINDS == ("stall", "degrade", "crash", "reconnect")
+        for kind in FaultSpec.KINDS:
+            assert FaultSpec(stage="send", kind=kind).kind == kind
+
 
 class TestStall:
     def test_no_chunk_lost(self):
@@ -108,3 +113,63 @@ class TestDegrade:
                                 at_chunk=0, duration=0.005, kind="degrade")])
         )
         assert res.streams["f"].chunks_delivered == 60
+
+
+class TestCrashRecovery:
+    """``crash`` and ``reconnect`` model the live substrate's recovery
+    cost inside the simulator: work in flight is lost, the thread pays
+    a recovery delay, then reprocesses the chunk."""
+
+    def test_crash_no_chunk_lost(self):
+        res = run_scenario(
+            scenario([FaultSpec(stage="compress", thread_index=0,
+                                at_chunk=4, duration=0.3, kind="crash")])
+        )
+        assert res.streams["f"].chunks_delivered == 60
+
+    def test_crash_extends_run(self):
+        clean = run_scenario(scenario()).sim_time
+        crashed = run_scenario(
+            scenario([FaultSpec(stage="send", thread_index=0,
+                                at_chunk=3, duration=0.5, kind="crash")])
+        ).sim_time
+        # The crashed sender wastes one flow, waits out recovery, and
+        # resends — strictly more work than the clean run.
+        assert crashed > clean + 0.05
+
+    def test_reconnect_no_chunk_lost(self):
+        res = run_scenario(
+            scenario([FaultSpec(stage="send", thread_index=1,
+                                at_chunk=6, duration=0.4, kind="reconnect")])
+        )
+        assert res.streams["f"].chunks_delivered == 60
+
+    def test_crash_counted_in_telemetry(self):
+        tel_res = run_scenario(
+            scenario([FaultSpec(stage="compress", thread_index=0,
+                                at_chunk=2, duration=0.2, kind="crash")]),
+            telemetry=True,
+        )
+        tel = tel_res.telemetry
+        assert tel.counter_value("transport_retries_total") >= 1
+        assert tel.counter_value(
+            "transport_faults_injected_total", kind="crash"
+        ) >= 1
+
+    def test_reconnect_counted_as_redelivery(self):
+        tel_res = run_scenario(
+            scenario([FaultSpec(stage="send", thread_index=0,
+                                at_chunk=2, duration=0.2, kind="reconnect")]),
+            telemetry=True,
+        )
+        tel = tel_res.telemetry
+        assert tel.counter_value("transport_redeliveries_total") >= 1
+        assert tel.counter_value("transport_retries_total") >= 1
+
+    def test_crash_on_every_faultable_stage(self):
+        for stage in ("compress", "send", "recv", "decompress"):
+            res = run_scenario(
+                scenario([FaultSpec(stage=stage, thread_index=0,
+                                    at_chunk=2, duration=0.1, kind="crash")])
+            )
+            assert res.streams["f"].chunks_delivered == 60, stage

@@ -1,0 +1,97 @@
+"""The unified result protocol: ok / summary() / to_dict() everywhere."""
+
+import json
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.core.results import RunResult, result_envelope, write_result_json
+from repro.core.runtime import run_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+
+
+def tiny_scenario():
+    stream = StreamConfig(
+        stream_id="r",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        num_chunks=12,
+        source_socket=0,
+        compress=StageConfig(2, PlacementSpec.socket(0)),
+        send=StageConfig(1, PlacementSpec.socket(1)),
+        recv=StageConfig(1, PlacementSpec.socket(1)),
+        decompress=StageConfig(2, PlacementSpec.socket(0)),
+    )
+    return ScenarioConfig(
+        name="results",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=[stream],
+        warmup_chunks=2,
+    )
+
+
+class TestScenarioResultProtocol:
+    def test_satisfies_run_result(self):
+        res = run_scenario(tiny_scenario())
+        assert isinstance(res, RunResult)
+        assert res.ok
+        assert "results" in res.summary()
+        for stream in res.streams.values():
+            assert isinstance(stream, RunResult)
+            assert stream.ok
+
+    def test_to_dict_round_trips_through_json(self):
+        res = run_scenario(tiny_scenario())
+        doc = json.loads(json.dumps(res.to_dict()))
+        assert doc["ok"] is True
+        assert doc["streams"]["r"]["chunks_delivered"] == 12
+
+    def test_envelope(self):
+        res = run_scenario(tiny_scenario())
+        doc = result_envelope(res, seed=7)
+        assert doc["kind"] == "ScenarioResult"
+        assert doc["ok"] is True
+        assert doc["seed"] == 7
+        assert doc["result"] == res.to_dict()
+
+    def test_write_result_json(self, tmp_path):
+        res = run_scenario(tiny_scenario())
+        path = tmp_path / "out" / "result.json"
+        write_result_json(res, path)
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "ScenarioResult" and doc["ok"] is True
+
+
+class TestLiveReportProtocol:
+    def test_live_report_satisfies_run_result(self):
+        from repro.live.runtime import LiveReport
+
+        report = LiveReport(
+            chunks=3,
+            bytes_in=300,
+            wire_bytes=120,
+            bytes_out=300,
+            elapsed=0.5,
+            stage_stats={},
+            errors=[],
+        )
+        assert isinstance(report, RunResult)
+        assert report.ok
+        assert result_envelope(report)["kind"] == "LiveReport"
+
+    def test_errors_flip_ok(self):
+        from repro.live.runtime import LiveReport
+
+        report = LiveReport(
+            chunks=0,
+            bytes_in=0,
+            wire_bytes=0,
+            bytes_out=0,
+            elapsed=0.1,
+            stage_stats={},
+            errors=["boom"],
+        )
+        assert not report.ok
+        assert result_envelope(report)["ok"] is False

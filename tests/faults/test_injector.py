@@ -1,0 +1,87 @@
+"""Deterministic counter-based fault injection."""
+
+import threading
+
+from repro.faults import FaultInjector, LiveFaultSpec
+from repro.live.transport import Frame
+from repro.telemetry import Telemetry
+
+FRAME = Frame("s", 0, b"x")
+
+
+class TestFiring:
+    def test_fires_at_nth_frame(self):
+        inj = FaultInjector([LiveFaultSpec(kind="drop", at_frame=3)])
+        hits = [inj.on_send(FRAME) for _ in range(6)]
+        assert [h.kind if h else None for h in hits] == [
+            None, None, None, "drop", None, None,
+        ]
+        assert inj.frames_seen == 6
+        assert [n for n, _ in inj.fired] == [3]
+
+    def test_count_limits_firings(self):
+        inj = FaultInjector([LiveFaultSpec(kind="delay", at_frame=0, count=2)])
+        hits = [inj.on_send(FRAME) for _ in range(5)]
+        assert sum(h is not None for h in hits) == 2
+        assert inj.exhausted
+
+    def test_connection_filter(self):
+        inj = FaultInjector([LiveFaultSpec(kind="drop", connection=1)])
+        assert inj.on_send(FRAME, connection=0) is None
+        assert inj.on_send(FRAME, connection=2) is None
+        hit = inj.on_send(FRAME, connection=1)
+        assert hit is not None and hit.kind == "drop"
+
+    def test_at_most_one_spec_per_frame(self):
+        inj = FaultInjector(
+            [
+                LiveFaultSpec(kind="drop", at_frame=0),
+                LiveFaultSpec(kind="corrupt", at_frame=0),
+            ]
+        )
+        first = inj.on_send(FRAME)
+        second = inj.on_send(FRAME)
+        assert first.kind == "drop"
+        assert second.kind == "corrupt"
+
+    def test_no_specs_never_fires(self):
+        inj = FaultInjector()
+        assert all(inj.on_send(FRAME) is None for _ in range(10))
+        assert inj.exhausted
+
+
+class TestTelemetry:
+    def test_records_fault_kind(self):
+        tel = Telemetry()
+        inj = FaultInjector(
+            [LiveFaultSpec(kind="corrupt", at_frame=1)], telemetry=tel
+        )
+        for _ in range(3):
+            inj.on_send(FRAME)
+        assert tel.counter_value(
+            "transport_faults_injected_total", kind="corrupt"
+        ) == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_senders_fire_exact_count(self):
+        """Many threads hammer on_send; each spec still fires exactly
+        ``count`` times and the frame counter stays consistent."""
+        inj = FaultInjector([LiveFaultSpec(kind="drop", at_frame=0, count=7)])
+        hits = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                h = inj.on_send(FRAME)
+                if h is not None:
+                    with lock:
+                        hits.append(h)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hits) == 7
+        assert inj.frames_seen == 200

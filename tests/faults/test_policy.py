@@ -1,0 +1,53 @@
+"""RetryPolicy backoff math and TimeoutPolicy validation."""
+
+import pytest
+
+from repro.faults import RetryPolicy, TimeoutPolicy
+from repro.util.errors import ValidationError
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        p = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                        max_delay=100.0)
+        assert p.backoff(0) == pytest.approx(0.1)
+        assert p.backoff(1) == pytest.approx(0.2)
+        assert p.backoff(3) == pytest.approx(0.8)
+
+    def test_cap(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        assert p.backoff(0) == 1.0
+        assert p.backoff(1) == 5.0  # 10.0 capped
+        assert p.backoff(9) == 5.0
+
+    def test_schedule(self):
+        p = RetryPolicy(max_attempts=3, base_delay=0.05, multiplier=2.0,
+                        max_delay=2.0)
+        assert p.schedule() == [p.backoff(i) for i in range(3)]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_delay=-1)
+
+
+class TestTimeoutPolicy:
+    def test_defaults(self):
+        t = TimeoutPolicy()
+        assert t.connect > 0 and t.accept > 0
+        assert t.join > 0 and t.drain > 0
+
+    def test_frozen(self):
+        t = TimeoutPolicy()
+        with pytest.raises(AttributeError):
+            t.join = 1
+
+    def test_all_fields_validated(self):
+        for name in ("connect", "accept", "join", "drain"):
+            with pytest.raises(ValidationError):
+                TimeoutPolicy(**{name: 0})

@@ -1,0 +1,56 @@
+"""LiveFaultSpec validation and the --fault CLI grammar."""
+
+import pytest
+
+from repro.faults import LIVE_FAULT_KINDS, LiveFaultSpec, parse_fault
+from repro.util.errors import ValidationError
+
+
+class TestLiveFaultSpec:
+    def test_kinds(self):
+        for kind in LIVE_FAULT_KINDS:
+            assert LiveFaultSpec(kind=kind).kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown live fault kind"):
+            LiveFaultSpec(kind="explode")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LiveFaultSpec(kind="drop", at_frame=-1)
+        with pytest.raises(ValidationError):
+            LiveFaultSpec(kind="delay", delay=-0.1)
+        with pytest.raises(ValidationError):
+            LiveFaultSpec(kind="drop", count=0)
+        with pytest.raises(ValidationError):
+            LiveFaultSpec(kind="drop", connection=-1)
+
+    def test_frozen(self):
+        spec = LiveFaultSpec(kind="drop")
+        with pytest.raises(AttributeError):
+            spec.kind = "corrupt"
+
+
+class TestParseFault:
+    def test_bare_kind(self):
+        spec = parse_fault("drop")
+        assert spec.kind == "drop"
+        assert spec.at_frame == 0
+        assert spec.count == 1
+
+    def test_full_grammar(self):
+        spec = parse_fault("corrupt:at=3,conn=1,count=2")
+        assert spec.kind == "corrupt"
+        assert spec.at_frame == 3
+        assert spec.connection == 1
+        assert spec.count == 2
+
+    def test_delay_key(self):
+        spec = parse_fault("delay:at=5,delay=0.25")
+        assert spec.kind == "delay"
+        assert spec.delay == 0.25
+
+    def test_bad_inputs(self):
+        for text in ("explode", "drop:at", "drop:at=x", "drop:frames=3", ""):
+            with pytest.raises(ValidationError):
+                parse_fault(text)

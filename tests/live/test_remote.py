@@ -6,9 +6,13 @@ import numpy as np
 import pytest
 
 from repro.data.chunking import Chunk
+from repro.faults import FaultInjector, LiveFaultSpec, RetryPolicy, TimeoutPolicy
 from repro.live.remote import ReceiverServer, SenderClient
+from repro.telemetry import Telemetry
 from repro.util.errors import TransportError, ValidationError
 from repro.util.rng import make_rng
+
+FAST_RETRY = RetryPolicy(base_delay=0.01, max_delay=0.1)
 
 
 def chunks(n=8, size=2048, stream="tcp-s", seed=1):
@@ -81,7 +85,9 @@ class TestEndToEnd:
     def test_codec_mismatch_detected(self):
         """Sender compresses with zlib, receiver expects LZ4 frames —
         the decompressor must error, not deliver garbage."""
-        server = ReceiverServer(codec="lz4", connections=1, join_timeout=30)
+        server = ReceiverServer(
+            codec="lz4", connections=1, timeouts=TimeoutPolicy(join=30)
+        )
         tx, rx = run_pair(server, dict(codec="zlib", connections=1), chunks(2))
         assert not rx.ok
         assert any("decompressor" in e for e in rx.errors)
@@ -92,15 +98,148 @@ class TestEndToEnd:
         assert "sender" in tx.summary()
         assert "receiver" in rx.summary()
 
+    def test_report_protocol(self):
+        from repro.core.results import RunResult, result_envelope
+
+        server = ReceiverServer(codec="zlib", connections=1)
+        tx, rx = run_pair(server, dict(codec="zlib", connections=1), chunks(2))
+        for report in (tx, rx):
+            assert isinstance(report, RunResult)
+            doc = result_envelope(report)
+            assert doc["kind"] == "EndpointReport"
+            assert doc["ok"] is True
+            assert doc["result"]["chunks"] == report.chunks
+
+
+class TestResilience:
+    def test_survives_dropped_connection(self):
+        """A connection killed mid-stream reconnects, replays, and the
+        sink still sees every chunk exactly once."""
+        tel = Telemetry()
+        received = []
+        server = ReceiverServer(
+            connections=1, telemetry=tel, timeouts=TimeoutPolicy(accept=15)
+        )
+        injector = FaultInjector(
+            [LiveFaultSpec(kind="drop", at_frame=3)], telemetry=tel
+        )
+        tx, rx = run_pair(
+            server,
+            dict(
+                connections=1, telemetry=tel, injector=injector,
+                retry=FAST_RETRY,
+            ),
+            chunks(10),
+            sink=lambda s, i, d: received.append((s, i)),
+        )
+        assert tx.ok, tx.errors
+        assert rx.ok, rx.errors
+        assert sorted(received) == [("tcp-s", i) for i in range(10)]
+        assert tel.counter_value("transport_retries_total") >= 1
+
+    def test_corrupt_frame_rejected_and_redelivered(self):
+        tel = Telemetry()
+        received = []
+        server = ReceiverServer(
+            connections=1, telemetry=tel, timeouts=TimeoutPolicy(accept=15)
+        )
+        injector = FaultInjector(
+            [LiveFaultSpec(kind="corrupt", at_frame=2)], telemetry=tel
+        )
+        tx, rx = run_pair(
+            server,
+            dict(
+                connections=1, telemetry=tel, injector=injector,
+                retry=FAST_RETRY,
+            ),
+            chunks(8),
+            sink=lambda s, i, d: received.append(i),
+        )
+        assert tx.ok and rx.ok
+        assert sorted(received) == list(range(8))
+        assert tel.counter_value("transport_frames_rejected_total") >= 1
+        assert tel.counter_value("transport_redeliveries_total") >= 1
+
+    def test_delay_fault_does_not_lose_chunks(self):
+        injector = FaultInjector(
+            [LiveFaultSpec(kind="delay", at_frame=1, delay=0.05, count=3)]
+        )
+        server = ReceiverServer(connections=2)
+        tx, rx = run_pair(
+            server,
+            dict(connections=2, injector=injector, retry=FAST_RETRY),
+            chunks(10),
+        )
+        assert tx.ok and rx.ok
+        assert rx.chunks == 10
+
+    def test_reconnect_gives_up_after_max_attempts(self):
+        """With the receiver gone for good, the sender's backoff runs
+        out and the failure is reported, not hung."""
+        server = ReceiverServer(
+            connections=1, timeouts=TimeoutPolicy(accept=1.0, join=10)
+        )
+        host, port = server.address
+        server._listener.close()  # nothing will ever accept
+
+        client = SenderClient(
+            host, port,
+            connections=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            timeouts=TimeoutPolicy(connect=0.5, join=10, drain=2),
+        )
+        with pytest.raises(TransportError, match="cannot connect"):
+            client.run(chunks(2))
+
+
+class TestTimeoutPolicy:
+    def test_deprecated_kwargs_warn_and_apply(self):
+        with pytest.warns(DeprecationWarning, match="accept"):
+            server = ReceiverServer(connections=1, accept_timeout=0.7)
+        assert server.timeouts.accept == 0.7
+        assert server.accept_timeout == 0.7
+        server._listener.close()
+
+        with pytest.warns(DeprecationWarning, match="connect"):
+            client = SenderClient("h", 1, connect_timeout=0.9)
+        assert client.timeouts.connect == 0.9
+        assert client.connect_timeout == 0.9
+
+        with pytest.warns(DeprecationWarning, match="join"):
+            client = SenderClient("h", 1, join_timeout=11)
+        assert client.timeouts.join == 11
+        assert client.join_timeout == 11
+
+    def test_policy_keeps_other_fields(self):
+        with pytest.warns(DeprecationWarning):
+            server = ReceiverServer(
+                connections=1,
+                timeouts=TimeoutPolicy(join=50),
+                accept_timeout=0.3,
+            )
+        assert server.timeouts.join == 50
+        assert server.timeouts.accept == 0.3
+        server._listener.close()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TimeoutPolicy(accept=0)
+        with pytest.raises(ValidationError):
+            TimeoutPolicy(join=-1)
+
 
 class TestFailureModes:
     def test_connect_refused(self):
-        client = SenderClient("127.0.0.1", 1, connect_timeout=1)
+        client = SenderClient(
+            "127.0.0.1", 1, timeouts=TimeoutPolicy(connect=1)
+        )
         with pytest.raises(TransportError, match="cannot connect"):
             client.run(chunks(1))
 
     def test_accept_timeout(self):
-        server = ReceiverServer(connections=1, accept_timeout=0.2)
+        server = ReceiverServer(
+            connections=1, timeouts=TimeoutPolicy(accept=0.2)
+        )
         report = server.serve()
         assert not report.ok
         assert "timed out" in report.errors[0]

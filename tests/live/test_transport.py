@@ -1,17 +1,23 @@
 """Framed socket transport."""
 
 import socket
+import struct
 import threading
 
 import pytest
 
 from repro.live.transport import (
+    _BODY,
+    _HEADER,
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    MAX_STREAM_ID,
     Frame,
     FramedReceiver,
     FramedSender,
     socket_pipe,
 )
-from repro.util.errors import TransportError
+from repro.util.errors import FrameIntegrityError, TransportError
 
 
 class TestRoundTrip:
@@ -70,6 +76,24 @@ class TestRoundTrip:
         tx.send(Frame("détecteur-1", 0, b"x"))
         assert rx.recv().stream_id == "détecteur-1"
 
+    def test_ack_round_trip(self):
+        tx, rx = socket_pipe()
+        data = Frame("s1", 9, b"chunk", compressed=True)
+        ack = Frame.ack_for(data)
+        assert ack.ack and ack.payload == b"" and ack.key == data.key
+        tx.send(ack)
+        echoed = rx.recv()
+        assert echoed.ack
+        assert echoed.key == ("s1", 9, False)
+
+    def test_eos_ack_keeps_eos_flag(self):
+        """EOS and chunk 0 of the same stream must ACK-match distinctly
+        — the eos bit is part of the identity."""
+        eos = Frame.end_of_stream("s")
+        data = Frame("s", 0, b"x")
+        assert eos.key != data.key
+        assert Frame.ack_for(eos).key == eos.key
+
 
 class TestIntegrity:
     def _corrupt_wire(self, mutate):
@@ -119,3 +143,73 @@ class TestIntegrity:
         tx, rx = socket_pipe()
         tx.close()
         assert rx.recv() is None
+
+
+def _receiver_fed(raw: bytes) -> FramedReceiver:
+    """A receiver whose socket holds exactly ``raw`` then EOF."""
+    a, b = socket.socketpair()
+    a.sendall(raw)
+    a.shutdown(socket.SHUT_WR)
+    return FramedReceiver(b)
+
+
+class TestWireEdgeCases:
+    """Malformed wire bytes must raise FrameIntegrityError, not parse."""
+
+    def test_bad_magic_is_integrity_error(self):
+        rx = _receiver_fed(_HEADER.pack(0xDEADBEEF, 1) + b"s" + bytes(18))
+        with pytest.raises(FrameIntegrityError, match="magic"):
+            rx.recv()
+
+    def test_oversized_payload_length_on_wire(self):
+        """A length field beyond MAX_FRAME_PAYLOAD is rejected before
+        any allocation happens."""
+        wire = (
+            _HEADER.pack(MAGIC, 1)
+            + b"s"
+            + _BODY.pack(0, 0, 0, 0, MAX_FRAME_PAYLOAD + 1)
+        )
+        rx = _receiver_fed(wire)
+        with pytest.raises(FrameIntegrityError, match="exceeds limit"):
+            rx.recv()
+
+    def test_oversized_payload_rejected_on_send(self):
+        class Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_PAYLOAD + 1
+
+        tx, _ = socket_pipe()
+        with pytest.raises(TransportError, match="exceeds limit"):
+            tx.send(Frame("s", 0, Huge()))
+
+    def test_overlong_stream_id_on_wire(self):
+        rx = _receiver_fed(_HEADER.pack(MAGIC, MAX_STREAM_ID + 1))
+        with pytest.raises(FrameIntegrityError, match="stream id"):
+            rx.recv()
+
+    def test_truncated_header_mid_read(self):
+        """EOF inside the fixed-size header is a connection error, not
+        a parse of garbage."""
+        rx = _receiver_fed(struct.pack("<I", MAGIC))  # magic, no sid_len
+        with pytest.raises(TransportError):
+            rx.recv()
+
+    def test_truncated_body_mid_read(self):
+        wire = _HEADER.pack(MAGIC, 1) + b"s" + bytes(4)  # body cut short
+        rx = _receiver_fed(wire)
+        with pytest.raises(TransportError, match="mid-frame"):
+            rx.recv()
+
+    def test_checksum_mismatch_is_integrity_error(self):
+        wire = (
+            _HEADER.pack(MAGIC, 1)
+            + b"s"
+            + _BODY.pack(0, 0, 4, 0xBAD, 4)  # wrong checksum for b"data"
+            + b"data"
+        )
+        rx = _receiver_fed(wire)
+        with pytest.raises(FrameIntegrityError, match="checksum"):
+            rx.recv()
+
+    def test_integrity_error_is_transport_error(self):
+        assert issubclass(FrameIntegrityError, TransportError)
