@@ -1,0 +1,92 @@
+"""Plan-layer overhead guard.
+
+Every scenario now rides ``generate -> validate -> normalize -> lower``
+before the simulator sees it, so planning must stay invisible next to
+the work it plans: this benchmark times the full plan pipeline
+(generation, passes, sim lowering) against running the lowered scenario
+on the DES engine and asserts planning stays under 5% of the simulated
+run (the ISSUE's ceiling).  Micro-costs are printed alongside (``-s``):
+the ``through_plan`` round-trip the experiment drivers pay, and a plan
+v3 serialization round-trip.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+from repro.core.runtime import run_scenario
+from repro.experiments.base import paper_testbed
+from repro.plan.passes import run_passes, through_plan
+from repro.plan.lower import lower_sim
+from repro.plan.serialize import plan_from_json, plan_to_json
+
+MAX_OVERHEAD = 0.05  # planning <5% of the scenario the engine executes
+ROUNDS = 5
+
+
+def _workload(chunks=120):
+    return Workload(
+        [
+            StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan",
+                          num_chunks=chunks),
+            StreamRequest("s2", "updraft2", "lynxdtn", "aps-lan",
+                          num_chunks=chunks),
+        ],
+        name="bench-plan",
+    )
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_planning_under_5_percent_of_sim_run(benchmark):
+    generator = ConfigGenerator(paper_testbed())
+
+    def measure():
+        # Interleave so clock drift hits both sides equally; keep the
+        # best of each — the least-perturbed run is the fairest basis.
+        plan_t = sim_t = float("inf")
+        scenario = None
+        for _ in range(ROUNDS):
+            dt, scenario = _time(
+                lambda: lower_sim(
+                    run_passes(generator.generate_plan(_workload())).plan
+                )
+            )
+            plan_t = min(plan_t, dt)
+            dt, _ = _time(lambda: run_scenario(scenario))
+            sim_t = min(sim_t, dt)
+        return plan_t, sim_t
+
+    plan_t, sim_t = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = plan_t / sim_t
+    print(f"\nplan={plan_t * 1e3:.2f}ms sim={sim_t * 1e3:.1f}ms "
+          f"ratio={ratio:.2%} (limit {MAX_OVERHEAD:.0%})")
+    # Absolute slack floor: timer granularity on very fast scenario
+    # runs must not flake the guard.
+    assert plan_t < max(MAX_OVERHEAD * sim_t, 0.01), (
+        f"plan pipeline {plan_t * 1e3:.1f}ms exceeds {MAX_OVERHEAD:.0%} "
+        f"of the {sim_t * 1e3:.1f}ms simulated run"
+    )
+
+
+def test_through_plan_round_trip_cost(benchmark):
+    """The lift -> passes -> lower loop the fig* drivers pay per scenario."""
+    generator = ConfigGenerator(paper_testbed())
+    scenario = generator.generate(_workload())
+    benchmark(through_plan, scenario)
+
+
+def test_plan_serialization_round_trip_cost(benchmark):
+    generator = ConfigGenerator(paper_testbed())
+    plan = run_passes(generator.generate_plan(_workload())).plan
+
+    def round_trip():
+        return plan_from_json(plan_to_json(plan))
+
+    back = benchmark(round_trip)
+    assert back.name == plan.name

@@ -17,6 +17,7 @@ from repro.core.placement import PlacementSpec
 from repro.core.runtime import run_scenario
 from repro.hw.presets import lynxdtn_spec, updraft_spec
 from repro.hw.topology import CoreId
+from repro.plan.passes import through_plan
 from repro.util.tables import Table
 
 RECV_OPTIONS = {
@@ -48,11 +49,13 @@ def measure(recv_label: str, dec_label: str) -> float:
         recv=StageConfig(8, RECV_OPTIONS[recv_label]),
         decompress=StageConfig(16, DECOMP_OPTIONS[dec_label]),
     )
-    scenario = ScenarioConfig(
-        name=f"explore-{recv_label}-{dec_label}",
-        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
-        paths={"aps-lan": APS_LAN_PATH},
-        streams=[stream],
+    scenario = through_plan(
+        ScenarioConfig(
+            name=f"explore-{recv_label}-{dec_label}",
+            machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+            paths={"aps-lan": APS_LAN_PATH},
+            streams=[stream],
+        )
     )
     return run_scenario(scenario).total_delivered_gbps
 

@@ -13,13 +13,20 @@
     repro-live --connect host:9000 --fault drop:at=5 --json-out out.json
 
 ``repro-plan`` / ``repro-run`` are the paper's Figure-4 workflow: the
-configuration generator writes a scenario file; the runtime executes
-it::
+pass-based planner writes a substrate-neutral plan file (format v3);
+either runtime executes it::
 
-    repro-plan --stream det1:updraft1:lynxdtn:aps-lan -o plan.json
-    repro-run plan.json
-    repro-run plan.json --os-baseline   # same counts, OS placement
-    repro-run plan.json --trace-out trace.json   # virtual-clock trace
+    repro-plan generate --stream det1:updraft1:lynxdtn:aps-lan -o plan.json
+    repro-plan explain plan.json        # placements + §3 rationale
+    repro-plan diff plan.json --substrates   # sim-vs-live parity check
+    repro-plan diff a.json b.json            # plan-vs-plan drift
+    repro-plan lower plan.json --target live # affinity + thread counts
+    repro-run plan.json                      # v1/v2/v3 all load
+    repro-run --plan plan.json --trace-out trace.json
+    repro-live --plan plan.json --chunks 12
+
+(The original no-subcommand form ``repro-plan --stream ... -o out``
+still works and means ``generate``.)
 
 ``repro-telemetry`` exercises the unified observability layer on either
 substrate and dumps/exports what it collected::
@@ -130,9 +137,50 @@ def live_main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the run result as JSON (shared result envelope)",
     )
+    parser.add_argument(
+        "--plan",
+        metavar="PATH",
+        help="take thread counts, connections, and CPU affinity from a "
+        "plan file (v1/v2/v3) via the planner's live lowering",
+    )
+    parser.add_argument(
+        "--stream",
+        metavar="ID",
+        help="stream id within --plan (required for multi-stream plans)",
+    )
+    parser.add_argument(
+        "--host-cpus",
+        type=int,
+        default=None,
+        help="host CPU count for the --plan affinity folding "
+        "(default: this host's)",
+    )
     args = parser.parse_args(argv)
     if args.listen and args.connect:
         parser.error("--listen and --connect are mutually exclusive")
+    if args.stream and not args.plan:
+        parser.error("--stream only makes sense with --plan")
+
+    lowered = None
+    if args.plan:
+        from repro.plan.passes import build_live
+        from repro.plan.serialize import load_plan
+
+        lowered = build_live(
+            load_plan(args.plan),
+            args.stream,
+            codec=args.codec,
+            host_cpus=args.host_cpus,
+        )
+        args.compress_threads = lowered.config.compress_threads
+        args.decompress_threads = lowered.config.decompress_threads
+        args.connections = lowered.config.connections
+        print(
+            f"plan {args.plan}: stream {lowered.stream_id!r} -> "
+            f"compress={args.compress_threads} "
+            f"decompress={args.decompress_threads} "
+            f"connections={args.connections}"
+        )
     if args.listen and args.fault:
         parser.error("--fault is sender-side; use it with --connect or "
                      "the in-process loopback, not --listen")
@@ -291,7 +339,9 @@ def live_main(argv: list[str] | None = None) -> int:
     from repro.live import LiveConfig, LivePipeline
 
     pipeline = LivePipeline(
-        LiveConfig(
+        lowered.config
+        if lowered is not None
+        else LiveConfig(
             codec=args.codec,
             compress_threads=args.compress_threads,
             decompress_threads=args.decompress_threads,
@@ -306,33 +356,13 @@ def live_main(argv: list[str] | None = None) -> int:
     return 0 if report.ok else 1
 
 
-def plan_main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-plan",
-        description="Generate a NUMA-aware scenario configuration file "
-        "(the paper's runtime configuration generator, Figure 4).",
-    )
-    parser.add_argument(
-        "--stream",
-        action="append",
-        required=True,
-        metavar="ID:SENDER:RECEIVER:PATH",
-        help="stream spec; repeatable. Machines: lynxdtn, updraft1/2, "
-        "polaris1/2. Paths: aps-lan, alcf-aps.",
-    )
-    parser.add_argument("--chunks", type=int, default=250)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument(
-        "--os-baseline",
-        action="store_true",
-        help="emit the OS-placement baseline instead of the NUMA-aware plan",
-    )
-    parser.add_argument("-o", "--output", required=True)
-    args = parser.parse_args(argv)
-
+def _plan_generate(args, parser) -> int:
     from repro.core.generator import ConfigGenerator, StreamRequest, Workload
     from repro.core.serialize import save_scenario
     from repro.experiments.base import paper_testbed
+    from repro.plan.lower import lower_sim
+    from repro.plan.passes import run_passes
+    from repro.plan.serialize import save_plan
 
     requests = []
     for spec in args.stream:
@@ -345,15 +375,197 @@ def plan_main(argv: list[str] | None = None) -> int:
         )
     generator = ConfigGenerator(paper_testbed())
     workload = Workload(requests, name="cli", seed=args.seed)
-    scenario = (
-        generator.os_baseline(workload)
+    plan = (
+        generator.os_baseline_plan(workload)
         if args.os_baseline
-        else generator.generate(workload)
+        else generator.generate_plan(workload)
     )
-    save_scenario(scenario, args.output)
-    print(f"wrote {scenario.name!r} ({len(scenario.streams)} streams) "
+    result = run_passes(plan)
+    for warning in result.diagnostics.warnings:
+        print(f"warning: {warning.message}", file=sys.stderr)
+    if args.scenario:
+        save_scenario(lower_sim(result.plan), args.output)
+    else:
+        save_plan(result.plan, args.output)
+    print(f"wrote {plan.name!r} ({len(plan.streams)} streams) "
           f"to {args.output}")
     return 0
+
+
+def _plan_explain(args) -> int:
+    from repro.plan.explain import explain_plan
+    from repro.plan.passes import run_passes
+    from repro.plan.serialize import load_plan
+
+    plan = load_plan(args.plan)
+    result = run_passes(plan, strict=False)
+    print(explain_plan(result.plan))
+    if result.diagnostics:
+        print()
+        print(result.diagnostics.render())
+    return 0 if result.ok else 1
+
+
+def _plan_diff(args, parser) -> int:
+    from repro.plan.diff import diff_plans, substrate_drift
+    from repro.plan.serialize import load_plan
+
+    plan = load_plan(args.plan)
+    if args.substrates:
+        if args.other is not None:
+            parser.error("--substrates compares one plan's two lowerings; "
+                         "drop the second plan argument")
+        drift = substrate_drift(plan, host_cpus=args.host_cpus)
+        if drift:
+            print("\n".join(drift))
+            return 1
+        print(f"plan {plan.name!r}: sim and live lowerings agree "
+              "(0 placement drift)")
+        return 0
+    if args.other is None:
+        parser.error("diff needs a second plan (or --substrates)")
+    drift = diff_plans(plan, load_plan(args.other))
+    if drift:
+        print("\n".join(drift))
+        return 1
+    print("plans are identical")
+    return 0
+
+
+def _plan_lower(args) -> int:
+    import json
+
+    from repro.plan.passes import build_live, build_scenario
+    from repro.plan.serialize import load_plan
+
+    plan = load_plan(args.plan)
+    if args.target == "sim":
+        from repro.core.serialize import save_scenario, scenario_to_json
+
+        scenario = build_scenario(plan)
+        if args.output:
+            save_scenario(scenario, args.output)
+            print(f"wrote scenario {scenario.name!r} to {args.output}")
+        else:
+            print(scenario_to_json(scenario))
+        return 0
+    lowered = build_live(plan, args.stream, host_cpus=args.host_cpus)
+    doc = {
+        "stream_id": lowered.stream_id,
+        "compress_threads": lowered.config.compress_threads,
+        "decompress_threads": lowered.config.decompress_threads,
+        "connections": lowered.config.connections,
+        "queue_capacity": lowered.config.queue_capacity,
+        "affinity": lowered.affinity,
+        "stage_counts": lowered.stage_counts,
+    }
+    text = json.dumps(doc, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"wrote live lowering of {lowered.stream_id!r} to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def plan_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="The pass-based planner (Figure 4): generate a "
+        "substrate-neutral pipeline plan, explain its placements, diff "
+        "two plans or one plan's two lowerings, or lower it by hand.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate",
+        help="plan a workload and write a plan file (format v3)",
+    )
+    generate.add_argument(
+        "--stream",
+        action="append",
+        required=True,
+        metavar="ID:SENDER:RECEIVER:PATH",
+        help="stream spec; repeatable. Machines: lynxdtn, updraft1/2, "
+        "polaris1/2. Paths: aps-lan, alcf-aps.",
+    )
+    generate.add_argument("--chunks", type=int, default=250)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--os-baseline",
+        action="store_true",
+        help="emit the OS-placement baseline instead of the NUMA-aware plan",
+    )
+    generate.add_argument(
+        "--scenario",
+        action="store_true",
+        help="write the lowered v2 scenario instead of the v3 plan",
+    )
+    generate.add_argument("-o", "--output", required=True)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print a plan with the §3 rationale behind every placement",
+    )
+    explain.add_argument("plan", help="plan or scenario file (v1/v2/v3)")
+
+    diff = sub.add_parser(
+        "diff",
+        help="report drift between two plans, or between one plan's "
+        "sim and live lowerings (--substrates)",
+    )
+    diff.add_argument("plan", help="plan or scenario file (v1/v2/v3)")
+    diff.add_argument("other", nargs="?", help="second plan to compare")
+    diff.add_argument(
+        "--substrates",
+        action="store_true",
+        help="check sim-vs-live lowering parity instead of plan-vs-plan",
+    )
+    diff.add_argument(
+        "--host-cpus",
+        type=int,
+        default=64,
+        help="host CPU count for the live affinity folding (default 64)",
+    )
+
+    lower = sub.add_parser(
+        "lower", help="lower a plan to one substrate's executable form"
+    )
+    lower.add_argument("plan", help="plan or scenario file (v1/v2/v3)")
+    lower.add_argument(
+        "--target", choices=["sim", "live"], required=True
+    )
+    lower.add_argument(
+        "--stream",
+        help="stream id for the live lowering (required for multi-stream "
+        "plans)",
+    )
+    lower.add_argument(
+        "--host-cpus",
+        type=int,
+        default=None,
+        help="host CPU count for the live affinity folding "
+        "(default: this host's)",
+    )
+    lower.add_argument("-o", "--output")
+
+    # Compatibility: the original repro-plan took --stream/-o directly
+    # (no subcommand) and meant "generate".
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].startswith("-"):
+        argv = ["generate", *argv]
+
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _plan_generate(args, parser)
+    if args.command == "explain":
+        return _plan_explain(args)
+    if args.command == "diff":
+        return _plan_diff(args, parser)
+    return _plan_lower(args)
 
 
 def run_main(argv: list[str] | None = None) -> int:
@@ -361,7 +573,17 @@ def run_main(argv: list[str] | None = None) -> int:
         prog="repro-run",
         description="Execute a scenario configuration file on the simulator.",
     )
-    parser.add_argument("scenario", help="path to a repro-plan JSON file")
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="path to a repro-plan JSON file (scenario v1/v2 or plan v3)",
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="PATH",
+        help="load the file as a pipeline plan and run it through the "
+        "planner's passes and sim lowering (accepts v1/v2/v3)",
+    )
     parser.add_argument(
         "--trace-out",
         metavar="PATH",
@@ -384,7 +606,15 @@ def run_main(argv: list[str] | None = None) -> int:
     from repro.core.serialize import load_scenario
     from repro.util.tables import Table
 
-    scenario = load_scenario(args.scenario)
+    if bool(args.scenario) == bool(args.plan):
+        parser.error("pass a scenario file or --plan PATH (not both)")
+    if args.plan:
+        from repro.plan.passes import build_scenario
+        from repro.plan.serialize import load_plan
+
+        scenario = build_scenario(load_plan(args.plan))
+    else:
+        scenario = load_scenario(args.scenario)
     if args.trace_out or args.metrics_out:
         runtime = SimRuntime(scenario, telemetry=True)
         result = runtime.run()

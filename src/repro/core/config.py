@@ -25,11 +25,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.params import CostModel, PathSpec
 from repro.core.placement import PlacementSpec
 from repro.hw.topology import MachineSpec
 from repro.util.errors import ConfigurationError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - the plan layer builds on this module
+    from repro.plan.diagnostics import Diagnostics
 
 
 @dataclass(frozen=True)
@@ -193,64 +197,27 @@ class ScenarioConfig:
     def __post_init__(self) -> None:
         self.validate()
 
-    def validate(self) -> None:
-        """Cross-check stream references and placements against machines."""
-        if not self.streams:
-            raise ConfigurationError(f"scenario {self.name!r} has no streams")
-        ids = [s.stream_id for s in self.streams]
-        if len(set(ids)) != len(ids):
-            raise ConfigurationError(f"duplicate stream ids in {self.name!r}")
-        for s in self.streams:
-            for role, mname in (("sender", s.sender), ("receiver", s.receiver)):
-                if mname not in self.machines:
-                    raise ConfigurationError(
-                        f"stream {s.stream_id!r}: unknown {role} machine "
-                        f"{mname!r}"
-                    )
-            if s.send is not None and s.path not in self.paths:
-                raise ConfigurationError(
-                    f"stream {s.stream_id!r}: unknown path {s.path!r}"
-                )
-            if s.send is not None and s.recv is not None:
-                if s.send.count != s.recv.count:
-                    raise ConfigurationError(
-                        f"stream {s.stream_id!r}: send count {s.send.count} != "
-                        f"recv count {s.recv.count} (threads pair into TCP "
-                        "connections, §3.4)"
-                    )
-            for kind, cfg in s.stages().items():
-                machine = self.machines[
-                    s.sender if kind.sender_side else s.receiver
-                ]
-                self._check_placement(s.stream_id, kind, cfg, machine)
-            if s.source_socket is not None:
-                try:
-                    self.machines[s.sender]._check_socket(s.source_socket)
-                except ValidationError as exc:
-                    raise ConfigurationError(
-                        f"stream {s.stream_id!r}: source_socket: {exc}"
-                    ) from exc
+    def diagnose(self) -> "Diagnostics":
+        """Cross-check the scenario, collecting *every* violation.
 
-    @staticmethod
-    def _check_placement(
-        stream_id: str, kind: StageKind, cfg: StageConfig, machine: MachineSpec
-    ) -> None:
-        p = cfg.placement
-        try:
-            for sock in p.sockets:
-                machine._check_socket(sock)
-            for core in p.cores:
-                machine._check_socket(core.socket)
-                if core.index >= machine.sockets[core.socket].cores:
-                    raise ValidationError(
-                        f"core {core} does not exist on {machine.name!r}"
-                    )
-            if p.hint_socket is not None:
-                machine._check_socket(p.hint_socket)
-        except ValidationError as exc:
-            raise ConfigurationError(
-                f"stream {stream_id!r} stage {kind.value}: {exc}"
-            ) from exc
+        Lifts the scenario into the plan IR and runs the validation
+        pass (:func:`repro.plan.validate.validate_plan`), so a scenario
+        with three bad placements reports all three at once instead of
+        stopping at the first.  Imported lazily: the plan layer builds
+        on this module.
+        """
+        from repro.plan.ingest import plan_from_scenario
+        from repro.plan.validate import validate_plan
+
+        return validate_plan(plan_from_scenario(self))
+
+    def validate(self) -> None:
+        """Raising wrapper over :meth:`diagnose` (compatibility).
+
+        Raises one :class:`ConfigurationError` whose message lists every
+        collected error, one per line.
+        """
+        self.diagnose().raise_if_errors()
 
     def with_cost(self, cost: CostModel) -> "ScenarioConfig":
         """Copy with a different cost model (ablations)."""

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.hw.topology import CoreId, MachineSpec
 from repro.osmodel.scheduler import OsScheduler
+from repro.plan.rules import REBALANCE_REASONS
 from repro.sim.engine import Engine
 from repro.util.errors import ValidationError
 from repro.util.log import get_logger
@@ -94,15 +95,15 @@ class DynamicRebalancer:
             reason = ""
             if stage == "recv" and core.socket != self.nic_socket:
                 target = self._least_loaded_on(sched, [self.nic_socket])
-                reason = "recv belongs on NIC socket (Obs 1/4)"
+                reason = REBALANCE_REASONS["recv"]
             elif stage == "decompress" and core.socket == self.nic_socket:
                 target = self._least_loaded_on(sched, non_nic)
-                reason = "decompress off the NIC socket (Obs 3)"
+                reason = REBALANCE_REASONS["decompress"]
             else:
                 best = self._least_loaded_on(sched, None)
                 if sched.loads[best] + self.imbalance_threshold <= sched.loads[core]:
                     target = best
-                    reason = "load imbalance"
+                    reason = REBALANCE_REASONS["imbalance"]
             if target is not None and target != core and target in mask:
                 if sched.loads[target] < sched.loads[core]:
                     sched.force_migrate(tid, target)

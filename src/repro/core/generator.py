@@ -30,11 +30,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.config import ScenarioConfig, StageConfig, StageKind
 from repro.core.knowledge import HardwareKnowledgeBase
 from repro.core.params import CostModel
 from repro.core.placement import PlacementSpec
 from repro.hw.topology import CoreId, MachineSpec
+from repro.plan.ir import PipelinePlan, StageNode, StreamNode
+from repro.plan.passes import build_scenario
+from repro.plan.rules import rationale_for
 from repro.util.errors import ConfigurationError
 from repro.util.log import get_logger
 from repro.util.units import gbps_to_bytes_per_s
@@ -82,16 +85,34 @@ class ConfigGenerator:
     # -- public API ------------------------------------------------------
 
     def generate(self, workload: Workload) -> ScenarioConfig:
-        """NUMA-aware plan (the paper's runtime system)."""
-        return self._plan(workload, numa_aware=True)
+        """NUMA-aware scenario (the paper's runtime system).
+
+        Equivalent to :meth:`generate_plan` run through the planner's
+        standard passes and the sim lowering.
+        """
+        return build_scenario(self.generate_plan(workload))
 
     def os_baseline(self, workload: Workload) -> ScenarioConfig:
         """Same task counts, placement left to the (modelled) OS."""
+        return build_scenario(self.os_baseline_plan(workload))
+
+    def generate_plan(self, workload: Workload) -> PipelinePlan:
+        """NUMA-aware :class:`PipelinePlan` — the substrate-neutral form.
+
+        Lower it with :func:`repro.plan.lower.lower_sim` (or
+        :meth:`generate`) for the simulator, or
+        :func:`repro.plan.lower.lower_live` for the real-thread
+        pipeline.
+        """
+        return self._plan(workload, numa_aware=True)
+
+    def os_baseline_plan(self, workload: Workload) -> PipelinePlan:
+        """OS-placement :class:`PipelinePlan` (the §4.2 baseline)."""
         return self._plan(workload, numa_aware=False)
 
     # -- planning -------------------------------------------------------------
 
-    def _plan(self, workload: Workload, *, numa_aware: bool) -> ScenarioConfig:
+    def _plan(self, workload: Workload, *, numa_aware: bool) -> PipelinePlan:
         # Receiver-side partitions are computed per gateway: each
         # receiver's NIC-socket cores are divided among the streams it
         # serves (Figure 14's rule, applied per machine).
@@ -136,8 +157,19 @@ class ConfigGenerator:
 
         # Senders may host several streams; track per-sender stream index
         # so two streams from one box get disjoint core partitions.
+        policy = "numa_aware" if numa_aware else "os_baseline"
+
+        def node(kind: StageKind, cfg: StageConfig) -> StageNode:
+            numa = numa_aware and cfg.placement.kind != "os"
+            return StageNode(
+                kind=kind,
+                count=cfg.count,
+                placement=cfg.placement,
+                rationale=rationale_for(kind, numa_aware=numa),
+            )
+
         sender_usage: dict[str, int] = {}
-        streams: list[StreamConfig] = []
+        streams: list[StreamNode] = []
         for idx, req in enumerate(workload.streams):
             sender = self.kb.machine(req.sender)
             share = sender_usage.get(req.sender, 0)
@@ -151,8 +183,11 @@ class ConfigGenerator:
                 recv_cfg.count, dec_cfg.count, recv_cfg.placement.describe(),
             )
             send_count = recv_cfg.count  # S/R pairs = TCP connections (§3.4)
+            # Sender-side pinning is kept even in the OS baseline: §4.2
+            # compares *receiver-side* placement policies, and sender
+            # placement is irrelevant anyway (Obs 4).
             streams.append(
-                StreamConfig(
+                StreamNode(
                     stream_id=req.stream_id,
                     sender=req.sender,
                     receiver=req.receiver,
@@ -161,15 +196,31 @@ class ConfigGenerator:
                     chunk_bytes=req.chunk_bytes,
                     ratio_mean=req.ratio_mean,
                     ratio_sigma=req.ratio_sigma,
-                    ingest=StageConfig(
-                        len(plan.ingest_cores), PlacementSpec.pinned(plan.ingest_cores)
+                    stages=(
+                        node(
+                            StageKind.INGEST,
+                            StageConfig(
+                                len(plan.ingest_cores),
+                                PlacementSpec.pinned(plan.ingest_cores),
+                            ),
+                        ),
+                        node(
+                            StageKind.COMPRESS,
+                            StageConfig(
+                                plan.compress_threads,
+                                PlacementSpec.pinned(plan.compress_cores),
+                            ),
+                        ),
+                        node(
+                            StageKind.SEND,
+                            StageConfig(
+                                send_count,
+                                PlacementSpec.pinned(plan.send_cores),
+                            ),
+                        ),
+                        node(StageKind.RECV, recv_cfg),
+                        node(StageKind.DECOMPRESS, dec_cfg),
                     ),
-                    compress=StageConfig(
-                        plan.compress_threads, PlacementSpec.pinned(plan.compress_cores)
-                    ),
-                    send=StageConfig(send_count, PlacementSpec.pinned(plan.send_cores)),
-                    recv=recv_cfg,
-                    decompress=dec_cfg,
                 )
             )
         machines = {
@@ -180,13 +231,18 @@ class ConfigGenerator:
         paths = {
             s.path: self.kb.path(s.path) for s in workload.streams
         }
-        return ScenarioConfig(
+        return PipelinePlan(
             name=f"{workload.name}:{'runtime' if numa_aware else 'os'}",
             machines=machines,
             paths=paths,
             streams=streams,
             cost=self.cost,
             seed=workload.seed,
+            policy=policy,
+            metadata={
+                "workload": workload.name,
+                "generator": "ConfigGenerator",
+            },
         )
 
     # -- receiver-side partitioning -----------------------------------------

@@ -21,6 +21,7 @@ from repro.core.placement import PlacementSpec
 from repro.core.runtime import run_scenario
 from repro.experiments.base import ExperimentResult, paper_testbed, repeat_mean
 from repro.hw.topology import CoreId
+from repro.plan.passes import through_plan
 from repro.util.tables import Table
 
 #: Average compressed chunk (≈ one projection at the 2:1 ratio).
@@ -83,13 +84,15 @@ def streaming_scenario(
                 recv=StageConfig(1, PlacementSpec.pinned([recv_core])),
             )
         )
-    return ScenarioConfig(
-        name=f"{name}-p{processes}",
-        machines={m: kb.machine(m) for m in SENDERS + ["lynxdtn"]},
-        paths={"alcf-aps": kb.path("alcf-aps")},
-        streams=streams,
-        seed=seed,
-        warmup_chunks=5,
+    return through_plan(
+        ScenarioConfig(
+            name=f"{name}-p{processes}",
+            machines={m: kb.machine(m) for m in SENDERS + ["lynxdtn"]},
+            paths={"alcf-aps": kb.path("alcf-aps")},
+            streams=streams,
+            seed=seed,
+            warmup_chunks=5,
+        )
     )
 
 

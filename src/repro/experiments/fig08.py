@@ -18,6 +18,7 @@ from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
 from repro.core.runtime import SimRuntime, run_scenario
 from repro.core.tables import TABLE1, Table1Config
 from repro.experiments.base import ExperimentResult, paper_testbed, within
+from repro.plan.passes import through_plan
 from repro.util.tables import Table
 
 DEFAULT_THREADS = (1, 2, 4, 8, 16, 32, 64)
@@ -49,13 +50,15 @@ def micro_scenario(
         micro=True,
         **{stage: stage_cfg},
     )
-    return ScenarioConfig(
-        name=f"fig-{stage}-{cfg.label}-{threads}t",
-        machines={machine: kb.machine(machine)},
-        paths={},
-        streams=[stream],
-        seed=seed,
-        warmup_chunks=8,
+    return through_plan(
+        ScenarioConfig(
+            name=f"fig-{stage}-{cfg.label}-{threads}t",
+            machines={machine: kb.machine(machine)},
+            paths={},
+            streams=[stream],
+            seed=seed,
+            warmup_chunks=8,
+        )
     )
 
 

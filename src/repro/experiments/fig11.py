@@ -19,6 +19,7 @@ from repro.core.runtime import run_scenario
 from repro.core.tables import TABLE2, Table2Config
 from repro.experiments.base import ExperimentResult, paper_testbed, repeat_mean, within
 from repro.experiments.fig05 import COMPRESSED_CHUNK
+from repro.plan.passes import through_plan
 from repro.util.tables import Table
 
 DEFAULT_THREADS = (1, 2, 3, 4, 6, 8)
@@ -46,13 +47,18 @@ def network_scenario(
             cfg.receiver_placement(os_hint_socket=RECEIVER_NIC_SOCKET),
         ),
     )
-    return ScenarioConfig(
-        name=f"fig11-{cfg.label}-{threads}t",
-        machines={"updraft1": kb.machine("updraft1"), "lynxdtn": kb.machine("lynxdtn")},
-        paths={"aps-lan": kb.path("aps-lan")},
-        streams=[stream],
-        seed=seed,
-        warmup_chunks=10,
+    return through_plan(
+        ScenarioConfig(
+            name=f"fig11-{cfg.label}-{threads}t",
+            machines={
+                "updraft1": kb.machine("updraft1"),
+                "lynxdtn": kb.machine("lynxdtn"),
+            },
+            paths={"aps-lan": kb.path("aps-lan")},
+            streams=[stream],
+            seed=seed,
+            warmup_chunks=10,
+        )
     )
 
 

@@ -26,6 +26,7 @@ from repro.core.runtime import run_scenario
 from repro.core.tables import TABLE3, Table3Config
 from repro.experiments.base import ExperimentResult, paper_testbed, within
 from repro.hw.topology import CoreId
+from repro.plan.passes import through_plan
 from repro.util.tables import Table
 
 DEFAULT_SR_THREADS = (2, 4, 8)
@@ -64,16 +65,18 @@ def e2e_scenario(
             cfg.decompress_threads, PlacementSpec.split([0, 1])
         ),
     )
-    return ScenarioConfig(
-        name=f"fig12-{cfg.label}-{sr_threads}t-N{recv_domain}",
-        machines={
-            "updraft1": kb.machine("updraft1"),
-            "lynxdtn": kb.machine("lynxdtn"),
-        },
-        paths={"aps-lan": kb.path("aps-lan")},
-        streams=[stream],
-        seed=seed,
-        warmup_chunks=15,
+    return through_plan(
+        ScenarioConfig(
+            name=f"fig12-{cfg.label}-{sr_threads}t-N{recv_domain}",
+            machines={
+                "updraft1": kb.machine("updraft1"),
+                "lynxdtn": kb.machine("lynxdtn"),
+            },
+            paths={"aps-lan": kb.path("aps-lan")},
+            streams=[stream],
+            seed=seed,
+            warmup_chunks=15,
+        )
     )
 
 

@@ -21,6 +21,7 @@ from repro.core.placement import PlacementSpec
 from repro.core.runtime import ScenarioResult, run_scenario
 from repro.experiments.base import ExperimentResult, paper_testbed, repeat_mean
 from repro.hw.topology import CoreId, MachineSpec
+from repro.plan.passes import through_plan
 from repro.util.rng import derive_seed
 from repro.util.tables import Table
 
@@ -79,13 +80,19 @@ def multi_stream_scenario(
                 decompress=dec,
             )
         )
-    return ScenarioConfig(
-        name=f"fig14-{'runtime' if runtime_placement else 'os'}",
-        machines=machines,
-        paths={"aps-lan": kb.path("aps-lan"), "alcf-aps": kb.path("alcf-aps")},
-        streams=streams,
-        seed=seed,
-        warmup_chunks=20,
+    return through_plan(
+        ScenarioConfig(
+            name=f"fig14-{'runtime' if runtime_placement else 'os'}",
+            machines=machines,
+            paths={
+                "aps-lan": kb.path("aps-lan"),
+                "alcf-aps": kb.path("alcf-aps"),
+            },
+            streams=streams,
+            seed=seed,
+            warmup_chunks=20,
+        ),
+        policy="numa_aware" if runtime_placement else "os_baseline",
     )
 
 

@@ -1,34 +1,23 @@
-"""Bridge from simulated plans to live-thread affinity.
+"""Bridge from simulated plans to live-thread affinity (deprecated).
 
-Closes the paper's loop on a real host: the configuration generator
-plans placements against a *modelled* machine; this module translates
-that plan into best-effort CPU pins for the live pipeline's worker
-threads.  On hosts with fewer CPUs than the modelled machine, modelled
-cores map onto host CPUs by global index modulo the host's CPU count —
-preserving the *grouping* (which stages share cores, which are apart)
-even when the absolute layout cannot exist.
+The modulo host-mapping this module used to implement now lives in the
+plan layer's live lowering (:func:`repro.plan.lower.stream_affinity`),
+where it is applied to :class:`~repro.plan.ir.StreamNode` placements —
+the substrate-neutral form both runtimes lower from.
 
-Placement remains advisory on the live path (DESIGN.md §2: live mode
-proves logic, not performance), but running `LivePipeline` with a
-planned affinity exercises the same artifacts end to end.
+:func:`affinity_from_stream` survives as a compatibility shim: it lifts
+the given :class:`~repro.core.config.StreamConfig` into the IR and
+delegates, producing byte-identical affinity maps.  New code should
+lower a plan instead (:func:`repro.plan.lower.lower_live` or
+:func:`repro.plan.passes.build_live`).
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
-from repro.core.config import StageKind, StreamConfig
+from repro.core.config import StreamConfig
 from repro.hw.topology import MachineSpec
-from repro.util.errors import ConfigurationError
-
-#: live-pipeline stage names -> (scenario stage, which machine side).
-_LIVE_STAGES: dict[str, StageKind] = {
-    "feed": StageKind.INGEST,
-    "compress": StageKind.COMPRESS,
-    "send": StageKind.SEND,
-    "recv": StageKind.RECV,
-    "decompress": StageKind.DECOMPRESS,
-}
 
 
 def affinity_from_stream(
@@ -40,28 +29,20 @@ def affinity_from_stream(
 ) -> dict[str, list[int]]:
     """Map one stream's placements to `LiveConfig.affinity` hints.
 
-    Only pinned/socket/split placements translate (OS-managed stages are
-    left unpinned, which is exactly what they mean).  Returns a dict
-    suitable for :class:`repro.live.runtime.LiveConfig`.
+    .. deprecated::
+        Use :func:`repro.plan.lower.lower_live` (or
+        :func:`repro.plan.lower.stream_affinity` for one stream); this
+        shim lifts the config into the plan IR and delegates.
     """
-    ncpu = host_cpus if host_cpus is not None else (os.cpu_count() or 1)
-    if ncpu < 1:
-        raise ConfigurationError("host reports no CPUs")
-    out: dict[str, list[int]] = {}
-    for live_name, kind in _LIVE_STAGES.items():
-        stage = stream.stages().get(kind)
-        if stage is None or stage.placement.kind == "os":
-            continue
-        machine = sender if kind.sender_side else receiver
-        p = stage.placement
-        if p.kind == "cores":
-            cores = list(p.cores)
-        else:
-            cores = [
-                c for s in p.sockets for c in machine.cores_of(s)
-            ]
-        cps = machine.sockets[0].cores
-        cpus = sorted({c.global_index(cps) % ncpu for c in cores})
-        if cpus:
-            out[live_name] = cpus
-    return out
+    warnings.warn(
+        "affinity_from_stream is deprecated; lower a PipelinePlan via "
+        "repro.plan.lower.lower_live / stream_affinity instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.plan.ingest import stream_from_config
+    from repro.plan.lower import stream_affinity
+
+    return stream_affinity(
+        stream_from_config(stream), sender, receiver, host_cpus=host_cpus
+    )

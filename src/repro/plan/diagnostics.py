@@ -1,0 +1,133 @@
+"""Structured plan diagnostics: every violation, not just the first.
+
+The paper's configuration generator is a compiler for placements, and a
+compiler that stops at the first error is miserable to use: fixing one
+unknown machine only to discover the next placement is off-socket costs
+a full regenerate-and-rerun cycle per mistake.  :class:`Diagnostics`
+is the collector every validation pass writes into — each entry carries
+the stream and stage it refers to, so a 4-stream plan with three bad
+placements reports all three, located.
+
+:meth:`Diagnostics.raise_if_errors` preserves the historical raising
+contract (``ScenarioConfig.validate()`` and the planner both use it):
+the raised :class:`~repro.util.errors.ConfigurationError` message lists
+every error, one per line, so ``pytest.raises(match=...)`` checks
+against any single message keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import ConfigurationError
+
+#: Severity levels, in increasing order of badness.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding, located in the plan."""
+
+    severity: str
+    #: Stable machine-readable code, e.g. ``"unknown-machine"``.
+    code: str
+    #: Human-readable message (the historical exception text).
+    message: str
+    #: Stream the finding refers to ("" for plan-level findings).
+    stream: str = ""
+    #: Stage within the stream ("" when not stage-specific).
+    stage: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        """Dotted ``stream.stage`` locator ("plan" for global findings)."""
+        if not self.stream:
+            return "plan"
+        return f"{self.stream}.{self.stage}" if self.stage else self.stream
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.location()}: {self.message} ({self.code})"
+
+
+class Diagnostics:
+    """Ordered collection of :class:`Diagnostic` findings."""
+
+    def __init__(self) -> None:
+        self._items: list[Diagnostic] = []
+
+    # -- collection ------------------------------------------------------
+
+    def add(self, diag: Diagnostic) -> None:
+        self._items.append(diag)
+
+    def error(
+        self, code: str, message: str, *, stream: str = "", stage: str = ""
+    ) -> None:
+        self.add(Diagnostic("error", code, message, stream, stage))
+
+    def warning(
+        self, code: str, message: str, *, stream: str = "", stage: str = ""
+    ) -> None:
+        self.add(Diagnostic("warning", code, message, stream, stage))
+
+    def info(
+        self, code: str, message: str, *, stream: str = "", stage: str = ""
+    ) -> None:
+        self.add(Diagnostic("info", code, message, stream, stage))
+
+    def extend(self, other: "Diagnostics") -> None:
+        self._items.extend(other._items)
+
+    # -- inspection ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were collected (warnings are fine)."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        """``{severity: count}`` over all findings."""
+        out = {s: 0 for s in SEVERITIES}
+        for d in self._items:
+            out[d.severity] += 1
+        return out
+
+    def render(self) -> str:
+        """All findings, one per line (empty string when clean)."""
+        return "\n".join(d.render() for d in self._items)
+
+    # -- compatibility bridge --------------------------------------------
+
+    def raise_if_errors(self) -> None:
+        """Raise one :class:`ConfigurationError` listing every error.
+
+        The message is each error's historical text joined by newlines,
+        so single-error callers see exactly the message they always did
+        and multi-error callers finally see the whole list.
+        """
+        errs = self.errors
+        if not errs:
+            return
+        raise ConfigurationError("\n".join(e.message for e in errs))

@@ -1,0 +1,181 @@
+"""The substrate-neutral pipeline plan IR.
+
+A :class:`PipelinePlan` is the paper's Figure-4 artifact — "the type of
+tasks designated to individual sockets, the number of tasks, and the
+task execution location" — held in a form neither the simulator nor the
+live runtime owns.  The planner (:mod:`repro.plan.passes`) runs
+``generate -> validate -> normalize -> lower`` over it; the two
+lowerings (:mod:`repro.plan.lower`) emit what each substrate executes:
+a :class:`~repro.core.config.ScenarioConfig` for the simulator, a
+:class:`~repro.live.runtime.LiveConfig` + affinity map for real
+threads.
+
+Structure::
+
+    PipelinePlan
+      machines: {name -> MachineSpec}     topology facts
+      paths:    {name -> PathSpec}        network facts
+      streams:  [StreamNode]              one per detector stream
+        stages: (StageNode, ...)          pipeline order, with rationale
+        edges:  (QueueEdge, ...)          bounded queues (normalize derives)
+        faults: (FaultSpec, ...)          failure testing, both substrates
+
+The IR deliberately reuses the declarative vocabulary types
+(:class:`StageKind`, :class:`PlacementSpec`, :class:`FaultSpec`,
+:class:`MachineSpec`, :class:`PathSpec`) — those describe *facts and
+decisions*, not execution, so they are substrate-neutral already.
+Unlike :class:`~repro.core.config.ScenarioConfig`, construction does
+not validate: a plan may be inconsistent, and the validation pass
+reports every problem at once (:mod:`repro.plan.diagnostics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.core.config import FaultSpec, StageKind
+from repro.core.params import CostModel, PathSpec
+from repro.core.placement import PlacementSpec
+from repro.hw.topology import MachineSpec
+
+#: Canonical pipeline order (Figure 2 plus source ingest / sink egest).
+STAGE_ORDER: tuple[StageKind, ...] = (
+    StageKind.INGEST,
+    StageKind.COMPRESS,
+    StageKind.SEND,
+    StageKind.RECV,
+    StageKind.DECOMPRESS,
+    StageKind.EGEST,
+)
+
+#: Plan policies: how the placements were decided.
+POLICIES = ("numa_aware", "os_baseline", "manual")
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One pipeline stage of one stream: threads, placement, and why."""
+
+    kind: StageKind
+    count: int
+    placement: PlacementSpec
+    #: Human-readable placement rationale (the §3 decision that put it
+    #: there); surfaces in ``repro-plan explain`` and plan files.
+    rationale: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind.value} x{self.count} @ {self.placement.describe()}"
+
+
+@dataclass(frozen=True)
+class QueueEdge:
+    """A bounded queue between two stages (the paper's thread-safe
+    queues; small capacities give tight backpressure)."""
+
+    src: str
+    dst: str
+    capacity: int
+    #: True for the send->recv leg, where each S/R pair gets its own
+    #: socket/arrival queue pair rather than one shared store.
+    per_connection: bool = False
+
+    def describe(self) -> str:
+        fan = " (per connection)" if self.per_connection else ""
+        return f"{self.src} -> {self.dst} [cap {self.capacity}]{fan}"
+
+
+@dataclass(frozen=True)
+class StreamNode:
+    """One detector stream: workload, endpoints, stages, and faults."""
+
+    stream_id: str
+    sender: str
+    receiver: str
+    path: str
+    num_chunks: int = 200
+    chunk_bytes: int = 11_059_200
+    ratio_mean: float = 2.0
+    ratio_sigma: float = 0.03
+    source_socket: int | None = None
+    queue_capacity: int = 4
+    micro: bool = False
+    faults: tuple[FaultSpec, ...] = ()
+    stages: tuple[StageNode, ...] = ()
+    #: Derived by the normalize pass; () until then.
+    edges: tuple[QueueEdge, ...] = ()
+
+    # -- accessors -------------------------------------------------------
+
+    def stage(self, kind: StageKind) -> StageNode | None:
+        """The stage node of one kind, or None when absent."""
+        for node in self.stages:
+            if node.kind == kind:
+                return node
+        return None
+
+    def stages_in_order(self) -> tuple[StageNode, ...]:
+        """Present stages, canonical pipeline order."""
+        by_kind = {node.kind: node for node in self.stages}
+        return tuple(by_kind[k] for k in STAGE_ORDER if k in by_kind)
+
+    @property
+    def has_hop(self) -> bool:
+        """True when the stream crosses the network (send+recv present)."""
+        return self.stage(StageKind.SEND) is not None
+
+    def stage_counts(self) -> dict[str, int]:
+        """``{stage name: thread count}`` for present stages, in order."""
+        return {n.kind.value: n.count for n in self.stages_in_order()}
+
+
+@dataclass
+class PipelinePlan:
+    """A complete, substrate-neutral plan for one run."""
+
+    name: str
+    machines: dict[str, MachineSpec]
+    paths: dict[str, PathSpec]
+    streams: list[StreamNode]
+    cost: CostModel = field(default_factory=CostModel)
+    seed: int = 7
+    warmup_chunks: int = 20
+    csw_penalty: float = 0.04
+    wake_affinity: float = 0.85
+    migrate_prob: float = 0.005
+    spill_threshold: int = 1
+    max_sim_time: float = 600.0
+    #: How placements were decided: "numa_aware" (the paper's runtime),
+    #: "os_baseline" (§4.2 comparison), or "manual" (hand-built).
+    policy: str = "manual"
+    #: Free-form provenance (workload name, generator inputs, ...).
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    # -- accessors -------------------------------------------------------
+
+    def stream(self, stream_id: str) -> StreamNode:
+        for s in self.streams:
+            if s.stream_id == stream_id:
+                return s
+        raise KeyError(f"no stream {stream_id!r} in plan {self.name!r}")
+
+    def stream_ids(self) -> list[str]:
+        return [s.stream_id for s in self.streams]
+
+    def __iter__(self) -> Iterator[StreamNode]:
+        return iter(self.streams)
+
+    def with_streams(self, streams: list[StreamNode]) -> "PipelinePlan":
+        """Copy with different streams (passes rewrite immutably)."""
+        return replace(self, streams=streams)
+
+    def describe(self) -> str:
+        """Terse one-plan summary for logs and CLI output."""
+        lines = [
+            f"plan {self.name!r} [{self.policy}]: "
+            f"{len(self.machines)} machines, {len(self.streams)} streams"
+        ]
+        for s in self.streams:
+            stages = ", ".join(n.describe() for n in s.stages_in_order())
+            lines.append(f"  {s.stream_id}: {s.sender} -> {s.receiver}: {stages}")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""The normalization pass: canonical stage order and derived edges.
+
+Normalization never changes *what* a plan means — placements and counts
+pass through untouched (thread i still lands on ``cores[i % len]``) —
+it only makes the plan self-describing:
+
+- stages are reordered into canonical pipeline order (Figure 2), so
+  hand-built and generated plans serialize identically;
+- the bounded queue edges between consecutive stages are derived and
+  attached (``source -> first`` plus one edge per adjacent pair; the
+  send->recv leg is flagged per-connection, matching the runtime's
+  socket/arrival stores of capacity 2);
+- stages missing a rationale get the stock §3 one, so ``explain`` and
+  plan files always have a story to tell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import StageKind
+from repro.plan.ir import PipelinePlan, QueueEdge, StageNode, StreamNode
+from repro.plan.rules import rationale_for
+
+#: Capacity of the per-connection send->recv stores (see SimRuntime:
+#: ``sockq``/``arrq`` are built with capacity 2).
+WIRE_QUEUE_CAPACITY = 2
+
+
+def derive_edges(stream: StreamNode) -> tuple[QueueEdge, ...]:
+    """The bounded queues a runtime will build for this stream."""
+    order = [n.kind for n in stream.stages_in_order()]
+    if not order:
+        return ()
+    edges = [QueueEdge("source", order[0].value, stream.queue_capacity)]
+    for prev, nxt in zip(order, order[1:]):
+        if prev == StageKind.SEND and nxt == StageKind.RECV:
+            edges.append(
+                QueueEdge(
+                    prev.value,
+                    nxt.value,
+                    WIRE_QUEUE_CAPACITY,
+                    per_connection=True,
+                )
+            )
+        else:
+            edges.append(
+                QueueEdge(prev.value, nxt.value, stream.queue_capacity)
+            )
+    return tuple(edges)
+
+
+def _normalize_stage(node: StageNode, *, numa_aware: bool) -> StageNode:
+    if node.rationale:
+        return node
+    numa = numa_aware and node.placement.kind != "os"
+    return replace(node, rationale=rationale_for(node.kind, numa_aware=numa))
+
+
+def normalize_plan(plan: PipelinePlan) -> PipelinePlan:
+    """Return the canonical form of ``plan`` (input left untouched)."""
+    numa_aware = plan.policy != "os_baseline"
+    streams: list[StreamNode] = []
+    for s in plan.streams:
+        stages = tuple(
+            _normalize_stage(n, numa_aware=numa_aware)
+            for n in s.stages_in_order()
+        )
+        streams.append(replace(s, stages=stages, edges=derive_edges(s)))
+    return plan.with_streams(streams)

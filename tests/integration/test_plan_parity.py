@@ -1,0 +1,124 @@
+"""One plan, two substrates: the lowerings must agree on everything.
+
+ISSUE acceptance: a plan generated once lowers to the simulator and to
+the live pipeline with identical stage counts, placements (modulo the
+documented host-CPU folding), and fault specs — and the sim lowering of
+a generator plan still runs and delivers.
+"""
+
+import pytest
+
+from repro.core.config import FaultSpec
+from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH
+from repro.core.runtime import run_scenario
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+from repro.plan.diff import substrate_drift
+from repro.plan.lower import lower_live, lower_sim
+from repro.plan.passes import build_scenario
+
+
+@pytest.fixture
+def generator():
+    kb = HardwareKnowledgeBase()
+    for spec in (lynxdtn_spec(), updraft_spec(1), updraft_spec(2),
+                 polaris_spec(1)):
+        kb.add_machine(spec)
+    kb.add_path(APS_LAN_PATH)
+    kb.add_path(ALCF_APS_PATH)
+    return ConfigGenerator(kb)
+
+
+@pytest.fixture
+def plan(generator):
+    return generator.generate_plan(
+        Workload(
+            [
+                StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan",
+                              num_chunks=40),
+                StreamRequest("s2", "updraft2", "lynxdtn", "aps-lan",
+                              num_chunks=40),
+            ],
+            name="parity",
+        )
+    )
+
+
+class TestCountsAndPlacements:
+    def test_stage_counts_identical(self, plan):
+        scenario = lower_sim(plan)
+        for sim_stream in scenario.streams:
+            live = lower_live(plan, sim_stream.stream_id, host_cpus=64)
+            sim_counts = {
+                kind.value: stage.count
+                for kind, stage in sim_stream.stages().items()
+            }
+            assert sim_counts == live.stage_counts
+            assert live.config.compress_threads == sim_counts["compress"]
+            assert live.config.decompress_threads == sim_counts["decompress"]
+            assert live.config.connections == sim_counts["send"]
+
+    def test_zero_placement_drift(self, plan):
+        assert substrate_drift(plan, host_cpus=64) == []
+
+    def test_zero_drift_survives_host_folding(self, plan):
+        for host_cpus in (8, 16, 64, 256):
+            assert substrate_drift(plan, host_cpus=host_cpus) == []
+
+
+class TestFaultParity:
+    def test_fault_specs_identical(self, plan):
+        from dataclasses import replace
+
+        fault = FaultSpec(stage="compress", thread_index=1, at_chunk=3,
+                          kind="crash", duration=0.05)
+        plan.streams[0] = replace(plan.streams[0], faults=(fault,))
+        scenario = lower_sim(plan)
+        live = lower_live(plan, plan.streams[0].stream_id, host_cpus=64)
+        assert tuple(scenario.streams[0].faults) == live.faults == (fault,)
+        assert substrate_drift(plan, host_cpus=64) == []
+
+
+class TestExecutability:
+    def test_sim_lowering_runs_and_delivers(self, plan):
+        result = run_scenario(build_scenario(plan))
+        assert set(result.streams) == {"s1", "s2"}
+        assert all(s.chunks_delivered == 40 for s in result.streams.values())
+
+    def test_live_lowering_feeds_live_config(self, plan):
+        live = lower_live(plan, "s1", host_cpus=64)
+        # The affinity dict is shaped for LiveConfig: stage -> cpu list.
+        assert set(live.affinity) <= {"feed", "compress", "send", "recv",
+                                      "decompress"}
+        assert all(
+            isinstance(c, int) and c >= 0
+            for cpus in live.affinity.values() for c in cpus
+        )
+
+
+class TestDeprecatedShim:
+    def test_affinity_from_stream_warns_and_delegates(self):
+        from repro.core.config import StageConfig, StreamConfig
+        from repro.core.placement import PlacementSpec
+        from repro.live.planning import affinity_from_stream
+        from repro.plan.ingest import stream_from_config
+        from repro.plan.lower import stream_affinity
+
+        stream = StreamConfig(
+            stream_id="s", sender="updraft1", receiver="lynxdtn",
+            path="aps-lan",
+            compress=StageConfig(4, PlacementSpec.socket(0)),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+        )
+        with pytest.warns(DeprecationWarning, match="lower_live"):
+            old = affinity_from_stream(
+                stream, updraft_spec(), lynxdtn_spec(), host_cpus=64
+            )
+        new = stream_affinity(
+            stream_from_config(stream), updraft_spec(), lynxdtn_spec(),
+            host_cpus=64,
+        )
+        assert old == new

@@ -1,0 +1,84 @@
+"""Shared fixtures for the plan-layer tests."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.generator import ConfigGenerator, StreamRequest, Workload
+from repro.core.knowledge import HardwareKnowledgeBase
+from repro.core.params import ALCF_APS_PATH, APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.hw.presets import lynxdtn_spec, polaris_spec, updraft_spec
+
+
+@pytest.fixture
+def kb():
+    kb = HardwareKnowledgeBase()
+    for spec in (lynxdtn_spec(), updraft_spec(1), updraft_spec(2), polaris_spec(1)):
+        kb.add_machine(spec)
+    kb.add_path(APS_LAN_PATH)
+    kb.add_path(ALCF_APS_PATH)
+    return kb
+
+
+@pytest.fixture
+def generator(kb):
+    return ConfigGenerator(kb)
+
+
+@pytest.fixture
+def one_stream_workload():
+    return Workload([StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan")])
+
+
+@pytest.fixture
+def four_stream_workload():
+    return Workload(
+        [
+            StreamRequest("s1", "updraft1", "lynxdtn", "aps-lan"),
+            StreamRequest("s2", "updraft2", "lynxdtn", "aps-lan"),
+            StreamRequest("s3", "polaris1", "lynxdtn", "alcf-aps"),
+            StreamRequest("s4", "polaris1", "lynxdtn", "alcf-aps"),
+        ]
+    )
+
+
+@pytest.fixture
+def generated_plan(generator, one_stream_workload):
+    """The generator's NUMA-aware plan for one updraft1 -> lynxdtn stream."""
+    return generator.generate_plan(one_stream_workload)
+
+
+@pytest.fixture
+def hand_stream():
+    """Factory for a hand-built StreamConfig (mirrors tests/live)."""
+
+    def make(**kw) -> StreamConfig:
+        defaults = dict(
+            stream_id="s",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            compress=StageConfig(4, PlacementSpec.socket(0)),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+        )
+        defaults.update(kw)
+        return StreamConfig(**defaults)
+
+    return make
+
+
+@pytest.fixture
+def hand_scenario(hand_stream):
+    """Factory for a one-hop updraft1 -> lynxdtn scenario."""
+
+    def make(*streams, name="hand") -> ScenarioConfig:
+        return ScenarioConfig(
+            name=name,
+            machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+            paths={"aps-lan": APS_LAN_PATH},
+            streams=list(streams) or [hand_stream()],
+        )
+
+    return make

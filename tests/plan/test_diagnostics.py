@@ -1,0 +1,79 @@
+"""Diagnostics collector: severities, rendering, aggregated raising."""
+
+import pytest
+
+from repro.plan.diagnostics import Diagnostic, Diagnostics
+from repro.util.errors import ConfigurationError
+
+
+class TestDiagnostic:
+    def test_render_with_context(self):
+        d = Diagnostic("error", "plan.test", "boom", stream="s1", stage="recv")
+        assert d.render() == "[error] s1.recv: boom (plan.test)"
+
+    def test_location_levels(self):
+        assert Diagnostic("info", "c", "m").location() == "plan"
+        assert Diagnostic("info", "c", "m", stream="s").location() == "s"
+        assert Diagnostic("info", "c", "m", stream="s", stage="recv").location() == "s.recv"
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Diagnostic("fatal", "c", "m")
+
+
+class TestDiagnostics:
+    def test_error_and_warning_helpers(self):
+        diags = Diagnostics()
+        diags.error("plan.a", "first")
+        diags.warning("plan.b", "second")
+        assert not diags.ok
+        assert [d.severity for d in diags] == ["error", "warning"]
+        assert len(diags) == 2
+        assert bool(diags)
+
+    def test_errors_and_warnings_views(self):
+        diags = Diagnostics()
+        diags.warning("plan.w", "w1")
+        diags.error("plan.e", "e1")
+        diags.error("plan.e", "e2")
+        assert [d.message for d in diags.errors] == ["e1", "e2"]
+        assert [d.message for d in diags.warnings] == ["w1"]
+
+    def test_counts_covers_all_severities(self):
+        diags = Diagnostics()
+        diags.error("plan.e", "e")
+        diags.error("plan.e", "e")
+        diags.warning("plan.w", "w")
+        assert diags.counts() == {"info": 0, "warning": 1, "error": 2}
+
+    def test_ok_when_only_warnings(self):
+        diags = Diagnostics()
+        diags.warning("plan.w", "w")
+        assert diags.ok
+        diags.raise_if_errors()  # warnings never raise
+
+    def test_raise_if_errors_aggregates_all_messages(self):
+        diags = Diagnostics()
+        diags.error("plan.a", "first problem")
+        diags.error("plan.b", "second problem")
+        with pytest.raises(ConfigurationError) as exc:
+            diags.raise_if_errors()
+        # Both violations surface in one exception, newline-joined, so a
+        # regex search for either historical message still matches.
+        assert "first problem" in str(exc.value)
+        assert "second problem" in str(exc.value)
+
+    def test_extend_merges_in_order(self):
+        a = Diagnostics()
+        a.error("plan.a", "x")
+        b = Diagnostics()
+        b.warning("plan.b", "y")
+        a.extend(b)
+        assert [d.message for d in a] == ["x", "y"]
+
+    def test_render_is_one_line_per_diagnostic(self):
+        diags = Diagnostics()
+        diags.error("plan.a", "x")
+        diags.warning("plan.b", "y")
+        assert len(diags.render().splitlines()) == 2
+        assert Diagnostics().render() == ""

@@ -1,0 +1,141 @@
+"""explain and diff: rationale rendering, drift detection, parity."""
+
+from dataclasses import replace
+
+from repro.core.config import FaultSpec, StageKind
+from repro.plan.diff import diff_plans, substrate_drift
+from repro.plan.explain import explain_plan, explain_stream
+from repro.plan.ingest import plan_from_scenario
+from repro.plan.passes import run_passes
+from repro.plan.serialize import plan_from_json, plan_to_json
+
+
+class TestExplain:
+    def test_header_and_machines(self, generated_plan):
+        text = explain_plan(run_passes(generated_plan).plan)
+        assert f"plan {generated_plan.name!r}" in text
+        assert "policy=numa_aware" in text
+        assert "updraft1" in text and "lynxdtn" in text
+        assert "NIC" in text  # topology line mentions the streaming NIC
+
+    def test_provenance_line(self, generated_plan):
+        text = explain_plan(generated_plan)
+        assert "provenance:" in text
+        assert "generator=ConfigGenerator" in text
+
+    def test_stage_rationale_rendered(self, generated_plan):
+        plan = run_passes(generated_plan).plan
+        text = explain_plan(plan)
+        assert "why:" in text
+        assert "Obs 1" in text  # recv placement quotes the paper
+        assert "Obs 3" in text  # decompression too
+
+    def test_queues_rendered(self, generated_plan):
+        plan = run_passes(generated_plan).plan
+        lines = explain_stream(plan.streams[0])
+        assert any(l.strip() == "queues:" for l in lines)
+        assert any("send -> recv [cap 2] (per connection)" in l for l in lines)
+
+    def test_faults_rendered(self, hand_scenario, hand_stream):
+        fault = FaultSpec(stage="compress", at_chunk=3, kind="stall")
+        plan = plan_from_scenario(hand_scenario(hand_stream(faults=(fault,))))
+        lines = explain_stream(plan.streams[0])
+        assert any("fault: stall compress[0] at chunk 3" in l for l in lines)
+
+    def test_unknown_machine_plan_still_explains(self, hand_scenario):
+        # explain must work on broken plans (that is when you need it);
+        # the IR is permissive, so break the plan post-lift.
+        plan = plan_from_scenario(hand_scenario())
+        plan.machines.pop("updraft1")
+        text = explain_plan(plan)
+        assert "updraft1 -> lynxdtn" in text
+
+
+class TestDiffPlans:
+    def test_identical_plans(self, generated_plan):
+        back = plan_from_json(plan_to_json(generated_plan))
+        assert diff_plans(generated_plan, back) == []
+
+    def test_count_drift_detected(self, generated_plan):
+        other = plan_from_json(plan_to_json(generated_plan))
+        s = other.streams[0]
+        recv = s.stage(StageKind.RECV)
+        bumped = tuple(
+            replace(n, count=n.count + 1) if n.kind == StageKind.RECV else n
+            for n in s.stages
+        )
+        other.streams[0] = replace(s, stages=bumped)
+        drift = diff_plans(generated_plan, other)
+        assert any(
+            f"count {recv.count} != {recv.count + 1}" in line
+            for line in drift
+        )
+
+    def test_placement_drift_detected(self, generated_plan):
+        from repro.core.placement import PlacementSpec
+
+        other = plan_from_json(plan_to_json(generated_plan))
+        s = other.streams[0]
+        moved = tuple(
+            replace(n, placement=PlacementSpec.socket(0))
+            if n.kind == StageKind.RECV else n
+            for n in s.stages
+        )
+        other.streams[0] = replace(s, stages=moved)
+        drift = diff_plans(generated_plan, other)
+        assert any("stage recv: placement" in line for line in drift)
+
+    def test_missing_stream_detected(self, generated_plan):
+        other = plan_from_json(plan_to_json(generated_plan))
+        other.streams = []
+        drift = diff_plans(generated_plan, other)
+        assert any("only in first plan" in line for line in drift)
+
+    def test_workload_and_policy_drift_detected(self, generated_plan):
+        other = plan_from_json(plan_to_json(generated_plan))
+        other.policy = "manual"
+        other.seed = generated_plan.seed + 1
+        s = other.streams[0]
+        other.streams[0] = replace(s, num_chunks=s.num_chunks + 1)
+        drift = "\n".join(diff_plans(generated_plan, other))
+        assert "policy:" in drift
+        assert "seed:" in drift
+        assert "num_chunks" in drift
+
+    def test_fault_drift_detected(self, generated_plan):
+        other = plan_from_json(plan_to_json(generated_plan))
+        s = other.streams[0]
+        other.streams[0] = replace(
+            s, faults=(FaultSpec(stage="compress"),)
+        )
+        drift = diff_plans(generated_plan, other)
+        assert any("fault specs differ" in line for line in drift)
+
+
+class TestSubstrateDrift:
+    """The acceptance bar: one plan, two substrates, zero drift."""
+
+    def test_generated_plan_zero_drift(self, generated_plan):
+        assert substrate_drift(generated_plan, host_cpus=64) == []
+
+    def test_os_baseline_zero_drift(self, generator, one_stream_workload):
+        plan = generator.os_baseline_plan(one_stream_workload)
+        assert substrate_drift(plan, host_cpus=64) == []
+
+    def test_four_stream_plan_zero_drift(self, generator,
+                                         four_stream_workload):
+        plan = generator.generate_plan(four_stream_workload)
+        assert substrate_drift(plan, host_cpus=64) == []
+
+    def test_hand_plan_zero_drift(self, hand_scenario):
+        plan = plan_from_scenario(hand_scenario())
+        assert substrate_drift(plan, host_cpus=64) == []
+
+    def test_drift_zero_after_folding(self, generated_plan):
+        # Parity must hold under modulo folding too (small host).
+        assert substrate_drift(generated_plan, host_cpus=8) == []
+
+    def test_faulted_plan_zero_drift(self, hand_scenario, hand_stream):
+        fault = FaultSpec(stage="recv", kind="reconnect", at_chunk=2)
+        plan = plan_from_scenario(hand_scenario(hand_stream(faults=(fault,))))
+        assert substrate_drift(plan, host_cpus=64) == []

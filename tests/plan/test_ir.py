@@ -1,0 +1,121 @@
+"""The plan IR: permissive construction, ordered accessors."""
+
+import pytest
+
+from repro.core.config import FaultSpec, StageKind
+from repro.core.placement import PlacementSpec
+from repro.plan.ir import (
+    STAGE_ORDER,
+    PipelinePlan,
+    QueueEdge,
+    StageNode,
+    StreamNode,
+)
+
+
+def node(kind, count=1, placement=None):
+    return StageNode(kind, count, placement or PlacementSpec.os_managed())
+
+
+class TestStreamNode:
+    def test_stages_in_order_sorts_canonically(self):
+        s = StreamNode(
+            "s", "a", "b", "p",
+            stages=(
+                node(StageKind.DECOMPRESS),
+                node(StageKind.INGEST),
+                node(StageKind.RECV),
+                node(StageKind.SEND),
+            ),
+        )
+        assert [n.kind for n in s.stages_in_order()] == [
+            StageKind.INGEST, StageKind.SEND, StageKind.RECV,
+            StageKind.DECOMPRESS,
+        ]
+
+    def test_stage_lookup(self):
+        s = StreamNode("s", "a", "b", "p", stages=(node(StageKind.COMPRESS, 4),))
+        assert s.stage(StageKind.COMPRESS).count == 4
+        assert s.stage(StageKind.RECV) is None
+
+    def test_has_hop(self):
+        hop = StreamNode(
+            "s", "a", "b", "p",
+            stages=(node(StageKind.SEND), node(StageKind.RECV)),
+        )
+        local = StreamNode("s", "a", "b", "p", stages=(node(StageKind.COMPRESS),))
+        assert hop.has_hop and not local.has_hop
+
+    def test_stage_counts_in_pipeline_order(self):
+        s = StreamNode(
+            "s", "a", "b", "p",
+            stages=(node(StageKind.RECV, 2), node(StageKind.INGEST, 8)),
+        )
+        assert s.stage_counts() == {"ingest": 8, "recv": 2}
+        assert list(s.stage_counts()) == ["ingest", "recv"]
+
+    def test_construction_is_permissive(self):
+        # No stages, bad workload numbers: the IR accepts it all —
+        # the validation pass reports, construction never raises.
+        s = StreamNode("s", "ghost", "ghost", "p", num_chunks=0)
+        assert s.stages == ()
+
+
+class TestPipelinePlan:
+    def plan(self):
+        return PipelinePlan(
+            name="p",
+            machines={},
+            paths={},
+            streams=[
+                StreamNode("a", "m1", "m2", "p"),
+                StreamNode("b", "m1", "m2", "p"),
+            ],
+        )
+
+    def test_stream_lookup(self):
+        plan = self.plan()
+        assert plan.stream("b").stream_id == "b"
+        with pytest.raises(KeyError, match="no stream 'z'"):
+            plan.stream("z")
+
+    def test_iteration_and_ids(self):
+        plan = self.plan()
+        assert plan.stream_ids() == ["a", "b"]
+        assert [s.stream_id for s in plan] == ["a", "b"]
+
+    def test_with_streams_copies(self):
+        plan = self.plan()
+        trimmed = plan.with_streams(plan.streams[:1])
+        assert trimmed.stream_ids() == ["a"]
+        assert plan.stream_ids() == ["a", "b"]  # original untouched
+
+    def test_describe_mentions_policy_and_streams(self):
+        text = self.plan().describe()
+        assert "manual" in text and "2 streams" in text
+
+    def test_stage_order_covers_all_kinds(self):
+        assert set(STAGE_ORDER) == set(StageKind)
+
+
+class TestQueueEdge:
+    def test_describe(self):
+        e = QueueEdge("send", "recv", 2, per_connection=True)
+        assert e.describe() == "send -> recv [cap 2] (per connection)"
+
+
+class TestStageNode:
+    def test_describe(self):
+        n = StageNode(StageKind.COMPRESS, 24, PlacementSpec.socket(1))
+        assert n.describe().startswith("compress x24 @ ")
+
+    def test_frozen(self):
+        n = node(StageKind.RECV)
+        with pytest.raises(AttributeError):
+            n.count = 2
+
+
+def test_fault_specs_ride_along():
+    f = FaultSpec(stage="compress", kind="stall")
+    s = StreamNode("s", "a", "b", "p", faults=(f,))
+    assert s.faults == (f,)

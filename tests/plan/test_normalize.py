@@ -1,0 +1,135 @@
+"""The normalization pass: canonical order, derived edges, rationale."""
+
+from repro.core.config import StageKind
+from repro.core.placement import PlacementSpec
+from repro.core.params import APS_LAN_PATH
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.plan.ir import PipelinePlan, StageNode, StreamNode
+from repro.plan.normalize import WIRE_QUEUE_CAPACITY, derive_edges, normalize_plan
+
+
+def node(kind, count=2, placement=None, rationale=""):
+    return StageNode(kind, count, placement or PlacementSpec.socket(0),
+                     rationale=rationale)
+
+
+def full_stream(**kw):
+    # Deliberately scrambled stage order.
+    return StreamNode(
+        "s", "updraft1", "lynxdtn", "aps-lan",
+        stages=(
+            node(StageKind.DECOMPRESS, 4, PlacementSpec.split([0, 1])),
+            node(StageKind.RECV, 2, PlacementSpec.socket(1)),
+            node(StageKind.SEND, 2, PlacementSpec.socket(1)),
+            node(StageKind.COMPRESS, 4),
+            node(StageKind.INGEST, 2),
+        ),
+        **kw,
+    )
+
+
+def make_plan(*streams, policy="manual"):
+    return PipelinePlan(
+        name="p",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=list(streams) or [full_stream()],
+        policy=policy,
+    )
+
+
+class TestDeriveEdges:
+    def test_full_pipeline_edges(self):
+        edges = derive_edges(full_stream(queue_capacity=4))
+        as_tuples = [(e.src, e.dst, e.capacity, e.per_connection)
+                     for e in edges]
+        assert as_tuples == [
+            ("source", "ingest", 4, False),
+            ("ingest", "compress", 4, False),
+            ("compress", "send", 4, False),
+            ("send", "recv", WIRE_QUEUE_CAPACITY, True),
+            ("recv", "decompress", 4, False),
+        ]
+
+    def test_local_pipeline_has_no_wire_edge(self):
+        s = StreamNode(
+            "s", "m", "m", "p",
+            stages=(node(StageKind.INGEST), node(StageKind.COMPRESS)),
+        )
+        edges = derive_edges(s)
+        assert [(e.src, e.dst) for e in edges] == [
+            ("source", "ingest"), ("ingest", "compress")
+        ]
+        assert not any(e.per_connection for e in edges)
+
+    def test_empty_stream_has_no_edges(self):
+        assert derive_edges(StreamNode("s", "m", "m", "p")) == ()
+
+
+class TestNormalizePlan:
+    def test_canonical_stage_order(self):
+        plan = normalize_plan(make_plan())
+        kinds = [n.kind for n in plan.streams[0].stages]
+        assert kinds == [
+            StageKind.INGEST, StageKind.COMPRESS, StageKind.SEND,
+            StageKind.RECV, StageKind.DECOMPRESS,
+        ]
+
+    def test_placements_and_counts_untouched(self):
+        original = make_plan()
+        plan = normalize_plan(original)
+        before = {n.kind: (n.count, n.placement)
+                  for n in original.streams[0].stages}
+        after = {n.kind: (n.count, n.placement)
+                 for n in plan.streams[0].stages}
+        assert before == after
+
+    def test_edges_attached(self):
+        plan = normalize_plan(make_plan())
+        s = plan.streams[0]
+        assert s.edges == derive_edges(s)
+
+    def test_input_plan_not_mutated(self):
+        original = make_plan()
+        normalize_plan(original)
+        assert original.streams[0].edges == ()
+        assert original.streams[0].stages[0].kind == StageKind.DECOMPRESS
+
+    def test_missing_rationale_filled(self):
+        plan = normalize_plan(make_plan())
+        assert all(n.rationale for n in plan.streams[0].stages)
+
+    def test_existing_rationale_preserved(self):
+        s = StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan",
+            stages=(node(StageKind.COMPRESS, rationale="hand-tuned"),),
+        )
+        plan = normalize_plan(make_plan(s))
+        assert plan.streams[0].stages[0].rationale == "hand-tuned"
+
+    def test_os_baseline_rationale_differs(self):
+        def os_recv_stream():
+            return StreamNode(
+                "s", "updraft1", "lynxdtn", "aps-lan",
+                stages=(
+                    node(StageKind.SEND, 2, PlacementSpec.socket(1)),
+                    node(StageKind.RECV, 2,
+                         PlacementSpec.os_managed(hint_socket=1)),
+                ),
+            )
+
+        numa = normalize_plan(make_plan(os_recv_stream(), policy="numa_aware"))
+        base = normalize_plan(make_plan(os_recv_stream(), policy="os_baseline"))
+        # OS-managed stages always get the baseline story; pinned stages
+        # under os_baseline policy do too.
+        recv_numa = numa.streams[0].stage(StageKind.RECV)
+        recv_base = base.streams[0].stage(StageKind.RECV)
+        assert recv_numa.rationale == recv_base.rationale
+        send_numa = numa.streams[0].stage(StageKind.SEND)
+        send_base = base.streams[0].stage(StageKind.SEND)
+        assert send_numa.rationale != send_base.rationale
+
+    def test_idempotent(self):
+        once = normalize_plan(make_plan())
+        twice = normalize_plan(once)
+        assert once.streams[0] == twice.streams[0]

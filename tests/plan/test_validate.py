@@ -1,0 +1,200 @@
+"""The validation pass: every violation at once, historical messages."""
+
+import pytest
+
+from repro.core.config import StageKind
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.hw.topology import CoreId
+from repro.plan.ingest import plan_from_scenario
+from repro.plan.ir import PipelinePlan, StageNode, StreamNode
+from repro.plan.validate import validate_plan
+
+
+def make_plan(streams, *, machines=None, paths=None, name="p"):
+    return PipelinePlan(
+        name=name,
+        machines=machines if machines is not None
+        else {"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths=paths if paths is not None else {"aps-lan": APS_LAN_PATH},
+        streams=streams,
+    )
+
+
+def node(kind, count=2, placement=None):
+    return StageNode(kind, count, placement or PlacementSpec.socket(0))
+
+
+def hop_stream(sid="s", send=2, recv=2, sender="updraft1",
+               receiver="lynxdtn", path="aps-lan", **kw):
+    return StreamNode(
+        sid, sender, receiver, path,
+        stages=(
+            node(StageKind.COMPRESS),
+            node(StageKind.SEND, send, PlacementSpec.socket(1)),
+            node(StageKind.RECV, recv, PlacementSpec.socket(1)),
+            node(StageKind.DECOMPRESS),
+        ),
+        **kw,
+    )
+
+
+class TestCleanPlans:
+    def test_generated_plan_is_clean(self, generated_plan):
+        diags = validate_plan(generated_plan)
+        assert diags.ok and not diags.warnings
+
+    def test_hand_plan_is_clean(self, hand_scenario):
+        assert validate_plan(plan_from_scenario(hand_scenario())).ok
+
+
+class TestPlanLevel:
+    def test_no_streams(self):
+        diags = validate_plan(make_plan([], name="empty"))
+        msgs = [d.message for d in diags.errors]
+        assert "scenario 'empty' has no streams" in msgs
+
+    def test_duplicate_stream_ids(self):
+        diags = validate_plan(make_plan([hop_stream("s"), hop_stream("s")]))
+        assert any(
+            d.code == "duplicate-streams" and "duplicate stream ids" in d.message
+            for d in diags.errors
+        )
+
+
+class TestStreamLevel:
+    def test_unknown_machines_and_path(self):
+        s = hop_stream(sender="ghost", receiver="phantom", path="nowhere")
+        diags = validate_plan(make_plan([s]))
+        msgs = [d.message for d in diags.errors]
+        assert "stream 's': unknown sender machine 'ghost'" in msgs
+        assert "stream 's': unknown receiver machine 'phantom'" in msgs
+        assert "stream 's': unknown path 'nowhere'" in msgs
+
+    def test_unpaired_connection_counts(self):
+        diags = validate_plan(make_plan([hop_stream(send=4, recv=2)]))
+        assert any(
+            "send count 4 != recv count 2 (threads pair into TCP "
+            "connections, §3.4)" in d.message
+            for d in diags.errors
+        )
+
+    def test_unpaired_hop(self):
+        s = StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan",
+            stages=(node(StageKind.COMPRESS), node(StageKind.SEND)),
+        )
+        diags = validate_plan(make_plan([s]))
+        assert any(d.code == "unpaired-hop" for d in diags.errors)
+
+    def test_no_stages(self):
+        s = StreamNode("s", "updraft1", "lynxdtn", "aps-lan")
+        diags = validate_plan(make_plan([s]))
+        assert any(
+            d.message == "stream 's' has no stages" for d in diags.errors
+        )
+
+    def test_workload_shape(self):
+        s = hop_stream(num_chunks=0, chunk_bytes=0, ratio_mean=0.0,
+                       queue_capacity=0)
+        diags = validate_plan(make_plan([s]))
+        msgs = {d.message for d in diags.errors}
+        assert "num_chunks must be >= 1" in msgs
+        assert "chunk_bytes must be >= 1" in msgs
+        assert "ratio_mean must be > 0" in msgs
+        assert "queue_capacity must be >= 1" in msgs
+
+    def test_bad_source_socket(self):
+        diags = validate_plan(make_plan([hop_stream(source_socket=9)]))
+        assert any(d.code == "bad-source-socket" for d in diags.errors)
+
+
+class TestPlacementLevel:
+    def test_off_machine_socket(self):
+        s = hop_stream()
+        bad = s.stages[:1] + (
+            node(StageKind.SEND, 2, PlacementSpec.socket(7)),
+        ) + s.stages[2:]
+        diags = validate_plan(make_plan([StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan", stages=bad)]))
+        assert any(
+            d.code == "bad-placement" and d.stage == "send"
+            and d.message.startswith("stream 's' stage send: ")
+            for d in diags.errors
+        )
+
+    def test_nonexistent_core(self):
+        s = StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan",
+            stages=(node(StageKind.COMPRESS, 2,
+                         PlacementSpec.pinned([CoreId(0, 99)])),),
+        )
+        diags = validate_plan(make_plan([s]))
+        assert any("does not exist" in d.message for d in diags.errors)
+
+    def test_bad_count(self):
+        s = StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan",
+            stages=(node(StageKind.COMPRESS, 0),),
+        )
+        diags = validate_plan(make_plan([s]))
+        assert any(
+            "stage count must be >= 1" in d.message for d in diags.errors
+        )
+
+    def test_oversubscription_is_a_warning(self):
+        s = StreamNode(
+            "s", "updraft1", "lynxdtn", "aps-lan",
+            stages=(node(StageKind.COMPRESS, 5,
+                         PlacementSpec.pinned([CoreId(0, 0), CoreId(0, 1)])),),
+        )
+        diags = validate_plan(make_plan([s]))
+        assert diags.ok  # advisory, not fatal
+        assert any(
+            d.code == "oversubscribed" and "Obs 2" in d.message
+            for d in diags.warnings
+        )
+
+
+class TestEverythingAtOnce:
+    def test_multiple_violations_all_reported(self):
+        """The whole point: a 3-stream plan with four independent
+        problems reports all four in one validation run."""
+        streams = [
+            hop_stream("a", sender="ghost"),            # unknown machine
+            hop_stream("b", send=4, recv=2,             # count mismatch
+                       path="nowhere"),                 # unknown path
+            StreamNode("c", "updraft1", "lynxdtn", "aps-lan"),  # no stages
+        ]
+        diags = validate_plan(make_plan(streams))
+        codes = {d.code for d in diags.errors}
+        assert {"unknown-machine", "unpaired-connections",
+                "unknown-path", "no-stages"} <= codes
+        # Each finding is located at its stream.
+        assert {d.stream for d in diags.errors} == {"a", "b", "c"}
+
+
+class TestScenarioConfigRouting:
+    """ScenarioConfig.validate()/diagnose() route through this pass —
+    construction validates, so a scenario with several independent
+    problems now reports all of them in one exception."""
+
+    def test_construction_reports_all_findings(self, hand_scenario,
+                                               hand_stream):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as exc:
+            hand_scenario(
+                hand_stream(stream_id="a", sender="ghost"),
+                hand_stream(stream_id="b", path="nowhere"),
+            )
+        assert "stream 'a': unknown sender machine 'ghost'" in str(exc.value)
+        assert "stream 'b': unknown path 'nowhere'" in str(exc.value)
+
+    def test_diagnose_clean_scenario(self, hand_scenario):
+        diags = hand_scenario().diagnose()
+        assert diags.ok and not diags.warnings
+
+    def test_validate_clean_scenario_passes(self, hand_scenario):
+        hand_scenario().validate()
