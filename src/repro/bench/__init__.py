@@ -1,0 +1,39 @@
+"""repro.bench — pinned micro/e2e benchmarks behind ``repro-bench``.
+
+Measures the hot-path machinery this repo optimizes (queue handoffs,
+frame encoding, the loopback pipeline, the sim runtime) and emits a
+``BENCH_pipeline.json`` document with throughput and latency
+percentiles.  See ``docs/performance.md`` for how to run and read it.
+"""
+
+from repro.bench.harness import (
+    BenchReport,
+    BenchResult,
+    GateResult,
+    latency_summary,
+    percentile,
+    pin_benchmark_thread,
+)
+from repro.bench.suites import (
+    LOOPBACK_GATE_THRESHOLD,
+    bench_framing,
+    bench_loopback_pipeline,
+    bench_queue_handoff,
+    bench_sim_scenario,
+    run_suite,
+)
+
+__all__ = [
+    "BenchReport",
+    "BenchResult",
+    "GateResult",
+    "LOOPBACK_GATE_THRESHOLD",
+    "bench_framing",
+    "bench_loopback_pipeline",
+    "bench_queue_handoff",
+    "bench_sim_scenario",
+    "latency_summary",
+    "percentile",
+    "pin_benchmark_thread",
+    "run_suite",
+]

@@ -1,0 +1,169 @@
+"""Benchmark harness: timing, percentiles, pinning, and the JSON doc.
+
+The harness is deliberately tiny — a :class:`BenchResult` per measured
+configuration plus a :class:`BenchReport` that serializes the whole run
+to ``BENCH_pipeline.json``.  Benchmarks pin the orchestrating thread to
+one CPU (best-effort, via :mod:`repro.live.affinity`) so scheduler
+migration noise does not drown the effects being measured; worker
+threads spawned by a benchmark inherit placement from the OS exactly
+like production runs do.
+
+Comparisons are in-run by design: every ratio reported here (e.g. the
+loopback vectored-vs-copy speedup) measures both sides in the same
+process a few seconds apart, so host speed cancels out and the number
+is meaningful across machines — which is what lets CI gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.live.affinity import pin_current_thread, supports_affinity
+
+#: The percentile points every benchmark reports, in order.
+PERCENTILES: tuple[float, ...] = (50.0, 90.0, 99.0)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (0 < p <= 100)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_summary(samples: Sequence[float]) -> dict[str, float]:
+    """p50/p90/p99 of ``samples`` (seconds in, microseconds out)."""
+    return {
+        f"p{int(p)}_us": percentile(samples, p) * 1e6 for p in PERCENTILES
+    }
+
+
+@dataclass
+class BenchResult:
+    """One measured configuration of one benchmark."""
+
+    name: str
+    #: Headline throughput value and its unit (``ops/s``, ``MB/s``, ...).
+    value: float
+    unit: str
+    #: Wall-clock seconds the measured section took.
+    duration_s: float
+    #: Operations (frames, handoffs, chunks) the section performed.
+    n: int
+    #: Per-operation latency percentiles, microseconds.
+    latency_us: dict[str, float] = field(default_factory=dict)
+    #: Knobs that produced this configuration (batch size, payload, ...).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": round(self.value, 3),
+            "unit": self.unit,
+            "duration_s": round(self.duration_s, 6),
+            "n": self.n,
+            "latency_us": {
+                k: round(v, 3) for k, v in self.latency_us.items()
+            },
+            "params": self.params,
+        }
+
+
+@dataclass
+class GateResult:
+    """A pass/fail threshold computed from the run's own results."""
+
+    name: str
+    value: float
+    threshold: float
+
+    @property
+    def ok(self) -> bool:
+        return self.value >= self.threshold
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": round(self.value, 3),
+            "threshold": self.threshold,
+            "pass": self.ok,
+        }
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro-bench`` invocation measured."""
+
+    results: list[BenchResult] = field(default_factory=list)
+    gates: list[GateResult] = field(default_factory=list)
+    quick: bool = False
+    pinned: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(g.ok for g in self.gates)
+
+    def result(self, name: str) -> BenchResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "repro-bench",
+            "version": 1,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": self.quick,
+            "pinned": self.pinned,
+            "results": [r.to_dict() for r in self.results],
+            "gates": [g.to_dict() for g in self.gates],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def render(self) -> str:
+        lines = ["benchmark                                value  unit"]
+        for r in self.results:
+            lat = ""
+            if r.latency_us:
+                lat = "  p50={p50_us:.1f}us p99={p99_us:.1f}us".format(
+                    **r.latency_us
+                )
+            lines.append(
+                f"{r.name:<38} {r.value:>12,.0f}  {r.unit}{lat}"
+            )
+        for g in self.gates:
+            verdict = "PASS" if g.ok else "FAIL"
+            lines.append(
+                f"gate {g.name}: {g.value:.2f}x "
+                f"(threshold {g.threshold:.2f}x) {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def pin_benchmark_thread(cpu: int | None = 0) -> bool:
+    """Best-effort: pin the calling (orchestrating) thread to one CPU.
+
+    Returns whether a pin was applied; hosts without affinity support
+    simply run unpinned, like every other live-path placement.
+    """
+    if cpu is None or not supports_affinity():
+        return False
+    return pin_current_thread([cpu])

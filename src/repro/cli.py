@@ -96,6 +96,21 @@ def live_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--decompress-threads", type=int, default=2)
     parser.add_argument("--connections", type=int, default=2)
     parser.add_argument(
+        "--batch-frames",
+        type=int,
+        default=None,
+        help="frames coalesced per queue drain / vectored send "
+        "(default: the plan's batch_frames, else 1)",
+    )
+    parser.add_argument(
+        "--batch-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="extra time a sender waits to top a partial batch up "
+        "before flushing (default 0)",
+    )
+    parser.add_argument(
         "--detector",
         default="240x256",
         help="detector shape ROWSxCOLS (small by default: pure-Python codecs)",
@@ -185,6 +200,18 @@ def live_main(argv: list[str] | None = None) -> int:
         parser.error("--fault is sender-side; use it with --connect or "
                      "the in-process loopback, not --listen")
 
+    # --batch-frames overrides the plan's knob; otherwise the plan (or
+    # the default of 1, today's frame-at-a-time behaviour) decides.
+    batch_frames = args.batch_frames
+    if batch_frames is None:
+        batch_frames = (
+            lowered.config.batch_frames if lowered is not None else 1
+        )
+    if batch_frames < 1:
+        parser.error("--batch-frames must be >= 1")
+    if args.batch_linger < 0:
+        parser.error("--batch-linger must be >= 0")
+
     from repro.faults import FaultInjector, parse_fault
     from repro.util.errors import ValidationError
 
@@ -254,6 +281,7 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             decompress_threads=args.decompress_threads,
+            batch_frames=batch_frames,
             telemetry=telemetry,
         )
         print(f"listening on {server.address[0]}:{server.address[1]} "
@@ -274,6 +302,8 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             compress_threads=args.compress_threads,
+            batch_frames=batch_frames,
+            batch_linger=args.batch_linger,
             telemetry=telemetry,
             injector=injector,
         )
@@ -295,6 +325,7 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             decompress_threads=args.decompress_threads,
+            batch_frames=batch_frames,
             telemetry=telemetry,
         )
         host, port = server.address
@@ -311,6 +342,8 @@ def live_main(argv: list[str] | None = None) -> int:
             codec=args.codec,
             connections=args.connections,
             compress_threads=args.compress_threads,
+            batch_frames=batch_frames,
+            batch_linger=args.batch_linger,
             telemetry=telemetry,
             injector=injector,
         )
@@ -336,16 +369,24 @@ def live_main(argv: list[str] | None = None) -> int:
         ok = sender_report.ok and report is not None and report.ok
         return 0 if ok else 1
 
+    import dataclasses
+
     from repro.live import LiveConfig, LivePipeline
 
     pipeline = LivePipeline(
-        lowered.config
+        dataclasses.replace(
+            lowered.config,
+            batch_frames=batch_frames,
+            batch_linger=args.batch_linger,
+        )
         if lowered is not None
         else LiveConfig(
             codec=args.codec,
             compress_threads=args.compress_threads,
             decompress_threads=args.decompress_threads,
             connections=args.connections,
+            batch_frames=batch_frames,
+            batch_linger=args.batch_linger,
         ),
         telemetry=telemetry,
     )
@@ -380,6 +421,16 @@ def _plan_generate(args, parser) -> int:
         if args.os_baseline
         else generator.generate_plan(workload)
     )
+    if args.batch_frames != 1:
+        from dataclasses import replace as _replace
+
+        plan = _replace(
+            plan,
+            streams=tuple(
+                _replace(s, batch_frames=args.batch_frames)
+                for s in plan.streams
+            ),
+        )
     result = run_passes(plan)
     for warning in result.diagnostics.warnings:
         print(f"warning: {warning.message}", file=sys.stderr)
@@ -456,6 +507,7 @@ def _plan_lower(args) -> int:
         "decompress_threads": lowered.config.decompress_threads,
         "connections": lowered.config.connections,
         "queue_capacity": lowered.config.queue_capacity,
+        "batch_frames": lowered.config.batch_frames,
         "affinity": lowered.affinity,
         "stage_counts": lowered.stage_counts,
     }
@@ -493,6 +545,13 @@ def plan_main(argv: list[str] | None = None) -> int:
     )
     generate.add_argument("--chunks", type=int, default=250)
     generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--batch-frames",
+        type=int,
+        default=1,
+        help="frames coalesced per queue handoff / vectored send — a "
+        "plan policy knob lowered to both substrates (default 1)",
+    )
     generate.add_argument(
         "--os-baseline",
         action="store_true",
@@ -753,6 +812,47 @@ def telemetry_main(argv: list[str] | None = None) -> int:
     print(f"wrote {n} trace events to {args.output}")
     print(telemetry.pipeline_report().render())
     return 0
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the pinned hot-path benchmarks (queue handoff, "
+        "framing, loopback pipeline, sim scenario) and write "
+        "BENCH_pipeline.json with throughput and latency percentiles.",
+    )
+    parser.add_argument(
+        "-o", "--out",
+        default="BENCH_pipeline.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iteration counts (CI trend job / smoke runs)",
+    )
+    parser.add_argument(
+        "--no-pin",
+        action="store_true",
+        help="skip best-effort CPU pinning of the benchmark thread",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report the loopback speedup but never fail on it",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import run_suite
+
+    report = run_suite(
+        quick=args.quick, pinned=not args.no_pin, gate=not args.no_gate
+    )
+    report.save(args.out)
+    print(report.render())
+    print(f"wrote {args.out}")
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

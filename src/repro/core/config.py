@@ -131,6 +131,10 @@ class StreamConfig:
     #: Bounded inter-stage queue depth (chunks) — the paper's
     #: thread-safe queues; small values give tight backpressure.
     queue_capacity: int = 4
+    #: Chunks moved per queue handoff (the live runtime's batched
+    #: drain/vectored send); amortizes ``CostModel.queue_handoff_seconds``
+    #: in the sim so both substrates model the same batched cost.
+    batch_frames: int = 1
     #: True for the §3.2/§3.3 standalone microbenchmarks (no pipeline
     #: overhead on compute rates); False for full streaming pipelines.
     micro: bool = False
@@ -146,6 +150,8 @@ class StreamConfig:
             raise ValidationError("ratio_mean must be > 0")
         if self.queue_capacity < 1:
             raise ValidationError("queue_capacity must be >= 1")
+        if self.batch_frames < 1:
+            raise ValidationError("batch_frames must be >= 1")
         if (self.send is None) != (self.recv is None):
             raise ConfigurationError(
                 f"stream {self.stream_id!r}: send and recv stages must both "

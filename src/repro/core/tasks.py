@@ -125,6 +125,18 @@ class StreamContext:
     #: recv-thread homes by connection index (wire pump reads the
     #: *current* socket for remote penalties).
     recv_homes: list[ThreadHome] = field(default_factory=list)
+
+    @property
+    def handoff_delay(self) -> float:
+        """Per-chunk queue-handoff cost, amortized over the batch.
+
+        The live runtime drains ``batch_frames`` chunks per lock
+        round-trip, so the fixed handoff cost
+        (``CostModel.queue_handoff_seconds``) is paid once per batch —
+        the sim charges each chunk its amortized share so both
+        substrates model the same batched handoff economics.
+        """
+        return self.cost.queue_handoff_seconds / self.config.batch_frames
     meters: dict[StageKind, StageMeters] = field(default_factory=dict)
     #: Optional per-chunk tracer (see :mod:`repro.sim.trace`).
     tracer: "object | None" = None
@@ -403,6 +415,8 @@ def stage_worker_proc(
             chunk = yield inq.get()
             if chunk is END:
                 break
+            if ctx.handoff_delay > 0.0:
+                yield ctx.engine.timeout(ctx.handoff_delay)
             delay, redo = _fault_plan(ctx, kind.value, index, processed)
             processed += 1
             for fault_kind in redo:
@@ -453,6 +467,8 @@ def send_worker_proc(
             if chunk is END:
                 sockq.force_put(END)
                 break
+            if ctx.handoff_delay > 0.0:
+                yield ctx.engine.timeout(ctx.handoff_delay)
             delay, redo = _fault_plan(ctx, "send", index, processed)
             processed += 1
             for fault_kind in redo:

@@ -127,6 +127,7 @@ class ReceiverServer:
         connections: int = 1,
         decompress_threads: int = 2,
         queue_capacity: int = 8,
+        batch_frames: int = 1,
         timeouts: TimeoutPolicy | None = None,
         accept_timeout: float | None = None,
         join_timeout: float | None = None,
@@ -134,10 +135,13 @@ class ReceiverServer:
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
+        if batch_frames < 1:
+            raise ValidationError("batch_frames must be >= 1")
         self.codec = get_codec(codec) if isinstance(codec, str) else codec
         self.connections = connections
         self.decompress_threads = decompress_threads
         self.queue_capacity = queue_capacity
+        self.batch_frames = batch_frames
         self.timeouts = _deprecated_timeout(
             timeouts or TimeoutPolicy(),
             accept=accept_timeout,
@@ -270,7 +274,10 @@ class ReceiverServer:
                 threading.Thread(
                     target=workers.decompressor,
                     args=(self.codec, wireq, stats["decompress"], counting_sink),
-                    kwargs={"telemetry": self.telemetry},
+                    kwargs={
+                        "telemetry": self.telemetry,
+                        "batch_frames": self.batch_frames,
+                    },
                     name=f"decompress-{i}",
                     daemon=True,
                 )
@@ -374,6 +381,8 @@ class SenderClient:
         connections: int = 1,
         compress_threads: int = 2,
         queue_capacity: int = 8,
+        batch_frames: int = 1,
+        batch_linger: float = 0.0,
         timeouts: TimeoutPolicy | None = None,
         connect_timeout: float | None = None,
         join_timeout: float | None = None,
@@ -383,12 +392,18 @@ class SenderClient:
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
+        if batch_frames < 1:
+            raise ValidationError("batch_frames must be >= 1")
+        if batch_linger < 0:
+            raise ValidationError("batch_linger must be >= 0")
         self.host = host
         self.port = port
         self.codec = get_codec(codec) if isinstance(codec, str) else codec
         self.connections = connections
         self.compress_threads = compress_threads
         self.queue_capacity = queue_capacity
+        self.batch_frames = batch_frames
+        self.batch_linger = batch_linger
         self.timeouts = _deprecated_timeout(
             timeouts or TimeoutPolicy(),
             connect=connect_timeout,
@@ -451,7 +466,10 @@ class SenderClient:
             threading.Thread(
                 target=workers.feeder,
                 args=(source, rawq, stats["feed"]),
-                kwargs={"telemetry": self.telemetry},
+                kwargs={
+                    "telemetry": self.telemetry,
+                    "batch_frames": self.batch_frames,
+                },
                 name="feeder",
                 daemon=True,
             )
@@ -461,7 +479,10 @@ class SenderClient:
                 threading.Thread(
                     target=workers.compressor,
                     args=(self.codec, rawq, sendq, stats["compress"]),
-                    kwargs={"telemetry": self.telemetry},
+                    kwargs={
+                        "telemetry": self.telemetry,
+                        "batch_frames": self.batch_frames,
+                    },
                     name=f"compress-{i}",
                     daemon=True,
                 )
@@ -476,6 +497,8 @@ class SenderClient:
                         "retry": self.retry,
                         "drain_timeout": self.timeouts.drain,
                         "telemetry": self.telemetry,
+                        "batch_frames": self.batch_frames,
+                        "batch_linger": self.batch_linger,
                     },
                     name=f"send-{i}",
                     daemon=True,

@@ -40,6 +40,12 @@ class LiveConfig:
     queue_capacity: int = 8
     #: Optional stage -> CPU list affinity hints (best-effort).
     affinity: dict[str, list[int]] = field(default_factory=dict)
+    #: Frames coalesced per queue drain / vectored send (1 = today's
+    #: one-at-a-time behaviour; wire bytes are identical either way).
+    batch_frames: int = 1
+    #: Extra seconds a sender waits to top a partial batch up before
+    #: flushing (0 = flush whatever one drain returned).
+    batch_linger: float = 0.0
     #: Fail the run if any chunk is missing or duplicated at the sink.
     verify: bool = True
     #: All timeout knobs in one place (see repro.faults.TimeoutPolicy).
@@ -48,9 +54,12 @@ class LiveConfig:
     join_timeout: float | None = None
 
     def __post_init__(self) -> None:
-        for name in ("compress_threads", "decompress_threads", "connections"):
+        for name in ("compress_threads", "decompress_threads", "connections",
+                     "batch_frames"):
             if getattr(self, name) < 1:
                 raise ValidationError(f"{name} must be >= 1")
+        if self.batch_linger < 0:
+            raise ValidationError("batch_linger must be >= 0")
         timeouts = self.timeouts or TimeoutPolicy()
         if self.join_timeout is not None:
             warnings.warn(
@@ -234,7 +243,7 @@ class LivePipeline:
 
         aff = cfg.affinity
         spawn("feeder", workers.feeder, tracked_source(), rawq, stats["feed"],
-              aff.get("feed"), telemetry=tel)
+              aff.get("feed"), telemetry=tel, batch_frames=cfg.batch_frames)
         for i in range(cfg.compress_threads):
             spawn(
                 f"compress-{i}",
@@ -245,6 +254,7 @@ class LivePipeline:
                 stats["compress"],
                 aff.get("compress"),
                 telemetry=tel,
+                batch_frames=cfg.batch_frames,
             )
         for i in range(cfg.connections):
             tx, rx = socket_pipe(telemetry=tel)
@@ -257,6 +267,8 @@ class LivePipeline:
                 compressed=True,
                 cpus=aff.get("send"),
                 telemetry=tel,
+                batch_frames=cfg.batch_frames,
+                batch_linger=cfg.batch_linger,
             )
             spawn(
                 f"recv-{i}",
@@ -266,6 +278,7 @@ class LivePipeline:
                 stats["recv"],
                 aff.get("recv"),
                 telemetry=tel,
+                batch_frames=cfg.batch_frames,
             )
         for i in range(cfg.decompress_threads):
             spawn(
@@ -277,6 +290,7 @@ class LivePipeline:
                 counting_sink,
                 aff.get("decompress"),
                 telemetry=tel,
+                batch_frames=cfg.batch_frames,
             )
 
         t0 = time.perf_counter()

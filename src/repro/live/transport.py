@@ -8,9 +8,15 @@ Wire format v2 of one frame (all integers little-endian)::
     flags     u16   bit 0: payload is compressed; bit 1: end-of-stream;
                     bit 2: acknowledgement (v2)
     orig_len  u32   uncompressed payload length
-    checksum  u32   xxhash32 of the (possibly compressed) payload
+    checksum  u32   CRC-32 (zlib) of the (possibly compressed) payload
     length    u32   payload length
     payload   bytes
+
+The frame checksum is ``zlib.crc32`` — computed in C at memory speed —
+rather than the pure-Python xxhash32 the LZ4 frame format mandates:
+checksumming every payload twice per hop must not be the pipeline
+bottleneck, and the transport owns its own format.  (LZ4 frames keep
+xxHash32; that is part of *their* spec.)
 
 End-of-stream frames carry an empty payload.  v2 adds the ACK frame
 (bit 2): an empty-payload frame the *receiver* sends back on the same
@@ -18,6 +24,22 @@ socket, echoing the (stream, index, eos) it just accepted — the
 resilient sender retains every frame until its ACK arrives and replays
 the unacknowledged tail after a reconnect (``docs/resilience.md``).
 v1 peers never set bit 2, so data frames parse identically.
+
+Frames are self-delimiting, so a batched send of N frames puts exactly
+the same bytes on the wire as N sequential sends — batching changes
+syscall count, never the format.
+
+The hot path is zero-copy on the send side: the small header blob and
+the (possibly multi-megabyte) payload stay separate buffers handed to
+``socket.sendmsg`` as an iovec, so the payload is never copied into a
+joined wire string (:meth:`FramedSender.send_many`).  The legacy
+join-and-``sendall`` path survives for two callers: fault injection
+(which must mangle contiguous wire bytes) and the ``repro-bench``
+baseline (``vectored=False`` reproduces the pre-optimization copy
+path).  The receive side parses out of a reusable buffer with
+``memoryview``/``unpack_from`` — header fields are decoded in place and
+large payload tails are read straight into their destination
+``bytearray`` via ``recv_into`` (no per-read chunk list, no join).
 
 The receiver verifies the checksum before handing the frame up; a
 mismatch or malformed header raises
@@ -37,9 +59,10 @@ from __future__ import annotations
 import socket
 import struct
 import time
+import zlib
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.compress.xxhash import xxhash32
 from repro.util.errors import FrameIntegrityError, TransportError
 
 MAGIC = 0x52435046
@@ -53,6 +76,13 @@ FLAG_ACK = 0x4
 #: Refuse absurd frames before allocating for them.
 MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
 MAX_STREAM_ID = 4096
+
+#: Buffers per ``sendmsg`` call.  POSIX guarantees IOV_MAX >= 16; Linux
+#: allows 1024, but past a few dozen the syscall amortization is flat.
+_IOV_GROUP = 64
+
+#: Read-ahead granularity of the receiver's reusable buffer.
+_READ_SIZE = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -88,14 +118,51 @@ class Frame:
         return (self.stream_id, self.index, self.eos)
 
 
+def encode_frame_header(frame: Frame) -> bytes:
+    """The complete wire header (magic + stream id + body) for ``frame``.
+
+    The payload is deliberately *not* included: the sender transmits
+    ``(header, payload)`` as separate iovec entries so large payloads
+    are never copied into a joined wire string.
+    """
+    sid = frame.stream_id.encode()
+    if len(sid) > MAX_STREAM_ID:
+        raise TransportError(f"stream id too long ({len(sid)} bytes)")
+    if len(frame.payload) > MAX_FRAME_PAYLOAD:
+        raise TransportError(
+            f"frame payload {len(frame.payload)} exceeds limit"
+        )
+    flags = (
+        (FLAG_COMPRESSED if frame.compressed else 0)
+        | (FLAG_EOS if frame.eos else 0)
+        | (FLAG_ACK if frame.ack else 0)
+    )
+    return (
+        _HEADER.pack(MAGIC, len(sid))
+        + sid
+        + _BODY.pack(
+            frame.index,
+            flags,
+            frame.orig_len,
+            zlib.crc32(frame.payload),
+            len(frame.payload),
+        )
+    )
+
+
 class FramedSender:
     """Serializes frames onto a connected socket.
 
     With a :class:`~repro.telemetry.Telemetry` attached, every frame
     bumps ``transport_frames_total{direction="tx"}`` and
     ``transport_bytes_total{direction="tx"}`` (header + payload — the
-    actual wire footprint).
+    actual wire footprint), and every :meth:`send_many` batch feeds the
+    ``pipeline_batch_size{site="wire.tx"}`` histogram.
     """
+
+    #: Class-wide default; ``repro-bench`` flips the per-instance
+    #: ``vectored`` flag to measure the legacy copy path.
+    DEFAULT_VECTORED = True
 
     def __init__(
         self,
@@ -104,6 +171,7 @@ class FramedSender:
         telemetry=None,
         injector=None,
         connection: int = 0,
+        vectored: bool | None = None,
     ) -> None:
         self.sock = sock
         self.telemetry = telemetry
@@ -111,33 +179,73 @@ class FramedSender:
         self.injector = injector
         #: Connection index reported to the injector.
         self.connection = connection
+        #: Use ``sendmsg`` vectored I/O (header + payload as separate
+        #: buffers).  ``False`` restores the join-and-``sendall`` copy
+        #: path — kept as the benchmark baseline.
+        self.vectored = (
+            self.DEFAULT_VECTORED if vectored is None else vectored
+        ) and hasattr(sock, "sendmsg")
 
     def send(self, frame: Frame) -> None:
-        sid = frame.stream_id.encode()
-        if len(sid) > MAX_STREAM_ID:
-            raise TransportError(f"stream id too long ({len(sid)} bytes)")
-        if len(frame.payload) > MAX_FRAME_PAYLOAD:
-            raise TransportError(
-                f"frame payload {len(frame.payload)} exceeds limit"
-            )
-        flags = (
-            (FLAG_COMPRESSED if frame.compressed else 0)
-            | (FLAG_EOS if frame.eos else 0)
-            | (FLAG_ACK if frame.ack else 0)
-        )
-        parts = [
-            _HEADER.pack(MAGIC, len(sid)),
-            sid,
-            _BODY.pack(
-                frame.index,
-                flags,
-                frame.orig_len,
-                xxhash32(frame.payload),
-                len(frame.payload),
-            ),
-            frame.payload,
-        ]
-        wire = b"".join(parts)
+        self.send_many((frame,))
+
+    def send_many(self, frames: Sequence[Frame]) -> None:
+        """Transmit a batch of frames with as few syscalls as possible.
+
+        The wire bytes are identical to sending each frame on its own
+        (frames are self-delimiting); only the syscall count changes.
+        With a fault injector attached, frames go one at a time through
+        the contiguous-copy path so the injector can mangle bytes.
+        """
+        if not frames:
+            return
+        if self.injector is not None or not self.vectored:
+            for frame in frames:
+                self._send_copy(frame)
+        else:
+            buffers: list[bytes] = []
+            sizes: list[int] = []
+            for frame in frames:
+                head = encode_frame_header(frame)
+                buffers.append(head)
+                size = len(head)
+                if frame.payload:
+                    buffers.append(frame.payload)
+                    size += len(frame.payload)
+                sizes.append(size)
+            self._sendv(buffers)
+            if self.telemetry is not None:
+                for size in sizes:
+                    self.telemetry.record_frame("tx", size)
+        if self.telemetry is not None and len(frames) > 1:
+            record = getattr(self.telemetry, "record_batch", None)
+            if record is not None:
+                record("wire.tx", len(frames))
+
+    def _sendv(self, buffers: list[bytes]) -> None:
+        """Vectored transmit with partial-send recovery."""
+        pending = [memoryview(b) for b in buffers if b]
+        try:
+            while pending:
+                sent = self.sock.sendmsg(pending[:_IOV_GROUP])
+                while sent:
+                    head = pending[0]
+                    if sent >= len(head):
+                        sent -= len(head)
+                        pending.pop(0)
+                    else:
+                        pending[0] = head[sent:]
+                        sent = 0
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def _send_copy(self, frame: Frame) -> None:
+        """Legacy path: join header + payload and ``sendall`` the copy.
+
+        Required when an injector must see (and mangle) the contiguous
+        wire bytes; also the ``repro-bench`` pre-optimization baseline.
+        """
+        wire = encode_frame_header(frame) + frame.payload
         if self.injector is not None:
             spec = self.injector.on_send(frame, self.connection)
             if spec is not None:
@@ -187,59 +295,87 @@ class FramedSender:
 class FramedReceiver:
     """Parses frames off a connected socket.
 
+    Maintains a reusable receive buffer: header fields are decoded in
+    place with ``unpack_from`` (no per-field allocations) and payload
+    bytes beyond what is already buffered are read directly into their
+    destination buffer with ``recv_into``.  Because the buffer may hold
+    read-ahead bytes, callers multiplexing on the raw socket (e.g. the
+    resilient sender's ACK collection) must consult :attr:`pending`
+    before trusting ``select`` — a whole frame may already be buffered
+    in userspace.
+
     Mirrors :class:`FramedSender`'s counters on the ``rx`` direction.
     """
 
     def __init__(self, sock: socket.socket, *, telemetry=None) -> None:
         self.sock = sock
         self.telemetry = telemetry
+        self._buf = bytearray()
+        self._pos = 0
+        self._scratch = bytearray(_READ_SIZE)
 
-    def _read_exact(self, n: int) -> bytes:
-        chunks: list[bytes] = []
-        remaining = n
-        while remaining:
+    @property
+    def pending(self) -> bool:
+        """True when read-ahead bytes are buffered in userspace."""
+        return len(self._buf) > self._pos
+
+    def _fill(self, need: int, *, eof_ok: bool = False) -> bool:
+        """Ensure ``need`` unconsumed bytes are buffered.
+
+        Returns False on a clean EOF at a frame boundary when
+        ``eof_ok``; raises :class:`TransportError` on mid-frame EOF.
+        """
+        while len(self._buf) - self._pos < need:
             try:
-                part = self.sock.recv(min(remaining, 1 << 20))
+                n = self.sock.recv_into(self._scratch)
             except OSError as exc:
                 raise TransportError(f"recv failed: {exc}") from exc
-            if not part:
+            if n == 0:
+                have = len(self._buf) - self._pos
+                if eof_ok and have == 0:
+                    return False
                 raise TransportError(
-                    f"connection closed mid-frame ({remaining} of {n} bytes missing)"
+                    f"connection closed mid-frame "
+                    f"({need - have} of {need} bytes missing)"
                 )
-            chunks.append(part)
-            remaining -= len(part)
-        return b"".join(chunks)
+            if self._pos:
+                # Compact consumed bytes before growing the buffer.
+                del self._buf[: self._pos]
+                self._pos = 0
+            self._buf += memoryview(self._scratch)[:n]
+        return True
 
     def recv(self) -> Frame | None:
         """Next frame, or None on clean connection shutdown."""
-        try:
-            head = self.sock.recv(_HEADER.size, socket.MSG_WAITALL)
-        except OSError as exc:
-            raise TransportError(f"recv failed: {exc}") from exc
-        if not head:
+        if not self._fill(_HEADER.size, eof_ok=True):
             return None
-        if len(head) < _HEADER.size:
-            head += self._read_exact(_HEADER.size - len(head))
-        magic, sid_len = _HEADER.unpack(head)
+        magic, sid_len = _HEADER.unpack_from(self._buf, self._pos)
         if magic != MAGIC:
             raise FrameIntegrityError(f"bad frame magic 0x{magic:08X}")
         if sid_len > MAX_STREAM_ID:
             raise FrameIntegrityError(
                 f"stream id length {sid_len} exceeds limit"
             )
-        sid = self._read_exact(sid_len).decode()
-        index, flags, orig_len, checksum, length = _BODY.unpack(
-            self._read_exact(_BODY.size)
+        self._fill(_HEADER.size + sid_len + _BODY.size)
+        self._pos += _HEADER.size
+        sid = bytes(self._buf[self._pos : self._pos + sid_len]).decode()
+        self._pos += sid_len
+        index, flags, orig_len, checksum, length = _BODY.unpack_from(
+            self._buf, self._pos
         )
+        self._pos += _BODY.size
         if length > MAX_FRAME_PAYLOAD:
             raise FrameIntegrityError(
                 f"frame payload {length} exceeds limit"
             )
-        payload = self._read_exact(length) if length else b""
-        if xxhash32(payload) != checksum:
+        payload = self._read_payload(length) if length else b""
+        if zlib.crc32(payload) != checksum:
             raise FrameIntegrityError(
                 f"checksum mismatch on {sid}#{index} ({length} bytes)"
             )
+        if self._pos == len(self._buf):
+            del self._buf[:]
+            self._pos = 0
         if self.telemetry is not None:
             self.telemetry.record_frame(
                 "rx", _HEADER.size + sid_len + _BODY.size + length
@@ -253,6 +389,36 @@ class FramedReceiver:
             eos=bool(flags & FLAG_EOS),
             ack=bool(flags & FLAG_ACK),
         )
+
+    def _read_payload(self, length: int) -> bytes:
+        """Assemble the payload: buffered bytes first, then read the
+        remainder straight into the destination (no chunk list/join)."""
+        buffered = len(self._buf) - self._pos
+        if buffered >= length:
+            with memoryview(self._buf) as mv:
+                payload = bytes(mv[self._pos : self._pos + length])
+            self._pos += length
+            return payload
+        dest = bytearray(length)
+        with memoryview(dest) as mv:
+            if buffered:
+                mv[:buffered] = memoryview(self._buf)[
+                    self._pos : self._pos + buffered
+                ]
+                self._pos += buffered
+            filled = buffered
+            while filled < length:
+                try:
+                    n = self.sock.recv_into(mv[filled:])
+                except OSError as exc:
+                    raise TransportError(f"recv failed: {exc}") from exc
+                if n == 0:
+                    raise TransportError(
+                        f"connection closed mid-frame "
+                        f"({length - filled} of {length} bytes missing)"
+                    )
+                filled += n
+        return bytes(dest)
 
     def close(self) -> None:
         try:
@@ -268,3 +434,8 @@ def socket_pipe(*, telemetry=None) -> tuple[FramedSender, FramedReceiver]:
         FramedSender(a, telemetry=telemetry),
         FramedReceiver(b, telemetry=telemetry),
     )
+
+
+def frames_payload_bytes(frames: Iterable[Frame]) -> int:
+    """Total payload bytes across ``frames`` (batch accounting helper)."""
+    return sum(len(f.payload) for f in frames)

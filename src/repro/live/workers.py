@@ -20,7 +20,8 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from itertools import islice
+from typing import Callable, Iterable, Sequence
 
 from repro.compress.codec import Codec
 from repro.data.chunking import Chunk
@@ -83,22 +84,40 @@ def feeder(
     cpus: list[int] | None = None,
     *,
     telemetry=None,
+    batch_frames: int = 1,
 ) -> None:
-    """Pushes source chunks into the pipeline (the data generator)."""
+    """Pushes source chunks into the pipeline (the data generator).
+
+    ``batch_frames > 1`` groups chunks into one ``put_many`` handoff
+    (one lock round-trip, one span); 1 keeps the historical
+    chunk-at-a-time behaviour.
+    """
     _maybe_pin(cpus)
     track = threading.current_thread().name
+    it = iter(source)
     try:
-        for chunk in source:
-            payload = chunk.payload
-            if payload is None:
-                raise ValueError(f"live chunks need payloads ({chunk.stream_id}#{chunk.index})")
+        while True:
+            batch = list(islice(it, batch_frames))
+            if not batch:
+                break
+            for chunk in batch:
+                if chunk.payload is None:
+                    raise ValueError(
+                        f"live chunks need payloads "
+                        f"({chunk.stream_id}#{chunk.index})"
+                    )
             with stage_span(
-                telemetry, "feed", stream_id=chunk.stream_id,
-                chunk_id=chunk.index, track=track,
+                telemetry, "feed", stream_id=batch[0].stream_id,
+                chunk_id=batch[0].index, track=track,
             ) as sp:
-                outq.put(chunk)
-            _finish(stats, telemetry, "feed", chunk.stream_id,
-                    len(payload), len(payload), sp.duration)
+                done = 0
+                while done < len(batch):
+                    done += outq.put_many(batch[done:])
+            per_chunk = sp.duration / len(batch)
+            for chunk in batch:
+                n = len(chunk.payload)
+                _finish(stats, telemetry, "feed", chunk.stream_id,
+                        n, n, per_chunk)
     except Exception as exc:  # noqa: BLE001 - thread boundary
         stats.fail(f"feeder: {exc!r}")
     finally:
@@ -113,28 +132,47 @@ def compressor(
     cpus: list[int] | None = None,
     *,
     telemetry=None,
+    batch_frames: int = 1,
 ) -> None:
-    """{C}: compress chunk payloads."""
+    """{C}: compress chunk payloads.
+
+    ``batch_frames > 1`` drains up to that many chunks per queue lock
+    round-trip and forwards them with one :meth:`put_many`; each chunk
+    is still compressed (and accounted) individually.
+    """
     _maybe_pin(cpus)
     track = threading.current_thread().name
     try:
         while True:
             try:
-                chunk = inq.get()
+                chunks = inq.get_many(batch_frames)
             except Closed:
                 break
-            with stage_span(
-                telemetry, "compress", stream_id=chunk.stream_id,
-                chunk_id=chunk.index, track=track,
-            ) as sp:
-                chunk.wire_payload = codec.compress(chunk.payload)
-            _finish(stats, telemetry, "compress", chunk.stream_id,
-                    len(chunk.payload), len(chunk.wire_payload), sp.duration)
-            outq.put(chunk)
+            for chunk in chunks:
+                with stage_span(
+                    telemetry, "compress", stream_id=chunk.stream_id,
+                    chunk_id=chunk.index, track=track,
+                ) as sp:
+                    chunk.wire_payload = codec.compress(chunk.payload)
+                _finish(stats, telemetry, "compress", chunk.stream_id,
+                        len(chunk.payload), len(chunk.wire_payload),
+                        sp.duration)
+            outq.put_many(chunks)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"compressor: {exc!r}")
     finally:
         outq.close()
+
+
+def _chunk_frame(chunk: Chunk, *, compressed: bool) -> Frame:
+    payload = chunk.wire_payload if compressed else chunk.payload
+    return Frame(
+        stream_id=chunk.stream_id,
+        index=chunk.index,
+        payload=payload,
+        compressed=compressed,
+        orig_len=len(chunk.payload),
+    )
 
 
 def sender(
@@ -145,34 +183,40 @@ def sender(
     compressed: bool,
     cpus: list[int] | None = None,
     telemetry=None,
+    batch_frames: int = 1,
+    batch_linger: float = 0.0,
 ) -> None:
-    """{S}: one TCP connection's sending thread."""
+    """{S}: one TCP connection's sending thread.
+
+    With ``batch_frames > 1`` the sender coalesces: it drains up to
+    that many chunks from the queue in one lock round-trip (lingering
+    ``batch_linger`` seconds to top the batch up) and transmits them
+    with one vectored :meth:`~repro.live.transport.FramedSender.send_many`.
+    The wire bytes are identical to ``batch_frames=1``; only the
+    syscall and lock counts change.  The batch flushes on size, on the
+    linger timeout, and on queue close (the final partial batch is
+    sent before the EOS frames).
+    """
     _maybe_pin(cpus)
     track = threading.current_thread().name
     stream_ids: set[str] = set()
     try:
         while True:
             try:
-                chunk = inq.get()
+                chunks = inq.get_many(batch_frames, linger=batch_linger)
             except Closed:
                 break
-            payload = chunk.wire_payload if compressed else chunk.payload
+            frames = [_chunk_frame(c, compressed=compressed) for c in chunks]
             with stage_span(
-                telemetry, "send", stream_id=chunk.stream_id,
-                chunk_id=chunk.index, track=track,
+                telemetry, "send", stream_id=chunks[0].stream_id,
+                chunk_id=chunks[0].index, track=track,
             ) as sp:
-                transport.send(
-                    Frame(
-                        stream_id=chunk.stream_id,
-                        index=chunk.index,
-                        payload=payload,
-                        compressed=compressed,
-                        orig_len=len(chunk.payload),
-                    )
-                )
-            stream_ids.add(chunk.stream_id)
-            _finish(stats, telemetry, "send", chunk.stream_id,
-                    len(payload), len(payload), sp.duration)
+                transport.send_many(frames)
+            per_chunk = sp.duration / len(chunks)
+            for frame in frames:
+                stream_ids.add(frame.stream_id)
+                _finish(stats, telemetry, "send", frame.stream_id,
+                        len(frame.payload), len(frame.payload), per_chunk)
         for sid in stream_ids or {"-"}:
             transport.send(Frame.end_of_stream(sid))
     except Exception as exc:  # noqa: BLE001
@@ -192,6 +236,8 @@ def resilient_sender(
     drain_timeout: float = 30.0,
     cpus: list[int] | None = None,
     telemetry=None,
+    batch_frames: int = 1,
+    batch_linger: float = 0.0,
 ) -> None:
     """{S} with recovery: one TCP connection's at-least-once sender.
 
@@ -224,9 +270,13 @@ def resilient_sender(
     def _reconnect() -> None:
         last: Exception | None = None
         for attempt in range(retry.max_attempts):
+            if attempt:
+                # Back off only *between* failed attempts — when the
+                # endpoint is immediately reachable, attempt 0 must not
+                # add dead time to the recovery path.
+                time.sleep(retry.backoff(attempt - 1))
             if telemetry is not None:
                 telemetry.record_retry()
-            time.sleep(retry.backoff(attempt))
             try:
                 tx = reconnect()
                 state["tx"], state["rx"] = tx, FramedReceiver(tx.sock)
@@ -248,12 +298,15 @@ def resilient_sender(
         if tx is None:
             raise TransportError("not connected")
         while unacked:
-            try:
-                ready, _, _ = select.select([tx.sock], [], [], timeout)
-            except (OSError, ValueError) as exc:
-                raise TransportError(f"connection lost: {exc}") from exc
-            if not ready:
-                return
+            # The buffered receiver may already hold a whole ACK frame
+            # in userspace — select() only sees the kernel buffer.
+            if not rx.pending:
+                try:
+                    ready, _, _ = select.select([tx.sock], [], [], timeout)
+                except (OSError, ValueError) as exc:
+                    raise TransportError(f"connection lost: {exc}") from exc
+                if not ready:
+                    return
             frame = rx.recv()
             if frame is None:
                 raise TransportError("connection closed while awaiting acks")
@@ -261,44 +314,42 @@ def resilient_sender(
                 unacked.pop(frame.key, None)
             timeout = 0.0
 
-    def _deliver(frame: Frame) -> None:
-        """Transmit (or queue for replay); never loses the frame."""
-        unacked[frame.key] = frame
+    def _deliver_many(frames: Sequence[Frame]) -> None:
+        """Transmit a batch (or queue for replay); never loses frames."""
+        for frame in frames:
+            unacked[frame.key] = frame
         while True:
             tx = state["tx"]
             if tx is None:
-                _reconnect()  # replays unacked, including this frame
+                _reconnect()  # replays unacked, including these frames
                 return
             try:
-                tx.send(frame)
+                tx.send_many(frames)
                 return
             except (TransportError, OSError):
                 _drop_connection()
+
+    def _deliver(frame: Frame) -> None:
+        _deliver_many((frame,))
 
     stream_ids: set[str] = set()
     try:
         while True:
             try:
-                chunk = inq.get()
+                chunks = inq.get_many(batch_frames, linger=batch_linger)
             except Closed:
                 break
-            payload = chunk.wire_payload if compressed else chunk.payload
+            frames = [_chunk_frame(c, compressed=compressed) for c in chunks]
             with stage_span(
-                telemetry, "send", stream_id=chunk.stream_id,
-                chunk_id=chunk.index, track=track,
+                telemetry, "send", stream_id=chunks[0].stream_id,
+                chunk_id=chunks[0].index, track=track,
             ) as sp:
-                _deliver(
-                    Frame(
-                        stream_id=chunk.stream_id,
-                        index=chunk.index,
-                        payload=payload,
-                        compressed=compressed,
-                        orig_len=len(chunk.payload),
-                    )
-                )
-            stream_ids.add(chunk.stream_id)
-            _finish(stats, telemetry, "send", chunk.stream_id,
-                    len(payload), len(payload), sp.duration)
+                _deliver_many(frames)
+            per_chunk = sp.duration / len(chunks)
+            for frame in frames:
+                stream_ids.add(frame.stream_id)
+                _finish(stats, telemetry, "send", frame.stream_id,
+                        len(frame.payload), len(frame.payload), per_chunk)
             try:
                 _collect_acks(0.0)
             except (TransportError, OSError):
@@ -332,24 +383,45 @@ def receiver(
     cpus: list[int] | None = None,
     *,
     telemetry=None,
+    batch_frames: int = 1,
 ) -> None:
-    """{R}: one TCP connection's receiving thread."""
+    """{R}: one TCP connection's receiving thread.
+
+    With ``batch_frames > 1``, after each blocking ``recv`` any whole
+    frames already sitting in the receiver's userspace buffer join the
+    same ``put_many`` handoff — the downstream mirror of the sender's
+    vectored batch, with no extra waiting (buffered frames are free).
+    """
     _maybe_pin(cpus)
     track = threading.current_thread().name
     try:
-        while True:
+        done = False
+        while not done:
+            batch: list[Frame] = []
             with stage_span(telemetry, "recv", track=track) as sp:
                 frame = transport.recv()
                 if frame is None or frame.eos:
                     sp.discard = True
+                    done = True
                 else:
                     sp.stream_id = frame.stream_id
                     sp.chunk_id = frame.index
-            if frame is None or frame.eos:
+                    batch.append(frame)
+                    while len(batch) < batch_frames and transport.pending:
+                        nxt = transport.recv()
+                        if nxt is None or nxt.eos:
+                            done = True
+                            break
+                        batch.append(nxt)
+            if not batch:
                 break
-            _finish(stats, telemetry, "recv", frame.stream_id,
-                    len(frame.payload), len(frame.payload), sp.duration)
-            outq.put(frame)
+            per_chunk = sp.duration / len(batch)
+            for frame in batch:
+                _finish(stats, telemetry, "recv", frame.stream_id,
+                        len(frame.payload), len(frame.payload), per_chunk)
+            put = 0
+            while put < len(batch):
+                put += outq.put_many(batch[put:])
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"receiver: {exc!r}")
     finally:
@@ -364,32 +436,54 @@ def decompressor(
     cpus: list[int] | None = None,
     *,
     telemetry=None,
+    batch_frames: int = 1,
 ) -> None:
-    """{D}: decompress received frames and deliver to the sink."""
+    """{D}: decompress received frames and deliver to the sink.
+
+    ``batch_frames > 1`` drains up to that many frames per queue lock
+    round-trip; each frame is still decompressed and delivered
+    individually (sink ordering is unchanged).
+    """
     _maybe_pin(cpus)
     track = threading.current_thread().name
     try:
         while True:
             try:
-                frame = inq.get()
+                frames = inq.get_many(batch_frames)
             except Closed:
                 break
-            with stage_span(
-                telemetry, "decompress", stream_id=frame.stream_id,
-                chunk_id=frame.index, track=track,
-            ) as sp:
-                data = (
-                    codec.decompress(frame.payload)
-                    if frame.compressed
-                    else frame.payload
+            for frame in frames:
+                _decompress_one(
+                    codec, frame, stats, sink,
+                    telemetry=telemetry, track=track,
                 )
-            if frame.orig_len and len(data) != frame.orig_len:
-                raise ValueError(
-                    f"{frame.stream_id}#{frame.index}: decompressed to "
-                    f"{len(data)} bytes, expected {frame.orig_len}"
-                )
-            _finish(stats, telemetry, "decompress", frame.stream_id,
-                    len(frame.payload), len(data), sp.duration)
-            sink(frame.stream_id, frame.index, data)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"decompressor: {exc!r}")
+
+
+def _decompress_one(
+    codec: Codec,
+    frame: Frame,
+    stats: StageStats,
+    sink: Callable[[str, int, bytes], None],
+    *,
+    telemetry,
+    track: str,
+) -> None:
+    with stage_span(
+        telemetry, "decompress", stream_id=frame.stream_id,
+        chunk_id=frame.index, track=track,
+    ) as sp:
+        data = (
+            codec.decompress(frame.payload)
+            if frame.compressed
+            else frame.payload
+        )
+    if frame.orig_len and len(data) != frame.orig_len:
+        raise ValueError(
+            f"{frame.stream_id}#{frame.index}: decompressed to "
+            f"{len(data)} bytes, expected {frame.orig_len}"
+        )
+    _finish(stats, telemetry, "decompress", frame.stream_id,
+            len(frame.payload), len(data), sp.duration)
+    sink(frame.stream_id, frame.index, data)

@@ -53,6 +53,7 @@ def stream_from_config(
         ratio_sigma=cfg.ratio_sigma,
         source_socket=cfg.source_socket,
         queue_capacity=cfg.queue_capacity,
+        batch_frames=cfg.batch_frames,
         micro=cfg.micro,
         faults=tuple(cfg.faults),
         stages=tuple(nodes),

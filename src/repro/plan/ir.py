@@ -99,6 +99,10 @@ class StreamNode:
     ratio_sigma: float = 0.03
     source_socket: int | None = None
     queue_capacity: int = 4
+    #: Chunks coalesced per queue handoff / vectored send — a plan
+    #: *policy* knob: lowered to ``LiveConfig.batch_frames`` and
+    #: ``StreamConfig.batch_frames`` so both substrates batch alike.
+    batch_frames: int = 1
     micro: bool = False
     faults: tuple[FaultSpec, ...] = ()
     stages: tuple[StageNode, ...] = ()

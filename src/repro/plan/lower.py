@@ -85,6 +85,7 @@ def _lower_stream(s: StreamNode) -> StreamConfig:
         ratio_sigma=s.ratio_sigma,
         source_socket=s.source_socket,
         queue_capacity=s.queue_capacity,
+        batch_frames=s.batch_frames,
         micro=s.micro,
         faults=tuple(s.faults),
         **stages,
@@ -157,6 +158,7 @@ def lower_live(
         decompress_threads=count(StageKind.DECOMPRESS),
         connections=count(StageKind.SEND),
         queue_capacity=stream.queue_capacity,
+        batch_frames=stream.batch_frames,
         affinity=affinity,
     )
     return LiveLowering(

@@ -104,6 +104,7 @@ def _stream_to_dict(s: StreamNode) -> dict[str, Any]:
         "ratio_sigma": s.ratio_sigma,
         "source_socket": s.source_socket,
         "queue_capacity": s.queue_capacity,
+        "batch_frames": s.batch_frames,
         "micro": s.micro,
         "faults": [_fault_to_dict(f) for f in s.faults],
         "stages": {
@@ -226,6 +227,7 @@ def _stream_from_dict(d: dict[str, Any]) -> StreamNode:
         ratio_sigma=d["ratio_sigma"],
         source_socket=d.get("source_socket"),
         queue_capacity=d["queue_capacity"],
+        batch_frames=d.get("batch_frames", 1),
         micro=d.get("micro", False),
         faults=tuple(_fault_from_dict(f) for f in d.get("faults", [])),
         stages=nodes,

@@ -111,6 +111,10 @@ def _validate_workload(s: StreamNode, diags: Diagnostics) -> None:
         diags.error(
             "bad-workload", "queue_capacity must be >= 1", stream=sid
         )
+    if s.batch_frames < 1:
+        diags.error(
+            "bad-workload", "batch_frames must be >= 1", stream=sid
+        )
 
 
 def _validate_placement(

@@ -12,6 +12,7 @@ family                                type       labels
 ``pipeline_bytes_total``              counter    stage, stream
 ``pipeline_stage_seconds``            histogram  stage
 ``pipeline_queue_depth``              gauge      queue
+``pipeline_batch_size``               histogram  site
 ``transport_frames_total``            counter    direction
 ``transport_bytes_total``             counter    direction
 ``transport_retries_total``           counter    —
@@ -75,6 +76,12 @@ class Telemetry:
             "pipeline_queue_depth",
             "Inter-stage queue occupancy",
             ("queue",),
+        )
+        self._batch_size = self.registry.histogram(
+            "pipeline_batch_size",
+            "Items moved per batched queue drain / vectored send",
+            ("site",),
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
         self._frames = self.registry.counter(
             "transport_frames_total",
@@ -161,6 +168,11 @@ class Telemetry:
         """One transport frame moved (``direction`` is ``tx`` or ``rx``)."""
         self._frames.labels(direction=direction).inc()
         self._tbytes.labels(direction=direction).inc(nbytes)
+
+    def record_batch(self, site: str, size: int) -> None:
+        """One batched operation moved ``size`` items at ``site``
+        (e.g. ``sendq.get``, ``wire.tx``)."""
+        self._batch_size.labels(site=site).observe(size)
 
     def queue_gauge(self, queue: str) -> GaugeSeries:
         """The occupancy gauge series for one named queue."""

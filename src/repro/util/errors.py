@@ -17,6 +17,18 @@ class ValidationError(ReproError, ValueError):
     """An input value violates a documented domain constraint."""
 
 
+class QueueTimeout(ReproError, TimeoutError):
+    """A bounded-queue operation timed out.
+
+    Raised by :meth:`repro.live.queues.ClosableQueue.get` when no item
+    arrived within ``timeout`` seconds, and by
+    :meth:`~repro.live.queues.ClosableQueue.put` when backpressure did
+    not clear in time.  Derives from :class:`TimeoutError` so generic
+    timeout handlers still work, but callers inside the library catch
+    this type instead of leaking ``queue.Empty``/``queue.Full``.
+    """
+
+
 class ConfigurationError(ReproError):
     """A runtime/placement configuration is inconsistent or infeasible.
 

@@ -1,0 +1,87 @@
+"""repro.bench: harness math, report shape, and suite smoke runs."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    BenchResult,
+    GateResult,
+    latency_summary,
+    percentile,
+)
+from repro.bench.suites import _queue_round_trip, bench_framing
+
+
+class TestPercentiles:
+    def test_empty_and_single(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([4.2], 99) == 4.2
+
+    def test_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 100) == 5.0
+        assert percentile(samples, 25) == 2.0
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == percentile(
+            [1.0, 3.0, 5.0], 50
+        )
+
+    def test_latency_summary_converts_to_microseconds(self):
+        out = latency_summary([0.001] * 10)
+        assert out["p50_us"] == pytest.approx(1000.0)
+        assert set(out) == {"p50_us", "p90_us", "p99_us"}
+
+
+class TestReport:
+    def result(self, name="x", value=100.0):
+        return BenchResult(
+            name=name, value=value, unit="ops/s", duration_s=0.5, n=50
+        )
+
+    def test_gate_pass_fail(self):
+        assert GateResult("g", value=1.5, threshold=1.3).ok
+        assert not GateResult("g", value=1.1, threshold=1.3).ok
+
+    def test_report_ok_follows_gates(self):
+        report = BenchReport(results=[self.result()])
+        assert report.ok  # no gates -> trivially ok
+        report.gates.append(GateResult("g", value=1.0, threshold=1.3))
+        assert not report.ok
+
+    def test_json_document_shape(self, tmp_path):
+        report = BenchReport(results=[self.result()], quick=True)
+        report.gates.append(GateResult("g", value=2.0, threshold=1.3))
+        path = tmp_path / "bench.json"
+        report.save(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-bench"
+        assert doc["version"] == 1
+        assert doc["quick"] is True
+        assert doc["results"][0]["name"] == "x"
+        assert doc["gates"][0]["pass"] is True
+
+    def test_lookup_and_render(self):
+        report = BenchReport(results=[self.result("queue", 1234.5)])
+        assert report.result("queue").value == 1234.5
+        with pytest.raises(KeyError):
+            report.result("missing")
+        assert "queue" in report.render()
+
+
+class TestSuitesSmoke:
+    def test_queue_round_trip_measures_both_modes(self):
+        for batch in (1, 8):
+            elapsed = _queue_round_trip(items=400, batch=batch)
+            assert elapsed > 0.0
+
+    def test_framing_bench_reports_both_paths(self):
+        results = {r.name: r for r in bench_framing(quick=True)}
+        assert set(results) == {"framing_copy", "framing_vectored"}
+        for r in results.values():
+            assert r.value > 0.0
+            assert r.latency_us["p50_us"] > 0.0
+            assert r.n > 0

@@ -1,0 +1,67 @@
+"""Sim-side batched-handoff accounting (CostModel.queue_handoff_seconds).
+
+The simulator charges each stage/send worker a fixed per-handoff cost,
+amortized across ``StreamConfig.batch_frames`` — mirroring what the
+live pipeline's ``put_many``/``get_many`` batching does to real lock
+round-trips.  The default cost of 0 keeps every historical scenario
+byte-identical.
+"""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH, CostModel
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import run_scenario
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.util.errors import ValidationError
+
+
+def scenario(batch_frames=1, handoff=0.0, num_chunks=40):
+    s = StreamConfig(
+        stream_id="b",
+        sender="updraft1",
+        receiver="updraft1",
+        path="aps-lan",
+        num_chunks=num_chunks,
+        source_socket=0,
+        micro=True,
+        batch_frames=batch_frames,
+        compress=StageConfig(2, PlacementSpec.socket(0)),
+    )
+    return ScenarioConfig(
+        name="batch-accounting",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=[s],
+        cost=CostModel(queue_handoff_seconds=handoff),
+        warmup_chunks=5,
+    )
+
+
+class TestHandoffAccounting:
+    def test_zero_cost_is_historical_behaviour(self):
+        base = run_scenario(scenario(batch_frames=1, handoff=0.0))
+        batched = run_scenario(scenario(batch_frames=8, handoff=0.0))
+        assert base.sim_time == pytest.approx(batched.sim_time)
+
+    def test_handoff_cost_slows_the_pipeline(self):
+        free = run_scenario(scenario(handoff=0.0))
+        taxed = run_scenario(scenario(handoff=0.002))
+        assert taxed.sim_time > free.sim_time
+
+    def test_batching_amortizes_the_handoff_cost(self):
+        """Same cost model, bigger batches -> shorter makespan."""
+        single = run_scenario(scenario(batch_frames=1, handoff=0.002))
+        batched = run_scenario(scenario(batch_frames=8, handoff=0.002))
+        assert batched.sim_time < single.sim_time
+        # The delta per chunk is the amortized share of the handoff.
+        assert batched.sim_time < single.sim_time - 0.002
+
+    def test_negative_handoff_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            CostModel(queue_handoff_seconds=-0.1)
+
+    def test_batch_frames_validated(self):
+        with pytest.raises(ValidationError):
+            scenario(batch_frames=0)

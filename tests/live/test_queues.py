@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.live.queues import ClosableQueue, Closed
-from repro.util.errors import ValidationError
+from repro.util.errors import QueueTimeout, ValidationError
 
 
 class TestBasics:
@@ -160,11 +160,9 @@ class TestThreading:
         assert results == ["closed"]
 
     def test_backpressure_blocks_producer(self):
-        import queue as stdlib_queue
-
         q = ClosableQueue(capacity=1)
         q.put("a")
-        with pytest.raises(stdlib_queue.Full):
+        with pytest.raises(QueueTimeout):
             q.put("b", timeout=0.05)
 
     def test_many_items_through_threads(self):

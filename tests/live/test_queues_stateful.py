@@ -1,8 +1,6 @@
 """Stateful property test for the live ClosableQueue (single-threaded
 protocol checks; the threaded behaviour is covered in test_queues)."""
 
-import queue as stdlib_queue
-
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -15,7 +13,7 @@ from hypothesis import strategies as st
 import pytest
 
 from repro.live.queues import ClosableQueue, Closed
-from repro.util.errors import ValidationError
+from repro.util.errors import QueueTimeout, ValidationError
 
 
 class QueueMachine(RuleBasedStateMachine):
@@ -37,7 +35,7 @@ class QueueMachine(RuleBasedStateMachine):
     @precondition(lambda self: self.open_producers > 0 and len(self.model) >= 4)
     @rule()
     def put_full_times_out(self):
-        with pytest.raises(stdlib_queue.Full):
+        with pytest.raises(QueueTimeout):
             self.q.put(999_999, timeout=0.01)
 
     @rule()
@@ -48,7 +46,7 @@ class QueueMachine(RuleBasedStateMachine):
             with pytest.raises(Closed):
                 self.q.get(timeout=0.05)
         else:
-            with pytest.raises(stdlib_queue.Empty):
+            with pytest.raises(QueueTimeout):
                 self.q.get(timeout=0.01)
 
     @precondition(lambda self: self.open_producers > 0)

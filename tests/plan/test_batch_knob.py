@@ -1,0 +1,64 @@
+"""The batch_frames plan-policy knob: IR -> serialize -> both lowerings."""
+
+import dataclasses
+
+import pytest
+
+from repro.plan.lower import lower_live, lower_sim
+from repro.plan.serialize import plan_from_dict, plan_from_json, plan_to_dict, plan_to_json
+from repro.plan.validate import validate_plan
+
+
+def with_batch(plan, batch_frames):
+    return dataclasses.replace(
+        plan,
+        streams=[
+            dataclasses.replace(s, batch_frames=batch_frames)
+            for s in plan.streams
+        ],
+    )
+
+
+class TestSerialization:
+    def test_round_trip_preserves_batch_frames(self, generated_plan):
+        plan = with_batch(generated_plan, 16)
+        back = plan_from_json(plan_to_json(plan))
+        assert [s.batch_frames for s in back.streams] == [16]
+
+    def test_document_omitting_batch_frames_defaults_to_one(
+        self, generated_plan
+    ):
+        doc = plan_to_dict(generated_plan)
+        for stream in doc["streams"]:
+            del stream["batch_frames"]
+        back = plan_from_dict(doc)
+        assert [s.batch_frames for s in back.streams] == [1]
+
+
+class TestValidation:
+    def test_batch_frames_below_one_is_a_diagnostic(self, generated_plan):
+        plan = with_batch(generated_plan, 0)
+        diags = validate_plan(plan)
+        assert any(
+            d.code == "bad-workload" and "batch_frames" in d.message
+            for d in diags.errors
+        )
+
+    def test_valid_batch_frames_passes(self, generated_plan):
+        assert not validate_plan(with_batch(generated_plan, 32)).errors
+
+
+class TestLowering:
+    def test_lower_sim_carries_batch_frames(self, generated_plan):
+        scenario = lower_sim(with_batch(generated_plan, 8))
+        assert [s.batch_frames for s in scenario.streams] == [8]
+
+    def test_lower_live_carries_batch_frames(self, generated_plan):
+        lowered = lower_live(with_batch(generated_plan, 8))
+        assert lowered.config.batch_frames == 8
+
+    def test_default_lowers_to_one_on_both_substrates(self, generated_plan):
+        assert [
+            s.batch_frames for s in lower_sim(generated_plan).streams
+        ] == [1]
+        assert lower_live(generated_plan).config.batch_frames == 1
