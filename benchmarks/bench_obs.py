@@ -1,0 +1,122 @@
+"""Observability-plane overhead guard.
+
+The plane is meant to be *left on* in production runs, so this
+benchmark runs the identical live pipeline with telemetry only vs
+telemetry plus the full plane — event bus, watchdog, ephemeral HTTP
+server (scraped once mid-run to include handler cost), and the 100 Hz
+sampling profiler — and asserts the throughput penalty stays under 5%
+(the ISSUE's ceiling).  Variants are interleaved best-of-N like the
+telemetry guard, so host drift hits both sides equally.
+
+Micro-costs are printed alongside (``-s``): per-event emission cost and
+per-poll watchdog cost, the plane's two recurring operations.
+"""
+
+from __future__ import annotations
+
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.data.chunking import Chunk
+from repro.live import LiveConfig, LivePipeline
+from repro.obs import (
+    EventBus,
+    ObservabilityServer,
+    SamplingProfiler,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.telemetry import Telemetry
+from repro.util.rng import make_rng
+
+MAX_OVERHEAD = 0.05  # <5% live-pipeline throughput regression
+ROUNDS = 3
+
+
+def _chunks(n, size, seed=5):
+    rng = make_rng(seed, "bench-obs")
+    payloads = [
+        rng.integers(0, 256, size, dtype=np.uint8).tobytes() for _ in range(4)
+    ]
+    return [
+        Chunk(stream_id="bench", index=i, nbytes=size,
+              payload=payloads[i % len(payloads)])
+        for i in range(n)
+    ]
+
+
+def _run_live(telemetry, *, obs_plane):
+    plane = []
+    scrape_url = None
+    if obs_plane:
+        bus = EventBus(source="live")
+        telemetry.attach_events(bus)
+        watchdog = Watchdog(telemetry).start()
+        server = ObservabilityServer(telemetry, port=0, events=bus)
+        server.start()
+        profiler = SamplingProfiler(hz=100.0).start()
+        scrape_url = server.url
+        plane = [profiler.stop, watchdog.stop, server.stop, bus.close]
+    pipe = LivePipeline(
+        LiveConfig(codec="zlib", compress_threads=2, decompress_threads=2,
+                   connections=2),
+        telemetry=telemetry,
+    )
+    try:
+        report = pipe.run(iter(_chunks(48, 64 * 1024)))
+        if scrape_url is not None:
+            # One real scrape per run: handler cost belongs in the bill.
+            with urllib.request.urlopen(f"{scrape_url}/metrics",
+                                        timeout=5.0) as resp:
+                resp.read()
+    finally:
+        for teardown in plane:
+            teardown()
+    assert report.ok, report.errors
+    return report.elapsed
+
+
+def test_obs_plane_overhead_under_5_percent(benchmark):
+    def measure():
+        base = full = float("inf")
+        for _ in range(ROUNDS):
+            base = min(base, _run_live(Telemetry(), obs_plane=False))
+            full = min(full, _run_live(Telemetry(), obs_plane=True))
+        return base, full
+
+    base, full = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = full / base - 1.0
+    print(f"\ntelemetry={base:.3f}s +obs-plane={full:.3f}s "
+          f"overhead={overhead * 100:+.1f}% (limit {MAX_OVERHEAD:.0%})")
+    # Same slack policy as the telemetry guard: a 30ms floor keeps
+    # sub-second runs from flaking on timer granularity.
+    assert full - base < max(MAX_OVERHEAD * base, 0.03), (
+        f"obs-plane overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"({base:.3f}s -> {full:.3f}s)"
+    )
+
+
+def test_event_emission_cost(benchmark):
+    tel = Telemetry()
+    tel.attach_events(EventBus())
+
+    def one_event():
+        tel.emit_event("log", "hot-path narration", worker="compress-0")
+
+    benchmark(one_event)
+    assert tel.events.emitted > 0
+
+
+def test_watchdog_poll_cost(benchmark):
+    tel = Telemetry()
+    tel.attach_events(EventBus())
+    # A realistic registry: a dozen beating workers and a few queues.
+    for i in range(12):
+        tel.heartbeat(f"compress-{i}")
+    for q in ("feedq", "sendq", "recvq", "sinkq"):
+        tel.queue_gauge(q).set(3)
+    dog = Watchdog(tel, WatchdogConfig(bottleneck_every=0))
+    benchmark(dog.poll)
+    assert tel.counter_value("repro_watchdog_polls_total") > 0

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI smoke: the observability plane over a real ``repro-live`` process.
+
+Launches the loopback live pipeline with ``--obs-port 0`` as a child
+process, scrapes all four HTTP endpoints *while the run streams*,
+validates each payload (the /metrics text must survive the strict
+exposition parser), points ``repro-top --once`` at the same server, and
+finally checks the child exited cleanly and the ``--events-out`` JSONL
+tells a complete run story.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.promparse import parse_prometheus_text, sample_value
+from repro.obs.top import top_main
+
+URL_RE = re.compile(r"observability endpoints at (http://\S+)")
+CHUNKS = 2000  # enough work to keep the run alive while we scrape
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
+    assert proc.stdout is not None
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        m = URL_RE.search(line)
+        if m:
+            return m.group(1)
+    raise RuntimeError(
+        f"repro-live never announced its obs URL; output so far:\n"
+        f"{''.join(lines)}"
+    )
+
+
+def run() -> int:
+    events_path = "obs_smoke_events.jsonl"
+    cmd = [
+        sys.executable, "-c",
+        "from repro.cli import live_main; import sys; "
+        "sys.exit(live_main(sys.argv[1:]))",
+        "--chunks", str(CHUNKS),
+        "--codec", "zlib",
+        "--obs-port", "0",
+        "--events-out", events_path,
+        "--profile",
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        bufsize=1,
+    )
+    try:
+        base = wait_for_url(proc, time.monotonic() + 30.0)
+        print(f"scraping {base} while the pipeline streams")
+
+        # /metrics — must parse under the strict exposition parser and
+        # carry the canonical families.
+        status, body = fetch(f"{base}/metrics")
+        assert status == 200, f"/metrics -> {status}"
+        families = parse_prometheus_text(body.decode("utf-8"))
+        for family in ("pipeline_chunks_total", "worker_heartbeat_seconds",
+                       "repro_watchdog_polls_total"):
+            assert family in families, f"/metrics missing {family}"
+
+        # /healthz — streaming run with live heartbeats must be healthy.
+        # The first workers beat on their first completed span, so give
+        # the run a moment to produce one.
+        deadline = time.monotonic() + 15.0
+        while True:
+            status, body = fetch(f"{base}/healthz")
+            health = json.loads(body)
+            assert status == 200, f"/healthz -> {status}: {health}"
+            assert health["healthy"] is True
+            if health["workers"] or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert health["workers"], "no worker heartbeats on /healthz"
+
+        # /report — pipeline analysis shape.
+        status, body = fetch(f"{base}/report")
+        assert status == 200, f"/report -> {status}"
+        report = json.loads(body)
+        assert "stages" in report and "bottleneck" in report
+
+        # /events — the run announced itself.
+        status, body = fetch(f"{base}/events")
+        assert status == 200, f"/events -> {status}"
+        events = json.loads(body)
+        kinds = {e["kind"] for e in events["events"]}
+        assert "run_start" in kinds, f"kinds seen: {kinds}"
+
+        # repro-top consumes the same endpoints.
+        assert top_main([base, "--once", "--no-color"]) == 0
+
+        out, _ = proc.communicate(timeout=120)
+        print(out[-2000:])
+        assert proc.returncode == 0, f"repro-live exited {proc.returncode}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # The JSONL sink holds the full story: a run_start followed by a
+    # clean run_end, all stamped with the live source.
+    stories = [json.loads(line) for line in open(events_path)]
+    kinds = [e["kind"] for e in stories]
+    assert kinds[0] == "run_start", kinds
+    assert any(
+        e["kind"] == "run_end" and e.get("ok") is True for e in stories
+    ), kinds
+    assert all(e["source"] == "live" for e in stories)
+    print(f"obs smoke OK: {len(stories)} events, endpoints validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

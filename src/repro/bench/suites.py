@@ -40,6 +40,11 @@ from repro.live.transport import Frame, FramedReceiver, FramedSender
 #: The CI gate: loopback pipeline, fast path vs pre-PR copy path.
 LOOPBACK_GATE_THRESHOLD = 1.3
 
+#: The observability gate: throughput with the full obs plane attached
+#: (events + watchdog + HTTP server + profiler) must stay within 5% of
+#: telemetry-only, i.e. rate ratio >= 0.95.
+OBS_GATE_THRESHOLD = 0.95
+
 
 # ---------------------------------------------------------------------------
 # queue handoff
@@ -277,6 +282,104 @@ def bench_loopback_pipeline(
 
 
 # ---------------------------------------------------------------------------
+# observability overhead (the second gated benchmark)
+# ---------------------------------------------------------------------------
+
+
+def _loopback_obs_once(chunks: int, payload: bytes, *, obs: bool) -> float:
+    """One telemetry-instrumented loopback run; returns wall seconds.
+
+    With ``obs=True`` the full observability plane rides along exactly
+    as ``repro-live --obs-port 0 --profile`` would attach it: an
+    :class:`EventBus` wired into the telemetry, a running
+    :class:`Watchdog`, a live :class:`ObservabilityServer` on an
+    ephemeral port, and the sampling profiler — so the measured delta
+    is the whole plane, not one component.
+    """
+    from repro.live.runtime import LiveConfig, LivePipeline
+    from repro.obs import (
+        EventBus,
+        ObservabilityServer,
+        SamplingProfiler,
+        Watchdog,
+    )
+    from repro.telemetry import Telemetry
+
+    cfg = LiveConfig(
+        codec="null",
+        compress_threads=1,
+        decompress_threads=1,
+        connections=1,
+        queue_capacity=64,
+        batch_frames=32,
+    )
+    telemetry = Telemetry()
+    plane: list = []
+    if obs:
+        bus = EventBus(source="live")
+        telemetry.attach_events(bus)
+        watchdog = Watchdog(telemetry)
+        watchdog.start()
+        server = ObservabilityServer(telemetry, port=0, events=bus)
+        server.start()
+        profiler = SamplingProfiler(hz=100.0)
+        profiler.start()
+        plane = [profiler.stop, watchdog.stop, server.stop, bus.close]
+    try:
+        pipeline = LivePipeline(cfg, telemetry=telemetry)
+        start = time.perf_counter()
+        report = pipeline.run(_chunk_source(chunks, payload))
+        elapsed = time.perf_counter() - start
+    finally:
+        for teardown in plane:
+            teardown()
+    if not report.ok:
+        raise RuntimeError(f"obs bench run failed: {report.summary()}")
+    return elapsed
+
+
+def bench_obs_overhead(
+    *, quick: bool = False
+) -> tuple[list[BenchResult], GateResult]:
+    chunks = 800 if quick else 3_000
+    repeats = 3
+    payload = bytes(2048)
+    configs: tuple[tuple[str, bool], ...] = (
+        ("loopback_obs_off", False),
+        ("loopback_obs_on", True),
+    )
+    for _, obs in configs:  # warm both variants
+        _loopback_obs_once(max(chunks // 10, 50), payload, obs=obs)
+    best: dict[str, float] = {}
+    for _ in range(repeats):
+        for name, obs in configs:
+            elapsed = _loopback_obs_once(chunks, payload, obs=obs)
+            best[name] = min(best.get(name, elapsed), elapsed)
+    results = []
+    rates: dict[str, float] = {}
+    for name, obs in configs:
+        elapsed = best[name]
+        rates[name] = chunks / elapsed
+        results.append(
+            BenchResult(
+                name=name,
+                value=rates[name],
+                unit="chunks/s",
+                duration_s=elapsed,
+                n=chunks,
+                params={"chunks": chunks, "payload_bytes": len(payload),
+                        "obs_plane": obs, "repeats": repeats},
+            )
+        )
+    gate = GateResult(
+        name="obs_overhead",
+        value=rates["loopback_obs_on"] / rates["loopback_obs_off"],
+        threshold=OBS_GATE_THRESHOLD,
+    )
+    return results, gate
+
+
+# ---------------------------------------------------------------------------
 # sim scenario
 # ---------------------------------------------------------------------------
 
@@ -326,18 +429,63 @@ def bench_sim_scenario(*, quick: bool = False) -> list[BenchResult]:
 
 
 def run_suite(
-    *, quick: bool = False, pinned: bool = True, gate: bool = True
+    *,
+    quick: bool = False,
+    pinned: bool = True,
+    gate: bool = True,
+    events_out: str | None = None,
 ) -> BenchReport:
-    """Run every benchmark and assemble the report (see ``repro-bench``)."""
+    """Run every benchmark and assemble the report (see ``repro-bench``).
+
+    With ``events_out`` set, suite lifecycle events (``run_start`` /
+    ``run_end`` per benchmark group) stream to that JSONL path so long
+    bench runs are observable like any pipeline run.
+    """
     from repro.bench.harness import pin_benchmark_thread
+
+    bus = None
+    if events_out is not None:
+        from repro.obs import EventBus
+
+        bus = EventBus(source="bench", jsonl_path=events_out)
+
+    def emit(kind: str, message: str, **fields: object) -> None:
+        if bus is not None:
+            bus.emit(kind, message, **fields)
 
     report = BenchReport(quick=quick)
     report.pinned = pin_benchmark_thread(0) if pinned else False
-    report.results.extend(bench_queue_handoff(quick=quick))
-    report.results.extend(bench_framing(quick=quick))
-    loopback, loopback_gate = bench_loopback_pipeline(quick=quick)
-    report.results.extend(loopback)
-    if gate:
-        report.gates.append(loopback_gate)
-    report.results.extend(bench_sim_scenario(quick=quick))
+    try:
+        emit("run_start", "bench suite starting", quick=quick,
+             pinned=report.pinned)
+        groups: tuple[tuple[str, object], ...] = (
+            ("queue_handoff", lambda: bench_queue_handoff(quick=quick)),
+            ("framing", lambda: bench_framing(quick=quick)),
+        )
+        for group_name, runner in groups:
+            emit("run_start", f"bench group {group_name}", group=group_name)
+            report.results.extend(runner())  # type: ignore[operator]
+            emit("run_end", f"bench group {group_name} done",
+                 group=group_name, ok=True)
+        for group_name, gated_runner in (
+            ("loopback_pipeline",
+             lambda: bench_loopback_pipeline(quick=quick)),
+            ("obs_overhead", lambda: bench_obs_overhead(quick=quick)),
+        ):
+            emit("run_start", f"bench group {group_name}", group=group_name)
+            results, group_gate = gated_runner()
+            report.results.extend(results)
+            if gate:
+                report.gates.append(group_gate)
+            emit("run_end", f"bench group {group_name} done",
+                 group=group_name, ok=True, gate_value=group_gate.value)
+        emit("run_start", "bench group sim_scenario", group="sim_scenario")
+        report.results.extend(bench_sim_scenario(quick=quick))
+        emit("run_end", "bench group sim_scenario done",
+             group="sim_scenario", ok=True)
+        emit("run_end", "bench suite finished", ok=report.ok,
+             gates=len(report.gates))
+    finally:
+        if bus is not None:
+            bus.close()
     return report

@@ -148,6 +148,30 @@ def live_main(argv: list[str] | None = None) -> int:
         "Example: drop:at=5",
     )
     parser.add_argument(
+        "--obs-port",
+        type=int,
+        metavar="PORT",
+        help="serve /metrics /healthz /report /events on 127.0.0.1:PORT "
+        "while the pipeline runs (0 = ephemeral; watch with repro-top)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="write every structured event (lifecycle, retries, faults, "
+        "watchdog alerts) to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the stage-attributed sampling profiler and fold "
+        "per-stage self-time into the pipeline report",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="with --profile: also write collapsed-stack flamegraph text",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         help="write the run result as JSON (shared result envelope)",
@@ -220,8 +244,14 @@ def live_main(argv: list[str] | None = None) -> int:
     except ValidationError as exc:
         parser.error(str(exc))
 
+    if args.profile_out and not args.profile:
+        parser.error("--profile-out needs --profile")
+
+    wants_obs = (
+        args.obs_port is not None or args.events_out or args.profile
+    )
     telemetry = None
-    if args.trace_out or args.metrics_out or fault_specs:
+    if args.trace_out or args.metrics_out or fault_specs or wants_obs:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
@@ -231,6 +261,37 @@ def live_main(argv: list[str] | None = None) -> int:
         else None
     )
 
+    # The observability plane: event stream, watchdog, profiler, HTTP
+    # endpoints — all optional, all reading the shared Telemetry.
+    obs: dict = {}
+    if telemetry is not None and wants_obs:
+        from repro.obs import (
+            EventBus,
+            ObservabilityServer,
+            SamplingProfiler,
+            Watchdog,
+        )
+        from repro.util.log import attach_event_bus
+
+        if args.obs_port is not None or args.events_out:
+            bus = EventBus(source="live", jsonl_path=args.events_out)
+            telemetry.attach_events(bus)
+            obs["bus"] = bus
+            obs["log_handler"] = attach_event_bus(bus)
+            obs["watchdog"] = Watchdog(telemetry).start()
+        if args.profile:
+            obs["profiler"] = SamplingProfiler().start()
+        if args.obs_port is not None:
+            server = ObservabilityServer(
+                telemetry,
+                port=args.obs_port,
+                events=obs.get("bus"),
+                profiler=obs.get("profiler"),
+            ).start()
+            obs["server"] = server
+            print(f"observability endpoints at {server.url} "
+                  "(/metrics /healthz /report /events)")
+
     def write_json(report) -> None:
         if args.json_out:
             from repro.core.results import write_result_json
@@ -238,7 +299,36 @@ def live_main(argv: list[str] | None = None) -> int:
             write_result_json(report, args.json_out)
             print(f"wrote result to {args.json_out}")
 
+    def finish_obs() -> None:
+        watchdog = obs.get("watchdog")
+        if watchdog is not None:
+            watchdog.stop()
+        profiler = obs.get("profiler")
+        if profiler is not None:
+            profiler.stop()
+            print(profiler.render())
+            if args.profile_out:
+                with open(args.profile_out, "w", encoding="utf-8") as fh:
+                    fh.write(profiler.collapsed())
+                    fh.write("\n")
+                print(f"wrote collapsed stacks to {args.profile_out}")
+        server = obs.get("server")
+        if server is not None:
+            server.mark_finished()
+            server.stop()
+        handler = obs.get("log_handler")
+        if handler is not None:
+            from repro.util.log import detach_event_bus
+
+            detach_event_bus(handler)
+        bus = obs.get("bus")
+        if bus is not None:
+            bus.close()
+            if args.events_out:
+                print(f"wrote {bus.emitted} events to {args.events_out}")
+
     def finish_telemetry() -> None:
+        finish_obs()
         if telemetry is None:
             return
         if args.trace_out:
@@ -249,6 +339,9 @@ def live_main(argv: list[str] | None = None) -> int:
                 fh.write(telemetry.prometheus_text())
             print(f"wrote metrics to {args.metrics_out}")
         report = telemetry.pipeline_report()
+        profiler = obs.get("profiler")
+        if profiler is not None:
+            report.profile = profiler.stage_self_seconds()
         if report.stages:
             print(report.render())
 
@@ -659,6 +752,25 @@ def run_main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the run result as JSON (shared result envelope)",
     )
+    parser.add_argument(
+        "--obs-port",
+        type=int,
+        metavar="PORT",
+        help="serve /metrics /healthz /report /events on 127.0.0.1:PORT "
+        "while the scenario runs (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="write structured events (lifecycle, faults, virtual-clock "
+        "watchdog alerts) to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the simulator process itself (one thread: profiles "
+        "the engine, not the modeled stages)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.runtime import SimRuntime, run_scenario
@@ -674,10 +786,60 @@ def run_main(argv: list[str] | None = None) -> int:
         scenario = build_scenario(load_plan(args.plan))
     else:
         scenario = load_scenario(args.scenario)
-    if args.trace_out or args.metrics_out:
-        runtime = SimRuntime(scenario, telemetry=True)
+    wants_obs = args.obs_port is not None or args.events_out or args.profile
+    if args.trace_out or args.metrics_out or wants_obs:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        obs: dict = {}
+        watchdog_cfg = None
+        if args.obs_port is not None or args.events_out:
+            from repro.obs import EventBus, WatchdogConfig
+            from repro.util.log import attach_event_bus
+
+            bus = EventBus(source="sim", jsonl_path=args.events_out)
+            tel.attach_events(bus)
+            obs["bus"] = bus
+            obs["log_handler"] = attach_event_bus(bus)
+            # Coarser than the live defaults: these are *virtual*
+            # seconds, and every bottleneck check walks the span store.
+            watchdog_cfg = WatchdogConfig(
+                interval=1.0, stall_after=5.0, backpressure_after=2.0,
+                bottleneck_every=10,
+            )
+        runtime = SimRuntime(scenario, telemetry=tel, watchdog=watchdog_cfg)
+        if args.obs_port is not None:
+            from repro.obs import ObservabilityServer
+
+            server = ObservabilityServer(
+                tel, port=args.obs_port, events=obs.get("bus")
+            ).start()
+            obs["server"] = server
+            print(f"observability endpoints at {server.url} "
+                  "(/metrics /healthz /report /events)")
+        if args.profile:
+            from repro.obs import SamplingProfiler
+
+            obs["profiler"] = SamplingProfiler().start()
         result = runtime.run()
-        tel = runtime.telemetry
+        profiler = obs.get("profiler")
+        if profiler is not None:
+            profiler.stop()
+            print(profiler.render())
+        server = obs.get("server")
+        if server is not None:
+            server.mark_finished()
+            server.stop()
+        handler = obs.get("log_handler")
+        if handler is not None:
+            from repro.util.log import detach_event_bus
+
+            detach_event_bus(handler)
+        bus = obs.get("bus")
+        if bus is not None:
+            bus.close()
+            if args.events_out:
+                print(f"wrote {bus.emitted} events to {args.events_out}")
         if args.trace_out:
             n = tel.write_chrome_trace(args.trace_out)
             print(f"wrote {n} trace events to {args.trace_out}")
@@ -842,12 +1004,18 @@ def bench_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="report the loopback speedup but never fail on it",
     )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="stream suite lifecycle events to this JSONL file",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench import run_suite
 
     report = run_suite(
-        quick=args.quick, pinned=not args.no_pin, gate=not args.no_gate
+        quick=args.quick, pinned=not args.no_pin, gate=not args.no_gate,
+        events_out=args.events_out,
     )
     report.save(args.out)
     print(report.render())

@@ -160,10 +160,20 @@ class SimRuntime:
         *,
         trace: bool = False,
         telemetry: "bool | object" = False,
+        watchdog: "object | None" = None,
     ) -> None:
         scenario.validate()
         self.scenario = scenario
         self.engine = Engine()
+        #: Watchdog config (:class:`repro.obs.WatchdogConfig`) to run on
+        #: the virtual clock; requires telemetry.  The instance appears
+        #: on :attr:`watchdog` once :meth:`run` starts.
+        self.watchdog_config = watchdog
+        self.watchdog = None
+        if watchdog is not None and not telemetry:
+            raise ConfigurationError(
+                "SimRuntime(watchdog=...) requires telemetry"
+            )
         self.network = FlowNetwork(self.engine)
         #: Unified metrics/span layer (None when disabled).
         self.telemetry = None
@@ -435,6 +445,23 @@ class SimRuntime:
         """Run to completion and return measurements."""
         done = self.engine.all_of(self._done_events)
         horizon = self.scenario.max_sim_time
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_start",
+                f"scenario {self.scenario.name!r} starting",
+                runner="SimRuntime",
+                streams=len(self.scenario.streams),
+            )
+            if self.watchdog_config is not None:
+                from repro.obs.watchdog import Watchdog
+
+                self.watchdog = Watchdog(self.telemetry, self.watchdog_config)
+                # Bounded by the horizon: an immortal watchdog process
+                # would keep the heap non-empty and mask deadlocks.
+                self.engine.process(
+                    self.watchdog.sim_process(self.engine, until=horizon),
+                    name="watchdog",
+                )
         while not done.processed:
             if not self.engine._heap:
                 raise SimulationError(
@@ -451,6 +478,14 @@ class SimRuntime:
             "scenario %r drained at t=%.3fs", self.scenario.name,
             self.engine.now,
         )
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_end",
+                f"scenario {self.scenario.name!r} drained",
+                runner="SimRuntime",
+                ok=True,
+                sim_time_s=round(self.engine.now, 6),
+            )
         return self._report()
 
     def _report(self) -> ScenarioResult:

@@ -374,6 +374,18 @@ def _fault_plan(
             continue
         if fault.kind == "stall" and processed == fault.at_chunk:
             delay += fault.duration
+            if ctx.telemetry is not None:
+                ctx.telemetry.emit_event(
+                    "fault_injected",
+                    f"stall fault on {stage_value}[{index}] "
+                    f"at chunk {processed}",
+                    severity="warning",
+                    fault="stall",
+                    stage=stage_value,
+                    thread_index=index,
+                    chunk=processed,
+                    duration_s=fault.duration,
+                )
         elif fault.kind == "degrade" and processed >= fault.at_chunk:
             delay += fault.duration
         elif (
@@ -393,6 +405,12 @@ def _record_recovery(ctx: StreamContext, fault_kind: str) -> None:
     ctx.telemetry.record_retry()
     if fault_kind == "reconnect":
         ctx.telemetry.record_redelivery()
+    ctx.telemetry.emit_event(
+        "fault_injected",
+        f"{fault_kind} fault recovered",
+        severity="warning",
+        fault=fault_kind,
+    )
 
 
 def stage_worker_proc(

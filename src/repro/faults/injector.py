@@ -74,4 +74,12 @@ class FaultInjector:
                 return None
         if self.telemetry is not None:
             self.telemetry.record_fault(spec.kind)
+            self.telemetry.emit_event(
+                "fault_injected",
+                f"{spec.kind} fault on frame {n}",
+                severity="warning",
+                fault=spec.kind,
+                frame=n,
+                connection=connection,
+            )
         return spec

@@ -173,6 +173,14 @@ class ReceiverServer:
     ) -> EndpointReport:
         """Accept connections (and re-connections) to end-of-stream."""
         t0 = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_start",
+                "receiver serving",
+                runner="ReceiverServer",
+                connections=self.connections,
+                decompress_threads=self.decompress_threads,
+            )
         stats = {
             "recv": workers.StageStats("recv"),
             "decompress": workers.StageStats("decompress"),
@@ -350,6 +358,16 @@ class ReceiverServer:
                 errors.append(f"thread {t.name} did not finish")
         for s in stats.values():
             errors.extend(s.errors)
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_end",
+                "receiver finished",
+                severity="info" if not errors else "error",
+                runner="ReceiverServer",
+                ok=not errors,
+                chunks=delivered["chunks"],
+                elapsed_s=round(time.perf_counter() - t0, 6),
+            )
         return EndpointReport(
             role="receiver",
             chunks=delivered["chunks"],
@@ -441,6 +459,14 @@ class SenderClient:
     def run(self, source: Iterable[Chunk]) -> EndpointReport:
         """Stream every chunk of ``source`` to the receiver."""
         t0 = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_start",
+                f"sender dialing {self.host}:{self.port}",
+                runner="SenderClient",
+                connections=self.connections,
+                compress_threads=self.compress_threads,
+            )
         stats = {
             "feed": workers.StageStats("feed"),
             "compress": workers.StageStats("compress"),
@@ -512,6 +538,16 @@ class SenderClient:
                 errors.append(f"thread {t.name} did not finish")
         for s in stats.values():
             errors.extend(s.errors)
+        if self.telemetry is not None:
+            self.telemetry.emit_event(
+                "run_end",
+                "sender finished",
+                severity="info" if not errors else "error",
+                runner="SenderClient",
+                ok=not errors,
+                chunks=stats["send"].chunks,
+                elapsed_s=round(time.perf_counter() - t0, 6),
+            )
         return EndpointReport(
             role="sender",
             chunks=stats["send"].chunks,

@@ -293,6 +293,16 @@ class LivePipeline:
                 batch_frames=cfg.batch_frames,
             )
 
+        if tel is not None:
+            tel.emit_event(
+                "run_start",
+                "live pipeline starting",
+                runner="LivePipeline",
+                codec=self.codec.name,
+                connections=cfg.connections,
+                compress_threads=cfg.compress_threads,
+                decompress_threads=cfg.decompress_threads,
+            )
         t0 = time.perf_counter()
         for t in threads:
             t.start()
@@ -313,6 +323,16 @@ class LivePipeline:
                               f"{sorted(missing)[:3]}...")
             if dupes:
                 errors.append(f"duplicated chunks: {sorted(dupes)[:3]}...")
+        if tel is not None:
+            tel.emit_event(
+                "run_end",
+                "live pipeline finished",
+                severity="info" if not errors else "error",
+                runner="LivePipeline",
+                ok=not errors,
+                elapsed_s=round(elapsed, 6),
+                chunks=stats["decompress"].chunks,
+            )
         return LiveReport(
             chunks=stats["decompress"].chunks,
             bytes_in=stats["feed"].bytes_in,

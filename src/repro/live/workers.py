@@ -277,6 +277,15 @@ def resilient_sender(
                 time.sleep(retry.backoff(attempt - 1))
             if telemetry is not None:
                 telemetry.record_retry()
+                telemetry.emit_event(
+                    "transport_retry",
+                    f"reconnect attempt {attempt + 1}/{retry.max_attempts} "
+                    f"on {track}",
+                    severity="warning",
+                    worker=track,
+                    attempt=attempt + 1,
+                    unacked=len(unacked),
+                )
             try:
                 tx = reconnect()
                 state["tx"], state["rx"] = tx, FramedReceiver(tx.sock)

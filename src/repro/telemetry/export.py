@@ -42,6 +42,11 @@ def _escape_label(v: str) -> str:
     return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(v: str) -> str:
+    # HELP text escapes only backslash and newline (quotes stay literal).
+    return v.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(names: tuple[str, ...], values: tuple[str, ...],
                extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
@@ -53,7 +58,7 @@ def prometheus_text(registry: MetricRegistry) -> str:
     """Render the registry in the Prometheus text exposition format."""
     lines: list[str] = []
     for family in registry.families():
-        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for series in family.series():
             labels = _label_str(family.label_names, series.labels)

@@ -34,9 +34,12 @@ substrates to this contract.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.telemetry.clock import Clock, WallClock
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a runtime telemetry->obs cycle
+    from repro.obs.events import Event, EventBus
 from repro.telemetry.export import (
     chrome_trace,
     json_snapshot,
@@ -57,6 +60,9 @@ class Telemetry:
         self.spans = SpanStore(clock=self.clock)
         #: stage -> thread count, for per-thread bottleneck utilization.
         self.thread_counts: dict[str, int] = {}
+        #: Optional structured-event bus (see :mod:`repro.obs.events`);
+        #: attached by the observability plane, never required.
+        self.events: "EventBus | None" = None
         self._chunks = self.registry.counter(
             "pipeline_chunks_total",
             "Chunks completed per pipeline stage",
@@ -114,6 +120,11 @@ class Telemetry:
             "Faults fired by the attached FaultInjector",
             ("kind",),
         )
+        self._heartbeats = self.registry.gauge(
+            "worker_heartbeat_seconds",
+            "Per-worker liveness: clock time of the last completed span",
+            ("worker",),
+        )
 
     def set_clock(self, clock: Clock) -> None:
         """Rebind the time source (the sim engine exists after __init__)."""
@@ -136,6 +147,9 @@ class Telemetry:
             stage, stream_id=stream_id, chunk_id=chunk_id, track=track
         ) as handle:
             yield handle
+        # A discarded span (end-of-stream marker) still proves liveness.
+        if handle.track is not None and handle.end is not None:
+            self.heartbeat(handle.track, ts=handle.end)
         if not handle.discard:
             self._stage_seconds.labels(stage=stage).observe(handle.duration)
 
@@ -154,8 +168,58 @@ class Telemetry:
             stage, start, end, stream_id=stream_id, chunk_id=chunk_id,
             track=track,
         )
+        if track is not None:
+            self.heartbeat(track, ts=end)
         self._stage_seconds.labels(stage=stage).observe(span.duration)
         return span
+
+    # -- liveness --------------------------------------------------------
+
+    def heartbeat(self, worker: str, *, ts: float | None = None) -> None:
+        """Record that ``worker`` was alive at ``ts`` (default: now).
+
+        Workers beat implicitly on every span exit; long-blocking code
+        paths that produce no spans (e.g. a reconnect backoff loop) may
+        beat explicitly.  The watchdog and ``/healthz`` read these.
+        """
+        self._heartbeats.labels(worker=worker).set(
+            self.clock.now() if ts is None else ts
+        )
+
+    def heartbeats(self) -> dict[str, float]:
+        """Last-beat clock time per worker seen so far."""
+        return {
+            series.labels[0]: series.value
+            for series in self._heartbeats.series()
+        }
+
+    # -- structured events -----------------------------------------------
+
+    def attach_events(self, bus: "EventBus") -> None:
+        """Attach an event bus; :meth:`emit_event` becomes live."""
+        self.events = bus
+
+    def emit_event(
+        self,
+        kind: str,
+        message: str = "",
+        *,
+        severity: str = "info",
+        **fields: Any,
+    ) -> "Event | None":
+        """Emit a structured event on this run's timebase, if a bus is
+        attached (no-op returning None otherwise).
+
+        On the live wall clock events carry epoch timestamps (the bus
+        default); on any other clock — the simulator's virtual one —
+        they carry ``clock.now()`` so a sim chaos story is deterministic.
+        """
+        if self.events is None:
+            return None
+        ts = None if isinstance(self.clock, WallClock) else self.clock.now()
+        return self.events.emit(
+            kind, message, severity=severity, ts=ts, **fields
+        )
 
     # -- canonical pipeline metrics --------------------------------------
 

@@ -41,6 +41,9 @@ class PipelineReport:
     thread_counts: dict[str, int]
     #: first-start to last-end across every span considered.
     makespan: float
+    #: stage -> sampled self-time seconds, merged in by the observability
+    #: plane when a :class:`~repro.obs.profiler.SamplingProfiler` ran.
+    profile: dict[str, float] | None = None
 
     @classmethod
     def from_spans(
@@ -104,6 +107,32 @@ class PipelineReport:
             return None
         return max(util.items(), key=lambda kv: kv[1])[0]
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON shape served by the observability plane's ``/report``."""
+        util = self.stage_utilization()
+        stages: dict[str, object] = {}
+        for stage, agg in self.stages.items():
+            stages[stage] = {
+                "threads": self.thread_counts.get(stage, 1),
+                "chunks": agg.chunks,
+                "service_mean_s": agg.service.mean if agg.chunks else 0.0,
+                "queue_wait_mean_s": (
+                    agg.queue_wait.mean if agg.queue_wait.n else 0.0
+                ),
+                "busy_seconds": agg.busy_seconds,
+                "utilization": util.get(stage, 0.0),
+            }
+        out: dict[str, object] = {
+            "stream_id": self.stream_id,
+            "makespan_s": self.makespan,
+            "stages": stages,
+            "stage_utilization": util,
+            "bottleneck": self.bottleneck,
+        }
+        if self.profile is not None:
+            out["profile"] = dict(self.profile)
+        return out
+
     def render(self) -> str:
         """Human-readable per-stage table (the ``repro telemetry`` view)."""
         title = f"stream {self.stream_id!r}" if self.stream_id else "pipeline"
@@ -124,4 +153,12 @@ class PipelineReport:
         bn = self.bottleneck
         if bn:
             lines.append(f"  bottleneck stage: {bn}")
+        if self.profile:
+            ranked = sorted(
+                self.profile.items(), key=lambda kv: kv[1], reverse=True
+            )
+            lines.append(
+                "  sampled self-time: "
+                + ", ".join(f"{s}={v:.2f}s" for s, v in ranked)
+            )
         return "\n".join(lines)

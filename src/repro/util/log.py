@@ -7,6 +7,17 @@ convention, attach no handlers — applications opt in::
     logging.getLogger("repro").setLevel(logging.DEBUG)
     logging.basicConfig()
 
+Two opt-in conveniences layer on top:
+
+- the ``REPRO_LOG_LEVEL`` environment variable (``DEBUG``, ``INFO``,
+  ``warning``, a numeric level, ...) sets the namespace level without
+  touching application code — applied once, lazily, on the first
+  :func:`get_logger` call;
+- :func:`attach_event_bus` bridges every record into the structured
+  event stream (:mod:`repro.obs.events`), so the library's narration
+  (planner placements, scheduler migrations, reconnects) lands on the
+  same timeline the watchdog and fault layer write to.
+
 Debug logging narrates the decisions that matter when a scenario
 surprises you: planner placements, simulation build/run milestones,
 scheduler migrations, rebalancer actions.
@@ -15,8 +26,61 @@ scheduler migrations, rebalancer actions.
 from __future__ import annotations
 
 import logging
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a runtime util->obs cycle
+    from repro.obs.events import EventBus, EventLogHandler
+
+#: Environment variable naming the ``repro`` namespace log level.
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_env_applied = False
+
+
+def _apply_env_level(root: logging.Logger) -> None:
+    """Honor ``REPRO_LOG_LEVEL`` once per process (idempotent)."""
+    global _env_applied
+    if _env_applied:
+        return
+    _env_applied = True
+    raw = os.environ.get(LEVEL_ENV, "").strip()
+    if not raw:
+        return
+    level: int | None
+    if raw.isdigit():
+        level = int(raw)
+    else:
+        # getLevelName maps name -> level for known names (int), and
+        # returns "Level X" strings for unknown ones on every 3.10+.
+        resolved = logging.getLevelName(raw.upper())
+        level = resolved if isinstance(resolved, int) else None
+    if level is None:
+        root.warning("ignoring %s=%r: not a log level", LEVEL_ENV, raw)
+        return
+    root.setLevel(level)
 
 
 def get_logger(subsystem: str) -> logging.Logger:
     """Logger for one subsystem, e.g. ``get_logger("core.runtime")``."""
+    _apply_env_level(logging.getLogger("repro"))
     return logging.getLogger(f"repro.{subsystem}")
+
+
+def attach_event_bus(bus: "EventBus") -> "EventLogHandler":
+    """Route every ``repro.*`` log record into ``bus`` as a ``log`` event.
+
+    Returns the installed handler; pass it to :func:`detach_event_bus`
+    when the run ends.  Imported lazily so :mod:`repro.util` never
+    depends on :mod:`repro.obs` at import time.
+    """
+    from repro.obs.events import EventLogHandler
+
+    handler = EventLogHandler(bus)
+    logging.getLogger("repro").addHandler(handler)
+    return handler
+
+
+def detach_event_bus(handler: "EventLogHandler") -> None:
+    """Remove a handler installed by :func:`attach_event_bus`."""
+    logging.getLogger("repro").removeHandler(handler)

@@ -1,0 +1,309 @@
+"""The observability plane end to end, on BOTH substrates.
+
+The acceptance story: inject a stage stall, watch ``/healthz`` flip to
+503 and the watchdog emit ``stage_stall`` within its threshold —
+
+- **live**: a loopback ``ReceiverServer``/``SenderClient`` pair with a
+  ``delay`` fault that parks one send worker mid-run, polled over real
+  HTTP while the run streams;
+- **sim**: the same detector on the virtual clock, where a
+  ``FaultSpec(kind="stall")`` freezes a compress thread and a simulated
+  probe process reads :meth:`ObservabilityServer.health` at
+  deterministic virtual times.
+
+Plus the schema-parity check: both substrates tell the run story with
+the same event shape.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    FaultSpec,
+    ScenarioConfig,
+    StageConfig,
+    StreamConfig,
+)
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.core.runtime import SimRuntime
+from repro.data.chunking import Chunk
+from repro.faults import FaultInjector, LiveFaultSpec, RetryPolicy, TimeoutPolicy
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+from repro.live.remote import ReceiverServer, SenderClient
+from repro.obs import (
+    EventBus,
+    ObservabilityServer,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.telemetry import Telemetry
+from repro.util.rng import make_rng
+
+NUM_CHUNKS = 30
+CHUNK_SIZE = 4096
+
+
+def chunks():
+    rng = make_rng(11, "obs-live")
+    for i in range(NUM_CHUNKS):
+        yield Chunk(
+            stream_id="obs-s",
+            index=i,
+            nbytes=CHUNK_SIZE,
+            payload=rng.integers(0, 256, CHUNK_SIZE, dtype=np.uint8).tobytes(),
+        )
+
+
+def http_health(url):
+    try:
+        with urllib.request.urlopen(url + "/healthz", timeout=5.0) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.mark.chaos
+def test_live_stall_flips_healthz_and_alerts():
+    tel = Telemetry()
+    bus = EventBus(source="live")
+    tel.attach_events(bus)
+
+    server = ReceiverServer(
+        codec="zlib",
+        connections=1,
+        decompress_threads=1,
+        timeouts=TimeoutPolicy(accept=20, join=60),
+        telemetry=tel,
+    )
+    host, port = server.address
+
+    # One send worker sleeps 1.5s mid-run: its heartbeat (and the idle
+    # upstream workers') go stale far past stale_after=0.25.
+    injector = FaultInjector(
+        [LiveFaultSpec(kind="delay", at_frame=8, delay=1.5)],
+        telemetry=tel,
+    )
+    obs = ObservabilityServer(tel, port=0, stale_after=0.25, events=bus)
+    obs.start()
+    watchdog = Watchdog(
+        tel, WatchdogConfig(interval=0.05, stall_after=0.25,
+                            bottleneck_every=0)
+    )
+    watchdog.start()
+
+    reports = {}
+
+    def serve():
+        reports["rx"] = server.serve(sink=lambda *a: None)
+
+    rx_thread = threading.Thread(target=serve, daemon=True)
+    rx_thread.start()
+
+    client = SenderClient(
+        host,
+        port,
+        codec="zlib",
+        connections=1,
+        compress_threads=1,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.02, max_delay=0.5),
+        timeouts=TimeoutPolicy(connect=10, join=60, drain=20),
+        injector=injector,
+        telemetry=tel,
+    )
+
+    tx_done = threading.Event()
+
+    def send():
+        try:
+            reports["tx"] = client.run(chunks())
+        finally:
+            tx_done.set()
+
+    tx_thread = threading.Thread(target=send, daemon=True)
+    tx_thread.start()
+    try:
+        # Poll /healthz over real HTTP while the run streams; the 1.5s
+        # stall must flip it to 503 well within the fault window.
+        saw_503 = None
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and not tx_done.is_set():
+            status, body = http_health(obs.url)
+            if status == 503:
+                saw_503 = body
+                break
+            time.sleep(0.03)
+        tx_thread.join(timeout=60)
+        rx_thread.join(timeout=60)
+    finally:
+        watchdog.stop()
+        obs.mark_finished()
+        obs.stop()
+
+    assert reports["tx"].ok, reports["tx"].errors
+    assert reports["rx"].ok, reports["rx"].errors
+    assert saw_503 is not None, "stall never surfaced on /healthz"
+    assert saw_503["status"] == "stale"
+    assert saw_503["stale_workers"], saw_503
+
+    stalls = bus.recent(kind="stage_stall")
+    assert stalls, "watchdog never announced the stall"
+    assert all(e.source == "live" for e in stalls)
+    assert tel.counter_value(
+        "transport_faults_injected_total", kind="delay"
+    ) == 1
+    # The fault layer narrated itself onto the same timeline.
+    assert bus.recent(kind="fault_injected")
+    kinds = bus.counts()
+    assert kinds.get("run_start", 0) >= 2  # sender + receiver
+    assert kinds.get("run_end", 0) >= 2
+
+
+def sim_scenario(faults=()):
+    stream = StreamConfig(
+        stream_id="f",
+        sender="updraft1",
+        receiver="lynxdtn",
+        path="aps-lan",
+        num_chunks=40,
+        source_socket=0,
+        compress=StageConfig(4, PlacementSpec.socket(0)),
+        send=StageConfig(2, PlacementSpec.socket(1)),
+        recv=StageConfig(2, PlacementSpec.socket(1)),
+        decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+        faults=tuple(faults),
+    )
+    return ScenarioConfig(
+        name="obs-sim",
+        machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+        paths={"aps-lan": APS_LAN_PATH},
+        streams=[stream],
+        warmup_chunks=5,
+    )
+
+
+class TestSimSubstrate:
+    def test_sim_stall_triggers_watchdog_on_virtual_clock(self):
+        scenario = sim_scenario(
+            [FaultSpec(stage="compress", thread_index=0, at_chunk=3,
+                       duration=5.0, kind="stall")]
+        )
+        runtime = SimRuntime(
+            scenario,
+            telemetry=True,
+            watchdog=WatchdogConfig(interval=0.5, stall_after=2.0,
+                                    bottleneck_every=0),
+        )
+        bus = EventBus(source="sim")
+        runtime.telemetry.attach_events(bus)
+
+        # A simulated health probe: read the /healthz verdict at fixed
+        # virtual times while the stall is in flight.
+        obs = ObservabilityServer(runtime.telemetry, port=0, stale_after=2.0,
+                                  events=bus)
+        probes = []
+
+        def probe(until, interval=0.5):
+            while runtime.engine.now + interval <= until:
+                yield runtime.engine.timeout(interval)
+                status, body = obs.health()
+                probes.append((runtime.engine.now, status, body))
+
+        runtime.engine.process(
+            probe(scenario.max_sim_time), name="health-probe"
+        )
+        try:
+            result = runtime.run()
+        finally:
+            obs.stop()
+
+        assert result.streams["f"].chunks_delivered == 40
+
+        # The watchdog ran on the virtual clock and saw the 5s stall.
+        stalls = bus.recent(kind="stage_stall")
+        assert stalls, bus.counts()
+        assert all(e.source == "sim" for e in stalls)
+        # Virtual timestamps: within the sim horizon, not wall epoch.
+        assert all(0 < e.ts <= scenario.max_sim_time for e in stalls)
+        tel = runtime.telemetry
+        assert tel.counter_value("repro_watchdog_polls_total") > 0
+        stall_count = sum(
+            s.value
+            for s in tel.registry.get("repro_watchdog_stalls_total").series()
+        )
+        assert stall_count >= 1
+        # The simulated probe was healthy before the stall and saw the
+        # run go stale mid-stall, at deterministic virtual times.
+        assert probes[0][1] == 200
+        stale_probes = [
+            (t, body) for t, status, body in probes if status == 503
+        ]
+        assert stale_probes, [(t, s) for t, s, _ in probes][:20]
+        assert stale_probes[0][1]["stale_workers"]
+
+    def test_sim_clean_run_stays_healthy(self):
+        runtime = SimRuntime(
+            sim_scenario(),
+            telemetry=True,
+            watchdog=WatchdogConfig(interval=0.5, stall_after=5.0,
+                                    bottleneck_every=0),
+        )
+        bus = EventBus(source="sim")
+        runtime.telemetry.attach_events(bus)
+        runtime.run()
+        assert not bus.recent(kind="stage_stall")
+        assert bus.counts().get("run_start") == 1
+        assert bus.counts().get("run_end") == 1
+
+
+class TestSchemaParity:
+    """Both substrates narrate the run with the same event shape."""
+
+    BASE_KEYS = {"ts", "kind", "severity", "source", "message"}
+
+    def _lifecycle_keys(self, bus):
+        out = {}
+        for kind in ("run_start", "run_end"):
+            (ev,) = bus.recent(kind=kind)[:1] or [None]
+            assert ev is not None, f"missing {kind}"
+            d = ev.to_dict()
+            assert self.BASE_KEYS <= set(d)
+            out[kind] = d
+        return out
+
+    def test_run_lifecycle_events_match(self):
+        # sim side
+        runtime = SimRuntime(sim_scenario(), telemetry=True)
+        sim_bus = EventBus(source="sim")
+        runtime.telemetry.attach_events(sim_bus)
+        runtime.run()
+        sim_events = self._lifecycle_keys(sim_bus)
+
+        # live side (in-process loopback pipeline)
+        from repro.live import LiveConfig, LivePipeline
+
+        tel = Telemetry()
+        live_bus = EventBus(source="live")
+        tel.attach_events(live_bus)
+        pipe = LivePipeline(
+            LiveConfig(codec="null", compress_threads=1,
+                       decompress_threads=1, connections=1),
+            telemetry=tel,
+        )
+        report = pipe.run(chunks())
+        assert report.ok
+        live_events = self._lifecycle_keys(live_bus)
+
+        for kind in ("run_start", "run_end"):
+            sim_d, live_d = sim_events[kind], live_events[kind]
+            assert sim_d["kind"] == live_d["kind"] == kind
+            assert sim_d["source"] == "sim" and live_d["source"] == "live"
+            assert {"runner"} <= set(sim_d) and {"runner"} <= set(live_d)
+        assert sim_events["run_end"]["ok"] is True
+        assert live_events["run_end"]["ok"] is True

@@ -1,0 +1,130 @@
+"""Sampling profiler: stage attribution and deterministic sampling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler, stage_for_thread_name
+
+
+class TestStageMapping:
+    @pytest.mark.parametrize("name,stage", [
+        ("compress-0", "compress"),
+        ("compress-13", "compress"),
+        ("decompress-2", "decompress"),
+        ("send-1", "send"),
+        ("sender", "send"),
+        ("wire-0", "send"),
+        ("recv-0", "recv"),
+        ("receiver-3", "recv"),
+        ("feeder", "feed"),
+        ("feed-0", "feed"),
+        ("dispatcher", "feed"),
+        ("MainThread", "other"),
+        ("obs-http", "other"),
+        ("ThreadPoolExecutor-0_0", "other"),
+    ])
+    def test_known_prefixes(self, name, stage):
+        assert stage_for_thread_name(name) == stage
+
+
+def _parked_thread(name):
+    """A worker parked in a recognizable function until released."""
+    release = threading.Event()
+
+    def parked_in_stage_work():
+        release.wait(10.0)
+
+    t = threading.Thread(target=parked_in_stage_work, name=name, daemon=True)
+    t.start()
+    return t, release
+
+
+class TestSampling:
+    def test_sample_once_attributes_by_stage(self):
+        prof = SamplingProfiler(hz=50.0)
+        worker, release = _parked_thread("compress-0")
+        try:
+            time.sleep(0.02)  # let the worker reach its wait
+            sampled = prof.sample_once()
+        finally:
+            release.set()
+            worker.join()
+        assert sampled >= 1
+        assert prof.rounds == 1
+        stages = prof.stage_self_seconds()
+        assert "compress" in stages
+        # The parked function shows up in the collapsed stack.
+        assert "parked_in_stage_work" in prof.collapsed()
+
+    def test_collapsed_lines_are_stage_prefixed(self):
+        prof = SamplingProfiler()
+        worker, release = _parked_thread("recv-1")
+        try:
+            time.sleep(0.02)
+            prof.sample_once()
+        finally:
+            release.set()
+            worker.join()
+        lines = [ln for ln in prof.collapsed().splitlines()
+                 if ln.startswith("recv;")]
+        assert lines, prof.collapsed()
+        stack, count = lines[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack  # stage;file:func;...
+
+    def test_self_time_scales_with_elapsed(self):
+        prof = SamplingProfiler(hz=1000.0)
+        worker, release = _parked_thread("send-0")
+        try:
+            prof.start()
+            time.sleep(0.1)
+            prof.stop()
+        finally:
+            release.set()
+            worker.join()
+        assert prof.samples > 0
+        stages = prof.stage_self_seconds()
+        # Every thread alive for the window gets ~the window as self-time.
+        total_window = prof.elapsed
+        assert 0 < stages["send"] <= total_window * 1.5
+        # All samples accounted for across stages.
+        per_round = total_window / prof.rounds
+        assert sum(stages.values()) == pytest.approx(
+            prof.samples * per_round, rel=1e-6
+        )
+
+    def test_start_stop_idempotent(self):
+        prof = SamplingProfiler(hz=200.0)
+        assert prof.start() is prof.start()
+        prof.stop()
+        prof.stop()
+        assert prof.rounds >= 0
+
+    def test_profiler_excludes_itself(self):
+        with SamplingProfiler(hz=500.0) as prof:
+            time.sleep(0.05)
+        assert "obs-profiler" not in prof.collapsed()
+
+    def test_to_dict_and_render(self):
+        prof = SamplingProfiler(hz=50.0)
+        worker, release = _parked_thread("decompress-0")
+        try:
+            time.sleep(0.02)
+            prof.sample_once()
+        finally:
+            release.set()
+            worker.join()
+        d = prof.to_dict(top=3)
+        assert d["samples"] == prof.samples
+        assert d["rounds"] == 1
+        assert len(d["hottest"]) <= 3
+        assert "decompress" in d["stage_self_seconds"]
+        text = prof.render()
+        assert "sampling profile" in text
+        assert "decompress" in text
+
+    def test_hz_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)

@@ -1,0 +1,134 @@
+"""The minimal exposition parser: strict on purpose.
+
+A lenient parser would defeat the exporter-conformance round-trip in
+``tests/telemetry/test_export_conformance.py``, so these tests pin the
+rejection behaviour as much as the accepting one.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.promparse import (
+    ParseError,
+    label_values,
+    parse_prometheus_text,
+    sample_value,
+)
+
+GOOD = """\
+# HELP pipeline_chunks_total Chunks completed per pipeline stage
+# TYPE pipeline_chunks_total counter
+pipeline_chunks_total{stage="compress",stream="s"} 42
+pipeline_chunks_total{stage="send",stream="s"} 41
+# HELP pipeline_stage_seconds Per-chunk service time
+# TYPE pipeline_stage_seconds histogram
+pipeline_stage_seconds_bucket{stage="compress",le="0.1"} 40
+pipeline_stage_seconds_bucket{stage="compress",le="+Inf"} 42
+pipeline_stage_seconds_sum{stage="compress"} 3.5
+pipeline_stage_seconds_count{stage="compress"} 42
+"""
+
+
+class TestAccepts:
+    def test_families_and_kinds(self):
+        fams = parse_prometheus_text(GOOD)
+        assert set(fams) == {"pipeline_chunks_total",
+                             "pipeline_stage_seconds"}
+        assert fams["pipeline_chunks_total"].kind == "counter"
+        assert fams["pipeline_stage_seconds"].kind == "histogram"
+        assert fams["pipeline_chunks_total"].help.startswith("Chunks")
+
+    def test_sample_values(self):
+        fams = parse_prometheus_text(GOOD)
+        assert sample_value(
+            fams, "pipeline_chunks_total",
+            {"stage": "compress", "stream": "s"},
+        ) == 42
+        assert sample_value(fams, "nope") == 0.0
+        assert sample_value(fams, "pipeline_chunks_total",
+                            {"stage": "ghost"}) == 0.0
+
+    def test_histogram_suffixes_fold_into_family(self):
+        fams = parse_prometheus_text(GOOD)
+        names = {s.name for s in fams["pipeline_stage_seconds"].samples}
+        assert names == {"pipeline_stage_seconds_bucket",
+                         "pipeline_stage_seconds_sum",
+                         "pipeline_stage_seconds_count"}
+
+    def test_inf_bucket_value(self):
+        fams = parse_prometheus_text(GOOD)
+        inf = [s for s in fams["pipeline_stage_seconds"].samples
+               if s.labels.get("le") == "+Inf"]
+        assert len(inf) == 1 and inf[0].value == 42
+
+    def test_special_values(self):
+        text = ("# TYPE g gauge\n"
+                "g{k=\"a\"} +Inf\ng{k=\"b\"} -Inf\ng{k=\"c\"} NaN\n")
+        fams = parse_prometheus_text(text)
+        vals = label_values(fams, "g", "k")
+        assert vals["a"] == math.inf
+        assert vals["b"] == -math.inf
+        assert math.isnan(vals["c"])
+
+    def test_label_unescaping(self):
+        text = ('# TYPE m counter\n'
+                'm{q="feed\\ndeep",w="a\\\\b",e="say \\"hi\\""} 1\n')
+        fams = parse_prometheus_text(text)
+        (s,) = fams["m"].samples
+        assert s.labels == {"q": "feed\ndeep", "w": "a\\b",
+                            "e": 'say "hi"'}
+
+    def test_no_labels_and_blank_lines(self):
+        fams = parse_prometheus_text(
+            "\n# TYPE up gauge\n\nup 1\n# just a comment\n"
+        )
+        assert sample_value(fams, "up") == 1.0
+
+    def test_help_unescaping(self):
+        fams = parse_prometheus_text(
+            "# HELP m line one\\nline two \\\\ back\n# TYPE m counter\nm 0\n"
+        )
+        assert fams["m"].help == "line one\nline two \\ back"
+
+
+class TestRejects:
+    def test_sample_without_header(self):
+        with pytest.raises(ParseError, match="no HELP/TYPE header"):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_type_after_samples(self):
+        with pytest.raises(ParseError, match="after its samples"):
+            parse_prometheus_text(
+                "# HELP m x\n# TYPE m counter\nm 1\n# TYPE m gauge\n"
+            )
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError, match="unknown TYPE"):
+            parse_prometheus_text("# TYPE m rainbow\n")
+
+    def test_bad_escape(self):
+        with pytest.raises(ParseError, match="bad escape"):
+            parse_prometheus_text('# TYPE m counter\nm{a="\\t"} 1\n')
+
+    def test_trailing_backslash_cannot_close_the_quote(self):
+        # The lone backslash escapes the closing quote, so the label
+        # pair never terminates — rejected as malformed.
+        with pytest.raises(ParseError, match="malformed label"):
+            parse_prometheus_text('# TYPE m counter\nm{a="x\\"} 1\n')
+
+    def test_malformed_labels(self):
+        with pytest.raises(ParseError, match="malformed label"):
+            parse_prometheus_text("# TYPE m counter\nm{=bad} 1\n")
+
+    def test_missing_comma(self):
+        with pytest.raises(ParseError, match="expected ','"):
+            parse_prometheus_text('# TYPE m counter\nm{a="1"b="2"} 1\n')
+
+    def test_bad_value(self):
+        with pytest.raises(ParseError, match="bad sample value"):
+            parse_prometheus_text("# TYPE m counter\nm one\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(ParseError, match="malformed sample"):
+            parse_prometheus_text("# TYPE m counter\n{no_name} 1\n")

@@ -1,0 +1,125 @@
+"""Exporter conformance: round-trip ``prometheus_text`` through a parser.
+
+The unit tests in ``test_export.py`` assert on substrings; these tests
+hold the exporter to what a real scraper needs by round-tripping the
+full exposition through :mod:`repro.obs.promparse` (strict by design)
+and comparing recovered values — under hypothesis-generated hostile
+label values and workloads.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.promparse import (
+    parse_prometheus_text,
+    sample_value,
+)
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.registry import MetricRegistry
+
+# Label values a hostile stream id could smuggle in: quotes, backslashes,
+# newlines, commas, braces, unicode.  Surrogates excluded (not UTF-8).
+hostile_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=0, max_size=24,
+)
+
+
+class TestRoundTrip:
+    @given(value=hostile_text)
+    @settings(max_examples=200, deadline=None)
+    def test_counter_label_values_survive(self, value):
+        registry = MetricRegistry()
+        counter = registry.counter("m_total", "help", ("stream",))
+        counter.labels(stream=value).inc(3)
+        families = parse_prometheus_text(prometheus_text(registry))
+        assert sample_value(families, "m_total", {"stream": value}) == 3.0
+
+    @given(values=st.lists(hostile_text, min_size=1, max_size=5,
+                           unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_hostile_labels_stay_distinct(self, values):
+        registry = MetricRegistry()
+        gauge = registry.gauge("g", "help", ("queue",))
+        for i, v in enumerate(values):
+            gauge.labels(queue=v).set(float(i))
+        families = parse_prometheus_text(prometheus_text(registry))
+        for i, v in enumerate(values):
+            assert sample_value(families, "g", {"queue": v}) == float(i)
+
+    # A trailing "\r" on a HELP line is indistinguishable from a CRLF
+    # ending, so the parser's Windows tolerance would strip it.
+    @given(help_text=st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",),
+                               blacklist_characters="\r"),
+        min_size=0, max_size=24,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_help_text_survives(self, help_text):
+        registry = MetricRegistry()
+        registry.counter("m_total", help_text)
+        families = parse_prometheus_text(prometheus_text(registry))
+        assert families["m_total"].help == help_text
+
+    @given(samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0, max_size=40,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_invariants(self, samples):
+        registry = MetricRegistry()
+        histo = registry.histogram("h_seconds", "help", ("stage",))
+        series = histo.labels(stage="compress")
+        for x in samples:
+            series.observe(x)
+        families = parse_prometheus_text(prometheus_text(registry))
+        fam = families["h_seconds"]
+        assert fam.kind == "histogram"
+        buckets = [
+            s for s in fam.samples if s.name == "h_seconds_bucket"
+        ]
+        assert buckets, "histogram must expose buckets"
+        # Cumulative buckets are monotone non-decreasing...
+        counts = [b.value for b in buckets]
+        assert counts == sorted(counts)
+        # ...terminated by an +Inf bucket equal to _count...
+        assert buckets[-1].labels["le"] == "+Inf"
+        count = sample_value(families, "h_seconds_count",
+                             {"stage": "compress"})
+        assert buckets[-1].value == count == len(samples)
+        # ...and every bound parses as a number.
+        for b in buckets[:-1]:
+            float(b.labels["le"])
+        total = sample_value(families, "h_seconds_sum",
+                             {"stage": "compress"})
+        assert math.isclose(total, sum(samples), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestWholeRegistry:
+    def test_telemetry_exposition_is_fully_parseable(self):
+        """Every family a real run registers parses cleanly with headers."""
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        tel.record_chunk("compress", 'str"eam\n\\evil', 4096)
+        tel.record_frame("tx", 1500)
+        tel.record_batch("sendq.get", 32)
+        tel.queue_gauge("a,b={}").set(7)
+        tel.heartbeat("compress-0", ts=123.456)
+        tel.record_fault("stall")
+        families = parse_prometheus_text(tel.prometheus_text())
+        for name, fam in families.items():
+            assert fam.kind in ("counter", "gauge", "histogram"), name
+            assert fam.help, f"{name} lacks HELP text"
+        assert sample_value(
+            families, "pipeline_chunks_total",
+            {"stage": "compress", "stream": 'str"eam\n\\evil'},
+        ) == 1.0
+        assert sample_value(
+            families, "pipeline_queue_depth", {"queue": "a,b={}"}
+        ) == 7.0
+        assert sample_value(
+            families, "worker_heartbeat_seconds", {"worker": "compress-0"}
+        ) == 123.456
