@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI smoke: process mode under the default ``spawn`` start method.
+
+Launches ``repro-live --mode process`` with ``--obs-port 0`` as a child
+process and, *while the compressor domains stream*, asserts the
+observability plane sees them: ``/healthz`` answers 200 and healthy,
+and the ``worker_heartbeat_seconds`` / ``repro_affinity_cpus`` gauges
+carry one sample per process worker, named exactly like their thread
+counterparts.  Finally checks the child exits 0 with a process-mode
+banner and a clean pipeline summary.
+
+The tier-1 process-mode tests run under ``fork`` for speed; this script
+deliberately leaves the start method at the ``spawn`` default so the
+slow-but-portable path gets exercised end to end somewhere.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage::
+
+    PYTHONPATH=src python scripts/mp_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.promparse import label_values, parse_prometheus_text
+
+URL_RE = re.compile(r"observability endpoints at (http://\S+)")
+CHUNKS = 900  # enough work to keep the run alive while we scrape
+DOMAINS = 2
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
+    assert proc.stdout is not None
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        m = URL_RE.search(line)
+        if m:
+            return m.group(1)
+    raise RuntimeError(
+        f"repro-live never announced its obs URL; output so far:\n"
+        f"{''.join(lines)}"
+    )
+
+
+def run() -> int:
+    cmd = [
+        sys.executable, "-c",
+        "from repro.cli import live_main; import sys; "
+        "sys.exit(live_main(sys.argv[1:]))",
+        "--mode", "process",
+        "--domains", str(DOMAINS),
+        "--chunks", str(CHUNKS),
+        "--codec", "zlib",
+        "--detector", "120x128",
+        "--obs-port", "0",
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        bufsize=1,
+    )
+    try:
+        base = wait_for_url(proc, time.monotonic() + 30.0)
+        print(f"scraping {base} while {DOMAINS} compressor domains stream")
+
+        # /healthz — the streaming run must be healthy from the first
+        # poll; spawn-started workers take a moment to beat, so keep
+        # scraping until the process workers show up (or the run ends).
+        deadline = time.monotonic() + 60.0
+        beats: dict[str, float] = {}
+        while time.monotonic() < deadline:
+            status, body = fetch(f"{base}/healthz")
+            health = json.loads(body)
+            assert status == 200, f"/healthz -> {status}: {health}"
+            assert health["healthy"] is True, health
+            status, body = fetch(f"{base}/metrics")
+            assert status == 200, f"/metrics -> {status}"
+            families = parse_prometheus_text(body.decode("utf-8"))
+            beats = label_values(
+                families, "worker_heartbeat_seconds", "worker"
+            )
+            if all(
+                f"mp-compress-{d}" in beats for d in range(DOMAINS)
+            ):
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.1)
+
+        for domain in range(DOMAINS):
+            worker = f"mp-compress-{domain}"
+            assert worker in beats, f"no heartbeat for {worker}: {beats}"
+            assert beats[worker] > 0, f"stale heartbeat for {worker}"
+        assert "mp-feeder" in beats, f"no feeder heartbeat: {beats}"
+
+        # The affinity gauge exists per process worker either way —
+        # 0 on hosts without pinning headroom, the applied set size
+        # otherwise.
+        affinity = label_values(families, "repro_affinity_cpus", "role")
+        for domain in range(DOMAINS):
+            worker = f"mp-compress-{domain}"
+            assert worker in affinity, f"no affinity gauge for {worker}"
+
+        out, _ = proc.communicate(timeout=300)
+        print(out[-2000:])
+        assert proc.returncode == 0, f"repro-live exited {proc.returncode}"
+        assert f"process mode: {DOMAINS} compressor domain(s)" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    print(f"mp smoke OK: {DOMAINS} domains beat under spawn, "
+          "endpoints validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -11,6 +11,11 @@ the same process so their ratio is host-independent:
 - **loopback pipeline** — the full live pipeline end to end on a
   transport-dominated workload (small chunks, null codec), pre-PR
   copy path vs vectored+batched; this ratio is the CI gate;
+- **process scaling** — the codec-dominated regime (pure-Python LZ4,
+  so compression holds the GIL) at 1/2/4 compressor domains, thread
+  mode vs :class:`~repro.mp.ProcessPipeline`; on hosts with >= 4 CPUs
+  the 4-domain process/thread ratio is gated, because that is the
+  configuration where sidestepping the GIL must show up;
 - **sim scenario** — the discrete-event runtime on a generated
   paper-testbed scenario, simulated chunks per wall second.
 
@@ -44,6 +49,13 @@ LOOPBACK_GATE_THRESHOLD = 1.3
 #: (events + watchdog + HTTP server + profiler) must stay within 5% of
 #: telemetry-only, i.e. rate ratio >= 0.95.
 OBS_GATE_THRESHOLD = 0.95
+
+#: The process-mode gate: with 4 compressor domains on a GIL-bound
+#: codec, process mode must beat thread mode by at least this much.
+#: Only applied on hosts with >= PROCESS_GATE_MIN_CPUS usable CPUs —
+#: on smaller hosts there is no parallelism for process mode to win.
+PROCESS_SCALING_GATE_THRESHOLD = 1.5
+PROCESS_GATE_MIN_CPUS = 4
 
 
 # ---------------------------------------------------------------------------
@@ -282,6 +294,109 @@ def bench_loopback_pipeline(
 
 
 # ---------------------------------------------------------------------------
+# process scaling (gated on multi-core hosts)
+# ---------------------------------------------------------------------------
+
+
+def _usable_cpus() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scaling_once(chunks: int, payload: bytes, *, mode: str, workers: int) -> float:
+    """One codec-dominated loopback run; returns wall seconds.
+
+    The pure-Python ``lz4`` codec holds the GIL for ~1ms per 4KB chunk,
+    so thread mode cannot scale past one core no matter how many
+    compressor threads it spawns — which is exactly the regime the
+    process runtime exists for.
+    """
+    import multiprocessing
+
+    from repro.live.runtime import LiveConfig, LivePipeline
+    from repro.mp import ProcessPipeline
+
+    start_method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    cfg = LiveConfig(
+        codec="lz4",
+        compress_threads=workers,
+        decompress_threads=1,
+        connections=1,
+        queue_capacity=64,
+        execution_mode=mode,
+        mp_start_method=start_method,
+    )
+    pipeline = (
+        ProcessPipeline(cfg) if mode == "process" else LivePipeline(cfg)
+    )
+    start = time.perf_counter()
+    report = pipeline.run(_chunk_source(chunks, payload))
+    elapsed = time.perf_counter() - start
+    if not report.ok:
+        raise RuntimeError(f"scaling bench run failed: {report.summary()}")
+    return elapsed
+
+
+def bench_process_scaling(
+    *, quick: bool = False
+) -> tuple[list[BenchResult], GateResult | None]:
+    """Thread vs process mode at 1/2/4 compressor domains.
+
+    Returns the per-configuration rows plus the 4-domain gate — or
+    ``None`` for the gate when the host has too few CPUs to make the
+    comparison meaningful (the rows are still reported).
+    """
+    from repro.util.rng import make_rng
+
+    chunks = 64 if quick else 192
+    # Noisy payload: repetitive data short-circuits the pure-Python
+    # match loop and the run degenerates to transport-dominated.
+    payload = (
+        make_rng(7, "bench-scaling")
+        .integers(0, 255, 4096, dtype="uint8")
+        .tobytes()
+    )
+    cpus = _usable_cpus()
+    results = []
+    rates: dict[tuple[str, int], float] = {}
+    for workers in (1, 2, 4):
+        for mode in ("thread", "process"):
+            elapsed = _scaling_once(
+                chunks, payload, mode=mode, workers=workers
+            )
+            rate = chunks / elapsed
+            rates[(mode, workers)] = rate
+            results.append(
+                BenchResult(
+                    name=f"scaling_{mode}_{workers}",
+                    value=rate,
+                    unit="chunks/s",
+                    duration_s=elapsed,
+                    n=chunks,
+                    params={"chunks": chunks, "payload_bytes": len(payload),
+                            "mode": mode, "workers": workers,
+                            "host_cpus": cpus},
+                )
+            )
+    gate: GateResult | None = None
+    if cpus >= PROCESS_GATE_MIN_CPUS:
+        gate = GateResult(
+            name="process_scaling_speedup",
+            value=rates[("process", 4)] / rates[("thread", 4)],
+            threshold=PROCESS_SCALING_GATE_THRESHOLD,
+        )
+    return results, gate
+
+
+# ---------------------------------------------------------------------------
 # observability overhead (the second gated benchmark)
 # ---------------------------------------------------------------------------
 
@@ -479,6 +594,15 @@ def run_suite(
                 report.gates.append(group_gate)
             emit("run_end", f"bench group {group_name} done",
                  group=group_name, ok=True, gate_value=group_gate.value)
+        emit("run_start", "bench group process_scaling",
+             group="process_scaling")
+        scaling_results, scaling_gate = bench_process_scaling(quick=quick)
+        report.results.extend(scaling_results)
+        if gate and scaling_gate is not None:
+            report.gates.append(scaling_gate)
+        emit("run_end", "bench group process_scaling done",
+             group="process_scaling", ok=True,
+             gate_value=None if scaling_gate is None else scaling_gate.value)
         emit("run_start", "bench group sim_scenario", group="sim_scenario")
         report.results.extend(bench_sim_scenario(quick=quick))
         emit("run_end", "bench group sim_scenario done",

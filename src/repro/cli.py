@@ -96,6 +96,23 @@ def live_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--decompress-threads", type=int, default=2)
     parser.add_argument("--connections", type=int, default=2)
     parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default=None,
+        help="execution mode for the in-process loopback: 'thread' "
+        "(default) keeps one GIL-bound process; 'process' runs one "
+        "compressor process per NUMA domain over shared-memory rings "
+        "(default: the plan's execution mode, else thread; see "
+        "docs/multiprocess.md)",
+    )
+    parser.add_argument(
+        "--domains",
+        type=int,
+        default=None,
+        help="compressor domains with --mode process "
+        "(default: one per compress thread)",
+    )
+    parser.add_argument(
         "--batch-frames",
         type=int,
         default=None,
@@ -199,6 +216,14 @@ def live_main(argv: list[str] | None = None) -> int:
         parser.error("--listen and --connect are mutually exclusive")
     if args.stream and not args.plan:
         parser.error("--stream only makes sense with --plan")
+    if args.mode == "process" and (args.listen or args.connect):
+        parser.error("--mode process runs the in-process loopback; "
+                     "it cannot combine with --listen / --connect")
+    if args.mode == "process" and args.fault:
+        parser.error("--fault drives the resilient TCP endpoints; "
+                     "process-mode fault testing lives in the chaos suite")
+    if args.domains is not None and args.domains < 1:
+        parser.error("--domains must be >= 1")
 
     lowered = None
     if args.plan:
@@ -466,7 +491,7 @@ def live_main(argv: list[str] | None = None) -> int:
 
     from repro.live import LiveConfig, LivePipeline
 
-    pipeline = LivePipeline(
+    config = (
         dataclasses.replace(
             lowered.config,
             batch_frames=batch_frames,
@@ -480,9 +505,31 @@ def live_main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             batch_frames=batch_frames,
             batch_linger=args.batch_linger,
-        ),
-        telemetry=telemetry,
+        )
     )
+    # --mode overrides the plan's execution node; no flag and no plan
+    # node means today's thread pipeline.
+    mode = args.mode or config.execution_mode
+    if mode == "process":
+        from repro.mp import ProcessPipeline
+
+        config = dataclasses.replace(
+            config,
+            execution_mode="process",
+            process_domains=(
+                args.domains
+                if args.domains is not None
+                else config.process_domains
+            ),
+        )
+        domains = config.process_domains or config.compress_threads
+        print(f"process mode: {domains} compressor domain(s) over "
+              "shared-memory rings")
+        pipeline: "LivePipeline | ProcessPipeline" = ProcessPipeline(
+            config, telemetry=telemetry
+        )
+    else:
+        pipeline = LivePipeline(config, telemetry=telemetry)
     report = pipeline.run(make_source())
     print(report.summary())
     finish_telemetry()

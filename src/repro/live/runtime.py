@@ -52,6 +52,21 @@ class LiveConfig:
     timeouts: TimeoutPolicy | None = None
     #: Deprecated: pass ``timeouts=TimeoutPolicy(join=...)`` instead.
     join_timeout: float | None = None
+    #: "thread" keeps today's in-process pipeline; "process" runs one
+    #: compressor *process* per NUMA domain over shared-memory rings
+    #: (see :mod:`repro.mp` and docs/multiprocess.md).
+    execution_mode: str = "thread"
+    #: Compressor domains in process mode (0 = one per compress thread
+    #: the plan asked for).
+    process_domains: int = 0
+    #: Records each shared-memory ring buffers (per domain, per
+    #: direction) — the process-mode analogue of ``queue_capacity``.
+    ring_capacity: int = 8
+    #: Slot size of each ring; must fit one packed chunk record.
+    ring_slot_bytes: int = 1 << 20
+    #: multiprocessing start method for worker processes ("spawn" is
+    #: the portable default; "fork" starts faster where it is safe).
+    mp_start_method: str = "spawn"
 
     def __post_init__(self) -> None:
         for name in ("compress_threads", "decompress_threads", "connections",
@@ -60,6 +75,19 @@ class LiveConfig:
                 raise ValidationError(f"{name} must be >= 1")
         if self.batch_linger < 0:
             raise ValidationError("batch_linger must be >= 0")
+        if self.execution_mode not in ("thread", "process"):
+            raise ValidationError(
+                f"execution_mode must be 'thread' or 'process', "
+                f"not {self.execution_mode!r}"
+            )
+        if self.process_domains < 0:
+            raise ValidationError("process_domains must be >= 0")
+        if self.ring_capacity < 1:
+            raise ValidationError("ring_capacity must be >= 1")
+        if self.mp_start_method not in ("spawn", "fork", "forkserver"):
+            raise ValidationError(
+                f"unknown mp_start_method {self.mp_start_method!r}"
+            )
         timeouts = self.timeouts or TimeoutPolicy()
         if self.join_timeout is not None:
             warnings.warn(

@@ -57,9 +57,11 @@ class StageStats:
             self.errors.append(message)
 
 
-def _maybe_pin(cpus: list[int] | None) -> None:
+def _maybe_pin(
+    cpus: list[int] | None, role: str | None = None, telemetry=None
+) -> None:
     if cpus:
-        pin_current_thread(cpus)
+        pin_current_thread(cpus, role=role, telemetry=telemetry)
 
 
 def _finish(
@@ -92,7 +94,7 @@ def feeder(
     (one lock round-trip, one span); 1 keeps the historical
     chunk-at-a-time behaviour.
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "feed", telemetry)
     track = threading.current_thread().name
     it = iter(source)
     try:
@@ -140,7 +142,7 @@ def compressor(
     round-trip and forwards them with one :meth:`put_many`; each chunk
     is still compressed (and accounted) individually.
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "compress", telemetry)
     track = threading.current_thread().name
     try:
         while True:
@@ -197,7 +199,7 @@ def sender(
     linger timeout, and on queue close (the final partial batch is
     sent before the EOS frames).
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "send", telemetry)
     track = threading.current_thread().name
     stream_ids: set[str] = set()
     try:
@@ -253,7 +255,7 @@ def resilient_sender(
     called after the initial connection dies.  When no faults fire the
     hot path is one ``send`` plus a zero-timeout ``select`` per chunk.
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "send", telemetry)
     track = threading.current_thread().name
     unacked: "OrderedDict[tuple[str, int, bool], Frame]" = OrderedDict()
     state: dict = {"tx": transport, "rx": FramedReceiver(transport.sock)}
@@ -401,7 +403,7 @@ def receiver(
     same ``put_many`` handoff — the downstream mirror of the sender's
     vectored batch, with no extra waiting (buffered frames are free).
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "recv", telemetry)
     track = threading.current_thread().name
     try:
         done = False
@@ -453,7 +455,7 @@ def decompressor(
     round-trip; each frame is still decompressed and delivered
     individually (sink ordering is unchanged).
     """
-    _maybe_pin(cpus)
+    _maybe_pin(cpus, "decompress", telemetry)
     track = threading.current_thread().name
     try:
         while True:

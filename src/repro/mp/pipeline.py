@@ -1,0 +1,344 @@
+"""`repro-live --mode process`: the multi-process live pipeline.
+
+:class:`ProcessPipeline` is :class:`~repro.live.runtime.LivePipeline`
+with the compress stage moved into real processes::
+
+    feeder -> raw ring[d] -> [compress proc d] -> comp ring[d] ->
+    collector[d] -> sendq -> {S_i ==socketpair==> R_i} -> wireq ->
+    [D x decompress] -> sink
+
+One compressor process per NUMA domain, each with its own pair of
+domain-local rings (the dgen-rs lesson: locality of the *buffers*,
+not just the threads).  Everything downstream of the collectors is
+the thread pipeline verbatim — same sender/receiver/decompressor
+bodies, same socketpairs, same frames — so receiver output is
+byte-identical between modes and every report/metric reads the same.
+
+Delivery is exactly-once across worker crashes: the supervisor replays
+dispatched-but-uncollected records into the restarted worker's ring
+(at-least-once), and the collectors deduplicate on ``(stream, index)``
+before anything reaches the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.compress.codec import Codec, get_codec
+from repro.data.chunking import Chunk
+from repro.faults.policy import RetryPolicy
+from repro.live import workers
+from repro.live.queues import ClosableQueue, Closed
+from repro.live.runtime import LiveConfig, LiveReport
+from repro.live.transport import socket_pipe
+from repro.mp.records import ChunkRecord, pack_record, unpack_record
+from repro.mp.supervisor import DomainSupervisor
+from repro.mp.topology import plan_topology
+from repro.telemetry.facade import as_telemetry
+from repro.util.errors import ValidationError
+
+
+class _OrigLen:
+    """A length-only stand-in for the original payload.
+
+    The sender path needs ``len(chunk.payload)`` for the frame's
+    ``orig_len`` field and nothing else — the real bytes stayed in the
+    worker process.  Carrying just the length keeps the parent from
+    re-materializing every uncompressed chunk.
+    """
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+
+class _WireChunk:
+    """A collected record shaped like a compressed live ``Chunk``."""
+
+    __slots__ = ("stream_id", "index", "payload", "wire_payload")
+
+    def __init__(
+        self, stream_id: str, index: int, orig_len: int, wire_payload: bytes
+    ) -> None:
+        self.stream_id = stream_id
+        self.index = index
+        self.payload = _OrigLen(orig_len)
+        self.wire_payload = wire_payload
+
+
+class ProcessPipeline:
+    """Single-host pipeline with per-domain compressor processes."""
+
+    def __init__(
+        self,
+        config: LiveConfig | None = None,
+        codec: Codec | None = None,
+        *,
+        telemetry: "bool | object" = False,
+        retry: RetryPolicy | None = None,
+    ):
+        self.config = config or LiveConfig(execution_mode="process")
+        self.codec = codec or get_codec(self.config.codec)
+        self.telemetry = as_telemetry(telemetry)
+        self.retry = retry
+
+    def run(
+        self,
+        source: Iterable[Chunk],
+        sink: Callable[[str, int, bytes], None] | None = None,
+        *,
+        telemetry: "bool | object | None" = None,
+    ) -> LiveReport:
+        """Stream every chunk of ``source`` through the full pipeline."""
+        cfg = self.config
+        delivered: dict[tuple[str, int], int] = {}
+        delivered_lock = threading.Lock()
+        expected: dict[tuple[str, int], int] = {}
+        bytes_out = [0]
+
+        def counting_sink(stream_id: str, index: int, data: bytes) -> None:
+            with delivered_lock:
+                delivered[(stream_id, index)] = (
+                    delivered.get((stream_id, index), 0) + 1
+                )
+                bytes_out[0] += len(data)
+            if sink is not None:
+                sink(stream_id, index, data)
+
+        tel = self.telemetry if telemetry is None else as_telemetry(telemetry)
+        topology = plan_topology(cfg)
+        ndomains = topology.domains
+        if tel is not None:
+            tel.thread_counts.update(
+                {
+                    "feed": 1,
+                    "compress": ndomains,
+                    "send": cfg.connections,
+                    "recv": cfg.connections,
+                    "decompress": cfg.decompress_threads,
+                }
+            )
+        stats = {
+            name: workers.StageStats(name)
+            for name in ("feed", "compress", "send", "recv", "decompress")
+        }
+        supervisor = DomainSupervisor(
+            topology,
+            codec_name=self.codec.name,
+            retry=self.retry,
+            start_method=cfg.mp_start_method,
+            telemetry=tel,
+            batch_frames=cfg.batch_frames,
+        )
+        sendq = ClosableQueue(
+            cfg.queue_capacity, producers=ndomains, name="sendq", telemetry=tel
+        )
+        wireq = ClosableQueue(
+            cfg.queue_capacity,
+            producers=cfg.connections,
+            name="wireq",
+            telemetry=tel,
+        )
+
+        #: (stream, index) already collected — replay dedup.
+        seen: set[tuple[str, int]] = set()
+        seen_lock = threading.Lock()
+
+        def feed() -> None:
+            next_domain = 0
+            try:
+                for chunk in source:
+                    if chunk.payload is None:
+                        raise ValidationError(
+                            "live pipeline chunks need payloads"
+                        )
+                    key = (chunk.stream_id, chunk.index)
+                    n = len(chunk.payload)
+                    expected[key] = n
+                    packed = pack_record(
+                        ChunkRecord(
+                            stream_id=chunk.stream_id,
+                            index=chunk.index,
+                            payload=chunk.payload,
+                            compressed=False,
+                            orig_len=n,
+                        )
+                    )
+                    t0 = time.perf_counter()
+                    supervisor.dispatch(next_domain % ndomains, key, packed)
+                    next_domain += 1
+                    elapsed = time.perf_counter() - t0
+                    stats["feed"].record(n, n, elapsed)
+                    if tel is not None:
+                        tel.record_chunk("feed", chunk.stream_id, n)
+                        tel.heartbeat("mp-feeder")
+            except Exception as exc:  # noqa: BLE001 - thread boundary
+                stats["feed"].fail(f"feeder: {exc!r}")
+            finally:
+                supervisor.close_inputs()
+
+        def collect(domain: int) -> None:
+            ring = supervisor.comp_ring(domain)
+            try:
+                while True:
+                    try:
+                        raws = ring.get_many(max(1, cfg.batch_frames))
+                    except Closed:
+                        break
+                    batch: list[_WireChunk] = []
+                    for raw in raws:
+                        rec = unpack_record(raw)
+                        supervisor.ack(domain, rec.key)
+                        with seen_lock:
+                            if rec.key in seen:
+                                # A restart replayed work the dead
+                                # worker had already finished.
+                                if tel is not None:
+                                    tel.record_dedup()
+                                continue
+                            seen.add(rec.key)
+                        if tel is not None:
+                            tel.record_chunk(
+                                "compress", rec.stream_id, rec.orig_len
+                            )
+                        batch.append(
+                            _WireChunk(
+                                rec.stream_id,
+                                rec.index,
+                                rec.orig_len,
+                                rec.payload,
+                            )
+                        )
+                    put = 0
+                    while put < len(batch):
+                        put += sendq.put_many(batch[put:])
+            except Exception as exc:  # noqa: BLE001 - thread boundary
+                stats["compress"].fail(f"collector-{domain}: {exc!r}")
+            finally:
+                sendq.close()
+
+        threads: list[threading.Thread] = []
+
+        def spawn(name: str, target: Any, *args: Any, **kwargs: Any) -> None:
+            t = threading.Thread(
+                target=target, args=args, kwargs=kwargs, name=name, daemon=True
+            )
+            threads.append(t)
+
+        aff = cfg.affinity
+        spawn("mp-feeder", feed)
+        for d in range(ndomains):
+            spawn(f"collector-{d}", collect, d)
+        for i in range(cfg.connections):
+            tx, rx = socket_pipe(telemetry=tel)
+            spawn(
+                f"send-{i}",
+                workers.sender,
+                tx,
+                sendq,
+                stats["send"],
+                compressed=True,
+                cpus=aff.get("send"),
+                telemetry=tel,
+                batch_frames=cfg.batch_frames,
+                batch_linger=cfg.batch_linger,
+            )
+            spawn(
+                f"recv-{i}",
+                workers.receiver,
+                rx,
+                wireq,
+                stats["recv"],
+                aff.get("recv"),
+                telemetry=tel,
+                batch_frames=cfg.batch_frames,
+            )
+        for i in range(cfg.decompress_threads):
+            spawn(
+                f"decompress-{i}",
+                workers.decompressor,
+                self.codec,
+                wireq,
+                stats["decompress"],
+                counting_sink,
+                aff.get("decompress"),
+                telemetry=tel,
+                batch_frames=cfg.batch_frames,
+            )
+
+        if tel is not None:
+            tel.emit_event(
+                "run_start",
+                "process pipeline starting",
+                runner="ProcessPipeline",
+                codec=self.codec.name,
+                mode="process",
+                domains=ndomains,
+                connections=cfg.connections,
+                decompress_threads=cfg.decompress_threads,
+            )
+        t0 = time.perf_counter()
+        errors: list[str] = []
+        try:
+            supervisor.start()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(cfg.timeouts.join)
+                if t.is_alive():
+                    errors.append(
+                        f"thread {t.name} did not finish (deadlock?)"
+                    )
+            errors.extend(supervisor.join(cfg.timeouts.join))
+            elapsed = time.perf_counter() - t0
+            # The compress stage ran out-of-process; fold the shared
+            # stats slots into the ordinary stage accounting.
+            if supervisor.stats is not None:
+                comp = stats["compress"]
+                for s in supervisor.stats.snapshot():
+                    comp.chunks += s.chunks
+                    comp.bytes_in += s.bytes_in
+                    comp.bytes_out += s.bytes_out
+                    comp.busy_seconds += s.busy_us / 1e6
+        finally:
+            supervisor.shutdown()
+
+        for s in stats.values():
+            errors.extend(s.errors)
+        if cfg.verify and not errors:
+            missing = set(expected) - set(delivered)
+            dupes = {k: n for k, n in delivered.items() if n > 1}
+            if missing:
+                errors.append(
+                    f"{len(missing)} chunks never delivered: "
+                    f"{sorted(missing)[:3]}..."
+                )
+            if dupes:
+                errors.append(f"duplicated chunks: {sorted(dupes)[:3]}...")
+        if tel is not None:
+            tel.emit_event(
+                "run_end",
+                "process pipeline finished",
+                severity="info" if not errors else "error",
+                runner="ProcessPipeline",
+                ok=not errors,
+                elapsed_s=round(elapsed, 6),
+                chunks=stats["decompress"].chunks,
+                restarts=supervisor.restarts,
+            )
+        return LiveReport(
+            chunks=stats["decompress"].chunks,
+            bytes_in=stats["feed"].bytes_in,
+            wire_bytes=stats["send"].bytes_out,
+            bytes_out=bytes_out[0],
+            elapsed=elapsed,
+            stage_stats=stats,
+            errors=errors,
+            telemetry=tel,
+        )

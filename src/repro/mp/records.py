@@ -1,0 +1,88 @@
+"""The byte record the rings carry: one chunk, self-describing.
+
+A :class:`ChunkRecord` is the shared-memory sibling of the transport's
+:class:`~repro.live.transport.Frame` — same identity fields, but no
+checksum (the bytes never leave the host; the wire hop downstream adds
+CRC32 as always) and no magic (the ring's slot length already delimits
+records).  Layout, little-endian::
+
+    index     u32   chunk index within the stream
+    flags     u16   bit 0: payload is compressed
+    sid_len   u16   stream id length
+    orig_len  u32   uncompressed payload length
+    <stream id bytes>
+    <payload bytes>
+
+Packing is one ``struct`` + two slices; the ring then copies the
+record straight into its slot, so a chunk crosses the process boundary
+with exactly one memcpy in and one out — no pickle, no refcounting,
+no allocator churn proportional to object graphs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+from repro.util.errors import ValidationError
+
+_RECORD = struct.Struct("<IHHI")
+
+_FLAG_COMPRESSED = 0x1
+
+#: Matches the transport's stream-id bound so any record that fits a
+#: ring also frames onto the wire.
+MAX_STREAM_ID = 4096
+
+
+class ChunkRecord(NamedTuple):
+    """One chunk as it crosses a :class:`~repro.mp.ring.SharedRing`."""
+
+    stream_id: str
+    index: int
+    payload: bytes
+    compressed: bool
+    orig_len: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Identity used for replay bookkeeping and collector dedup."""
+        return (self.stream_id, self.index)
+
+
+def pack_record(record: ChunkRecord) -> bytes:
+    """Encode ``record`` for a ring slot."""
+    sid = record.stream_id.encode()
+    if len(sid) > MAX_STREAM_ID:
+        raise ValidationError(f"stream id too long ({len(sid)} bytes)")
+    flags = _FLAG_COMPRESSED if record.compressed else 0
+    return (
+        _RECORD.pack(record.index, flags, len(sid), record.orig_len)
+        + sid
+        + record.payload
+    )
+
+
+def unpack_record(data: bytes) -> ChunkRecord:
+    """Invert :func:`pack_record`; raises on a malformed record."""
+    if len(data) < _RECORD.size:
+        raise ValidationError(
+            f"ring record truncated ({len(data)} < {_RECORD.size} bytes)"
+        )
+    index, flags, sid_len, orig_len = _RECORD.unpack_from(data, 0)
+    if len(data) < _RECORD.size + sid_len:
+        raise ValidationError("ring record truncated inside the stream id")
+    sid = data[_RECORD.size : _RECORD.size + sid_len].decode()
+    payload = data[_RECORD.size + sid_len :]
+    return ChunkRecord(
+        stream_id=sid,
+        index=index,
+        payload=payload,
+        compressed=bool(flags & _FLAG_COMPRESSED),
+        orig_len=orig_len,
+    )
+
+
+def record_overhead(stream_id: str) -> int:
+    """Bytes a record adds on top of its payload (slot sizing helper)."""
+    return _RECORD.size + len(stream_id.encode())

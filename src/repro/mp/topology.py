@@ -1,0 +1,154 @@
+"""Process topology: which workers run where, attached to which rings.
+
+A :class:`ProcessTopology` is the process-mode analogue of the thread
+pipeline's affinity map: one compressor *process* per NUMA domain,
+each with a private pair of rings (raw in, compressed out) so every
+buffer a domain touches is domain-local — BriskStream's
+relative-location-aware placement, realized with the plan IR's own
+affinity data.
+
+The topology is symbolic: ring specs carry stable ids (``raw0``,
+``comp0``, ...), not shared-memory names — the pipeline materializes
+segments at run time (auto-named to dodge stale-segment collisions)
+and hands each child the concrete names.  That indirection is also
+what lets a restarted worker re-attach the very rings its predecessor
+crashed over.
+
+Only the compress stage crosses the process boundary.  It is the
+pipeline's only CPU-bound pure-Python stage — the one the GIL
+serializes — while send/recv/decompress either release the GIL in
+syscalls or stay cheap; keeping them as parent threads preserves
+byte-identical wire behaviour with thread mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.runtime import LiveConfig
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """One shared-memory ring to materialize (id is topology-local)."""
+
+    ring_id: str
+    capacity: int
+    slot_bytes: int
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker process: stage role, placement, ring attachments."""
+
+    domain: int
+    role: str
+    #: Host CPUs to ``sched_setaffinity`` in the child (empty = unpinned).
+    cpus: tuple[int, ...]
+    #: Topology-local ids of the rings this worker consumes/produces.
+    in_ring: str
+    out_ring: str
+    #: This worker's slot in the shared stats block.
+    stats_slot: int
+    #: Test hook: the child calls ``os._exit(1)`` after this many
+    #: chunks; the supervisor strips it on restart.
+    crash_after: int | None = None
+
+    @property
+    def name(self) -> str:
+        """Stable worker identity across restarts (telemetry track)."""
+        return f"mp-{self.role}-{self.domain}"
+
+
+@dataclass(frozen=True)
+class ProcessTopology:
+    """The full process-mode layout for one run."""
+
+    domains: int
+    workers: tuple[WorkerSpec, ...]
+    rings: tuple[RingSpec, ...]
+
+    def worker(self, domain: int) -> WorkerSpec:
+        for w in self.workers:
+            if w.domain == domain:
+                return w
+        raise KeyError(f"no worker for domain {domain}")
+
+    def describe(self) -> str:
+        lines = [f"process topology: {self.domains} domains"]
+        for w in self.workers:
+            cpus = ",".join(map(str, w.cpus)) if w.cpus else "unpinned"
+            lines.append(
+                f"  {w.name}: cpus [{cpus}] "
+                f"{w.in_ring} -> {w.out_ring}"
+            )
+        return "\n".join(lines)
+
+
+def domain_cpu_sets(
+    cpus: list[int] | None, domains: int
+) -> list[tuple[int, ...]]:
+    """Partition a stage CPU list into per-domain sets.
+
+    Contiguous split (not round-robin): the plan's affinity lists are
+    sorted by global core index, so a contiguous slice keeps each
+    domain's CPUs on the same socket whenever the plan placed them
+    that way.  With fewer CPUs than domains, trailing domains run
+    unpinned; with none, every domain does.
+    """
+    if domains < 1:
+        raise ConfigurationError("domains must be >= 1")
+    if not cpus:
+        return [() for _ in range(domains)]
+    out: list[tuple[int, ...]] = []
+    base, extra = divmod(len(cpus), domains)
+    at = 0
+    for d in range(domains):
+        take = base + (1 if d < extra else 0)
+        out.append(tuple(cpus[at : at + take]))
+        at += take
+    return out
+
+
+def plan_topology(config: "LiveConfig") -> ProcessTopology:
+    """Derive the process layout from a lowered :class:`LiveConfig`.
+
+    ``process_domains`` of 0 means one domain per planned compressor
+    (the plan's compress thread count becomes the process count); the
+    CPU sets come from the same ``affinity`` map the thread pipeline
+    pins with, so thread and process modes realize the *same* plan
+    placement.
+    """
+    domains = config.process_domains or config.compress_threads
+    cpu_sets = domain_cpu_sets(config.affinity.get("compress"), domains)
+    rings: list[RingSpec] = []
+    workers: list[WorkerSpec] = []
+    for d in range(domains):
+        raw = RingSpec(
+            ring_id=f"raw{d}",
+            capacity=config.ring_capacity,
+            slot_bytes=config.ring_slot_bytes,
+        )
+        comp = RingSpec(
+            ring_id=f"comp{d}",
+            capacity=config.ring_capacity,
+            slot_bytes=config.ring_slot_bytes,
+        )
+        rings.extend((raw, comp))
+        workers.append(
+            WorkerSpec(
+                domain=d,
+                role="compress",
+                cpus=cpu_sets[d],
+                in_ring=raw.ring_id,
+                out_ring=comp.ring_id,
+                stats_slot=d,
+            )
+        )
+    return ProcessTopology(
+        domains=domains, workers=tuple(workers), rings=tuple(rings)
+    )

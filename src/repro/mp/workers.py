@@ -1,0 +1,138 @@
+"""The worker-process body: one compressor domain, ring to ring.
+
+:func:`compress_worker` is the target of one ``multiprocessing``
+``Process`` — the process-mode analogue of
+:func:`repro.live.workers.compressor`.  It attaches its rings and
+stats slot by name (spawn-safe: everything crosses the boundary as
+plain strings and ints), pins the whole process to its domain's CPU
+set, then loops: drain raw records, compress, publish compressed
+records, account into the shared stats slot.
+
+Shutdown has two flavours, both lossless for published work:
+
+- the feeder closes the raw ring → the worker drains what is left,
+  closes its output ring and exits 0 (the normal end of stream);
+- SIGTERM → the worker stops *blocking* for new input, takes only
+  records already published, flushes them downstream and exits 0 (the
+  supervisor's graceful drain — acked work is never dropped).
+
+A worker never logs and takes no locks shared with the parent, so it
+is safe to start under any start method, including a mid-run ``fork``
+restart.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.compress.codec import get_codec
+from repro.live.affinity import current_affinity, pin_current_thread
+from repro.live.queues import Closed
+from repro.mp.records import ChunkRecord, pack_record, unpack_record
+from repro.mp.ring import SharedRing
+from repro.mp.stats import StatsBlock, WorkerState
+from repro.util.errors import QueueTimeout
+
+#: Idle get() timeout — bounds how stale a heartbeat can go while the
+#: worker waits for input, and how late it notices a SIGTERM.
+_IDLE_TICK = 0.2
+
+
+def compress_worker(
+    *,
+    domain: int,
+    cpus: tuple[int, ...],
+    codec_name: str,
+    in_ring: str,
+    out_ring: str,
+    stats_name: str,
+    stats_slot: int,
+    batch_frames: int = 1,
+    crash_after: int | None = None,
+) -> None:
+    """Run one compressor domain until its input ring drains."""
+    stats = StatsBlock.attach(stats_name)
+    stats.set_pid(stats_slot, os.getpid())
+    stats.set_state(stats_slot, WorkerState.STARTING)
+
+    if cpus:
+        pin_current_thread(cpus)
+    applied = current_affinity()
+    stats.set_cpus(stats_slot, len(applied) if cpus and applied else 0)
+
+    draining = False
+
+    def _on_term(signum: int, frame: object) -> None:
+        nonlocal draining
+        draining = True
+
+    signal.signal(signal.SIGTERM, _on_term)
+
+    codec = get_codec(codec_name)
+    inr = SharedRing.attach(in_ring)
+    outr = SharedRing.attach(out_ring)
+    done = 0
+    try:
+        stats.set_state(stats_slot, WorkerState.RUNNING)
+        while True:
+            stats.beat(stats_slot, time.time())
+            try:
+                # While draining, take only already-published records.
+                raws = inr.get_many(
+                    batch_frames, timeout=0 if draining else _IDLE_TICK
+                )
+            except Closed:
+                break
+            except QueueTimeout:
+                if draining:
+                    break
+                continue
+            if draining:
+                stats.set_state(stats_slot, WorkerState.DRAINING)
+            out: list[bytes] = []
+            for raw in raws:
+                rec = unpack_record(raw)
+                t0 = time.perf_counter()
+                comp = codec.compress(rec.payload)
+                busy = time.perf_counter() - t0
+                out.append(
+                    pack_record(
+                        ChunkRecord(
+                            stream_id=rec.stream_id,
+                            index=rec.index,
+                            payload=comp,
+                            compressed=True,
+                            orig_len=len(rec.payload),
+                        )
+                    )
+                )
+                stats.add(
+                    stats_slot,
+                    chunks=1,
+                    bytes_in=len(rec.payload),
+                    bytes_out=len(comp),
+                    busy_us=int(busy * 1e6),
+                )
+            sent = 0
+            while sent < len(out):
+                sent += outr.put_many(out[sent:])
+            done += len(raws)
+            if crash_after is not None and done >= crash_after:
+                # Fault-injection hook: die the hard way, mid-stream,
+                # without flushing anything or running handlers.
+                os._exit(1)
+        # Clean end of stream: seal the output so the collector finishes.
+        # A crashing worker must NOT close it — its replacement will
+        # keep producing into the same ring.
+        outr.close()
+        stats.set_state(stats_slot, WorkerState.STOPPED)
+        stats.beat(stats_slot, time.time())
+    except BaseException:
+        stats.set_state(stats_slot, WorkerState.CRASHED)
+        raise
+    finally:
+        inr.detach()
+        outr.detach()
+        stats.detach()

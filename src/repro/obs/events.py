@@ -40,6 +40,8 @@ EVENT_KINDS: tuple[str, ...] = (
     "fault_injected",     # the fault layer sabotaged a frame
     "stage_stall",        # watchdog: a worker stopped beating
     "stall_cleared",      # watchdog: the stalled worker resumed
+    "worker_restart",     # supervisor: a crashed process worker respawned
+    "worker_exit",        # supervisor: a process worker gave up for good
     "backpressure",       # watchdog: a queue pinned at depth
     "bottleneck_shift",   # watchdog: the busiest stage changed
     "log",                # bridged stdlib log record

@@ -22,6 +22,7 @@ _EXPORTS = {
     "StreamNode": "repro.plan.ir",
     "StageNode": "repro.plan.ir",
     "QueueEdge": "repro.plan.ir",
+    "ExecutionNode": "repro.plan.ir",
     "STAGE_ORDER": "repro.plan.ir",
     "POLICIES": "repro.plan.ir",
     # diagnostics

@@ -86,6 +86,43 @@ class QueueEdge:
 
 
 @dataclass(frozen=True)
+class ExecutionNode:
+    """How the live substrate should *execute* the plan — a policy
+    node, not a placement one.
+
+    ``thread`` (the default) keeps the single-process pipeline;
+    ``process`` runs one compressor process per NUMA domain over
+    shared-memory rings (:mod:`repro.mp`), which is the only mode that
+    can physically demonstrate multi-core compression scaling from
+    CPython.  Serialization is v3-compatible: a default node is simply
+    omitted from the document, so plans that never mention execution
+    round-trip byte-identically with older readers.
+    """
+
+    mode: str = "thread"
+    #: Compressor domains in process mode; 0 = one per planned
+    #: compress worker.
+    domains: int = 0
+    #: Records buffered per shared-memory ring (per domain/direction).
+    ring_capacity: int = 8
+    #: Ring slot size, bytes; must fit one packed chunk record.
+    ring_slot_bytes: int = 1 << 20
+
+    @property
+    def is_default(self) -> bool:
+        return self == ExecutionNode()
+
+    def describe(self) -> str:
+        if self.mode == "thread":
+            return "thread"
+        d = self.domains or "auto"
+        return (
+            f"process x{d} (ring {self.ring_capacity} x "
+            f"{self.ring_slot_bytes}B)"
+        )
+
+
+@dataclass(frozen=True)
 class StreamNode:
     """One detector stream: workload, endpoints, stages, and faults."""
 
@@ -152,6 +189,8 @@ class PipelinePlan:
     #: How placements were decided: "numa_aware" (the paper's runtime),
     #: "os_baseline" (§4.2 comparison), or "manual" (hand-built).
     policy: str = "manual"
+    #: How the live substrate executes the plan (thread vs process).
+    execution: ExecutionNode = field(default_factory=ExecutionNode)
     #: Free-form provenance (workload name, generator inputs, ...).
     metadata: dict[str, str] = field(default_factory=dict)
 
@@ -179,6 +218,8 @@ class PipelinePlan:
             f"plan {self.name!r} [{self.policy}]: "
             f"{len(self.machines)} machines, {len(self.streams)} streams"
         ]
+        if not self.execution.is_default:
+            lines.append(f"  execution: {self.execution.describe()}")
         for s in self.streams:
             stages = ", ".join(n.describe() for n in s.stages_in_order())
             lines.append(f"  {s.stream_id}: {s.sender} -> {s.receiver}: {stages}")

@@ -152,6 +152,7 @@ def lower_live(
         node = stream.stage(kind)
         return node.count if node is not None else default
 
+    execution = plan.execution
     config = LiveConfig(
         codec=codec,
         compress_threads=count(StageKind.COMPRESS),
@@ -160,6 +161,10 @@ def lower_live(
         queue_capacity=stream.queue_capacity,
         batch_frames=stream.batch_frames,
         affinity=affinity,
+        execution_mode=execution.mode,
+        process_domains=execution.domains,
+        ring_capacity=execution.ring_capacity,
+        ring_slot_bytes=execution.ring_slot_bytes,
     )
     return LiveLowering(
         stream_id=stream.stream_id,

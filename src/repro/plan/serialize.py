@@ -31,6 +31,7 @@ from repro.core.serialize import (
 )
 from repro.plan.ir import (
     STAGE_ORDER,
+    ExecutionNode,
     PipelinePlan,
     QueueEdge,
     StageNode,
@@ -48,8 +49,14 @@ PLAN_VERSION = 3
 
 
 def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
-    """Encode a plan as a JSON-serializable v3 document."""
-    return {
+    """Encode a plan as a JSON-serializable v3 document.
+
+    The ``execution`` policy node is emitted only when it differs from
+    the default — a plan that never opted into process mode encodes
+    byte-identically to one written before the node existed, keeping
+    v3 files stable in both directions.
+    """
+    doc = {
         "format": FORMAT,
         "version": PLAN_VERSION,
         "name": plan.name,
@@ -69,6 +76,21 @@ def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
         "spill_threshold": plan.spill_threshold,
         "max_sim_time": plan.max_sim_time,
     }
+    if not plan.execution.is_default:
+        doc["execution"] = _execution_to_dict(plan.execution)
+    return doc
+
+
+def _execution_to_dict(node: ExecutionNode) -> dict[str, Any]:
+    out: dict[str, Any] = {"mode": node.mode}
+    default = ExecutionNode()
+    if node.domains != default.domains:
+        out["domains"] = node.domains
+    if node.ring_capacity != default.ring_capacity:
+        out["ring_capacity"] = node.ring_capacity
+    if node.ring_slot_bytes != default.ring_slot_bytes:
+        out["ring_slot_bytes"] = node.ring_slot_bytes
+    return out
 
 
 def _stage_node_to_dict(node: StageNode) -> dict[str, Any]:
@@ -141,6 +163,7 @@ _KNOWN_KEYS = {
     "format", "version", "name", "policy", "metadata", "machines", "paths",
     "streams", "cost", "seed", "warmup_chunks", "csw_penalty",
     "wake_affinity", "migrate_prob", "spill_threshold", "max_sim_time",
+    "execution",
 }
 
 
@@ -186,6 +209,19 @@ def plan_from_dict(doc: dict[str, Any]) -> PipelinePlan:
         max_sim_time=doc["max_sim_time"],
         policy=policy,
         metadata={str(k): str(v) for k, v in doc.get("metadata", {}).items()},
+        execution=_execution_from_dict(doc.get("execution")),
+    )
+
+
+def _execution_from_dict(d: dict[str, Any] | None) -> ExecutionNode:
+    if d is None:
+        return ExecutionNode()
+    default = ExecutionNode()
+    return ExecutionNode(
+        mode=d.get("mode", default.mode),
+        domains=d.get("domains", default.domains),
+        ring_capacity=d.get("ring_capacity", default.ring_capacity),
+        ring_slot_bytes=d.get("ring_slot_bytes", default.ring_slot_bytes),
     )
 
 

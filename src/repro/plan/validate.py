@@ -31,9 +31,28 @@ def validate_plan(plan: PipelinePlan) -> Diagnostics:
         diags.error(
             "duplicate-streams", f"duplicate stream ids in {plan.name!r}"
         )
+    _validate_execution(plan, diags)
     for stream in plan.streams:
         _validate_stream(plan, stream, diags)
     return diags
+
+
+def _validate_execution(plan: PipelinePlan, diags: Diagnostics) -> None:
+    """The execution policy node (permissive IR, checked here)."""
+    ex = plan.execution
+    if ex.mode not in ("thread", "process"):
+        diags.error(
+            "bad-execution",
+            f"execution mode must be 'thread' or 'process', not {ex.mode!r}",
+        )
+    if ex.domains < 0:
+        diags.error("bad-execution", "execution domains must be >= 0")
+    if ex.ring_capacity < 1:
+        diags.error("bad-execution", "ring_capacity must be >= 1")
+    if ex.ring_slot_bytes < 64:
+        diags.error(
+            "bad-execution", "ring_slot_bytes must be >= 64 bytes"
+        )
 
 
 def _validate_stream(

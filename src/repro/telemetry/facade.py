@@ -125,6 +125,11 @@ class Telemetry:
             "Per-worker liveness: clock time of the last completed span",
             ("worker",),
         )
+        self._affinity = self.registry.gauge(
+            "repro_affinity_cpus",
+            "CPUs actually applied to a pinned worker (0 = unpinned)",
+            ("role",),
+        )
 
     def set_clock(self, clock: Clock) -> None:
         """Rebind the time source (the sim engine exists after __init__)."""
@@ -185,6 +190,24 @@ class Telemetry:
         self._heartbeats.labels(worker=worker).set(
             self.clock.now() if ts is None else ts
         )
+
+    def record_affinity(self, role: str, ncpus: int) -> None:
+        """Record the CPU-set size *actually applied* to ``role``.
+
+        Thread workers report through :func:`repro.live.affinity.
+        pin_current_thread`; process workers report via their shared
+        stats slot.  A value smaller than the plan asked for means
+        placement drift (out-of-range CPUs were dropped); 0 means the
+        worker runs unpinned.
+        """
+        self._affinity.labels(role=role).set(ncpus)
+
+    def affinity_cpus(self) -> dict[str, float]:
+        """Applied CPU-set size per role seen so far."""
+        return {
+            series.labels[0]: series.value
+            for series in self._affinity.series()
+        }
 
     def heartbeats(self) -> dict[str, float]:
         """Last-beat clock time per worker seen so far."""

@@ -42,6 +42,32 @@ class TestLiveCliEdges:
             )
 
 
+class TestProcessModeCli:
+    def test_process_mode_rejects_remote_endpoints(self):
+        for endpoint in ("--listen", "--connect"):
+            with pytest.raises(SystemExit):
+                live_main(["--mode", "process", endpoint, "127.0.0.1:1"])
+
+    def test_process_mode_rejects_fault_injection(self):
+        with pytest.raises(SystemExit):
+            live_main(
+                ["--mode", "process", "--fault", "drop@5", "--chunks", "1"]
+            )
+
+    def test_domains_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            live_main(["--mode", "process", "--domains", "0", "--chunks", "1"])
+
+    def test_process_loopback_runs(self, capsys):
+        rc = live_main(
+            ["--mode", "process", "--chunks", "3", "--detector", "60x64",
+             "--codec", "zlib", "--compress-threads", "1", "--domains", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "process mode: 1 compressor domain(s)" in out
+
+
 class TestPlanRunEdges:
     def test_run_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -33,3 +33,54 @@ class TestPinning:
         # On a 1-CPU host pinning is pointless and must be reported off.
         if os.cpu_count() == 1:
             assert not supports_affinity()
+
+
+class RecordingTelemetry:
+    """Duck-typed stand-in capturing record_affinity calls."""
+
+    def __init__(self):
+        self.samples = []
+
+    def record_affinity(self, role, ncpus):
+        self.samples.append((role, ncpus))
+
+
+class TestAffinityGauge:
+    def test_failed_pin_reports_zero(self):
+        tel = RecordingTelemetry()
+        assert pin_current_thread([10_000], role="compress", telemetry=tel) is False
+        assert tel.samples == [("compress", 0)]
+
+    def test_empty_set_reports_zero(self):
+        tel = RecordingTelemetry()
+        assert pin_current_thread([], role="send", telemetry=tel) is False
+        assert tel.samples == [("send", 0)]
+
+    def test_silent_without_role_or_telemetry(self):
+        tel = RecordingTelemetry()
+        pin_current_thread([10_000], telemetry=tel)  # no role -> no sample
+        pin_current_thread([10_000], role="recv")    # no telemetry -> no crash
+        assert tel.samples == []
+
+    def test_successful_pin_reports_applied_set_size(self):
+        if not supports_affinity():
+            pytest.skip("host does not support affinity")
+        tel = RecordingTelemetry()
+        before = current_affinity()
+        try:
+            # Ask for CPU 0 plus one far out of range: the gauge must
+            # report what was *applied* (1), not what was requested (2).
+            assert pin_current_thread(
+                [0, 10_000], role="compress", telemetry=tel
+            ) is True
+            assert tel.samples == [("compress", 1)]
+        finally:
+            if before:
+                os.sched_setaffinity(0, before)
+
+    def test_real_telemetry_exposes_gauge(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        pin_current_thread([10_000], role="decompress", telemetry=tel)
+        assert tel.affinity_cpus() == {"decompress": 0.0}

@@ -1,0 +1,66 @@
+"""ChunkRecord wire format: round-trips, flags, and malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.records import (
+    ChunkRecord,
+    pack_record,
+    record_overhead,
+    unpack_record,
+)
+from repro.util.errors import ValidationError
+
+
+class TestRoundTrip:
+    def test_uncompressed_record(self):
+        rec = ChunkRecord("s0", 7, b"payload", False, 7)
+        back = unpack_record(pack_record(rec))
+        assert back == rec
+        assert back.key == ("s0", 7)
+
+    def test_compressed_flag_and_orig_len_survive(self):
+        rec = ChunkRecord("det-a", 123, b"\x00\x01", True, 4096)
+        back = unpack_record(pack_record(rec))
+        assert back.compressed is True
+        assert back.orig_len == 4096
+
+    def test_empty_payload(self):
+        rec = ChunkRecord("s", 0, b"", False, 0)
+        assert unpack_record(pack_record(rec)) == rec
+
+    def test_overhead_matches_packed_size(self):
+        rec = ChunkRecord("stream-name", 1, b"abc", False, 3)
+        assert len(pack_record(rec)) == record_overhead("stream-name") + 3
+
+
+class TestMalformed:
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValidationError):
+            unpack_record(b"\x01\x02")
+
+    def test_truncated_stream_id_rejected(self):
+        packed = pack_record(ChunkRecord("stream", 1, b"", False, 0))
+        with pytest.raises(ValidationError, match="stream id"):
+            unpack_record(packed[:-3])
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream_id=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=32,
+        ),
+        index=st.integers(0, 2**32 - 1),
+        payload=st.binary(max_size=512),
+        compressed=st.booleans(),
+        orig_len=st.integers(0, 2**32 - 1),
+    )
+    def test_arbitrary_records_survive_the_codec(
+        self, stream_id, index, payload, compressed, orig_len
+    ):
+        rec = ChunkRecord(stream_id, index, payload, compressed, orig_len)
+        assert unpack_record(pack_record(rec)) == rec

@@ -1,0 +1,170 @@
+"""SharedRing: SPSC semantics, edge cases, and property round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.queues import Closed
+from repro.mp.ring import RingGeometry, SharedRing
+from repro.util.errors import QueueTimeout, ValidationError
+
+
+@pytest.fixture
+def ring():
+    r = SharedRing.create(capacity=4, slot_bytes=256)
+    yield r
+    r.unlink()
+
+
+class TestGeometry:
+    def test_segment_and_record_budget(self):
+        geo = RingGeometry(capacity=4, slot_bytes=256)
+        assert geo.segment_bytes == 192 + 4 * 256
+        assert geo.max_record == 252  # slot minus the u32 length prefix
+
+    def test_create_rejects_degenerate_shapes(self):
+        with pytest.raises(ValidationError):
+            SharedRing.create(capacity=0, slot_bytes=256)
+        with pytest.raises(ValidationError):
+            SharedRing.create(capacity=4, slot_bytes=4)
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(ValidationError, match="not a SharedRing"):
+                SharedRing.attach(shm.name)
+        finally:
+            shm.unlink()
+
+
+class TestWraparound:
+    def test_sequences_wrap_the_slot_array(self, ring):
+        """Three full revolutions of a capacity-4 ring stay in order."""
+        sent = []
+        for round_no in range(3):
+            batch = [bytes([round_no, i]) * 7 for i in range(4)]
+            assert ring.put_many(batch) == 4
+            sent.extend(batch)
+            got = ring.get_many(4, timeout=1.0)
+            assert got == batch
+        assert ring.qsize() == 0
+        assert ring.max_depth == 4
+
+    def test_interleaved_put_get_past_capacity(self, ring):
+        for i in range(25):  # far beyond capacity; head/tail keep climbing
+            ring.put(f"rec-{i}".encode(), timeout=1.0)
+            assert ring.get(timeout=1.0) == f"rec-{i}".encode()
+
+
+class TestBackpressure:
+    def test_full_ring_times_out_single(self, ring):
+        for i in range(4):
+            ring.put(bytes([i]), timeout=1.0)
+        with pytest.raises(QueueTimeout):
+            ring.put(b"overflow", timeout=0.05)
+
+    def test_batch_timeout_with_no_room_raises(self, ring):
+        ring.put_many([b"x"] * 4)
+        with pytest.raises(QueueTimeout):
+            ring.put_many([b"y", b"z"], timeout=0.05)
+
+    def test_batch_timeout_with_partial_room_returns_count(self, ring):
+        ring.put_many([b"x"] * 3)  # one slot left
+        assert ring.put_many([b"y", b"z"], timeout=0.05) == 1
+        drained = ring.get_many(4, timeout=1.0)
+        assert drained == [b"x", b"x", b"x", b"y"]
+
+    def test_get_on_empty_ring_times_out(self, ring):
+        with pytest.raises(QueueTimeout):
+            ring.get(timeout=0.05)
+
+
+class TestOversized:
+    def test_oversized_record_names_the_knob(self, ring):
+        with pytest.raises(ValidationError, match="ring_slot_bytes"):
+            ring.put(bytes(253))
+
+    def test_largest_fitting_record_round_trips(self, ring):
+        payload = bytes(range(256))[: ring.geometry.max_record]
+        ring.put(payload)
+        assert ring.get(timeout=1.0) == payload
+
+
+class TestCloseProtocol:
+    def test_drain_after_close_then_closed(self, ring):
+        ring.put_many([b"a", b"b"])
+        ring.close()
+        assert ring.get_many(8, timeout=1.0) == [b"a", b"b"]
+        with pytest.raises(Closed):
+            ring.get(timeout=1.0)
+
+    def test_put_on_closed_ring_rejected(self, ring):
+        ring.close()
+        with pytest.raises(ValidationError, match="closed"):
+            ring.put(b"late")
+
+    def test_close_is_idempotent_and_cross_attach(self, ring):
+        other = SharedRing.attach(ring.name)
+        try:
+            ring.put(b"a")
+            other.close()
+            other.close()
+            assert ring.closed
+            assert ring.get_many(4, timeout=1.0) == [b"a"]
+            with pytest.raises(Closed):
+                ring.get(timeout=1.0)
+        finally:
+            other.detach()
+
+    def test_attach_after_close_still_drains(self, ring):
+        """A late attacher sees the leftover records, then Closed —
+        this is what lets a restarted worker resume its predecessor's
+        ring."""
+        ring.put_many([b"left", b"over"])
+        ring.close()
+        late = SharedRing.attach(ring.name)
+        try:
+            assert late.get_many(8, timeout=1.0) == [b"left", b"over"]
+            with pytest.raises(Closed):
+                late.get(timeout=1.0)
+        finally:
+            late.detach()
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks_owner(self):
+        with SharedRing.create(capacity=2, slot_bytes=64) as r:
+            name = r.name
+            r.put(b"x")
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_attacher_detach_keeps_segment(self, ring):
+        with SharedRing.attach(ring.name):
+            pass  # attacher context exit detaches only
+        ring.put(b"still-alive")
+        assert ring.get(timeout=1.0) == b"still-alive"
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=60), max_size=24),
+        capacity=st.integers(1, 6),
+    )
+    def test_everything_put_comes_back_in_order(self, payloads, capacity):
+        ring = SharedRing.create(capacity=capacity, slot_bytes=64)
+        try:
+            out = []
+            done = 0
+            while done < len(payloads):
+                done += ring.put_many(payloads[done:], timeout=0.05)
+                while ring.qsize():
+                    out.extend(ring.get_many(capacity, timeout=0.05))
+            assert out == payloads
+        finally:
+            ring.unlink()

@@ -1,0 +1,78 @@
+"""ProcessTopology: CPU partitioning and plan-derived layouts."""
+
+import pytest
+
+from repro.live.runtime import LiveConfig
+from repro.mp.topology import domain_cpu_sets, plan_topology
+from repro.util.errors import ConfigurationError
+
+
+class TestDomainCpuSets:
+    def test_even_split_is_contiguous(self):
+        assert domain_cpu_sets([0, 1, 2, 3], 2) == [(0, 1), (2, 3)]
+
+    def test_remainder_goes_to_leading_domains(self):
+        assert domain_cpu_sets([0, 1, 2, 3, 4], 2) == [(0, 1, 2), (3, 4)]
+        assert domain_cpu_sets([8, 9, 10], 2) == [(8, 9), (10,)]
+
+    def test_fewer_cpus_than_domains_leaves_tail_unpinned(self):
+        assert domain_cpu_sets([4, 5], 4) == [(4,), (5,), (), ()]
+
+    def test_no_cpus_means_everyone_unpinned(self):
+        assert domain_cpu_sets(None, 3) == [(), (), ()]
+        assert domain_cpu_sets([], 2) == [(), ()]
+
+    def test_rejects_degenerate_domain_count(self):
+        with pytest.raises(ConfigurationError):
+            domain_cpu_sets([0], 0)
+
+
+class TestPlanTopology:
+    def test_domains_default_to_compress_threads(self):
+        cfg = LiveConfig(codec="zlib", compress_threads=3)
+        topo = plan_topology(cfg)
+        assert topo.domains == 3
+        assert len(topo.workers) == 3
+        assert len(topo.rings) == 6  # raw + comp per domain
+
+    def test_explicit_domain_count_wins(self):
+        cfg = LiveConfig(codec="zlib", compress_threads=4, process_domains=2)
+        assert plan_topology(cfg).domains == 2
+
+    def test_ring_geometry_comes_from_config(self):
+        cfg = LiveConfig(
+            codec="zlib", compress_threads=1,
+            ring_capacity=16, ring_slot_bytes=1 << 16,
+        )
+        topo = plan_topology(cfg)
+        for spec in topo.rings:
+            assert spec.capacity == 16
+            assert spec.slot_bytes == 1 << 16
+
+    def test_workers_wire_their_own_ring_pair(self):
+        topo = plan_topology(LiveConfig(codec="zlib", compress_threads=2))
+        for d in range(2):
+            w = topo.worker(d)
+            assert w.in_ring == f"raw{d}"
+            assert w.out_ring == f"comp{d}"
+            assert w.stats_slot == d
+            assert w.name == f"mp-compress-{d}"
+            assert w.crash_after is None
+        with pytest.raises(KeyError):
+            topo.worker(5)
+
+    def test_affinity_map_partitions_into_domains(self):
+        cfg = LiveConfig(
+            codec="zlib", compress_threads=2,
+            affinity={"compress": [0, 1, 2, 3]},
+        )
+        topo = plan_topology(cfg)
+        assert topo.worker(0).cpus == (0, 1)
+        assert topo.worker(1).cpus == (2, 3)
+
+    def test_describe_names_placements(self):
+        topo = plan_topology(LiveConfig(codec="zlib", compress_threads=1))
+        text = topo.describe()
+        assert "process topology: 1 domains" in text
+        assert "mp-compress-0" in text
+        assert "unpinned" in text

@@ -1,0 +1,104 @@
+"""ExecutionNode: the plan's substrate-execution policy.
+
+The node rides the same v3 document as everything else, but is
+*omitted when default* so pre-existing plans round-trip byte-stable —
+an old plan file and a new default plan serialize identically.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.plan.ir import ExecutionNode
+from repro.plan.lower import lower_live
+from repro.plan.serialize import plan_from_dict, plan_from_json, plan_to_dict, plan_to_json
+from repro.plan.validate import validate_plan
+
+
+def with_execution(plan, **kwargs):
+    return dataclasses.replace(plan, execution=ExecutionNode(**kwargs))
+
+
+class TestDefaults:
+    def test_plans_default_to_thread_mode(self, generated_plan):
+        assert generated_plan.execution == ExecutionNode()
+        assert generated_plan.execution.mode == "thread"
+        assert generated_plan.execution.is_default
+
+    def test_default_is_omitted_from_the_document(self, generated_plan):
+        assert "execution" not in plan_to_dict(generated_plan)
+
+    def test_default_round_trip_is_byte_stable(self, generated_plan):
+        text = plan_to_json(generated_plan)
+        assert plan_to_json(plan_from_json(text)) == text
+
+
+class TestRoundTrip:
+    def test_process_node_survives(self, generated_plan):
+        plan = with_execution(
+            generated_plan,
+            mode="process",
+            domains=2,
+            ring_capacity=16,
+            ring_slot_bytes=1 << 16,
+        )
+        doc = plan_to_dict(plan)
+        assert doc["execution"] == {
+            "mode": "process",
+            "domains": 2,
+            "ring_capacity": 16,
+            "ring_slot_bytes": 1 << 16,
+        }
+        back = plan_from_dict(doc)
+        assert back.execution == plan.execution
+
+    def test_defaulted_fields_are_omitted(self, generated_plan):
+        plan = with_execution(generated_plan, mode="process")
+        assert plan_to_dict(plan)["execution"] == {"mode": "process"}
+        assert plan_from_dict(plan_to_dict(plan)).execution == plan.execution
+
+    def test_describe_mentions_execution_only_when_interesting(
+        self, generated_plan
+    ):
+        assert "execution:" not in generated_plan.describe()
+        plan = with_execution(generated_plan, mode="process", domains=4)
+        assert "process" in plan.describe()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="fiber"),
+            dict(domains=-1),
+            dict(ring_capacity=0),
+            dict(ring_slot_bytes=32),
+        ],
+    )
+    def test_bad_execution_flagged(self, generated_plan, kwargs):
+        plan = with_execution(generated_plan, **kwargs)
+        diags = validate_plan(plan)
+        assert any(d.code == "bad-execution" for d in diags.errors)
+
+    def test_valid_process_node_passes(self, generated_plan):
+        plan = with_execution(generated_plan, mode="process", domains=2)
+        assert not [
+            d for d in validate_plan(plan).errors
+            if d.code == "bad-execution"
+        ]
+
+
+class TestLowering:
+    def test_execution_reaches_live_config(self, generated_plan):
+        plan = with_execution(
+            generated_plan, mode="process", domains=3, ring_capacity=32
+        )
+        cfg = lower_live(plan).config
+        assert cfg.execution_mode == "process"
+        assert cfg.process_domains == 3
+        assert cfg.ring_capacity == 32
+
+    def test_thread_default_lowers_to_thread(self, generated_plan):
+        cfg = lower_live(generated_plan).config
+        assert cfg.execution_mode == "thread"
+        assert cfg.process_domains == 0
