@@ -15,7 +15,10 @@ from repro.bench.harness import (
     pin_benchmark_thread,
 )
 from repro.bench.suites import (
+    CODEC_BEST_GATE_THRESHOLD,
+    CODEC_WORST_GATE_THRESHOLD,
     LOOPBACK_GATE_THRESHOLD,
+    bench_codec_frontier,
     bench_framing,
     bench_loopback_pipeline,
     bench_queue_handoff,
@@ -26,8 +29,11 @@ from repro.bench.suites import (
 __all__ = [
     "BenchReport",
     "BenchResult",
+    "CODEC_BEST_GATE_THRESHOLD",
+    "CODEC_WORST_GATE_THRESHOLD",
     "GateResult",
     "LOOPBACK_GATE_THRESHOLD",
+    "bench_codec_frontier",
     "bench_framing",
     "bench_loopback_pipeline",
     "bench_queue_handoff",

@@ -91,7 +91,14 @@ def live_main(argv: list[str] | None = None) -> int:
         "--listen / --connect (run the receiver first).",
     )
     parser.add_argument("--chunks", type=int, default=12)
-    parser.add_argument("--codec", default="zlib")
+    parser.add_argument(
+        "--codec",
+        default=None,
+        metavar="SPEC",
+        help="codec spec: a name, preset, or 'name:k=v,...' string "
+        "(e.g. zlib:level=1, bz2, adaptive:allowed=zlib|null) "
+        "(default: the plan's codec policy, else zlib)",
+    )
     parser.add_argument("--compress-threads", type=int, default=2)
     parser.add_argument("--decompress-threads", type=int, default=2)
     parser.add_argument("--connections", type=int, default=2)
@@ -243,8 +250,14 @@ def live_main(argv: list[str] | None = None) -> int:
             f"plan {args.plan}: stream {lowered.stream_id!r} -> "
             f"compress={args.compress_threads} "
             f"decompress={args.decompress_threads} "
-            f"connections={args.connections}"
+            f"connections={args.connections} "
+            f"codec={lowered.config.codec}"
         )
+    # --codec overrides the plan's codec policy node; no flag and no
+    # plan means today's zlib default.
+    codec = args.codec
+    if codec is None:
+        codec = lowered.config.codec if lowered is not None else "zlib"
     if args.listen and args.fault:
         parser.error("--fault is sender-side; use it with --connect or "
                      "the in-process loopback, not --listen")
@@ -396,7 +409,7 @@ def live_main(argv: list[str] | None = None) -> int:
         server = ReceiverServer(
             host or "0.0.0.0",
             int(port),
-            codec=args.codec,
+            codec=codec,
             connections=args.connections,
             decompress_threads=args.decompress_threads,
             batch_frames=batch_frames,
@@ -417,7 +430,7 @@ def live_main(argv: list[str] | None = None) -> int:
         client = SenderClient(
             host,
             int(port),
-            codec=args.codec,
+            codec=codec,
             connections=args.connections,
             compress_threads=args.compress_threads,
             batch_frames=batch_frames,
@@ -440,7 +453,7 @@ def live_main(argv: list[str] | None = None) -> int:
 
         server = ReceiverServer(
             port=0,
-            codec=args.codec,
+            codec=codec,
             connections=args.connections,
             decompress_threads=args.decompress_threads,
             batch_frames=batch_frames,
@@ -457,7 +470,7 @@ def live_main(argv: list[str] | None = None) -> int:
         client = SenderClient(
             host,
             port,
-            codec=args.codec,
+            codec=codec,
             connections=args.connections,
             compress_threads=args.compress_threads,
             batch_frames=batch_frames,
@@ -499,7 +512,7 @@ def live_main(argv: list[str] | None = None) -> int:
         )
         if lowered is not None
         else LiveConfig(
-            codec=args.codec,
+            codec=codec,
             compress_threads=args.compress_threads,
             decompress_threads=args.decompress_threads,
             connections=args.connections,
@@ -537,6 +550,34 @@ def live_main(argv: list[str] | None = None) -> int:
     return 0 if report.ok else 1
 
 
+def _codec_node_from_args(args, parser):
+    """Build the plan's codec policy node from --codec/--codec-adaptive."""
+    from repro.plan.ir import CodecNode
+    from repro.util.errors import ValidationError
+
+    if args.codec and args.codec_adaptive:
+        parser.error("--codec and --codec-adaptive are mutually exclusive")
+    if args.probe_interval and not args.codec_adaptive:
+        parser.error("--probe-interval needs --codec-adaptive")
+    try:
+        if args.codec:
+            node = CodecNode.from_spec(args.codec)
+        elif args.codec_adaptive:
+            node = CodecNode(
+                name="adaptive",
+                allowed=tuple(
+                    x for x in args.codec_adaptive.split(",") if x
+                ),
+                probe_interval=args.probe_interval,
+            )
+        else:
+            return None
+        node.spec().create()  # fail fast, before the plan is written
+    except ValidationError as exc:
+        parser.error(str(exc))
+    return node
+
+
 def _plan_generate(args, parser) -> int:
     from repro.core.generator import ConfigGenerator, StreamRequest, Workload
     from repro.core.serialize import save_scenario
@@ -571,6 +612,11 @@ def _plan_generate(args, parser) -> int:
                 for s in plan.streams
             ),
         )
+    codec_node = _codec_node_from_args(args, parser)
+    if codec_node is not None:
+        from dataclasses import replace as _replace
+
+        plan = _replace(plan, codec=codec_node)
     result = run_passes(plan)
     for warning in result.diagnostics.warnings:
         print(f"warning: {warning.message}", file=sys.stderr)
@@ -643,6 +689,7 @@ def _plan_lower(args) -> int:
     lowered = build_live(plan, args.stream, host_cpus=args.host_cpus)
     doc = {
         "stream_id": lowered.stream_id,
+        "codec": lowered.config.codec,
         "compress_threads": lowered.config.compress_threads,
         "decompress_threads": lowered.config.decompress_threads,
         "connections": lowered.config.connections,
@@ -691,6 +738,30 @@ def plan_main(argv: list[str] | None = None) -> int:
         default=1,
         help="frames coalesced per queue handoff / vectored send — a "
         "plan policy knob lowered to both substrates (default 1)",
+    )
+    generate.add_argument(
+        "--codec",
+        default=None,
+        metavar="SPEC",
+        help="static codec policy for the plan: a name, preset, or "
+        "'name:k=v,...' spec string (e.g. zlib:level=1, bz2); "
+        "omitted = the default (zlib), which keeps plan files "
+        "byte-identical to pre-codec-policy writers",
+    )
+    generate.add_argument(
+        "--codec-adaptive",
+        default=None,
+        metavar="POOL",
+        help="adaptive codec policy: comma-separated candidate codecs "
+        "the per-chunk selector may choose among (e.g. zlib,null)",
+    )
+    generate.add_argument(
+        "--probe-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --codec-adaptive: re-probe every N chunks per "
+        "entropy band (0 = the codec's default)",
     )
     generate.add_argument(
         "--os-baseline",

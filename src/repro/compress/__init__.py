@@ -10,36 +10,63 @@ projections).  This package provides:
   format's checksums;
 - :mod:`repro.compress.lz4_frame` — the LZ4 *frame* container (magic,
   descriptor, block sizes, checksums) over the block codec;
-- :mod:`repro.compress.codec` — the codec interface the runtime uses,
-  with LZ4, a zlib-backed codec (C speed, for live demos where pure-
-  Python LZ4 would dominate wall time), and a null codec for ablations.
+- :mod:`repro.compress.codec` — the codec registry the runtime uses:
+  a :func:`register_codec` decorator, the serializable
+  :class:`CodecSpec`, and :func:`resolve_codec` — with LZ4, the
+  shuffle/delta filter stacks, zlib, bz2, and a null codec built in;
+- :mod:`repro.compress.adaptive` — per-chunk codec selection from a
+  byte-entropy probe plus EWMA throughput/ratio feedback.
 
 Simulation never runs a codec on the hot path — it uses calibrated
 throughput constants (:mod:`repro.core.params`) and measured ratios.
 """
 
+from repro.compress.adaptive import (
+    AdaptiveCodec,
+    CodecSelector,
+    byte_entropy,
+)
 from repro.compress.codec import (
+    Bz2Codec,
     Codec,
+    CodecSpec,
     LZ4Codec,
     NullCodec,
     ZlibCodec,
     available_codecs,
+    codec_spec,
+    decompressor_for,
     get_codec,
+    presets,
+    register_codec,
+    resolve_codec,
+    wire_codec_name,
 )
 from repro.compress.lz4_block import compress_block, decompress_block
 from repro.compress.lz4_frame import compress_frame, decompress_frame
 from repro.compress.xxhash import xxhash32
 
 __all__ = [
+    "AdaptiveCodec",
+    "Bz2Codec",
     "Codec",
+    "CodecSelector",
+    "CodecSpec",
     "LZ4Codec",
     "NullCodec",
     "ZlibCodec",
     "available_codecs",
+    "byte_entropy",
+    "codec_spec",
     "compress_block",
     "compress_frame",
     "decompress_block",
     "decompress_frame",
+    "decompressor_for",
     "get_codec",
+    "presets",
+    "register_codec",
+    "resolve_codec",
+    "wire_codec_name",
     "xxhash32",
 ]

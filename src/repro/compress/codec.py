@@ -1,16 +1,36 @@
-"""Codec interface used by the streaming runtime.
+"""Codec registry and interface used by the streaming runtime.
 
 A :class:`Codec` turns a chunk payload into a smaller wire payload and
 back.  The runtime is codec-agnostic; the paper uses LZ4, which is the
 default.  ``ZlibCodec`` (stdlib, C speed) exists because the pure-Python
 LZ4 would dominate wall-clock time in *live* (real-thread) runs; the
 simulator never executes a codec on its hot path.
+
+Codecs register through the :func:`register_codec` decorator, which
+assigns each class a stable one-byte **wire id** carried in the frame
+header so the receive side can pick the matching decompressor without
+out-of-band configuration (wire id 0 means "whatever the pipeline was
+configured with", keeping static-codec runs byte-identical to older
+senders).  Third-party codecs plug in without editing this module:
+
+    @register_codec(wire_id=42)
+    class MyCodec(Codec):
+        name = "my-codec"
+        ...
+
+:class:`CodecSpec` is the serializable form — a name plus constructor
+kwargs — used by plan files, CLI flags, and the process-mode boundary
+(a spec string crosses to spawn'd workers; instances never pickle).
 """
 
 from __future__ import annotations
 
+import bz2
+import threading
 import zlib
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, TypeVar
 
 from repro.compress.lz4_frame import compress_frame, decompress_frame
 from repro.compress.shuffle import (
@@ -21,12 +41,19 @@ from repro.compress.shuffle import (
 )
 from repro.util.errors import CodecError, ValidationError
 
+#: Wire id meaning "the codec the pipeline was configured with" — the
+#: value legacy frames carry, so static-codec runs stay byte-identical.
+WIRE_ID_DEFAULT = 0
+
 
 class Codec(ABC):
     """Lossless chunk codec."""
 
     #: Registry key; subclasses set this.
     name: str = ""
+    #: One-byte id carried in frame headers (set by :func:`register_codec`;
+    #: 0 = not wire-addressable, frames fall back to the configured codec).
+    wire_id: int = WIRE_ID_DEFAULT
 
     @abstractmethod
     def compress(self, data: bytes) -> bytes:
@@ -36,19 +63,323 @@ class Codec(ABC):
     def decompress(self, data: bytes) -> bytes:
         """Invert :meth:`compress`; raises CodecError on malformed data."""
 
-    def ratio(self, data: bytes) -> float:
-        """Compression ratio (original/compressed) achieved on ``data``."""
+    def compress_with_id(self, data: bytes) -> tuple[bytes, int]:
+        """Compress and report the codec wire id to stamp on the frame.
+
+        Static codecs return :data:`WIRE_ID_DEFAULT` (0): the receiver
+        decompresses with the codec *it* was configured with — which
+        preserves constructor kwargs (e.g. a shuffle itemsize) and
+        keeps the wire bytes identical to pre-codec-id senders.
+        Adaptive codecs override this to return the id of the
+        per-chunk choice so the receiver auto-selects a decompressor.
+        """
+        return self.compress(data), WIRE_ID_DEFAULT
+
+    def ratio(self, data: bytes, compressed: bytes | None = None) -> float:
+        """Compression ratio (original/compressed) achieved on ``data``.
+
+        Pass the wire payload you already have as ``compressed`` to
+        compute the ratio from lengths alone — without it this method
+        has to run the compressor once, which on a hot path would mean
+        compressing the same chunk twice.
+        """
         if not data:
             return 1.0
-        return len(data) / len(self.compress(data))
+        if compressed is None:
+            compressed = self.compress(data)
+        return len(data) / len(compressed)
 
 
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[Codec]] = {}
+_WIRE_IDS: dict[int, str] = {}
+_DECOMPRESSORS: dict[int, Codec] = {}
+_DECOMP_LOCK = threading.Lock()
+
+C = TypeVar("C", bound=type[Codec])
+
+
+def register_codec(*, wire_id: int) -> Callable[[C], C]:
+    """Class decorator adding a :class:`Codec` subclass to the registry.
+
+    ``wire_id`` must be unique in ``[1, 255]`` (0 is reserved for "the
+    configured codec") and is stamped onto the class.  The class must
+    set a non-empty ``name``.  Registering a duplicate name or wire id
+    raises :class:`ValidationError` — ids are part of the wire format
+    and must never be recycled.
+    """
+
+    def _register(cls: C) -> C:
+        name = cls.name
+        if not name:
+            raise ValidationError(
+                f"codec class {cls.__name__} must set a non-empty name"
+            )
+        if not 0 <= wire_id <= 255:
+            raise ValidationError(
+                f"codec {name!r}: wire_id {wire_id} outside [0, 255]"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValidationError(f"codec name {name!r} already registered")
+        if wire_id != WIRE_ID_DEFAULT:
+            holder = _WIRE_IDS.get(wire_id)
+            if holder is not None and holder != name:
+                raise ValidationError(
+                    f"codec wire id {wire_id} already taken by {holder!r}"
+                )
+            _WIRE_IDS[wire_id] = name
+        cls.wire_id = wire_id
+        _REGISTRY[name] = cls
+        return cls
+
+    return _register
+
+
+def available_codecs() -> list[str]:
+    """Registered codec names (presets not included; see ``presets()``)."""
+    return sorted(_REGISTRY)
+
+
+def presets() -> dict[str, "CodecSpec"]:
+    """Preset aliases resolvable anywhere a codec name is accepted."""
+    return dict(_PRESETS)
+
+
+def codec_class(name: str) -> type[Codec]:
+    """Look up a registered codec class by name."""
+    cls = _REGISTRY.get(name)
+    if cls is None and name == "adaptive":
+        # The adaptive codec lives in its own module and registers on
+        # import; pull it in lazily so ``resolve_codec("adaptive")``
+        # works no matter which module the caller imported first.
+        import repro.compress.adaptive  # noqa: F401
+
+        cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValidationError(
+            f"unknown codec {name!r}; available: {available_codecs()}"
+        )
+    return cls
+
+
+def wire_codec_name(wire_id: int) -> str:
+    """The registry name behind a frame's wire id (telemetry labels)."""
+    if wire_id == WIRE_ID_DEFAULT:
+        return "default"
+    return _WIRE_IDS.get(wire_id, f"unknown-{wire_id}")
+
+
+def get_codec(name: str, **kwargs: Any) -> Codec:
+    """Instantiate a codec by registry name (presets allowed)."""
+    return CodecSpec.parse(name).with_params(**kwargs).create()
+
+
+def decompressor_for(wire_id: int) -> Codec:
+    """The cached decompressor instance for a frame's wire id.
+
+    Instances are constructed with default kwargs: codecs whose
+    *decompression* depends on constructor parameters (e.g. the shuffle
+    itemsize) must only appear in adaptive sets with those defaults.
+    """
+    codec = _DECOMPRESSORS.get(wire_id)  # lock-free: runs per frame
+    if codec is not None:
+        return codec
+    with _DECOMP_LOCK:
+        codec = _DECOMPRESSORS.get(wire_id)
+        if codec is None:
+            try:
+                name = _WIRE_IDS[wire_id]
+            except KeyError as exc:
+                raise CodecError(
+                    f"frame carries unknown codec wire id {wire_id}"
+                ) from exc
+            codec = _REGISTRY[name]()
+            _DECOMPRESSORS[wire_id] = codec
+        return codec
+
+
+# ---------------------------------------------------------------------------
+# the serializable spec
+# ---------------------------------------------------------------------------
+
+#: Parameter values a spec may carry — everything JSON round-trips.
+ParamValue = "bool | int | float | str | tuple[str, ...]"
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """A codec by name plus constructor kwargs — the serializable form.
+
+    Specs cross every boundary instances cannot: plan files, CLI flags,
+    the spawn'd process-mode workers.  The string form is
+    ``name`` or ``name:key=value,key=value`` with ``|``-separated
+    lists (``adaptive:allowed=zlib|null,probe_interval=16``).
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("codec spec needs a non-empty name")
+
+    def with_params(self, **extra: Any) -> "CodecSpec":
+        if not extra:
+            return self
+        merged = dict(self.params)
+        merged.update(extra)
+        return CodecSpec(self.name, merged)
+
+    def create(self) -> Codec:
+        """Instantiate, raising :class:`ValidationError` on bad specs."""
+        cls = codec_class(self.name)
+        try:
+            return cls(**dict(self.params))
+        except TypeError as exc:
+            raise ValidationError(
+                f"codec {self.name!r} rejected params "
+                f"{sorted(self.params)}: {exc}"
+            ) from exc
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"name": self.name}
+        if self.params:
+            doc["params"] = {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in sorted(self.params.items())
+            }
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CodecSpec":
+        unknown = set(doc) - {"name", "params"}
+        if unknown:
+            raise ValidationError(
+                f"codec spec has unknown keys {sorted(unknown)}"
+            )
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValidationError("codec spec needs a string 'name'")
+        params = doc.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValidationError("codec spec 'params' must be a mapping")
+        return cls(
+            name,
+            {
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in params.items()
+            },
+        )
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        parts = []
+        for key, value in sorted(self.params.items()):
+            if isinstance(value, tuple):
+                rendered = "|".join(str(v) for v in value)
+            else:
+                rendered = str(value)
+            parts.append(f"{key}={rendered}")
+        return f"{self.name}:{','.join(parts)}"
+
+    @classmethod
+    def parse(cls, text: str) -> "CodecSpec":
+        """Parse the string form, expanding preset aliases."""
+        text = text.strip()
+        if not text:
+            raise ValidationError("empty codec spec")
+        name, _, tail = text.partition(":")
+        preset = _PRESETS.get(name)
+        base = preset if preset is not None else cls(name)
+        if not tail:
+            return base
+        params: dict[str, Any] = dict(base.params)
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValidationError(
+                    f"bad codec spec segment {item!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            params[key] = _coerce(raw.strip())
+        return cls(base.name, params)
+
+
+def _coerce(raw: str) -> Any:
+    """Best-effort typing for spec-string values."""
+    if "|" in raw:
+        return tuple(part.strip() for part in raw.split("|") if part.strip())
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def resolve_codec(spec: "str | CodecSpec | Codec") -> Codec:
+    """The one way to turn any codec reference into an instance.
+
+    Accepts a name / spec string (``"zlib"``, ``"zlib:level=6"``,
+    ``"adaptive:allowed=zlib|null"``), a :class:`CodecSpec`, or an
+    already-built :class:`Codec` (returned as-is).
+    """
+    if isinstance(spec, Codec):
+        return spec
+    if isinstance(spec, CodecSpec):
+        return spec.create()
+    if isinstance(spec, str):
+        return CodecSpec.parse(spec).create()
+    raise ValidationError(
+        f"cannot resolve a codec from {type(spec).__name__}"
+    )
+
+
+def codec_spec(codec: "str | CodecSpec | Codec") -> CodecSpec:
+    """The serializable spec for a codec reference.
+
+    Instances report their construction spec when they expose one
+    (:meth:`AdaptiveCodec.spec` does); otherwise the bare name — good
+    enough for every registered codec whose defaults round-trip.
+    """
+    if isinstance(codec, CodecSpec):
+        return codec
+    if isinstance(codec, str):
+        return CodecSpec.parse(codec)
+    spec = getattr(codec, "spec", None)
+    if isinstance(spec, CodecSpec):
+        return spec
+    return CodecSpec(codec.name)
+
+
+# ---------------------------------------------------------------------------
+# built-in codecs
+# ---------------------------------------------------------------------------
+
+
+@register_codec(wire_id=1)
 class LZ4Codec(Codec):
     """The paper's codec: LZ4 frames over from-scratch LZ4 blocks."""
 
     name = "lz4"
 
-    def __init__(self, acceleration: int = 1, block_max_size: int = 4 * 1024 * 1024):
+    def __init__(
+        self, acceleration: int = 1, block_max_size: int = 4 * 1024 * 1024
+    ) -> None:
         if acceleration < 1:
             raise ValidationError("acceleration must be >= 1")
         self.acceleration = acceleration
@@ -65,6 +396,7 @@ class LZ4Codec(Codec):
         return decompress_frame(data)
 
 
+@register_codec(wire_id=2)
 class ShuffleLZ4Codec(Codec):
     """Byte-shuffle filter + LZ4 — how beamline pipelines actually reach
     ~2:1 on uint16 projections (HDF5 shuffle / blosc style).
@@ -79,7 +411,7 @@ class ShuffleLZ4Codec(Codec):
         itemsize: int = 2,
         acceleration: int = 1,
         block_max_size: int = 4 * 1024 * 1024,
-    ):
+    ) -> None:
         if itemsize < 1:
             raise ValidationError("itemsize must be >= 1")
         self.itemsize = itemsize
@@ -92,6 +424,7 @@ class ShuffleLZ4Codec(Codec):
         return unshuffle_bytes(self._lz4.decompress(data), self.itemsize)
 
 
+@register_codec(wire_id=3)
 class DeltaShuffleLZ4Codec(Codec):
     """Delta + byte-shuffle + LZ4 — the full scientific-filter stack.
 
@@ -108,7 +441,7 @@ class DeltaShuffleLZ4Codec(Codec):
         itemsize: int = 2,
         acceleration: int = 1,
         block_max_size: int = 4 * 1024 * 1024,
-    ):
+    ) -> None:
         if itemsize not in (1, 2, 4, 8):
             raise ValidationError("itemsize must be 1, 2, 4 or 8")
         self.itemsize = itemsize
@@ -127,12 +460,13 @@ class DeltaShuffleLZ4Codec(Codec):
         )
 
 
+@register_codec(wire_id=4)
 class ZlibCodec(Codec):
     """stdlib zlib — a fast stand-in for live (real-thread) pipelines."""
 
     name = "zlib"
 
-    def __init__(self, level: int = 1):
+    def __init__(self, level: int = 1) -> None:
         if not 0 <= level <= 9:
             raise ValidationError("zlib level must be in [0, 9]")
         self.level = level
@@ -147,6 +481,7 @@ class ZlibCodec(Codec):
             raise CodecError(f"zlib decompression failed: {exc}") from exc
 
 
+@register_codec(wire_id=5)
 class NullCodec(Codec):
     """Identity codec — the "no compression" ablation."""
 
@@ -159,26 +494,85 @@ class NullCodec(Codec):
         return data
 
 
-_CODECS: dict[str, type[Codec]] = {
-    LZ4Codec.name: LZ4Codec,
-    ShuffleLZ4Codec.name: ShuffleLZ4Codec,
-    DeltaShuffleLZ4Codec.name: DeltaShuffleLZ4Codec,
-    ZlibCodec.name: ZlibCodec,
-    NullCodec.name: NullCodec,
-}
+@register_codec(wire_id=6)
+class Bz2Codec(Codec):
+    """stdlib bz2 — high-ratio, low-throughput end of the frontier."""
+
+    name = "bz2"
+
+    def __init__(self, level: int = 9) -> None:
+        if not 1 <= level <= 9:
+            raise ValidationError("bz2 level must be in [1, 9]")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(data)
+        except (OSError, ValueError) as exc:
+            raise CodecError(f"bz2 decompression failed: {exc}") from exc
 
 
-def available_codecs() -> list[str]:
-    """Registered codec names."""
-    return sorted(_CODECS)
-
-
-def get_codec(name: str, **kwargs) -> Codec:
-    """Instantiate a codec by registry name."""
+def _register_zstd() -> bool:
+    """Register a real zstd codec when the stdlib has one (3.14+)."""
     try:
-        cls = _CODECS[name]
-    except KeyError as exc:
-        raise ValidationError(
-            f"unknown codec {name!r}; available: {available_codecs()}"
-        ) from exc
-    return cls(**kwargs)
+        from compression import zstd  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+
+    try:
+        _LEVEL_MIN, _LEVEL_MAX = (
+            zstd.CompressionParameter.compression_level.bounds()
+        )
+    except AttributeError:
+        _LEVEL_MIN, _LEVEL_MAX = -131072, 22  # upstream zstd limits
+
+    @register_codec(wire_id=7)
+    class ZstdCodec(Codec):
+        """stdlib zstd (``compression.zstd``, Python 3.14+)."""
+
+        name = "zstd"
+
+        def __init__(self, level: int = 3) -> None:
+            if not _LEVEL_MIN <= level <= _LEVEL_MAX:
+                raise ValidationError(
+                    f"zstd level must be in [{_LEVEL_MIN}, {_LEVEL_MAX}]"
+                )
+            self.level = level
+
+        def compress(self, data: bytes) -> bytes:
+            return zstd.compress(data, self.level)  # type: ignore[no-any-return]
+
+        def decompress(self, data: bytes) -> bytes:
+            try:
+                return zstd.decompress(data)  # type: ignore[no-any-return]
+            except Exception as exc:
+                raise CodecError(f"zstd decompression failed: {exc}") from exc
+
+    return True
+
+
+HAS_STDLIB_ZSTD = _register_zstd()
+
+#: Preset aliases: spec strings users can pass wherever a codec name
+#: goes.  Until the stdlib ships zstd everywhere (3.14+), the ``zstd-*``
+#: presets map onto zlib levels with roughly matching speed/ratio
+#: trade-offs — the wire carries plain zlib, so receivers need nothing.
+_PRESETS: dict[str, CodecSpec] = {
+    "zstd-fast": CodecSpec("zlib", {"level": 1}),
+    "zstd-default": CodecSpec("zlib", {"level": 6}),
+    "zstd-high": CodecSpec("zlib", {"level": 9}),
+}
+if HAS_STDLIB_ZSTD:  # pragma: no cover - Python 3.14+ only
+    _PRESETS = {
+        "zstd-fast": CodecSpec("zstd", {"level": 1}),
+        "zstd-default": CodecSpec("zstd", {"level": 3}),
+        "zstd-high": CodecSpec("zstd", {"level": 17}),
+    }
+
+
+def _iter_registry() -> Iterator[tuple[str, type[Codec]]]:
+    """(name, class) pairs — test/bench introspection hook."""
+    return iter(sorted(_REGISTRY.items()))

@@ -56,6 +56,23 @@ from dataclasses import dataclass, replace
 
 from repro.util.errors import ValidationError
 
+#: Per-codec (compress, decompress) throughput factors relative to the
+#: calibrated LZ4 micro rates — rough single-core ratios for 3:1-ish
+#: scientific payloads.  Used by :meth:`CostModel.for_codec` when a
+#: plan's codec policy names a non-default codec, so the simulator's
+#: stage costs track the live substrate's codec choice.  The adaptive
+#: policy costs as its fastest common member (the selector converges
+#: there per entropy band).
+CODEC_COST_FACTORS: dict[str, tuple[float, float]] = {
+    "lz4": (1.0, 1.0),
+    "shuffle-lz4": (0.90, 0.90),
+    "delta-shuffle-lz4": (0.85, 0.85),
+    "zlib": (0.08, 0.35),
+    "bz2": (0.015, 0.06),
+    "null": (12.0, 12.0),
+    "adaptive": (1.0, 1.0),
+}
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -134,6 +151,25 @@ class CostModel:
     def with_overrides(self, **kwargs: float) -> "CostModel":
         """A copy with some constants replaced (for ablation benches)."""
         return replace(self, **kwargs)
+
+    def for_codec(self, name: str) -> "CostModel":
+        """A copy with compress/decompress rates scaled for one codec.
+
+        Factors are relative to the calibrated LZ4 rates
+        (:data:`CODEC_COST_FACTORS`); unknown codecs are an error so a
+        plan cannot silently simulate with uncalibrated costs.
+        """
+        factors = CODEC_COST_FACTORS.get(name)
+        if factors is None:
+            raise ValidationError(
+                f"no cost factors for codec {name!r}; "
+                f"known: {sorted(CODEC_COST_FACTORS)}"
+            )
+        fc, fd = factors
+        return self.with_overrides(
+            compress_rate=self.compress_rate * fc,
+            decompress_rate=self.decompress_rate * fd,
+        )
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,9 @@ class Chunk:
     payload: bytes | None = None
     #: Compressed payload (live) once the compression stage ran.
     wire_payload: bytes | None = None
+    #: Wire id of the codec that produced ``wire_payload`` (0 = the
+    #: pipeline's configured codec; adaptive compressors set this).
+    codec_id: int = 0
     #: Socket the (uncompressed or received) buffer is homed on — set by
     #: the stage that first touches it (first-touch policy).
     home_socket: int | None = None

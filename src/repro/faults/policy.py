@@ -2,12 +2,10 @@
 
 :class:`RetryPolicy` shapes the sender's reconnect loop (capped
 exponential backoff); :class:`TimeoutPolicy` is the single home for
-every live-endpoint timeout knob — it replaces the scattered
-``accept_timeout`` / ``connect_timeout`` / ``join_timeout`` keyword
-arguments that :class:`~repro.live.remote.ReceiverServer`,
+every live-endpoint timeout knob used by
+:class:`~repro.live.remote.ReceiverServer`,
 :class:`~repro.live.remote.SenderClient` and
-:class:`~repro.live.runtime.LiveConfig` each grew independently (the
-old kwargs survive as deprecated aliases).
+:class:`~repro.live.runtime.LiveConfig`.
 """
 
 from __future__ import annotations

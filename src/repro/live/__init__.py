@@ -20,7 +20,6 @@ Chaos-test them by attaching a :class:`~repro.faults.FaultInjector`.
 
 from repro.faults.policy import RetryPolicy, TimeoutPolicy
 from repro.live.affinity import current_affinity, pin_current_thread
-from repro.live.planning import affinity_from_stream
 from repro.live.remote import EndpointReport, ReceiverServer, SenderClient
 from repro.live.queues import Closed, ClosableQueue
 from repro.live.runtime import LiveConfig, LivePipeline, LiveReport
@@ -33,7 +32,6 @@ __all__ = [
     "RetryPolicy",
     "SenderClient",
     "TimeoutPolicy",
-    "affinity_from_stream",
     "Closed",
     "Frame",
     "FramedReceiver",

@@ -28,11 +28,10 @@ from __future__ import annotations
 import socket
 import threading
 import time
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.compress.codec import Codec, get_codec
+from repro.compress.codec import Codec, CodecSpec, resolve_codec
 from repro.data.chunking import Chunk
 from repro.faults.policy import RetryPolicy, TimeoutPolicy
 from repro.live import workers
@@ -90,23 +89,6 @@ class EndpointReport:
         }
 
 
-def _deprecated_timeout(
-    timeouts: TimeoutPolicy, **legacy: float | None
-) -> TimeoutPolicy:
-    """Fold deprecated per-knob timeout kwargs into the policy."""
-    for name, value in legacy.items():
-        if value is None:
-            continue
-        warnings.warn(
-            f"{name}_timeout= is deprecated; pass "
-            f"timeouts=TimeoutPolicy({name}=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        timeouts = replace(timeouts, **{name: value})
-    return timeouts
-
-
 class ReceiverServer:
     """Accepts sender connections and runs the receiver-side stages.
 
@@ -123,45 +105,30 @@ class ReceiverServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
-        codec: Codec | str = "zlib",
+        codec: Codec | CodecSpec | str = "zlib",
         connections: int = 1,
         decompress_threads: int = 2,
         queue_capacity: int = 8,
         batch_frames: int = 1,
         timeouts: TimeoutPolicy | None = None,
-        accept_timeout: float | None = None,
-        join_timeout: float | None = None,
         telemetry: "bool | object" = False,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
         if batch_frames < 1:
             raise ValidationError("batch_frames must be >= 1")
-        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.codec = resolve_codec(codec)
         self.connections = connections
         self.decompress_threads = decompress_threads
         self.queue_capacity = queue_capacity
         self.batch_frames = batch_frames
-        self.timeouts = _deprecated_timeout(
-            timeouts or TimeoutPolicy(),
-            accept=accept_timeout,
-            join=join_timeout,
-        )
+        self.timeouts = timeouts or TimeoutPolicy()
         self.telemetry = as_telemetry(telemetry)
         if self.telemetry is not None:
             self.telemetry.thread_counts.update(
                 {"recv": connections, "decompress": decompress_threads}
             )
         self._listener = socket.create_server((host, port))
-
-    # Deprecated aliases (reads only; construction goes through timeouts=).
-    @property
-    def accept_timeout(self) -> float:
-        return self.timeouts.accept
-
-    @property
-    def join_timeout(self) -> float:
-        return self.timeouts.join
 
     @property
     def address(self) -> tuple[str, int]:
@@ -395,15 +362,13 @@ class SenderClient:
         host: str,
         port: int,
         *,
-        codec: Codec | str = "zlib",
+        codec: Codec | CodecSpec | str = "zlib",
         connections: int = 1,
         compress_threads: int = 2,
         queue_capacity: int = 8,
         batch_frames: int = 1,
         batch_linger: float = 0.0,
         timeouts: TimeoutPolicy | None = None,
-        connect_timeout: float | None = None,
-        join_timeout: float | None = None,
         retry: RetryPolicy | None = None,
         injector=None,
         telemetry: "bool | object" = False,
@@ -416,17 +381,13 @@ class SenderClient:
             raise ValidationError("batch_linger must be >= 0")
         self.host = host
         self.port = port
-        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.codec = resolve_codec(codec)
         self.connections = connections
         self.compress_threads = compress_threads
         self.queue_capacity = queue_capacity
         self.batch_frames = batch_frames
         self.batch_linger = batch_linger
-        self.timeouts = _deprecated_timeout(
-            timeouts or TimeoutPolicy(),
-            connect=connect_timeout,
-            join=join_timeout,
-        )
+        self.timeouts = timeouts or TimeoutPolicy()
         self.retry = retry or RetryPolicy()
         self.injector = injector
         self.telemetry = as_telemetry(telemetry)
@@ -434,15 +395,6 @@ class SenderClient:
             self.telemetry.thread_counts.update(
                 {"feed": 1, "compress": compress_threads, "send": connections}
             )
-
-    # Deprecated aliases (reads only; construction goes through timeouts=).
-    @property
-    def connect_timeout(self) -> float:
-        return self.timeouts.connect
-
-    @property
-    def join_timeout(self) -> float:
-        return self.timeouts.join
 
     def _dial(self, index: int) -> FramedSender:
         sock = socket.create_connection(

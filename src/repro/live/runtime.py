@@ -15,11 +15,10 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.compress.codec import Codec, get_codec
+from repro.compress.codec import Codec, CodecSpec, resolve_codec
 from repro.data.chunking import Chunk
 from repro.faults.policy import TimeoutPolicy
 from repro.live import workers
@@ -33,6 +32,9 @@ from repro.util.errors import ValidationError
 class LiveConfig:
     """Thread counts and codec for a live run."""
 
+    #: Codec spec string: a registry name (``"zlib"``), a parameterized
+    #: spec (``"zlib:level=6"``), or the adaptive selector
+    #: (``"adaptive:allowed=zlib|null"``) — see docs/compression.md.
     codec: str = "zlib"
     compress_threads: int = 2
     decompress_threads: int = 2
@@ -50,8 +52,6 @@ class LiveConfig:
     verify: bool = True
     #: All timeout knobs in one place (see repro.faults.TimeoutPolicy).
     timeouts: TimeoutPolicy | None = None
-    #: Deprecated: pass ``timeouts=TimeoutPolicy(join=...)`` instead.
-    join_timeout: float | None = None
     #: "thread" keeps today's in-process pipeline; "process" runs one
     #: compressor *process* per NUMA domain over shared-memory rings
     #: (see :mod:`repro.mp` and docs/multiprocess.md).
@@ -88,17 +88,7 @@ class LiveConfig:
             raise ValidationError(
                 f"unknown mp_start_method {self.mp_start_method!r}"
             )
-        timeouts = self.timeouts or TimeoutPolicy()
-        if self.join_timeout is not None:
-            warnings.warn(
-                "LiveConfig(join_timeout=...) is deprecated; pass "
-                "timeouts=TimeoutPolicy(join=...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            timeouts = replace(timeouts, join=self.join_timeout)
-        self.timeouts = timeouts
-        self.join_timeout = timeouts.join
+        self.timeouts = self.timeouts or TimeoutPolicy()
 
 
 @dataclass
@@ -181,12 +171,14 @@ class LivePipeline:
     def __init__(
         self,
         config: LiveConfig | None = None,
-        codec: Codec | None = None,
+        codec: "Codec | CodecSpec | str | None" = None,
         *,
         telemetry: "bool | object" = False,
     ):
         self.config = config or LiveConfig()
-        self.codec = codec or get_codec(self.config.codec)
+        self.codec = resolve_codec(
+            codec if codec is not None else self.config.codec
+        )
         self.telemetry = as_telemetry(telemetry)
 
     def run(

@@ -6,7 +6,9 @@ Wire format v2 of one frame (all integers little-endian)::
     stream    u16   stream id length, followed by that many bytes
     index     u32   chunk index within the stream
     flags     u16   bit 0: payload is compressed; bit 1: end-of-stream;
-                    bit 2: acknowledgement (v2)
+                    bit 2: acknowledgement (v2); bits 8-15: codec wire
+                    id (v2.1; 0 = the codec the pipeline was configured
+                    with, so static-codec senders emit unchanged bytes)
     orig_len  u32   uncompressed payload length
     checksum  u32   CRC-32 (zlib) of the (possibly compressed) payload
     length    u32   payload length
@@ -72,6 +74,10 @@ _BODY = struct.Struct("<IHIII")  # index, flags, orig_len, checksum, length
 FLAG_COMPRESSED = 0x1
 FLAG_EOS = 0x2
 FLAG_ACK = 0x4
+#: Bits 8-15 of the flags word carry the codec wire id (0 = configured
+#: codec) so adaptive senders can switch codec per frame and the
+#: receiver still picks the right decompressor.
+CODEC_SHIFT = 8
 
 #: Refuse absurd frames before allocating for them.
 MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
@@ -96,6 +102,9 @@ class Frame:
     orig_len: int = 0
     eos: bool = False
     ack: bool = False
+    #: Wire id of the codec that produced the payload; 0 means "the
+    #: codec the pipeline was configured with" (the legacy encoding).
+    codec_id: int = 0
 
     @classmethod
     def end_of_stream(cls, stream_id: str) -> "Frame":
@@ -132,10 +141,13 @@ def encode_frame_header(frame: Frame) -> bytes:
         raise TransportError(
             f"frame payload {len(frame.payload)} exceeds limit"
         )
+    if not 0 <= frame.codec_id <= 255:
+        raise TransportError(f"codec id {frame.codec_id} outside [0, 255]")
     flags = (
         (FLAG_COMPRESSED if frame.compressed else 0)
         | (FLAG_EOS if frame.eos else 0)
         | (FLAG_ACK if frame.ack else 0)
+        | (frame.codec_id << CODEC_SHIFT)
     )
     return (
         _HEADER.pack(MAGIC, len(sid))
@@ -388,6 +400,7 @@ class FramedReceiver:
             orig_len=orig_len,
             eos=bool(flags & FLAG_EOS),
             ack=bool(flags & FLAG_ACK),
+            codec_id=flags >> CODEC_SHIFT,
         )
 
     def _read_payload(self, length: int) -> bytes:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Iterable, Sequence
 
-from repro.compress.codec import Codec
+from repro.compress.codec import Codec, decompressor_for, wire_codec_name
 from repro.data.chunking import Chunk
 from repro.faults.policy import RetryPolicy
 from repro.live.affinity import pin_current_thread
@@ -77,6 +77,14 @@ def _finish(
     stats.record(bytes_in, bytes_out, elapsed)
     if telemetry is not None:
         telemetry.record_chunk(stage, stream_id, bytes_in)
+
+
+def _record_codec(telemetry, stage: str, stream_id: str, name: str) -> None:
+    """Bump the codec-choice counter when the telemetry supports it."""
+    if telemetry is not None:
+        record = getattr(telemetry, "record_codec", None)
+        if record is not None:
+            record(stage, stream_id, name)
 
 
 def feeder(
@@ -155,10 +163,18 @@ def compressor(
                     telemetry, "compress", stream_id=chunk.stream_id,
                     chunk_id=chunk.index, track=track,
                 ) as sp:
-                    chunk.wire_payload = codec.compress(chunk.payload)
+                    chunk.wire_payload, chunk.codec_id = (
+                        codec.compress_with_id(chunk.payload)
+                    )
                 _finish(stats, telemetry, "compress", chunk.stream_id,
                         len(chunk.payload), len(chunk.wire_payload),
                         sp.duration)
+                _record_codec(
+                    telemetry, "compress", chunk.stream_id,
+                    wire_codec_name(chunk.codec_id)
+                    if chunk.codec_id
+                    else codec.name,
+                )
             outq.put_many(chunks)
     except Exception as exc:  # noqa: BLE001
         stats.fail(f"compressor: {exc!r}")
@@ -174,6 +190,7 @@ def _chunk_frame(chunk: Chunk, *, compressed: bool) -> Frame:
         payload=payload,
         compressed=compressed,
         orig_len=len(chunk.payload),
+        codec_id=chunk.codec_id if compressed else 0,
     )
 
 
@@ -485,11 +502,20 @@ def _decompress_one(
         telemetry, "decompress", stream_id=frame.stream_id,
         chunk_id=frame.index, track=track,
     ) as sp:
-        data = (
-            codec.decompress(frame.payload)
-            if frame.compressed
-            else frame.payload
-        )
+        if not frame.compressed:
+            data = frame.payload
+        else:
+            # Frames stamped with a codec wire id decode with *that*
+            # codec — how adaptive senders switch per chunk without
+            # renegotiating; id 0 falls back to the configured codec.
+            dec = decompressor_for(frame.codec_id) if frame.codec_id else codec
+            data = dec.decompress(frame.payload)
+            _record_codec(
+                telemetry, "decompress", frame.stream_id,
+                wire_codec_name(frame.codec_id)
+                if frame.codec_id
+                else codec.name,
+            )
     if frame.orig_len and len(data) != frame.orig_len:
         raise ValueError(
             f"{frame.stream_id}#{frame.index}: decompressed to "

@@ -26,7 +26,13 @@ import threading
 import time
 from typing import Any, Callable, Iterable
 
-from repro.compress.codec import Codec, get_codec
+from repro.compress.codec import (
+    Codec,
+    CodecSpec,
+    codec_spec,
+    resolve_codec,
+    wire_codec_name,
+)
 from repro.data.chunking import Chunk
 from repro.faults.policy import RetryPolicy
 from repro.live import workers
@@ -61,15 +67,21 @@ class _OrigLen:
 class _WireChunk:
     """A collected record shaped like a compressed live ``Chunk``."""
 
-    __slots__ = ("stream_id", "index", "payload", "wire_payload")
+    __slots__ = ("stream_id", "index", "payload", "wire_payload", "codec_id")
 
     def __init__(
-        self, stream_id: str, index: int, orig_len: int, wire_payload: bytes
+        self,
+        stream_id: str,
+        index: int,
+        orig_len: int,
+        wire_payload: bytes,
+        codec_id: int = 0,
     ) -> None:
         self.stream_id = stream_id
         self.index = index
         self.payload = _OrigLen(orig_len)
         self.wire_payload = wire_payload
+        self.codec_id = codec_id
 
 
 class ProcessPipeline:
@@ -78,13 +90,15 @@ class ProcessPipeline:
     def __init__(
         self,
         config: LiveConfig | None = None,
-        codec: Codec | None = None,
+        codec: "Codec | CodecSpec | str | None" = None,
         *,
         telemetry: "bool | object" = False,
         retry: RetryPolicy | None = None,
     ):
         self.config = config or LiveConfig(execution_mode="process")
-        self.codec = codec or get_codec(self.config.codec)
+        self.codec = resolve_codec(
+            codec if codec is not None else self.config.codec
+        )
         self.telemetry = as_telemetry(telemetry)
         self.retry = retry
 
@@ -130,7 +144,7 @@ class ProcessPipeline:
         }
         supervisor = DomainSupervisor(
             topology,
-            codec_name=self.codec.name,
+            codec_spec=str(codec_spec(self.codec)),
             retry=self.retry,
             start_method=cfg.mp_start_method,
             telemetry=tel,
@@ -207,12 +221,24 @@ class ProcessPipeline:
                             tel.record_chunk(
                                 "compress", rec.stream_id, rec.orig_len
                             )
+                            # Guarded like live/workers: as_telemetry
+                            # passes through duck-typed user objects
+                            # that may predate record_codec.
+                            workers._record_codec(
+                                tel,
+                                "compress",
+                                rec.stream_id,
+                                wire_codec_name(rec.codec_id)
+                                if rec.codec_id
+                                else self.codec.name,
+                            )
                         batch.append(
                             _WireChunk(
                                 rec.stream_id,
                                 rec.index,
                                 rec.orig_len,
                                 rec.payload,
+                                rec.codec_id,
                             )
                         )
                     put = 0

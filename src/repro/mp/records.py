@@ -7,7 +7,9 @@ CRC32 as always) and no magic (the ring's slot length already delimits
 records).  Layout, little-endian::
 
     index     u32   chunk index within the stream
-    flags     u16   bit 0: payload is compressed
+    flags     u16   bit 0: payload is compressed; bits 8-15: codec wire
+                    id (0 = the pipeline's configured codec), matching
+                    the transport's flag layout
     sid_len   u16   stream id length
     orig_len  u32   uncompressed payload length
     <stream id bytes>
@@ -29,6 +31,9 @@ from repro.util.errors import ValidationError
 _RECORD = struct.Struct("<IHHI")
 
 _FLAG_COMPRESSED = 0x1
+#: Bits 8-15 of the flags word carry the codec wire id (same layout as
+#: the transport frame header, so the values forward unchanged).
+_CODEC_SHIFT = 8
 
 #: Matches the transport's stream-id bound so any record that fits a
 #: ring also frames onto the wire.
@@ -43,6 +48,9 @@ class ChunkRecord(NamedTuple):
     payload: bytes
     compressed: bool
     orig_len: int
+    #: Wire id of the codec that produced the payload (0 = the
+    #: pipeline's configured codec).
+    codec_id: int = 0
 
     @property
     def key(self) -> tuple[str, int]:
@@ -55,7 +63,13 @@ def pack_record(record: ChunkRecord) -> bytes:
     sid = record.stream_id.encode()
     if len(sid) > MAX_STREAM_ID:
         raise ValidationError(f"stream id too long ({len(sid)} bytes)")
-    flags = _FLAG_COMPRESSED if record.compressed else 0
+    if not 0 <= record.codec_id <= 255:
+        raise ValidationError(
+            f"codec id {record.codec_id} outside [0, 255]"
+        )
+    flags = (_FLAG_COMPRESSED if record.compressed else 0) | (
+        record.codec_id << _CODEC_SHIFT
+    )
     return (
         _RECORD.pack(record.index, flags, len(sid), record.orig_len)
         + sid
@@ -80,6 +94,7 @@ def unpack_record(data: bytes) -> ChunkRecord:
         payload=payload,
         compressed=bool(flags & _FLAG_COMPRESSED),
         orig_len=orig_len,
+        codec_id=flags >> _CODEC_SHIFT,
     )
 
 

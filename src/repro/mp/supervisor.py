@@ -49,14 +49,16 @@ class DomainSupervisor:
         self,
         topology: ProcessTopology,
         *,
-        codec_name: str,
+        codec_spec: str,
         retry: RetryPolicy | None = None,
         start_method: str = "spawn",
         telemetry: object | None = None,
         batch_frames: int = 1,
     ) -> None:
         self.topology = topology
-        self.codec_name = codec_name
+        #: Codec spec *string* — the spawn-safe form every worker
+        #: re-resolves (see repro.compress.codec.CodecSpec).
+        self.codec_spec = codec_spec
         self.retry = retry or RetryPolicy()
         self.start_method = start_method
         self.telemetry = telemetry
@@ -115,7 +117,7 @@ class DomainSupervisor:
             kwargs=dict(
                 domain=spec.domain,
                 cpus=spec.cpus,
-                codec_name=self.codec_name,
+                codec_spec=self.codec_spec,
                 in_ring=self.rings[spec.in_ring].name,
                 out_ring=self.rings[spec.out_ring].name,
                 stats_name=self.stats.name,

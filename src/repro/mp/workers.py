@@ -27,7 +27,7 @@ import os
 import signal
 import time
 
-from repro.compress.codec import get_codec
+from repro.compress.codec import resolve_codec
 from repro.live.affinity import current_affinity, pin_current_thread
 from repro.live.queues import Closed
 from repro.mp.records import ChunkRecord, pack_record, unpack_record
@@ -44,7 +44,7 @@ def compress_worker(
     *,
     domain: int,
     cpus: tuple[int, ...],
-    codec_name: str,
+    codec_spec: str,
     in_ring: str,
     out_ring: str,
     stats_name: str,
@@ -70,7 +70,9 @@ def compress_worker(
 
     signal.signal(signal.SIGTERM, _on_term)
 
-    codec = get_codec(codec_name)
+    # A spec *string* crosses the spawn boundary (instances never
+    # pickle); adaptive sets re-build their selector per process.
+    codec = resolve_codec(codec_spec)
     inr = SharedRing.attach(in_ring)
     outr = SharedRing.attach(out_ring)
     done = 0
@@ -95,7 +97,7 @@ def compress_worker(
             for raw in raws:
                 rec = unpack_record(raw)
                 t0 = time.perf_counter()
-                comp = codec.compress(rec.payload)
+                comp, codec_id = codec.compress_with_id(rec.payload)
                 busy = time.perf_counter() - t0
                 out.append(
                     pack_record(
@@ -105,6 +107,7 @@ def compress_worker(
                             payload=comp,
                             compressed=True,
                             orig_len=len(rec.payload),
+                            codec_id=codec_id,
                         )
                     )
                 )

@@ -23,6 +23,7 @@ _EXPORTS = {
     "StageNode": "repro.plan.ir",
     "QueueEdge": "repro.plan.ir",
     "ExecutionNode": "repro.plan.ir",
+    "CodecNode": "repro.plan.ir",
     "STAGE_ORDER": "repro.plan.ir",
     "POLICIES": "repro.plan.ir",
     # diagnostics

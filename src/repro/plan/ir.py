@@ -32,8 +32,9 @@ reports every problem at once (:mod:`repro.plan.diagnostics`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Any, Iterator
 
+from repro.compress.codec import CodecSpec
 from repro.core.config import FaultSpec, StageKind
 from repro.core.params import CostModel, PathSpec
 from repro.core.placement import PlacementSpec
@@ -123,6 +124,73 @@ class ExecutionNode:
 
 
 @dataclass(frozen=True)
+class CodecNode:
+    """Which codec compresses payloads — a policy node, not a placement.
+
+    A static policy names one registered codec (plus constructor
+    params); the ``adaptive`` policy carries the candidate set and the
+    re-probe cadence for per-chunk selection
+    (:class:`repro.compress.adaptive.AdaptiveCodec`).  Serialization is
+    v3-compatible: the default node (static zlib, no params) is simply
+    omitted from the document, so plans that never chose a codec
+    round-trip byte-identically with older readers.
+    """
+
+    name: str = "zlib"
+    #: Static-codec constructor params as sorted ``(key, value)`` pairs
+    #: (e.g. ``(("level", 9),)``) — a tuple so the node stays hashable.
+    params: tuple[tuple[str, Any], ...] = ()
+    #: Adaptive only: candidate codec names; () = the codec's default.
+    allowed: tuple[str, ...] = ()
+    #: Adaptive only: re-probe cadence in chunks; 0 = the codec default.
+    probe_interval: int = 0
+
+    @property
+    def is_default(self) -> bool:
+        return self == CodecNode()
+
+    @property
+    def is_adaptive(self) -> bool:
+        return self.name == "adaptive"
+
+    @classmethod
+    def from_spec(cls, spec: "CodecSpec | str") -> "CodecNode":
+        """Lift a codec spec (or spec string) into the IR node."""
+        if isinstance(spec, str):
+            spec = CodecSpec.parse(spec)
+        params = dict(spec.params)
+        allowed: tuple[str, ...] = ()
+        probe = 0
+        if spec.name == "adaptive":
+            raw = params.pop("allowed", ())
+            allowed = (raw,) if isinstance(raw, str) else tuple(raw)
+            probe = int(params.pop("probe_interval", 0))
+        return cls(
+            name=spec.name,
+            params=tuple(sorted(params.items())),
+            allowed=allowed,
+            probe_interval=probe,
+        )
+
+    def spec(self) -> CodecSpec:
+        """The :class:`CodecSpec` this node lowers to."""
+        params: dict[str, Any] = dict(self.params)
+        if self.is_adaptive:
+            if self.allowed:
+                params["allowed"] = self.allowed
+            if self.probe_interval:
+                params["probe_interval"] = self.probe_interval
+        return CodecSpec(self.name, params)
+
+    def describe(self) -> str:
+        if self.is_adaptive:
+            pool = "|".join(self.allowed) if self.allowed else "default set"
+            probe = self.probe_interval or "default"
+            return f"adaptive over {pool} (probe every {probe})"
+        return str(self.spec())
+
+
+@dataclass(frozen=True)
 class StreamNode:
     """One detector stream: workload, endpoints, stages, and faults."""
 
@@ -191,6 +259,8 @@ class PipelinePlan:
     policy: str = "manual"
     #: How the live substrate executes the plan (thread vs process).
     execution: ExecutionNode = field(default_factory=ExecutionNode)
+    #: Which codec compresses payloads (static name or adaptive policy).
+    codec: CodecNode = field(default_factory=CodecNode)
     #: Free-form provenance (workload name, generator inputs, ...).
     metadata: dict[str, str] = field(default_factory=dict)
 
@@ -220,6 +290,8 @@ class PipelinePlan:
         ]
         if not self.execution.is_default:
             lines.append(f"  execution: {self.execution.describe()}")
+        if not self.codec.is_default:
+            lines.append(f"  codec: {self.codec.describe()}")
         for s in self.streams:
             stages = ", ".join(n.describe() for n in s.stages_in_order())
             lines.append(f"  {s.stream_id}: {s.sender} -> {s.receiver}: {stages}")

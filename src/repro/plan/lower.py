@@ -8,8 +8,8 @@ the real-thread pipeline.  Both read the same
 substrates from drifting: ``repro-plan diff --substrates`` holds them
 to placement parity.
 
-The live lowering absorbs the modulo host-mapping that used to live in
-``repro.live.planning``: modelled cores map onto host CPUs by global
+The live lowering owns the modulo host-mapping: modelled cores map
+onto host CPUs by global
 index modulo the host's CPU count, preserving the *grouping* (which
 stages share cores, which are apart) even when the modelled machine is
 bigger than this host.  Placement stays advisory on the live path
@@ -52,13 +52,25 @@ LIVE_STAGES: dict[str, StageKind] = {
 
 
 def lower_sim(plan: PipelinePlan) -> ScenarioConfig:
-    """Lower a plan to the simulator's executable scenario form."""
+    """Lower a plan to the simulator's executable scenario form.
+
+    A non-default codec policy scales the cost model's compress and
+    decompress rates (:meth:`CostModel.for_codec`) so the simulator
+    prices the same codec the live substrate would run.  The default
+    node keeps the calibrated rates untouched — they are tied to the
+    paper's own microbenchmarks and stay the baseline.
+    """
+    cost = (
+        plan.cost
+        if plan.codec.is_default
+        else plan.cost.for_codec(plan.codec.name)
+    )
     return ScenarioConfig(
         name=plan.name,
         machines=dict(plan.machines),
         paths=dict(plan.paths),
         streams=[_lower_stream(s) for s in plan.streams],
-        cost=plan.cost,
+        cost=cost,
         seed=plan.seed,
         warmup_chunks=plan.warmup_chunks,
         csw_penalty=plan.csw_penalty,
@@ -117,13 +129,15 @@ def lower_live(
     plan: PipelinePlan,
     stream_id: str | None = None,
     *,
-    codec: str = "zlib",
+    codec: str | None = None,
     host_cpus: int | None = None,
 ) -> LiveLowering:
     """Lower one stream of a plan to the live pipeline's config.
 
     The live pipeline runs one stream per process; multi-stream plans
-    must name which stream with ``stream_id``.
+    must name which stream with ``stream_id``.  ``codec=None`` (the
+    default) routes the plan's own codec policy node into the config
+    as a spec string; an explicit spec string overrides the plan.
     """
     from repro.live.runtime import LiveConfig
 
@@ -154,7 +168,7 @@ def lower_live(
 
     execution = plan.execution
     config = LiveConfig(
-        codec=codec,
+        codec=codec if codec is not None else str(plan.codec.spec()),
         compress_threads=count(StageKind.COMPRESS),
         decompress_threads=count(StageKind.DECOMPRESS),
         connections=count(StageKind.SEND),

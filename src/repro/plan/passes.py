@@ -165,7 +165,7 @@ def build_live(
     plan: PipelinePlan,
     stream_id: str | None = None,
     *,
-    codec: str = "zlib",
+    codec: str | None = None,
     host_cpus: int | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> LiveLowering:

@@ -31,6 +31,7 @@ from repro.core.serialize import (
 )
 from repro.plan.ir import (
     STAGE_ORDER,
+    CodecNode,
     ExecutionNode,
     PipelinePlan,
     QueueEdge,
@@ -51,10 +52,11 @@ PLAN_VERSION = 3
 def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
     """Encode a plan as a JSON-serializable v3 document.
 
-    The ``execution`` policy node is emitted only when it differs from
-    the default — a plan that never opted into process mode encodes
-    byte-identically to one written before the node existed, keeping
-    v3 files stable in both directions.
+    The ``execution`` and ``codec`` policy nodes are emitted only when
+    they differ from the defaults — a plan that never opted into
+    process mode or a non-default codec encodes byte-identically to
+    one written before the nodes existed, keeping v3 files stable in
+    both directions.
     """
     doc = {
         "format": FORMAT,
@@ -78,7 +80,22 @@ def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
     }
     if not plan.execution.is_default:
         doc["execution"] = _execution_to_dict(plan.execution)
+    if not plan.codec.is_default:
+        doc["codec"] = _codec_to_dict(plan.codec)
     return doc
+
+
+def _codec_to_dict(node: CodecNode) -> dict[str, Any]:
+    out: dict[str, Any] = {"name": node.name}
+    if node.params:
+        out["params"] = {
+            k: list(v) if isinstance(v, tuple) else v for k, v in node.params
+        }
+    if node.allowed:
+        out["allowed"] = list(node.allowed)
+    if node.probe_interval:
+        out["probe_interval"] = node.probe_interval
+    return out
 
 
 def _execution_to_dict(node: ExecutionNode) -> dict[str, Any]:
@@ -163,7 +180,7 @@ _KNOWN_KEYS = {
     "format", "version", "name", "policy", "metadata", "machines", "paths",
     "streams", "cost", "seed", "warmup_chunks", "csw_penalty",
     "wake_affinity", "migrate_prob", "spill_threshold", "max_sim_time",
-    "execution",
+    "execution", "codec",
 }
 
 
@@ -210,6 +227,25 @@ def plan_from_dict(doc: dict[str, Any]) -> PipelinePlan:
         policy=policy,
         metadata={str(k): str(v) for k, v in doc.get("metadata", {}).items()},
         execution=_execution_from_dict(doc.get("execution")),
+        codec=_codec_from_dict(doc.get("codec")),
+    )
+
+
+def _codec_from_dict(d: dict[str, Any] | None) -> CodecNode:
+    if d is None:
+        return CodecNode()
+    unknown = set(d) - {"name", "params", "allowed", "probe_interval"}
+    if unknown:
+        raise ValidationError(f"unknown codec keys: {sorted(unknown)}")
+    params = {
+        str(k): tuple(v) if isinstance(v, list) else v
+        for k, v in d.get("params", {}).items()
+    }
+    return CodecNode(
+        name=d.get("name", "zlib"),
+        params=tuple(sorted(params.items())),
+        allowed=tuple(d.get("allowed", ())),
+        probe_interval=d.get("probe_interval", 0),
     )
 
 

@@ -32,6 +32,7 @@ def validate_plan(plan: PipelinePlan) -> Diagnostics:
             "duplicate-streams", f"duplicate stream ids in {plan.name!r}"
         )
     _validate_execution(plan, diags)
+    _validate_codec(plan, diags)
     for stream in plan.streams:
         _validate_stream(plan, stream, diags)
     return diags
@@ -53,6 +54,23 @@ def _validate_execution(plan: PipelinePlan, diags: Diagnostics) -> None:
         diags.error(
             "bad-execution", "ring_slot_bytes must be >= 64 bytes"
         )
+
+
+def _validate_codec(plan: PipelinePlan, diags: Diagnostics) -> None:
+    """The codec policy node: name, params, and adaptive knobs must
+    resolve to a constructible codec (the IR itself is permissive)."""
+    node = plan.codec
+    if not node.is_adaptive and (node.allowed or node.probe_interval):
+        diags.error(
+            "bad-codec",
+            "allowed/probe_interval only apply to the adaptive codec, "
+            f"not {node.name!r}",
+        )
+        return
+    try:
+        node.spec().create()
+    except ValidationError as exc:
+        diags.error("bad-codec", f"codec policy: {exc}")
 
 
 def _validate_stream(

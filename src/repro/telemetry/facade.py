@@ -13,6 +13,7 @@ family                                type       labels
 ``pipeline_stage_seconds``            histogram  stage
 ``pipeline_queue_depth``              gauge      queue
 ``pipeline_batch_size``               histogram  site
+``pipeline_codec_chunks_total``       counter    stage, stream, codec
 ``transport_frames_total``            counter    direction
 ``transport_bytes_total``             counter    direction
 ``transport_retries_total``           counter    —
@@ -88,6 +89,11 @@ class Telemetry:
             "Items moved per batched queue drain / vectored send",
             ("site",),
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._codec_chunks = self.registry.counter(
+            "pipeline_codec_chunks_total",
+            "Chunks processed per codec choice (adaptive selection ledger)",
+            ("stage", "stream", "codec"),
         )
         self._frames = self.registry.counter(
             "transport_frames_total",
@@ -260,6 +266,13 @@ class Telemetry:
         """One batched operation moved ``size`` items at ``site``
         (e.g. ``sendq.get``, ``wire.tx``)."""
         self._batch_size.labels(site=site).observe(size)
+
+    def record_codec(self, stage: str, stream_id: str, codec: str) -> None:
+        """One chunk went through ``codec`` at ``stage`` — the ledger
+        that makes per-chunk adaptive selection observable."""
+        self._codec_chunks.labels(
+            stage=stage, stream=stream_id, codec=codec
+        ).inc()
 
     def queue_gauge(self, queue: str) -> GaugeSeries:
         """The occupancy gauge series for one named queue."""

@@ -1,0 +1,201 @@
+"""Adaptive codec selection: entropy probe, selector, feedback."""
+
+import numpy as np
+import pytest
+
+from repro.compress.adaptive import (
+    AdaptiveCodec,
+    CodecSelector,
+    byte_entropy,
+    entropy_band,
+)
+from repro.compress.codec import decompressor_for, resolve_codec
+from repro.util.errors import CodecError, ValidationError
+from repro.util.rng import make_rng
+
+
+def noise(n: int = 1 << 15) -> bytes:
+    return make_rng(7, "adaptive-noise").integers(
+        0, 256, n, dtype=np.uint8
+    ).tobytes()
+
+
+def smooth(n: int = 1 << 14) -> bytes:
+    return (np.arange(n, dtype=np.uint16) >> 4).tobytes()
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert byte_entropy(b"\x00" * 4096) == 0.0
+
+    def test_noise_near_eight(self):
+        assert byte_entropy(noise()) > 7.9
+
+    def test_smooth_below_noise(self):
+        assert byte_entropy(smooth()) < byte_entropy(noise())
+
+    def test_band_bounds(self):
+        assert entropy_band(-1.0) == 0
+        assert entropy_band(0.0) == 0
+        assert entropy_band(8.0) == 7
+        assert entropy_band(3.7) == 3
+
+
+class TestSelector:
+    def test_separates_bands(self):
+        sel = CodecSelector(("zlib", "null"), probe_interval=4)
+        assert sel.band_of(noise()) != sel.band_of(smooth())
+
+    def test_noise_converges_to_null(self):
+        """Incompressible chunks should stop paying for compression."""
+        sel = CodecSelector(("zlib", "null"), probe_interval=2)
+        data = noise()
+        last = [sel.choose(data).name for _ in range(12)]
+        assert last[-1] == "null"
+
+    def test_feedback_shifts_choice(self):
+        sel = CodecSelector(("zlib", "null"), probe_interval=1000)
+        data = smooth()
+        band = sel.band_of(data)
+        sel.choose(data, band)  # first sight probes once
+        # Pretend zlib measured catastrophically slow, null fast.
+        zlib_codec = resolve_codec("zlib")
+        null_codec = resolve_codec("null")
+        for _ in range(16):
+            sel.feedback(zlib_codec, band, len(data), len(data) // 10, 10.0)
+            sel.feedback(null_codec, band, len(data), len(data), 1e-6)
+        assert sel.choose(data, band).name == "null"
+
+    def test_wire_bottleneck_rewards_ratio(self):
+        """With a slow target wire, a tighter codec wins even when the
+        raw compress throughput is lower."""
+        sel = CodecSelector(
+            ("zlib", "null"), probe_interval=1000, target_wire_bps=1e6
+        )
+        data = smooth()
+        band = sel.band_of(data)
+        zlib_codec = resolve_codec("zlib")
+        null_codec = resolve_codec("null")
+        for _ in range(8):
+            # zlib: 100 MB/s compress, 10:1 ratio -> effective 10 MB/s wire
+            sel.feedback(zlib_codec, band, 10_000_000, 1_000_000, 0.1)
+            # null: instant, 1:1 -> effective 1 MB/s wire
+            sel.feedback(null_codec, band, 10_000_000, 10_000_000, 1e-6)
+        assert sel.choose(data, band).name == "zlib"
+
+    def test_snapshot_reports_arms(self):
+        sel = CodecSelector(("zlib", "null"), probe_interval=1)
+        sel.choose(smooth())
+        snap = sel.snapshot()
+        assert any(key.endswith("/zlib") for key in snap)
+        for arm in snap.values():
+            assert arm["samples"] >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CodecSelector(())
+        with pytest.raises(ValidationError):
+            CodecSelector(("zlib",), probe_interval=0)
+        with pytest.raises(ValidationError):
+            CodecSelector(("zlib",), sample_bytes=1)
+        with pytest.raises(ValidationError):
+            CodecSelector(("zlib",), alpha=0.0)
+        with pytest.raises(ValidationError, match="no wire id"):
+            CodecSelector(("adaptive",))
+
+    def test_rejects_params_a_default_receiver_cannot_invert(self):
+        """Receivers resolve decompressors with default construction,
+        so an arm like shuffle-lz4:itemsize=4 would silently corrupt
+        (compress with itemsize 4, unshuffle with the default 2)."""
+        with pytest.raises(ValidationError, match="default"):
+            CodecSelector(("shuffle-lz4:itemsize=4", "null"))
+        with pytest.raises(ValidationError, match="default"):
+            AdaptiveCodec(allowed=("delta-shuffle-lz4:itemsize=8",))
+
+    def test_accepts_compress_only_params(self):
+        """zlib's level shapes the compressed stream, not how to decode
+        it — a default receiver inverts it, so the arm is legal."""
+        sel = CodecSelector(("zlib:level=6", "null"))
+        assert "zlib:level=6" in sel.allowed
+
+    def test_spec_string_arms_keep_their_own_stats(self):
+        sel = CodecSelector(("zlib:level=6", "null"), probe_interval=1000)
+        data = smooth()
+        band = sel.band_of(data)
+        sel.choose(data, band)  # first sight probes every arm
+        arm = sel._codecs["zlib:level=6"]
+        sel.feedback(arm, band, len(data), len(data) // 10, 0.01)
+        snap = sel.snapshot()
+        assert snap[f"{band}/zlib:level=6"]["samples"] >= 2
+        assert not any(key.endswith("/zlib") for key in snap)
+
+
+class TestUniformFastPath:
+    def test_converged_pool_skips_banding(self):
+        sel = CodecSelector(("null",), probe_interval=8)
+        _, band, measure = sel.select(noise())
+        assert measure and band >= 0
+        # Different entropy regime, same (only) winner: served without
+        # banding — the sentinel band -1 marks the uniform path.
+        codec, band, measure = sel.select(smooth())
+        assert codec.name == "null"
+        assert band == -1 and not measure
+
+    def test_uniform_countdown_forces_probe_visits(self):
+        sel = CodecSelector(("null",), probe_interval=4)
+        sel.select(noise())
+        visits = [sel.select(noise())[2] for _ in range(8)]
+        assert visits.count(True) == 2  # every 4th chunk re-probes
+
+    def test_band_disagreement_disables_uniform(self):
+        sel = CodecSelector(
+            ("zlib", "null"), probe_interval=1000, target_wire_bps=1e6
+        )
+        nband = sel.band_of(noise())
+        sband = sel.band_of(smooth())
+        sel.choose(noise(), nband)
+        sel.choose(smooth(), sband)
+        zlib_codec = sel._codecs["zlib"]
+        null_codec = sel._codecs["null"]
+        for _ in range(16):
+            # zlib crushes the smooth band; on noise it expands.
+            sel.feedback(zlib_codec, sband, 10_000_000, 1_000_000, 0.1)
+            sel.feedback(null_codec, sband, 10_000_000, 10_000_000, 1e-6)
+            sel.feedback(null_codec, nband, 10_000_000, 10_000_000, 1e-6)
+            sel.feedback(zlib_codec, nband, 10_000_000, 10_500_000, 0.5)
+        codec, band, _ = sel.select(smooth())
+        assert (band, codec.name) == (sband, "zlib")
+        codec, band, _ = sel.select(noise())
+        assert (band, codec.name) == (nband, "null")
+
+
+class TestAdaptiveCodec:
+    def test_round_trip_mixed_corpus(self):
+        codec = AdaptiveCodec(allowed=("zlib", "null"), probe_interval=4)
+        for data in (noise(), smooth(), b"", b"x", b"abc" * 999):
+            wire, wid = codec.compress_with_id(data)
+            assert decompressor_for(wid).decompress(wire) == data
+
+    def test_single_name_allowed(self):
+        codec = AdaptiveCodec(allowed="zlib")
+        assert codec.selector.allowed == ("zlib",)
+
+    def test_compress_alone_round_trips(self):
+        codec = AdaptiveCodec(allowed=("null",))
+        assert codec.compress(b"abc") == b"abc"
+
+    def test_decompress_refuses(self):
+        with pytest.raises(CodecError, match="cannot decompress"):
+            AdaptiveCodec().decompress(b"anything")
+
+    def test_spec_round_trip(self):
+        codec = AdaptiveCodec(
+            allowed=("zlib", "null"), probe_interval=8, sample_bytes=2048
+        )
+        clone = resolve_codec(str(codec.spec))
+        assert clone.selector.allowed == ("zlib", "null")
+        assert clone.selector.probe_interval == 8
+        assert clone.selector.sample_bytes == 2048

@@ -1,22 +1,48 @@
-"""Codec registry and codec behaviour."""
+"""Codec registry, CodecSpec, resolution, and codec behaviour."""
 
 import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.compress.adaptive import AdaptiveCodec
 from repro.compress.codec import (
+    Bz2Codec,
+    Codec,
+    CodecSpec,
     DeltaShuffleLZ4Codec,
+    HAS_STDLIB_ZSTD,
     LZ4Codec,
     NullCodec,
     ShuffleLZ4Codec,
     ZlibCodec,
     available_codecs,
+    codec_class,
+    codec_spec,
+    decompressor_for,
     get_codec,
+    presets,
+    register_codec,
+    resolve_codec,
+    wire_codec_name,
 )
 from repro.util.errors import CodecError, ValidationError
 
-ALL = ["lz4", "shuffle-lz4", "delta-shuffle-lz4", "zlib", "null"]
+#: Every registered codec; "adaptive" is registered but not a static
+#: payload codec (it delegates), so the static lists exclude it.
+ALL = [
+    "adaptive",
+    "bz2",
+    "delta-shuffle-lz4",
+    "lz4",
+    "null",
+    "shuffle-lz4",
+    "zlib",
+]
+STATIC = [n for n in ALL if n != "adaptive"]
+
+#: Codecs whose itemsize constraint requires even-length payloads.
+EVEN_ONLY = {"shuffle-lz4", "delta-shuffle-lz4"}
 
 
 class TestRegistry:
@@ -27,8 +53,10 @@ class TestRegistry:
         assert isinstance(get_codec("lz4"), LZ4Codec)
         assert isinstance(get_codec("zlib"), ZlibCodec)
         assert isinstance(get_codec("null"), NullCodec)
+        assert isinstance(get_codec("bz2"), Bz2Codec)
         assert isinstance(get_codec("shuffle-lz4"), ShuffleLZ4Codec)
         assert isinstance(get_codec("delta-shuffle-lz4"), DeltaShuffleLZ4Codec)
+        assert isinstance(get_codec("adaptive"), AdaptiveCodec)
 
     def test_unknown_rejected(self):
         with pytest.raises(ValidationError, match="unknown codec"):
@@ -38,24 +66,218 @@ class TestRegistry:
         c = get_codec("zlib", level=9)
         assert c.level == 9
 
+    def test_wire_ids_stable(self):
+        # Wire ids are part of the frame format — they must never move.
+        expected = {
+            "lz4": 1,
+            "shuffle-lz4": 2,
+            "delta-shuffle-lz4": 3,
+            "zlib": 4,
+            "null": 5,
+            "bz2": 6,
+            "adaptive": 0,  # never on the wire; frames carry the choice
+        }
+        for name, wid in expected.items():
+            assert codec_class(name).wire_id == wid
+
+    def test_wire_codec_name(self):
+        assert wire_codec_name(4) == "zlib"
+        assert wire_codec_name(0) == "default"
+        assert wire_codec_name(250) == "unknown-250"
+
+    def test_decompressor_for(self):
+        z = get_codec("zlib")
+        wire = z.compress(b"hello" * 100)
+        assert decompressor_for(4).decompress(wire) == b"hello" * 100
+        # Cached instance, not a new one per frame.
+        assert decompressor_for(4) is decompressor_for(4)
+
+    def test_decompressor_for_unknown_id(self):
+        with pytest.raises(CodecError, match="unknown codec wire id"):
+            decompressor_for(251)
+
+    def test_register_duplicate_name_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+
+            @register_codec(wire_id=200)
+            class Duplicate(NullCodec):
+                name = "zlib"
+
+    def test_register_duplicate_wire_id_rejected(self):
+        with pytest.raises(ValidationError, match="already taken"):
+
+            @register_codec(wire_id=4)
+            class Clash(NullCodec):
+                name = "zlib-imposter"
+
+    def test_register_unnamed_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty name"):
+
+            @register_codec(wire_id=201)
+            class Nameless(NullCodec):
+                name = ""
+
+    def test_third_party_codec_plugs_in(self):
+        @register_codec(wire_id=202)
+        class Reverse(Codec):
+            name = "test-reverse"
+
+            def compress(self, data: bytes) -> bytes:
+                return data[::-1]
+
+            def decompress(self, data: bytes) -> bytes:
+                return data[::-1]
+
+        try:
+            c = resolve_codec("test-reverse")
+            assert c.decompress(c.compress(b"abc")) == b"abc"
+            assert "test-reverse" in available_codecs()
+            wire, wid = c.compress_with_id(b"abc")
+            assert wid == 0  # static codecs defer to the configured codec
+        finally:
+            # Keep the registry clean for the other tests.
+            from repro.compress import codec as codec_mod
+
+            codec_mod._REGISTRY.pop("test-reverse", None)
+            codec_mod._WIRE_IDS.pop(202, None)
+            codec_mod._DECOMPRESSORS.pop(202, None)
+
+
+class TestCodecSpec:
+    def test_parse_bare_name(self):
+        assert CodecSpec.parse("zlib") == CodecSpec("zlib")
+
+    def test_parse_params(self):
+        spec = CodecSpec.parse("zlib:level=6")
+        assert spec == CodecSpec("zlib", {"level": 6})
+        assert spec.create().level == 6
+
+    def test_parse_list_param(self):
+        spec = CodecSpec.parse("adaptive:allowed=zlib|null,probe_interval=8")
+        assert spec.params["allowed"] == ("zlib", "null")
+        assert spec.params["probe_interval"] == 8
+
+    def test_parse_bool_and_float(self):
+        spec = CodecSpec.parse("x:flag=true,rate=2.5,name=tag")
+        assert spec.params == {"flag": True, "rate": 2.5, "name": "tag"}
+
+    def test_str_round_trip(self):
+        for text in (
+            "zlib",
+            "zlib:level=6",
+            "adaptive:allowed=zlib|null,probe_interval=8",
+        ):
+            assert str(CodecSpec.parse(text)) == text
+
+    def test_dict_round_trip(self):
+        spec = CodecSpec.parse("adaptive:allowed=zlib|null,sample_bytes=2048")
+        assert CodecSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValidationError, match="unknown keys"):
+            CodecSpec.from_dict({"name": "zlib", "bogus": 1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CodecSpec.parse("")
+        with pytest.raises(ValidationError):
+            CodecSpec("")
+
+    def test_bad_segment_rejected(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            CodecSpec.parse("zlib:level")
+
+    def test_bad_params_rejected_at_create(self):
+        with pytest.raises(ValidationError, match="rejected params"):
+            CodecSpec("zlib", {"bogus_knob": 1}).create()
+
+    def test_presets_resolve(self):
+        assert set(presets()) >= {"zstd-fast", "zstd-default", "zstd-high"}
+        c = resolve_codec("zstd-default")
+        assert isinstance(c, ZlibCodec)
+        data = b"payload " * 512
+        assert c.decompress(c.compress(data)) == data
+
+    def test_preset_params_can_be_overridden(self):
+        c = resolve_codec("zstd-fast:level=4")
+        assert c.level == 4
+
+
+class TestResolveCodec:
+    def test_from_string(self):
+        assert isinstance(resolve_codec("zlib"), ZlibCodec)
+
+    def test_from_spec(self):
+        assert resolve_codec(CodecSpec("zlib", {"level": 2})).level == 2
+
+    def test_instance_passes_through(self):
+        c = ZlibCodec()
+        assert resolve_codec(c) is c
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_codec(42)
+
+    def test_codec_spec_inverse(self):
+        assert codec_spec("zlib:level=6") == CodecSpec("zlib", {"level": 6})
+        assert codec_spec(ZlibCodec()) == CodecSpec("zlib")
+        a = resolve_codec("adaptive:allowed=zlib|null")
+        assert codec_spec(a).params["allowed"] == ("zlib", "null")
+        # The spec string survives a parse round-trip (the mp boundary).
+        assert resolve_codec(str(codec_spec(a))).selector.allowed == (
+            "zlib",
+            "null",
+        )
+
 
 class TestRoundTrips:
-    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("name", STATIC)
     def test_roundtrip(self, name):
         data = b"projection row " * 1000  # multiple of 2 for shuffle codecs
         codec = get_codec(name)
         assert codec.decompress(codec.compress(data)) == data
 
-    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("name", STATIC)
     def test_empty(self, name):
         codec = get_codec(name)
         assert codec.decompress(codec.compress(b"")) == b""
 
-    @given(st.binary(max_size=4096).map(lambda b: b[: len(b) // 2 * 2]))
+    @pytest.mark.parametrize("name", sorted(set(STATIC) - EVEN_ONLY))
+    @given(data=st.binary(max_size=4096))
+    @settings(max_examples=25, deadline=None)
+    def test_hostile_round_trip(self, name, data):
+        """Every registered codec survives arbitrary bytes: empty,
+        1-byte, and non-multiple-of-itemsize payloads included."""
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("name", sorted(EVEN_ONLY))
+    @given(data=st.binary(max_size=4096))
+    @settings(max_examples=25, deadline=None)
+    def test_hostile_round_trip_itemsize(self, name, data):
+        """Shuffle codecs: aligned payloads round-trip; misaligned ones
+        fail loudly with CodecError rather than corrupting."""
+        codec = get_codec(name)
+        if len(data) % 2 == 0:
+            assert codec.decompress(codec.compress(data)) == data
+        else:
+            with pytest.raises(CodecError):
+                codec.compress(data)
+
+    @given(data=st.binary(max_size=4096).map(lambda b: b[: len(b) // 2 * 2]))
     @settings(max_examples=40, deadline=None)
     def test_delta_shuffle_lz4_property(self, data):
         codec = get_codec("delta-shuffle-lz4")
         assert codec.decompress(codec.compress(data)) == data
+
+    @given(data=st.binary(max_size=4096))
+    @settings(max_examples=25, deadline=None)
+    def test_adaptive_round_trip_via_wire_id(self, data):
+        """Adaptive output is decodable from the stamped wire id alone."""
+        codec = AdaptiveCodec(allowed=("zlib", "null"), probe_interval=4)
+        wire, wid = codec.compress_with_id(data)
+        assert wid != 0
+        assert decompressor_for(wid).decompress(wire) == data
 
 
 class TestRatio:
@@ -71,6 +293,24 @@ class TestRatio:
     def test_random_ratio_near_one(self):
         assert 0.9 < get_codec("lz4").ratio(os.urandom(10_000)) <= 1.01
 
+    def test_ratio_from_lengths_skips_recompress(self):
+        """Passing the wire payload computes from lengths alone."""
+
+        class Counting(ZlibCodec):
+            calls = 0
+
+            def compress(self, data: bytes) -> bytes:
+                type(self).calls += 1
+                return super().compress(data)
+
+        codec = Counting()
+        data = b"ab" * 5000
+        wire = codec.compress(data)
+        assert Counting.calls == 1
+        ratio = codec.ratio(data, wire)
+        assert Counting.calls == 1  # no second compression
+        assert ratio == len(data) / len(wire)
+
 
 class TestValidation:
     def test_lz4_acceleration(self):
@@ -81,15 +321,30 @@ class TestValidation:
         with pytest.raises(ValidationError):
             ZlibCodec(level=10)
 
+    def test_bz2_level(self):
+        with pytest.raises(ValidationError):
+            Bz2Codec(level=0)
+
     def test_shuffle_itemsize(self):
         with pytest.raises(ValidationError):
             ShuffleLZ4Codec(itemsize=0)
         with pytest.raises(ValidationError):
             DeltaShuffleLZ4Codec(itemsize=3)
 
+    @pytest.mark.skipif(
+        not HAS_STDLIB_ZSTD, reason="needs Python 3.14+ stdlib zstd"
+    )
+    def test_zstd_level(self):  # pragma: no cover - Python 3.14+ only
+        with pytest.raises(ValidationError):
+            get_codec("zstd", level=99_999)
+
     def test_zlib_garbage_raises_codec_error(self):
         with pytest.raises(CodecError):
             get_codec("zlib").decompress(b"not zlib data")
+
+    def test_bz2_garbage_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            get_codec("bz2").decompress(b"not bz2 data")
 
     def test_lz4_garbage_raises_codec_error(self):
         with pytest.raises(CodecError):

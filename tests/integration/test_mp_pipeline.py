@@ -37,6 +37,22 @@ def chunks(n=NUM_CHUNKS, stream="mp-s"):
         )
 
 
+def mixed_chunks(n=NUM_CHUNKS, stream="mp-s"):
+    """Alternating noise / smooth payloads so adaptive actually switches."""
+    rng = make_rng(7, "mp-integration")
+    smooth = (np.arange(CHUNK_SIZE // 2, dtype=np.uint16) >> 4).tobytes()
+    for i in range(n):
+        if i % 2:
+            payload = smooth
+        else:
+            payload = rng.integers(
+                0, 256, CHUNK_SIZE, dtype=np.uint8
+            ).tobytes()
+        yield Chunk(
+            stream_id=stream, index=i, nbytes=CHUNK_SIZE, payload=payload
+        )
+
+
 def config(**overrides):
     base = dict(
         codec="zlib",
@@ -77,6 +93,36 @@ class TestParity:
         assert process_sink.by_key == thread_sink.by_key
         assert process_report.chunks == thread_report.chunks == NUM_CHUNKS
 
+    @pytest.mark.parametrize(
+        "codec",
+        [
+            "bz2:level=1",
+            "adaptive:allowed=zlib|null,probe_interval=4",
+        ],
+    )
+    def test_parity_holds_for_non_default_codecs(self, codec):
+        """The codec spec crosses the process boundary intact, and the
+        per-frame wire ids (adaptive stamps the *chosen* codec) decode
+        to the same bytes in both substrates."""
+        source = list(mixed_chunks())
+        thread_sink = CapturingSink()
+        thread_report = LivePipeline(
+            config(execution_mode="thread", codec=codec)
+        ).run(iter(source), sink=thread_sink)
+        assert thread_report.ok, thread_report.errors
+
+        process_sink = CapturingSink()
+        process_report = ProcessPipeline(config(codec=codec)).run(
+            iter(source), sink=process_sink
+        )
+        assert process_report.ok, process_report.errors
+
+        assert process_sink.by_key == thread_sink.by_key
+        expected = {
+            (c.stream_id, c.index): bytes(c.payload) for c in source
+        }
+        assert thread_sink.by_key == expected
+
     def test_multiple_streams_round_robin_across_domains(self):
         def two_streams():
             yield from chunks(8, stream="a")
@@ -112,6 +158,24 @@ class TestAccounting:
         affinity = tel.affinity_cpus()
         assert "mp-compress-0" in affinity
         assert "mp-compress-1" in affinity
+
+    def test_duck_typed_telemetry_without_record_codec_survives(self):
+        """as_telemetry passes arbitrary user facades through; one that
+        predates record_codec must not crash the collector mid-run."""
+
+        class LegacyTelemetry:
+            def __init__(self):
+                self._real = Telemetry()
+
+            def __getattr__(self, name):
+                if name == "record_codec":
+                    raise AttributeError(name)
+                return getattr(self._real, name)
+
+        tel = LegacyTelemetry()
+        report = ProcessPipeline(config(), telemetry=tel).run(chunks())
+        assert report.ok, report.errors
+        assert "mp-feeder" in tel.heartbeats()
 
     def test_run_events_name_the_process_runner(self):
         from repro.obs import EventBus

@@ -95,30 +95,3 @@ class TestExecutability:
             isinstance(c, int) and c >= 0
             for cpus in live.affinity.values() for c in cpus
         )
-
-
-class TestDeprecatedShim:
-    def test_affinity_from_stream_warns_and_delegates(self):
-        from repro.core.config import StageConfig, StreamConfig
-        from repro.core.placement import PlacementSpec
-        from repro.live.planning import affinity_from_stream
-        from repro.plan.ingest import stream_from_config
-        from repro.plan.lower import stream_affinity
-
-        stream = StreamConfig(
-            stream_id="s", sender="updraft1", receiver="lynxdtn",
-            path="aps-lan",
-            compress=StageConfig(4, PlacementSpec.socket(0)),
-            send=StageConfig(2, PlacementSpec.socket(1)),
-            recv=StageConfig(2, PlacementSpec.socket(1)),
-            decompress=StageConfig(4, PlacementSpec.split([0, 1])),
-        )
-        with pytest.warns(DeprecationWarning, match="lower_live"):
-            old = affinity_from_stream(
-                stream, updraft_spec(), lynxdtn_spec(), host_cpus=64
-            )
-        new = stream_affinity(
-            stream_from_config(stream), updraft_spec(), lynxdtn_spec(),
-            host_cpus=64,
-        )
-        assert old == new

@@ -193,30 +193,33 @@ class TestResilience:
 
 
 class TestTimeoutPolicy:
-    def test_deprecated_kwargs_warn_and_apply(self):
-        with pytest.warns(DeprecationWarning, match="accept"):
-            server = ReceiverServer(connections=1, accept_timeout=0.7)
+    def test_policy_applies(self):
+        server = ReceiverServer(
+            connections=1, timeouts=TimeoutPolicy(accept=0.7)
+        )
         assert server.timeouts.accept == 0.7
-        assert server.accept_timeout == 0.7
         server._listener.close()
 
-        with pytest.warns(DeprecationWarning, match="connect"):
-            client = SenderClient("h", 1, connect_timeout=0.9)
+        client = SenderClient(
+            "h", 1, timeouts=TimeoutPolicy(connect=0.9, join=11)
+        )
         assert client.timeouts.connect == 0.9
-        assert client.connect_timeout == 0.9
-
-        with pytest.warns(DeprecationWarning, match="join"):
-            client = SenderClient("h", 1, join_timeout=11)
         assert client.timeouts.join == 11
-        assert client.join_timeout == 11
+
+    def test_deprecated_kwargs_removed(self):
+        """The PR 2/3 ``*_timeout=`` aliases are gone for good."""
+        with pytest.raises(TypeError, match="accept_timeout"):
+            ReceiverServer(connections=1, accept_timeout=0.7)
+        with pytest.raises(TypeError, match="connect_timeout"):
+            SenderClient("h", 1, connect_timeout=0.9)
+        with pytest.raises(TypeError, match="join_timeout"):
+            SenderClient("h", 1, join_timeout=11)
 
     def test_policy_keeps_other_fields(self):
-        with pytest.warns(DeprecationWarning):
-            server = ReceiverServer(
-                connections=1,
-                timeouts=TimeoutPolicy(join=50),
-                accept_timeout=0.3,
-            )
+        server = ReceiverServer(
+            connections=1,
+            timeouts=TimeoutPolicy(join=50, accept=0.3),
+        )
         assert server.timeouts.join == 50
         assert server.timeouts.accept == 0.3
         server._listener.close()

@@ -72,7 +72,7 @@ class Collector:
 
 
 def make_supervisor(topo, **kwargs):
-    kwargs.setdefault("codec_name", "zlib")
+    kwargs.setdefault("codec_spec", "zlib")
     kwargs.setdefault("start_method", "fork")
     return DomainSupervisor(topo, **kwargs)
 

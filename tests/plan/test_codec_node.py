@@ -1,0 +1,170 @@
+"""CodecNode: spec round-trips, validation, lowering, v3 fixtures."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compress.codec import CodecSpec
+from repro.core.params import CODEC_COST_FACTORS
+from repro.plan.ir import CodecNode
+from repro.plan.lower import lower_live, lower_sim
+from repro.plan.serialize import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.plan.validate import validate_plan
+from repro.util.errors import ValidationError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestCodecNodeSpec:
+    def test_default_node(self):
+        node = CodecNode()
+        assert node.is_default
+        assert not node.is_adaptive
+        assert str(node.spec()) == "zlib"
+
+    def test_from_spec_string_with_params(self):
+        node = CodecNode.from_spec("bz2:level=1")
+        assert not node.is_default
+        assert node.name == "bz2"
+        assert node.params == (("level", 1),)
+        assert str(node.spec()) == "bz2:level=1"
+
+    def test_from_spec_object(self):
+        node = CodecNode.from_spec(CodecSpec.parse("zlib:level=9"))
+        assert node.params == (("level", 9),)
+
+    def test_adaptive_extracts_policy_fields(self):
+        node = CodecNode.from_spec(
+            "adaptive:allowed=zlib|null,probe_interval=8"
+        )
+        assert node.is_adaptive
+        assert node.allowed == ("zlib", "null")
+        assert node.probe_interval == 8
+        spec = node.spec()
+        back = CodecNode.from_spec(spec)
+        assert back == node
+
+    def test_describe(self):
+        assert "adaptive over zlib|null" in CodecNode.from_spec(
+            "adaptive:allowed=zlib|null,probe_interval=8"
+        ).describe()
+        assert CodecNode.from_spec("bz2:level=1").describe() == "bz2:level=1"
+
+
+class TestSerialization:
+    def test_default_codec_key_omitted(self, generated_plan):
+        doc = plan_to_dict(generated_plan)
+        assert "codec" not in doc
+
+    def test_non_default_codec_round_trips(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan,
+            codec=CodecNode.from_spec("adaptive:allowed=zlib|null"),
+        )
+        doc = plan_to_dict(plan)
+        assert doc["codec"]["name"] == "adaptive"
+        back = plan_from_dict(doc)
+        assert back.codec == plan.codec
+
+    def test_unknown_codec_keys_rejected(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan, codec=CodecNode.from_spec("bz2")
+        )
+        doc = plan_to_dict(plan)
+        doc["codec"]["surprise"] = 1
+        with pytest.raises(ValidationError, match="unknown codec keys"):
+            plan_from_dict(doc)
+
+
+class TestFixtures:
+    """Pinned v3 plan files: loading and re-saving is byte-stable."""
+
+    @pytest.mark.parametrize(
+        "name", ["plan_v3.json", "plan_v3_codec.json"]
+    )
+    def test_fixture_is_byte_stable(self, name, tmp_path):
+        path = FIXTURES / name
+        plan = load_plan(str(path))
+        out = tmp_path / name
+        save_plan(plan, str(out))
+        assert out.read_bytes() == path.read_bytes()
+
+    def test_default_fixture_has_no_codec_key(self):
+        doc = json.loads((FIXTURES / "plan_v3.json").read_text())
+        assert "codec" not in doc
+        assert load_plan(str(FIXTURES / "plan_v3.json")).codec.is_default
+
+    def test_codec_fixture_carries_the_policy(self):
+        plan = load_plan(str(FIXTURES / "plan_v3_codec.json"))
+        assert plan.codec.is_adaptive
+        assert plan.codec.allowed == ("zlib", "null")
+        assert plan.codec.probe_interval == 8
+
+
+class TestValidation:
+    def test_adaptive_policy_validates_clean(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan,
+            codec=CodecNode.from_spec("adaptive:allowed=zlib|null"),
+        )
+        assert not validate_plan(plan).errors
+
+    def test_unknown_codec_name_is_a_diagnostic(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan, codec=CodecNode(name="nope")
+        )
+        diags = validate_plan(plan)
+        assert any(d.code == "bad-codec" for d in diags.errors)
+
+    def test_policy_fields_on_static_codec_rejected(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan,
+            codec=CodecNode(name="zlib", allowed=("zlib", "null")),
+        )
+        diags = validate_plan(plan)
+        assert any(d.code == "bad-codec" for d in diags.errors)
+
+
+class TestLowering:
+    def test_default_keeps_calibrated_cost_model(self, generated_plan):
+        assert lower_sim(generated_plan).cost == generated_plan.cost
+
+    def test_non_default_codec_scales_cost_model(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan, codec=CodecNode.from_spec("bz2")
+        )
+        fc, fd = CODEC_COST_FACTORS["bz2"]
+        cost = lower_sim(plan).cost
+        assert cost.compress_rate == pytest.approx(
+            generated_plan.cost.compress_rate * fc
+        )
+        assert cost.decompress_rate == pytest.approx(
+            generated_plan.cost.decompress_rate * fd
+        )
+
+    def test_lower_live_routes_plan_codec(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan,
+            codec=CodecNode.from_spec(
+                "adaptive:allowed=zlib|null,probe_interval=8"
+            ),
+        )
+        config = lower_live(plan).config
+        assert config.codec == "adaptive:allowed=zlib|null,probe_interval=8"
+
+    def test_lower_live_explicit_codec_wins(self, generated_plan):
+        plan = dataclasses.replace(
+            generated_plan, codec=CodecNode.from_spec("bz2")
+        )
+        config = lower_live(plan, codec="null").config
+        assert config.codec == "null"
+
+    def test_lower_live_default_is_zlib(self, generated_plan):
+        assert lower_live(generated_plan).config.codec == "zlib"
