@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI acceptance: the closed autotuning loop converges on the simulator.
+
+Runs the ``bench_autotune`` load-shift scenario (deterministic: virtual
+clock, seeded workload — run under ``PYTHONHASHSEED=0``) and holds the
+controller to the ISSUE's acceptance bar:
+
+- at least one ``replan_applied`` fired (the loop actually closed);
+- the closed-loop run beats the stale static plan by the bench gate's
+  ratio (>= 1.2x delivered throughput);
+- post-re-plan (steady-state) throughput lands within 10% of the
+  statically-optimal plan — the controller didn't just act, it
+  converged to the configuration a planner with hindsight would pick.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage::
+
+    PYTHONPATH=src python scripts/autotune_acceptance.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.suites import bench_autotune
+
+CONVERGENCE_TOLERANCE = 0.10  # post-replan within 10% of optimal
+
+
+def main() -> int:
+    results, gate = bench_autotune(quick=True)
+    by_name = {r.name: r for r in results}
+    mis = by_name["autotune_static_misconfigured"]
+    tuned = by_name["autotune_closed_loop"]
+    opt = by_name["autotune_static_optimal"]
+
+    replans = int(tuned.params["replans_applied"])
+    decisions = tuned.params["decisions"]
+    post = float(tuned.params["post_replan_gbps"])
+
+    print(f"static (misconfigured): {mis.value:8.2f} sim-Gbps")
+    print(
+        f"closed loop:            {tuned.value:8.2f} sim-Gbps "
+        f"({replans} re-plans: {'; '.join(decisions)})"
+    )
+    print(f"static (optimal):       {opt.value:8.2f} sim-Gbps")
+    print(f"post-replan steady state: {post:6.2f} sim-Gbps")
+
+    assert replans >= 1, "no replan_applied fired: the loop never closed"
+    assert gate.ok, (
+        f"gate {gate.name}: closed loop only {gate.value:.2f}x the "
+        f"misconfigured static plan (need >= {gate.threshold}x)"
+    )
+    convergence = post / opt.value
+    print(
+        f"gate {gate.name}: {gate.value:.2f}x (>= {gate.threshold}x)  "
+        f"convergence: {convergence:.2f}x optimal "
+        f"(>= {1 - CONVERGENCE_TOLERANCE:.2f}x)"
+    )
+    assert convergence >= 1 - CONVERGENCE_TOLERANCE, (
+        f"post-replan throughput {post:.2f} sim-Gbps stalled short of "
+        f"the statically-optimal {opt.value:.2f} sim-Gbps "
+        f"(ratio {convergence:.2f}, need >= {1 - CONVERGENCE_TOLERANCE:.2f})"
+    )
+    print("autotune acceptance: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

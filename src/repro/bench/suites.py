@@ -65,6 +65,13 @@ OBS_GATE_THRESHOLD = 0.95
 PROCESS_SCALING_GATE_THRESHOLD = 1.5
 PROCESS_GATE_MIN_CPUS = 4
 
+#: The autotune gate: the paper's misconfiguration story, closed-loop.
+#: After an injected load shift the static plan starves the compress
+#: stage; with the controller on (watchdog backpressure -> plan delta
+#: -> live scale-up) end-to-end throughput must recover to at least
+#: 1.2x the static-misconfigured run.
+AUTOTUNE_GATE_THRESHOLD = 1.2
+
 #: The adaptive-codec gates, over the mixed-entropy loopback corpus:
 #: per-chunk selection must land within 5% of the best static codec's
 #: end-to-end throughput (it converges to the right choice per entropy
@@ -796,6 +803,176 @@ def bench_sim_scenario(*, quick: bool = False) -> list[BenchResult]:
 
 
 # ---------------------------------------------------------------------------
+# autotune recovery
+# ---------------------------------------------------------------------------
+
+
+def bench_autotune(
+    *, quick: bool = False
+) -> tuple[list[BenchResult], GateResult]:
+    """Closed-loop recovery after a load shift, on the simulator.
+
+    The scenario models a plan that was optimal before the workload
+    shifted: post-shift, one compress worker is the binding constraint
+    (the queue ahead of it pins at capacity).  Three deterministic runs
+    on the virtual clock:
+
+    - ``static_misconfigured`` — the stale plan, no controller;
+    - ``closed_loop`` — same stale plan, controller on: watchdog
+      backpressure drives ``replan_applied`` scale-ups mid-run;
+    - ``static_optimal`` — the plan a planner with hindsight would
+      have written (compress already at the controller's ceiling).
+
+    The gate is closed_loop vs static_misconfigured on delivered
+    (virtual-time) throughput; the optimal run is reported so the CI
+    acceptance job can also check post-replan throughput converges to
+    within 10% of it.
+    """
+    from repro.control import Controller
+    from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+    from repro.core.params import APS_LAN_PATH
+    from repro.core.placement import PlacementSpec
+    from repro.core.runtime import ScenarioResult, SimRuntime
+    from repro.hw.presets import lynxdtn_spec, updraft_spec
+    from repro.obs import EventBus
+    from repro.obs.watchdog import WatchdogConfig
+    from repro.plan.ir import ControlNode
+    from repro.telemetry import Telemetry
+
+    num_chunks = 120 if quick else 300
+    max_workers = 4
+
+    def scenario(compress_workers: int) -> ScenarioConfig:
+        stream = StreamConfig(
+            stream_id="s",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            num_chunks=num_chunks,
+            queue_capacity=8,
+            compress=StageConfig(
+                compress_workers, PlacementSpec.socket(0)
+            ),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+        )
+        return ScenarioConfig(
+            name="bench-autotune",
+            machines={
+                "updraft1": updraft_spec(),
+                "lynxdtn": lynxdtn_spec(),
+            },
+            paths={"aps-lan": APS_LAN_PATH},
+            streams=[stream],
+            warmup_chunks=5,
+        )
+
+    def run(
+        compress_workers: int, *, autotune: bool
+    ) -> tuple[ScenarioResult, Controller | None, EventBus, float]:
+        tel = Telemetry()
+        bus = EventBus(source="bench")
+        tel.attach_events(bus)
+        controller: Controller | None = None
+        watchdog: WatchdogConfig | None = None
+        if autotune:
+            controller = Controller(
+                tel,
+                ControlNode(
+                    enabled=True,
+                    interval=0.05,
+                    cooldown=0.2,
+                    max_workers=max_workers,
+                ),
+            )
+            watchdog = WatchdogConfig(
+                interval=0.05,
+                backpressure_depth=6.0,
+                backpressure_after=0.1,
+                bottleneck_every=0,
+            )
+        start = time.perf_counter()
+        result = SimRuntime(
+            scenario(compress_workers),
+            telemetry=tel,
+            watchdog=watchdog,
+            controller=controller,
+        ).run()
+        elapsed = time.perf_counter() - start
+        return result, controller, bus, elapsed
+
+    def gbps(result: ScenarioResult) -> float:
+        return result.streams["s"].delivered_gbps
+
+    mis, _, _, mis_wall = run(1, autotune=False)
+    tuned, controller, bus, tuned_wall = run(1, autotune=True)
+    opt, _, _, opt_wall = run(max_workers, autotune=False)
+
+    assert controller is not None
+    replans = [e for e in bus.recent(0) if e.kind == "replan_applied"]
+
+    # Post-replan (steady-state) throughput: chunks the final stage
+    # finished after the last applied re-plan, over the remaining
+    # virtual time — the "did it converge to optimal" number.
+    post_gbps = 0.0
+    if replans and tuned.telemetry is not None:
+        last_ts = replans[-1].ts
+        tail = [
+            s
+            for s in tuned.telemetry.spans.snapshot()  # type: ignore[attr-defined]
+            if s.stage == "decompress" and s.end > last_ts
+        ]
+        window = tuned.sim_time - last_ts
+        chunk_bytes = scenario(1).streams[0].chunk_bytes
+        if tail and window > 0:
+            post_gbps = len(tail) * chunk_bytes * 8 / window / 1e9
+
+    results = [
+        BenchResult(
+            name="autotune_static_misconfigured",
+            value=gbps(mis),
+            unit="sim-Gbps",
+            duration_s=mis_wall,
+            n=num_chunks,
+            params={"compress_workers": 1, "sim_time_s": mis.sim_time},
+        ),
+        BenchResult(
+            name="autotune_closed_loop",
+            value=gbps(tuned),
+            unit="sim-Gbps",
+            duration_s=tuned_wall,
+            n=num_chunks,
+            params={
+                "compress_workers_start": 1,
+                "max_workers": max_workers,
+                "sim_time_s": tuned.sim_time,
+                "replans_applied": len(replans),
+                "decisions": list(controller.decisions),
+                "post_replan_gbps": round(post_gbps, 3),
+            },
+        ),
+        BenchResult(
+            name="autotune_static_optimal",
+            value=gbps(opt),
+            unit="sim-Gbps",
+            duration_s=opt_wall,
+            n=num_chunks,
+            params={
+                "compress_workers": max_workers,
+                "sim_time_s": opt.sim_time,
+            },
+        ),
+    ]
+    gate = GateResult(
+        name="autotune_recovery",
+        value=gbps(tuned) / gbps(mis),
+        threshold=AUTOTUNE_GATE_THRESHOLD,
+    )
+    return results, gate
+
+
+# ---------------------------------------------------------------------------
 # suite runner
 # ---------------------------------------------------------------------------
 
@@ -878,6 +1055,13 @@ def run_suite(
         report.results.extend(bench_sim_scenario(quick=quick))
         emit("run_end", "bench group sim_scenario done",
              group="sim_scenario", ok=True)
+        emit("run_start", "bench group autotune", group="autotune")
+        autotune_results, autotune_gate = bench_autotune(quick=quick)
+        report.results.extend(autotune_results)
+        if gate:
+            report.gates.append(autotune_gate)
+        emit("run_end", "bench group autotune done",
+             group="autotune", ok=True, gate_value=autotune_gate.value)
         emit("run_end", "bench suite finished", ok=report.ok,
              gates=len(report.gates))
     finally:

@@ -179,6 +179,14 @@ def live_main(argv: list[str] | None = None) -> int:
         "while the pipeline runs (0 = ephemeral; watch with repro-top)",
     )
     parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="run the closed-loop controller: watchdog signals become "
+        "plan deltas (scale workers, respawn a stage, retune "
+        "batch_frames) applied to the running pipeline without restart "
+        "(see docs/autotuning.md)",
+    )
+    parser.add_argument(
         "--events-out",
         metavar="PATH",
         help="write every structured event (lifecycle, retries, faults, "
@@ -231,14 +239,22 @@ def live_main(argv: list[str] | None = None) -> int:
                      "process-mode fault testing lives in the chaos suite")
     if args.domains is not None and args.domains < 1:
         parser.error("--domains must be >= 1")
+    if args.autotune and (args.listen or args.connect):
+        parser.error("--autotune drives the in-process pipelines; the "
+                     "remote endpoints have no reconfiguration surface yet")
+    if args.autotune and args.fault:
+        parser.error("--fault runs over the remote endpoints, which "
+                     "--autotune does not drive yet")
 
     lowered = None
+    plan_obj = None
     if args.plan:
         from repro.plan.passes import build_live
         from repro.plan.serialize import load_plan
 
+        plan_obj = load_plan(args.plan)
         lowered = build_live(
-            load_plan(args.plan),
+            plan_obj,
             args.stream,
             codec=args.codec,
             host_cpus=args.host_cpus,
@@ -285,8 +301,15 @@ def live_main(argv: list[str] | None = None) -> int:
     if args.profile_out and not args.profile:
         parser.error("--profile-out needs --profile")
 
+    # The plan's ControlNode can turn the loop on without the flag.
+    autotune = args.autotune or (
+        plan_obj is not None and plan_obj.control.enabled
+    )
     wants_obs = (
-        args.obs_port is not None or args.events_out or args.profile
+        args.obs_port is not None
+        or args.events_out
+        or args.profile
+        or autotune
     )
     telemetry = None
     if args.trace_out or args.metrics_out or fault_specs or wants_obs:
@@ -311,12 +334,28 @@ def live_main(argv: list[str] | None = None) -> int:
         )
         from repro.util.log import attach_event_bus
 
-        if args.obs_port is not None or args.events_out:
+        if args.obs_port is not None or args.events_out or autotune:
             bus = EventBus(source="live", jsonl_path=args.events_out)
             telemetry.attach_events(bus)
             obs["bus"] = bus
             obs["log_handler"] = attach_event_bus(bus)
             obs["watchdog"] = Watchdog(telemetry).start()
+        if autotune:
+            from repro.control import Controller
+            from repro.plan.ir import ControlNode
+
+            node = (
+                plan_obj.control
+                if plan_obj is not None and not plan_obj.control.is_default
+                else ControlNode(enabled=True)
+            )
+            # The pipeline starts/stops the controller around its run.
+            obs["controller"] = Controller(
+                telemetry, node, plan=plan_obj
+            )
+            print("autotune: controller armed "
+                  f"(interval={node.interval:g}s cooldown={node.cooldown:g}s "
+                  f"max_workers={node.max_workers})")
         if args.profile:
             obs["profiler"] = SamplingProfiler().start()
         if args.obs_port is not None:
@@ -539,12 +578,20 @@ def live_main(argv: list[str] | None = None) -> int:
         print(f"process mode: {domains} compressor domain(s) over "
               "shared-memory rings")
         pipeline: "LivePipeline | ProcessPipeline" = ProcessPipeline(
-            config, telemetry=telemetry
+            config, telemetry=telemetry, controller=obs.get("controller")
         )
     else:
-        pipeline = LivePipeline(config, telemetry=telemetry)
+        pipeline = LivePipeline(
+            config, telemetry=telemetry, controller=obs.get("controller")
+        )
     report = pipeline.run(make_source())
     print(report.summary())
+    controller = obs.get("controller")
+    if controller is not None:
+        if controller.decisions:
+            print("autotune decisions: " + "; ".join(controller.decisions))
+        else:
+            print("autotune: no re-plan needed")
     finish_telemetry()
     write_json(report)
     return 0 if report.ok else 1
@@ -652,6 +699,9 @@ def _plan_diff(args, parser) -> int:
         if args.other is not None:
             parser.error("--substrates compares one plan's two lowerings; "
                          "drop the second plan argument")
+        if args.format == "json":
+            parser.error("--format json is the structured plan-vs-plan "
+                         "delta; --substrates reports placement drift")
         drift = substrate_drift(plan, host_cpus=args.host_cpus)
         if drift:
             print("\n".join(drift))
@@ -661,7 +711,20 @@ def _plan_diff(args, parser) -> int:
         return 0
     if args.other is None:
         parser.error("diff needs a second plan (or --substrates)")
-    drift = diff_plans(plan, load_plan(args.other))
+    other = load_plan(args.other)
+    if args.format == "json":
+        # The same delta schema the autotuning controller emits on
+        # replan_* events (repro.plan.delta) — machine-checkable drift.
+        import json
+
+        from repro.plan.delta import delta_to_dict, plan_delta
+
+        delta = plan_delta(
+            plan, other, reason=f"diff {args.plan} -> {args.other}"
+        )
+        print(json.dumps(delta_to_dict(delta), indent=2, sort_keys=True))
+        return 1 if delta else 0
+    drift = diff_plans(plan, other)
     if drift:
         print("\n".join(drift))
         return 1
@@ -799,6 +862,13 @@ def plan_main(argv: list[str] | None = None) -> int:
         default=64,
         help="host CPU count for the live affinity folding (default 64)",
     )
+    diff.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="json = the structured PlanDelta document (ops + notes) "
+        "the autotuning controller uses; exit 1 on a non-empty delta",
+    )
 
     lower = sub.add_parser(
         "lower", help="lower a plan to one substrate's executable form"
@@ -889,6 +959,14 @@ def run_main(argv: list[str] | None = None) -> int:
         help="sample the simulator process itself (one thread: profiles "
         "the engine, not the modeled stages)",
     )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="run the closed-loop controller on the virtual clock: "
+        "watchdog signals become plan deltas applied to the simulated "
+        "pipeline mid-run — deterministic under the scenario seed "
+        "(see docs/autotuning.md)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.runtime import SimRuntime, run_scenario
@@ -897,21 +975,27 @@ def run_main(argv: list[str] | None = None) -> int:
 
     if bool(args.scenario) == bool(args.plan):
         parser.error("pass a scenario file or --plan PATH (not both)")
+    plan_obj = None
     if args.plan:
         from repro.plan.passes import build_scenario
         from repro.plan.serialize import load_plan
 
-        scenario = build_scenario(load_plan(args.plan))
+        plan_obj = load_plan(args.plan)
+        scenario = build_scenario(plan_obj)
     else:
         scenario = load_scenario(args.scenario)
+    autotune = args.autotune or (
+        plan_obj is not None and plan_obj.control.enabled
+    )
     wants_obs = args.obs_port is not None or args.events_out or args.profile
-    if args.trace_out or args.metrics_out or wants_obs:
+    controller = None
+    if args.trace_out or args.metrics_out or wants_obs or autotune:
         from repro.telemetry import Telemetry
 
         tel = Telemetry()
         obs: dict = {}
         watchdog_cfg = None
-        if args.obs_port is not None or args.events_out:
+        if args.obs_port is not None or args.events_out or autotune:
             from repro.obs import EventBus, WatchdogConfig
             from repro.util.log import attach_event_bus
 
@@ -925,7 +1009,22 @@ def run_main(argv: list[str] | None = None) -> int:
                 interval=1.0, stall_after=5.0, backpressure_after=2.0,
                 bottleneck_every=10,
             )
-        runtime = SimRuntime(scenario, telemetry=tel, watchdog=watchdog_cfg)
+        if autotune:
+            from repro.control import Controller
+            from repro.plan.ir import ControlNode
+
+            node = (
+                plan_obj.control
+                if plan_obj is not None and not plan_obj.control.is_default
+                else ControlNode(enabled=True, interval=1.0, cooldown=2.0)
+            )
+            controller = Controller(tel, node, plan=plan_obj)
+            print("autotune: controller armed on the virtual clock "
+                  f"(interval={node.interval:g}s cooldown={node.cooldown:g}s)")
+        runtime = SimRuntime(
+            scenario, telemetry=tel, watchdog=watchdog_cfg,
+            controller=controller,
+        )
         if args.obs_port is not None:
             from repro.obs import ObservabilityServer
 
@@ -965,6 +1064,12 @@ def run_main(argv: list[str] | None = None) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(tel.prometheus_text())
             print(f"wrote metrics to {args.metrics_out}")
+        if controller is not None:
+            if controller.decisions:
+                print("autotune decisions: "
+                      + "; ".join(controller.decisions))
+            else:
+                print("autotune: no re-plan needed")
         for sid in sorted(result.streams):
             print(tel.pipeline_report(sid).render())
     else:

@@ -1,0 +1,24 @@
+"""repro.control — the closed-loop autotuning controller.
+
+The paper's configuration generator is static: one placement per run.
+Its own scaling figures, though, show the bottleneck stage *moving*
+with stream count and data rate — which is why BriskStream iterates
+Optimize-then-Execute instead of placing once.  This package closes
+the same loop here: the :class:`Controller` subscribes to the event
+bus the watchdog already feeds (``stage_stall``, ``backpressure``,
+``bottleneck_shift``), diagnoses the binding constraint, proposes a
+typed :class:`~repro.plan.delta.PlanDelta`, and applies it to the
+*running* pipeline through a :class:`Reconfigurable` executor — no
+restart, exactly-once accounting preserved.
+
+The controller is substrate-neutral by the same contract as the
+watchdog: time comes from the telemetry clock, signals from the event
+bus, actions go through the executor protocol.  Run it as a daemon
+thread on the live pipeline or as a simulated process on the virtual
+clock — same decisions, and deterministic in sim under a fixed seed.
+"""
+
+from repro.control.controller import Controller
+from repro.control.executor import Reconfigurable, StageSetExecutor
+
+__all__ = ["Controller", "Reconfigurable", "StageSetExecutor"]

@@ -23,6 +23,7 @@ from repro.data.chunking import Chunk
 from repro.faults.policy import TimeoutPolicy
 from repro.live import workers
 from repro.live.queues import ClosableQueue
+from repro.live.stageset import Knobs, StageSet
 from repro.live.transport import socket_pipe
 from repro.telemetry.facade import as_telemetry
 from repro.util.errors import ValidationError
@@ -174,12 +175,16 @@ class LivePipeline:
         codec: "Codec | CodecSpec | str | None" = None,
         *,
         telemetry: "bool | object" = False,
+        controller: "object | None" = None,
     ):
         self.config = config or LiveConfig()
         self.codec = resolve_codec(
             codec if codec is not None else self.config.codec
         )
         self.telemetry = as_telemetry(telemetry)
+        #: Optional :class:`repro.control.Controller`; bound to this
+        #: run's stage sets and started/stopped around :meth:`run`.
+        self.controller = controller
 
     def run(
         self,
@@ -253,64 +258,91 @@ class LivePipeline:
             telemetry=tel,
         )
 
-        threads: list[threading.Thread] = []
-
-        def spawn(name: str, target, *args, **kwargs) -> None:
-            t = threading.Thread(
-                target=target, args=args, kwargs=kwargs, name=name, daemon=True
-            )
-            threads.append(t)
-
         aff = cfg.affinity
-        spawn("feeder", workers.feeder, tracked_source(), rawq, stats["feed"],
-              aff.get("feed"), telemetry=tel, batch_frames=cfg.batch_frames)
-        for i in range(cfg.compress_threads):
-            spawn(
-                f"compress-{i}",
-                workers.compressor,
-                self.codec,
-                rawq,
-                sendq,
-                stats["compress"],
-                aff.get("compress"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
+        knobs = Knobs(
+            batch_frames=cfg.batch_frames, batch_linger=cfg.batch_linger
+        )
+
+        def _thread(name: str, target, *args, **kwargs) -> threading.Thread:
+            return threading.Thread(
+                target=target, args=args, kwargs=kwargs, name=name,
+                daemon=True,
             )
-        for i in range(cfg.connections):
+
+        def feed_factory(i: int, stop: threading.Event) -> threading.Thread:
+            return _thread(
+                "feeder", workers.feeder, tracked_source(), rawq,
+                stats["feed"], aff.get("feed"), telemetry=tel, knobs=knobs,
+            )
+
+        def compress_factory(
+            i: int, stop: threading.Event
+        ) -> threading.Thread:
+            return _thread(
+                f"compress-{i}", workers.compressor, self.codec, rawq,
+                sendq, stats["compress"], aff.get("compress"),
+                telemetry=tel, knobs=knobs, stop=stop,
+            )
+
+        def connection_factory(
+            i: int, stop: threading.Event
+        ) -> list[threading.Thread]:
             tx, rx = socket_pipe(telemetry=tel)
-            spawn(
-                f"send-{i}",
-                workers.sender,
-                tx,
-                sendq,
-                stats["send"],
-                compressed=True,
-                cpus=aff.get("send"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
-                batch_linger=cfg.batch_linger,
+            return [
+                _thread(
+                    f"send-{i}", workers.sender, tx, sendq, stats["send"],
+                    compressed=True, cpus=aff.get("send"), telemetry=tel,
+                    knobs=knobs,
+                ),
+                _thread(
+                    f"recv-{i}", workers.receiver, rx, wireq, stats["recv"],
+                    aff.get("recv"), telemetry=tel, knobs=knobs,
+                ),
+            ]
+
+        def decompress_factory(
+            i: int, stop: threading.Event
+        ) -> threading.Thread:
+            return _thread(
+                f"decompress-{i}", workers.decompressor, self.codec, wireq,
+                stats["decompress"], counting_sink, aff.get("decompress"),
+                telemetry=tel, knobs=knobs, stop=stop,
             )
-            spawn(
-                f"recv-{i}",
-                workers.receiver,
-                rx,
-                wireq,
-                stats["recv"],
-                aff.get("recv"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
-            )
-        for i in range(cfg.decompress_threads):
-            spawn(
-                f"decompress-{i}",
-                workers.decompressor,
-                self.codec,
-                wireq,
-                stats["decompress"],
-                counting_sink,
-                aff.get("decompress"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
+
+        stages = {
+            "feed": StageSet("feed", feed_factory, count=1),
+            "compress": StageSet(
+                "compress",
+                compress_factory,
+                count=cfg.compress_threads,
+                downstream=sendq,
+                scalable=True,
+            ),
+            "send": StageSet(
+                "send", connection_factory, count=cfg.connections
+            ),
+            "decompress": StageSet(
+                "decompress",
+                decompress_factory,
+                count=cfg.decompress_threads,
+                scalable=True,
+            ),
+        }
+
+        controller = self.controller
+        if controller is not None:
+            from repro.control.executor import StageSetExecutor
+
+            controller.bind(
+                StageSetExecutor(
+                    stages,
+                    knobs,
+                    queue_map={
+                        "rawq": "compress",
+                        "wireq": "decompress",
+                        "sendq": "send",
+                    },
+                )
             )
 
         if tel is not None:
@@ -324,13 +356,24 @@ class LivePipeline:
                 decompress_threads=cfg.decompress_threads,
             )
         t0 = time.perf_counter()
-        for t in threads:
-            t.start()
         errors: list[str] = []
-        for t in threads:
-            t.join(cfg.timeouts.join)
-            if t.is_alive():
-                errors.append(f"thread {t.name} did not finish (deadlock?)")
+        try:
+            for ss in stages.values():
+                ss.start()
+            if controller is not None:
+                controller.start()
+            for ss in stages.values():
+                errors.extend(ss.join(cfg.timeouts.join))
+        finally:
+            if controller is not None:
+                controller.stop()
+        # The controller may have grown a set while earlier sets were
+        # being joined; sweep again now that it is stopped so every
+        # late-spawned worker is accounted for (re-joining finished
+        # threads is free, and duplicate straggler reports dedupe).
+        for ss in stages.values():
+            errors.extend(ss.join(cfg.timeouts.join))
+        errors = list(dict.fromkeys(errors))
         elapsed = time.perf_counter() - t0
 
         for s in stats.values():

@@ -28,9 +28,14 @@ from repro.data.chunking import Chunk
 from repro.faults.policy import RetryPolicy
 from repro.live.affinity import pin_current_thread
 from repro.live.queues import ClosableQueue, Closed
+from repro.live.stageset import Knobs
 from repro.live.transport import Frame, FramedReceiver, FramedSender
 from repro.telemetry.spans import stage_span
-from repro.util.errors import TransportError
+from repro.util.errors import QueueTimeout, TransportError
+
+#: How often a stoppable worker wakes from an idle queue to re-check
+#: its stop event (seconds) — bounds scale-down/respawn latency.
+STOP_POLL_SECONDS = 0.1
 
 
 @dataclass
@@ -95,19 +100,21 @@ def feeder(
     *,
     telemetry=None,
     batch_frames: int = 1,
+    knobs: Knobs | None = None,
 ) -> None:
     """Pushes source chunks into the pipeline (the data generator).
 
     ``batch_frames > 1`` groups chunks into one ``put_many`` handoff
     (one lock round-trip, one span); 1 keeps the historical
-    chunk-at-a-time behaviour.
+    chunk-at-a-time behaviour.  ``knobs`` makes the knob hot-swappable.
     """
     _maybe_pin(cpus, "feed", telemetry)
     track = threading.current_thread().name
     it = iter(source)
     try:
         while True:
-            batch = list(islice(it, batch_frames))
+            bf = knobs.batch_frames if knobs is not None else batch_frames
+            batch = list(islice(it, bf))
             if not batch:
                 break
             for chunk in batch:
@@ -143,19 +150,35 @@ def compressor(
     *,
     telemetry=None,
     batch_frames: int = 1,
+    knobs: Knobs | None = None,
+    stop: threading.Event | None = None,
 ) -> None:
     """{C}: compress chunk payloads.
 
     ``batch_frames > 1`` drains up to that many chunks per queue lock
     round-trip and forwards them with one :meth:`put_many`; each chunk
     is still compressed (and accounted) individually.
+
+    ``knobs`` makes ``batch_frames`` hot-swappable (re-read before
+    every drain, lock-free); ``stop`` makes the worker stoppable at a
+    batch boundary — set between drains, it exits cleanly and its
+    ``finally``-close balances the downstream producer count, which is
+    how the controller scales this stage down without losing chunks.
     """
     _maybe_pin(cpus, "compress", telemetry)
     track = threading.current_thread().name
     try:
         while True:
+            if stop is not None and stop.is_set():
+                break
+            bf = knobs.batch_frames if knobs is not None else batch_frames
             try:
-                chunks = inq.get_many(batch_frames)
+                if stop is not None:
+                    chunks = inq.get_many(bf, timeout=STOP_POLL_SECONDS)
+                else:
+                    chunks = inq.get_many(bf)
+            except QueueTimeout:
+                continue
             except Closed:
                 break
             for chunk in chunks:
@@ -204,6 +227,7 @@ def sender(
     telemetry=None,
     batch_frames: int = 1,
     batch_linger: float = 0.0,
+    knobs: Knobs | None = None,
 ) -> None:
     """{S}: one TCP connection's sending thread.
 
@@ -214,15 +238,18 @@ def sender(
     The wire bytes are identical to ``batch_frames=1``; only the
     syscall and lock counts change.  The batch flushes on size, on the
     linger timeout, and on queue close (the final partial batch is
-    sent before the EOS frames).
+    sent before the EOS frames).  ``knobs`` makes ``batch_frames`` and
+    ``batch_linger`` hot-swappable (re-read before every drain).
     """
     _maybe_pin(cpus, "send", telemetry)
     track = threading.current_thread().name
     stream_ids: set[str] = set()
     try:
         while True:
+            bf = knobs.batch_frames if knobs is not None else batch_frames
+            lg = knobs.batch_linger if knobs is not None else batch_linger
             try:
-                chunks = inq.get_many(batch_frames, linger=batch_linger)
+                chunks = inq.get_many(bf, linger=lg)
             except Closed:
                 break
             frames = [_chunk_frame(c, compressed=compressed) for c in chunks]
@@ -412,6 +439,7 @@ def receiver(
     *,
     telemetry=None,
     batch_frames: int = 1,
+    knobs: Knobs | None = None,
 ) -> None:
     """{R}: one TCP connection's receiving thread.
 
@@ -419,12 +447,14 @@ def receiver(
     frames already sitting in the receiver's userspace buffer join the
     same ``put_many`` handoff — the downstream mirror of the sender's
     vectored batch, with no extra waiting (buffered frames are free).
+    ``knobs`` makes the knob hot-swappable.
     """
     _maybe_pin(cpus, "recv", telemetry)
     track = threading.current_thread().name
     try:
         done = False
         while not done:
+            bf = knobs.batch_frames if knobs is not None else batch_frames
             batch: list[Frame] = []
             with stage_span(telemetry, "recv", track=track) as sp:
                 frame = transport.recv()
@@ -435,7 +465,7 @@ def receiver(
                     sp.stream_id = frame.stream_id
                     sp.chunk_id = frame.index
                     batch.append(frame)
-                    while len(batch) < batch_frames and transport.pending:
+                    while len(batch) < bf and transport.pending:
                         nxt = transport.recv()
                         if nxt is None or nxt.eos:
                             done = True
@@ -465,19 +495,31 @@ def decompressor(
     *,
     telemetry=None,
     batch_frames: int = 1,
+    knobs: Knobs | None = None,
+    stop: threading.Event | None = None,
 ) -> None:
     """{D}: decompress received frames and deliver to the sink.
 
     ``batch_frames > 1`` drains up to that many frames per queue lock
     round-trip; each frame is still decompressed and delivered
-    individually (sink ordering is unchanged).
+    individually (sink ordering is unchanged).  ``knobs`` and ``stop``
+    behave as in :func:`compressor` (there is no downstream queue, so
+    stopping is just a clean exit between batches).
     """
     _maybe_pin(cpus, "decompress", telemetry)
     track = threading.current_thread().name
     try:
         while True:
+            if stop is not None and stop.is_set():
+                break
+            bf = knobs.batch_frames if knobs is not None else batch_frames
             try:
-                frames = inq.get_many(batch_frames)
+                if stop is not None:
+                    frames = inq.get_many(bf, timeout=STOP_POLL_SECONDS)
+                else:
+                    frames = inq.get_many(bf)
+            except QueueTimeout:
+                continue
             except Closed:
                 break
             for frame in frames:

@@ -38,6 +38,7 @@ from repro.faults.policy import RetryPolicy
 from repro.live import workers
 from repro.live.queues import ClosableQueue, Closed
 from repro.live.runtime import LiveConfig, LiveReport
+from repro.live.stageset import Knobs, StageSet
 from repro.live.transport import socket_pipe
 from repro.mp.records import ChunkRecord, pack_record, unpack_record
 from repro.mp.supervisor import DomainSupervisor
@@ -94,6 +95,7 @@ class ProcessPipeline:
         *,
         telemetry: "bool | object" = False,
         retry: RetryPolicy | None = None,
+        controller: "object | None" = None,
     ):
         self.config = config or LiveConfig(execution_mode="process")
         self.codec = resolve_codec(
@@ -101,6 +103,7 @@ class ProcessPipeline:
         )
         self.telemetry = as_telemetry(telemetry)
         self.retry = retry
+        self.controller = controller
 
     def run(
         self,
@@ -197,12 +200,16 @@ class ProcessPipeline:
             finally:
                 supervisor.close_inputs()
 
+        knobs = Knobs(
+            batch_frames=cfg.batch_frames, batch_linger=cfg.batch_linger
+        )
+
         def collect(domain: int) -> None:
             ring = supervisor.comp_ring(domain)
             try:
                 while True:
                     try:
-                        raws = ring.get_many(max(1, cfg.batch_frames))
+                        raws = ring.get_many(max(1, knobs.batch_frames))
                     except Closed:
                         break
                     batch: list[_WireChunk] = []
@@ -249,53 +256,88 @@ class ProcessPipeline:
             finally:
                 sendq.close()
 
-        threads: list[threading.Thread] = []
-
-        def spawn(name: str, target: Any, *args: Any, **kwargs: Any) -> None:
-            t = threading.Thread(
-                target=target, args=args, kwargs=kwargs, name=name, daemon=True
-            )
-            threads.append(t)
-
         aff = cfg.affinity
-        spawn("mp-feeder", feed)
-        for d in range(ndomains):
-            spawn(f"collector-{d}", collect, d)
-        for i in range(cfg.connections):
+
+        def _thread(name: str, target: Any, *args: Any, **kw: Any) -> Any:
+            return threading.Thread(
+                target=target, args=args, kwargs=kw, name=name, daemon=True
+            )
+
+        def feed_factory(i: int, stop: threading.Event) -> threading.Thread:
+            return _thread("mp-feeder", feed)
+
+        def collect_factory(
+            i: int, stop: threading.Event
+        ) -> threading.Thread:
+            return _thread(f"collector-{i}", collect, i)
+
+        def connection_factory(
+            i: int, stop: threading.Event
+        ) -> list[threading.Thread]:
             tx, rx = socket_pipe(telemetry=tel)
-            spawn(
-                f"send-{i}",
-                workers.sender,
-                tx,
-                sendq,
-                stats["send"],
-                compressed=True,
-                cpus=aff.get("send"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
-                batch_linger=cfg.batch_linger,
+            return [
+                _thread(
+                    f"send-{i}", workers.sender, tx, sendq, stats["send"],
+                    compressed=True, cpus=aff.get("send"), telemetry=tel,
+                    knobs=knobs,
+                ),
+                _thread(
+                    f"recv-{i}", workers.receiver, rx, wireq, stats["recv"],
+                    aff.get("recv"), telemetry=tel, knobs=knobs,
+                ),
+            ]
+
+        def decompress_factory(
+            i: int, stop: threading.Event
+        ) -> threading.Thread:
+            return _thread(
+                f"decompress-{i}", workers.decompressor, self.codec, wireq,
+                stats["decompress"], counting_sink, aff.get("decompress"),
+                telemetry=tel, knobs=knobs, stop=stop,
             )
-            spawn(
-                f"recv-{i}",
-                workers.receiver,
-                rx,
-                wireq,
-                stats["recv"],
-                aff.get("recv"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
-            )
-        for i in range(cfg.decompress_threads):
-            spawn(
-                f"decompress-{i}",
-                workers.decompressor,
-                self.codec,
-                wireq,
-                stats["decompress"],
-                counting_sink,
-                aff.get("decompress"),
-                telemetry=tel,
-                batch_frames=cfg.batch_frames,
+
+        stages = {
+            "feed": StageSet("feed", feed_factory, count=1),
+            # One collector per domain ring — the count is topology,
+            # not a tunable, so the set stays non-scalable.
+            "collect": StageSet(
+                "collect",
+                collect_factory,
+                count=ndomains,
+                downstream=sendq,
+            ),
+            "send": StageSet(
+                "send", connection_factory, count=cfg.connections
+            ),
+            "decompress": StageSet(
+                "decompress",
+                decompress_factory,
+                count=cfg.decompress_threads,
+                scalable=True,
+            ),
+        }
+
+        controller = self.controller
+        if controller is not None:
+            from repro.control.executor import StageSetExecutor
+
+            def respawn_compress() -> bool:
+                # Compress workers are processes, not threads: route the
+                # respawn to the domain supervisor, which SIGKILLs each
+                # worker and lets the crash path restart-and-replay it
+                # (exactly-once holds — collectors dedup on key).  Every
+                # domain is cycled; a stall signal doesn't say which
+                # domain's worker went quiet.
+                results = [supervisor.respawn(d) for d in range(ndomains)]
+                return any(results)
+
+            controller.bind(
+                StageSetExecutor(
+                    stages,
+                    knobs,
+                    queue_map={"sendq": "send", "wireq": "decompress"},
+                    respawn_hooks={"compress": respawn_compress},
+                )
             )
 
         if tel is not None:
@@ -313,14 +355,22 @@ class ProcessPipeline:
         errors: list[str] = []
         try:
             supervisor.start()
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join(cfg.timeouts.join)
-                if t.is_alive():
-                    errors.append(
-                        f"thread {t.name} did not finish (deadlock?)"
-                    )
+            try:
+                for ss in stages.values():
+                    ss.start()
+                if controller is not None:
+                    controller.start()
+                for ss in stages.values():
+                    errors.extend(ss.join(cfg.timeouts.join))
+            finally:
+                if controller is not None:
+                    controller.stop()
+            # Sweep again: the controller may have grown a set while
+            # earlier sets were being joined (re-joins are free, and
+            # duplicate straggler reports dedupe below).
+            for ss in stages.values():
+                errors.extend(ss.join(cfg.timeouts.join))
+            errors = list(dict.fromkeys(errors))
             errors.extend(supervisor.join(cfg.timeouts.join))
             elapsed = time.perf_counter() - t0
             # The compress stage ran out-of-process; fold the shared

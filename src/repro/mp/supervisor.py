@@ -208,7 +208,10 @@ class DomainSupervisor:
             # Unblock everyone: the run is lost.
             self.abort()
             return
-        time.sleep(self.retry.backoff(attempt - 1))
+        if attempt >= 1:
+            # attempt 0 is a controller-initiated respawn (the counter
+            # was pre-credited): restart immediately, no backoff.
+            time.sleep(self.retry.backoff(attempt - 1))
         if self._stop.is_set():
             return
         assert self.stats is not None
@@ -253,6 +256,31 @@ class DomainSupervisor:
                     # and replays the (unchanged) outstanding set again.
                     if not proc.is_alive():  # type: ignore[attr-defined]
                         break
+
+    def respawn(self, domain: int) -> bool:
+        """Controller-initiated drain-and-respawn of one domain worker.
+
+        Kills the process (SIGKILL — ``terminate()`` means "drain and
+        exit cleanly", which the monitor would *not* restart) and lets
+        the ordinary crash path bring up a clean replacement and replay
+        the outstanding records; the collector's dedup keeps delivery
+        exactly-once, the same guarantee a real crash gets.  The
+        attempt counter is pre-decremented so a deliberate respawn
+        never consumes the crash-retry budget.  Returns False when the
+        domain is gone, already given up, or the run is shutting down.
+        """
+        if not self._started or self._terminating:
+            return False
+        if domain not in self._procs or domain in self._given_up:
+            return False
+        proc = self._procs[domain]
+        if not proc.is_alive():  # type: ignore[attr-defined]
+            return False
+        with self._out_lock:
+            # The budget credit: _handle_crash's increment nets to zero.
+            self._attempts[domain] -= 1
+        proc.kill()  # type: ignore[attr-defined]
+        return True
 
     def _poll(self) -> None:
         while True:

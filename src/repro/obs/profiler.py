@@ -41,18 +41,30 @@ _STAGE_BY_PREFIX: dict[str, str] = {
     "receiver": "recv",
     "decompress": "decompress",
     "wire": "send",
+    "collector": "compress",
 }
 
 
 def stage_for_thread_name(name: str) -> str:
     """Map a worker thread name to its pipeline stage (else ``other``).
 
-    ``compress-3`` → ``compress``, ``feeder`` → ``feed``; anything the
-    pipeline didn't spawn (main thread, HTTP server threads) lands in
-    ``other`` so the profile still accounts for 100% of samples.
+    ``compress-3`` → ``compress``, ``feeder`` → ``feed``, and composite
+    names resolve by token — the simulator's dotted process names
+    (``s0.compress.1`` → ``compress``) and the process pipeline's
+    prefixed workers (``mp-compress-0`` → ``compress``, ``collector-1``
+    → ``compress``) — the controller routes stall signals by this
+    stage.  Anything the pipeline didn't spawn (main thread, HTTP
+    server threads) lands in ``other`` so the profile still accounts
+    for 100% of samples.
     """
     prefix = name.split("-", 1)[0].strip().lower()
-    return _STAGE_BY_PREFIX.get(prefix, "other")
+    stage = _STAGE_BY_PREFIX.get(prefix)
+    if stage is not None:
+        return stage
+    for token in name.strip().lower().replace("-", ".").split("."):
+        if token in _STAGE_BY_PREFIX:
+            return _STAGE_BY_PREFIX[token]
+    return "other"
 
 
 def _collapse(frame: FrameType | None, limit: int = 48) -> tuple[str, ...]:

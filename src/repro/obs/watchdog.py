@@ -53,6 +53,11 @@ class WatchdogConfig:
     backpressure_depth: float = 8.0
     #: ...when sustained for at least this long.
     backpressure_after: float = 1.0
+    #: an alerted queue re-arms only once depth drops to or below
+    #: ``backpressure_clear_ratio * backpressure_depth`` — hysteresis,
+    #: so depth oscillating around the threshold can't re-fire the
+    #: alert every poll (and flap the autotuning controller).
+    backpressure_clear_ratio: float = 0.5
     #: recompute the bottleneck every N polls (0 disables).
     bottleneck_every: int = 4
 
@@ -61,6 +66,10 @@ class WatchdogConfig:
             raise ValueError("interval must be > 0")
         if self.stall_after <= 0:
             raise ValueError("stall_after must be > 0")
+        if not 0 < self.backpressure_clear_ratio <= 1:
+            raise ValueError(
+                "backpressure_clear_ratio must be in (0, 1]"
+            )
 
 
 class Watchdog:
@@ -166,6 +175,10 @@ class Watchdog:
         family = self.telemetry.registry.get("pipeline_queue_depth")
         if family is None:
             return out
+        clear = (
+            self.config.backpressure_clear_ratio
+            * self.config.backpressure_depth
+        )
         for series in family.series():
             queue = series.labels[0] if series.labels else ""
             depth = getattr(series, "value", 0.0)
@@ -185,9 +198,15 @@ class Watchdog:
                         queue=queue,
                         depth=depth,
                     )
-            else:
+            elif depth <= clear:
+                # A real drain: forget the alert and re-arm.
                 self._deep_since.pop(queue, None)
                 self._deep_alerted.discard(queue)
+            else:
+                # The hysteresis band (clear < depth < threshold): the
+                # sustain timer resets, but the alert stays latched so
+                # oscillation around the threshold can't re-fire it.
+                self._deep_since.pop(queue, None)
         return out
 
     def _check_bottleneck(self) -> list[Event]:

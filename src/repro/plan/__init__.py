@@ -24,6 +24,7 @@ _EXPORTS = {
     "QueueEdge": "repro.plan.ir",
     "ExecutionNode": "repro.plan.ir",
     "CodecNode": "repro.plan.ir",
+    "ControlNode": "repro.plan.ir",
     "STAGE_ORDER": "repro.plan.ir",
     "POLICIES": "repro.plan.ir",
     # diagnostics
@@ -54,6 +55,16 @@ _EXPORTS = {
     "explain_plan": "repro.plan.explain",
     "diff_plans": "repro.plan.diff",
     "substrate_drift": "repro.plan.diff",
+    # delta (the re-plan grammar)
+    "PlanDelta": "repro.plan.delta",
+    "ScaleStage": "repro.plan.delta",
+    "MoveStage": "repro.plan.delta",
+    "SetBatchFrames": "repro.plan.delta",
+    "SetCodec": "repro.plan.delta",
+    "apply_delta": "repro.plan.delta",
+    "plan_delta": "repro.plan.delta",
+    "delta_to_dict": "repro.plan.delta",
+    "delta_from_dict": "repro.plan.delta",
     # serialization (scenario format v3)
     "plan_to_dict": "repro.plan.serialize",
     "plan_from_dict": "repro.plan.serialize",

@@ -1,0 +1,407 @@
+"""Typed plan deltas: the grammar of a re-plan.
+
+A :class:`PlanDelta` is a small, serializable edit script over a
+:class:`~repro.plan.ir.PipelinePlan` — the representation shared by the
+autotuning controller (:mod:`repro.control`), which *proposes* deltas
+from observed signals, and ``repro-plan diff --format json``, which
+*derives* them by comparing two plan files.  One grammar both ways
+means a controller decision can be replayed offline by applying the
+emitted delta to the static plan, and a human diff can be fed back to
+a runtime verbatim.
+
+The grammar covers the knobs a running pipeline can absorb without a
+restart:
+
+- :class:`ScaleStage` — change a stage's worker count;
+- :class:`MoveStage` — re-home a stage onto different NUMA domains;
+- :class:`SetBatchFrames` — retune the chunks-per-handoff batch knob;
+- :class:`SetCodec` — swap the codec policy node.
+
+Drift the grammar cannot express (workload shape, machine sets, fault
+specs, ...) is carried as free-form ``notes`` — informational for
+diffs, never applicable.  :func:`apply_delta` applies the ops
+immutably, then re-runs the standard ``validate -> normalize`` passes
+so a bad delta surfaces diagnostics exactly like a bad plan file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.config import StageKind
+from repro.core.placement import PlacementSpec
+from repro.plan.ir import CodecNode, PipelinePlan, StageNode, StreamNode
+from repro.plan.passes import PlanResult, run_passes
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "DeltaOp",
+    "MoveStage",
+    "PlanDelta",
+    "ScaleStage",
+    "SetBatchFrames",
+    "SetCodec",
+    "apply_delta",
+    "delta_from_dict",
+    "delta_to_dict",
+    "plan_delta",
+]
+
+
+# ---------------------------------------------------------------------------
+# the ops
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScaleStage:
+    """Set stage ``stage`` of stream ``stream`` to ``count`` workers."""
+
+    stream: str
+    stage: str
+    count: int
+
+    op = "scale_stage"
+
+    def describe(self) -> str:
+        return f"scale {self.stream}/{self.stage} -> x{self.count}"
+
+
+@dataclass(frozen=True)
+class MoveStage:
+    """Re-home stage ``stage`` of stream ``stream`` onto ``sockets``."""
+
+    stream: str
+    stage: str
+    sockets: tuple[int, ...]
+
+    op = "move_stage"
+
+    def describe(self) -> str:
+        socks = "&".join(map(str, self.sockets))
+        return f"move {self.stream}/{self.stage} -> N{socks}"
+
+
+@dataclass(frozen=True)
+class SetBatchFrames:
+    """Set stream ``stream``'s ``batch_frames`` knob."""
+
+    stream: str
+    batch_frames: int
+
+    op = "set_batch_frames"
+
+    def describe(self) -> str:
+        return f"batch_frames {self.stream} -> {self.batch_frames}"
+
+
+@dataclass(frozen=True)
+class SetCodec:
+    """Swap the plan's codec policy node (spec-string form)."""
+
+    codec: str
+
+    op = "set_codec"
+
+    def describe(self) -> str:
+        return f"codec -> {self.codec}"
+
+
+DeltaOp = ScaleStage | MoveStage | SetBatchFrames | SetCodec
+
+_OP_TYPES: dict[str, type] = {
+    t.op: t for t in (ScaleStage, MoveStage, SetBatchFrames, SetCodec)
+}
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """An ordered edit script plus the reasoning that produced it."""
+
+    ops: tuple[DeltaOp, ...] = ()
+    #: Why the delta was proposed (controller diagnosis or "plan diff").
+    reason: str = ""
+    #: Drift the op grammar can't express — informational only.
+    notes: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.ops or self.notes)
+
+    def describe(self) -> str:
+        parts = [op.describe() for op in self.ops]
+        parts.extend(f"note: {n}" for n in self.notes)
+        body = "; ".join(parts) if parts else "empty"
+        why = f" [{self.reason}]" if self.reason else ""
+        return f"delta({body}){why}"
+
+
+# ---------------------------------------------------------------------------
+# applying
+# ---------------------------------------------------------------------------
+
+
+def _edit_stage(
+    plan: PipelinePlan,
+    stream: str,
+    stage: str,
+    edit: "Any",
+) -> PipelinePlan:
+    """Rewrite one stage node of one stream immutably."""
+    try:
+        kind = StageKind(stage)
+    except ValueError:
+        raise ValidationError(f"unknown stage kind {stage!r}") from None
+    snode = plan.stream(stream)  # KeyError -> caller converts
+    node = snode.stage(kind)
+    if node is None:
+        raise ValidationError(
+            f"stream {stream!r} has no {stage} stage to edit"
+        )
+    stages = tuple(
+        edit(n) if n.kind == kind else n for n in snode.stages
+    )
+    streams = [
+        replace(s, stages=stages) if s.stream_id == stream else s
+        for s in plan.streams
+    ]
+    return plan.with_streams(streams)
+
+
+def _apply_op(plan: PipelinePlan, op: DeltaOp) -> PipelinePlan:
+    if isinstance(op, ScaleStage):
+        return _edit_stage(
+            plan,
+            op.stream,
+            op.stage,
+            lambda n: replace(n, count=op.count),
+        )
+    if isinstance(op, MoveStage):
+        if not op.sockets:
+            raise ValidationError("move_stage needs >= 1 socket")
+        spec = (
+            PlacementSpec.socket(op.sockets[0])
+            if len(op.sockets) == 1
+            else PlacementSpec.split(op.sockets)
+        )
+        return _edit_stage(
+            plan,
+            op.stream,
+            op.stage,
+            lambda n: replace(n, placement=spec, rationale="controller move"),
+        )
+    if isinstance(op, SetBatchFrames):
+        if op.stream not in plan.stream_ids():
+            raise KeyError(f"no stream {op.stream!r} in plan {plan.name!r}")
+        streams = [
+            replace(s, batch_frames=op.batch_frames)
+            if s.stream_id == op.stream
+            else s
+            for s in plan.streams
+        ]
+        return plan.with_streams(streams)
+    if isinstance(op, SetCodec):
+        return replace(plan, codec=CodecNode.from_spec(op.codec))
+    raise ValidationError(f"unknown delta op {op!r}")  # pragma: no cover
+
+
+def apply_delta(
+    plan: PipelinePlan,
+    delta: PlanDelta,
+    *,
+    strict: bool = True,
+    telemetry: "Any | None" = None,
+) -> PlanResult:
+    """Apply ``delta`` to ``plan`` and re-run the standard passes.
+
+    Ops apply in order, immutably; the result goes through the same
+    ``validate -> normalize`` pipeline a freshly loaded plan file does,
+    so an out-of-range count or an unknown socket surfaces as plan
+    diagnostics.  ``strict=True`` raises on errors (the CLI path);
+    ``strict=False`` returns the diagnostics for the caller — the
+    controller uses this to turn a bad proposal into a
+    ``replan_rejected`` event instead of a crash.  Notes never apply;
+    they ride along for reporting.
+    """
+    out = plan
+    try:
+        for op in delta.ops:
+            out = _apply_op(out, op)
+    except KeyError as exc:
+        raise ValidationError(f"delta references {exc.args[0]}") from exc
+    return run_passes(out, telemetry=telemetry, strict=strict)
+
+
+# ---------------------------------------------------------------------------
+# (de)serialization — the schema `repro-plan diff --format json` emits
+# ---------------------------------------------------------------------------
+
+
+def _op_to_dict(op: DeltaOp) -> dict[str, Any]:
+    out: dict[str, Any] = {"op": op.op}
+    if isinstance(op, ScaleStage):
+        out.update(stream=op.stream, stage=op.stage, count=op.count)
+    elif isinstance(op, MoveStage):
+        out.update(
+            stream=op.stream, stage=op.stage, sockets=list(op.sockets)
+        )
+    elif isinstance(op, SetBatchFrames):
+        out.update(stream=op.stream, batch_frames=op.batch_frames)
+    elif isinstance(op, SetCodec):
+        out.update(codec=op.codec)
+    return out
+
+
+def delta_to_dict(delta: PlanDelta) -> dict[str, Any]:
+    """Encode a delta as the shared JSON schema."""
+    doc: dict[str, Any] = {"ops": [_op_to_dict(op) for op in delta.ops]}
+    if delta.reason:
+        doc["reason"] = delta.reason
+    if delta.notes:
+        doc["notes"] = list(delta.notes)
+    return doc
+
+
+def _op_from_dict(d: dict[str, Any]) -> DeltaOp:
+    kind = d.get("op")
+    cls = _OP_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ValidationError(f"unknown delta op {kind!r}")
+    fields = {k: v for k, v in d.items() if k != "op"}
+    if cls is MoveStage:
+        fields["sockets"] = tuple(fields.get("sockets", ()))
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValidationError(f"bad {kind} op: {exc}") from exc
+
+
+def delta_from_dict(doc: dict[str, Any]) -> PlanDelta:
+    """Decode a delta from the shared JSON schema."""
+    unknown = set(doc) - {"ops", "reason", "notes"}
+    if unknown:
+        raise ValidationError(f"unknown delta keys: {sorted(unknown)}")
+    return PlanDelta(
+        ops=tuple(_op_from_dict(d) for d in doc.get("ops", [])),
+        reason=str(doc.get("reason", "")),
+        notes=tuple(str(n) for n in doc.get("notes", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# structured diff — plan_delta(a, b) such that apply(a, delta) ~ b
+# ---------------------------------------------------------------------------
+
+
+def _placement_sockets(node: StageNode) -> tuple[int, ...] | None:
+    """The socket set a placement pins to, or None when not socket-kind."""
+    if node.placement.kind in ("socket", "sockets"):
+        return node.placement.sockets
+    return None
+
+
+def _stream_ops(
+    a: StreamNode, b: StreamNode
+) -> tuple[list[DeltaOp], list[str]]:
+    ops: list[DeltaOp] = []
+    notes: list[str] = []
+    sid = a.stream_id
+    if a.batch_frames != b.batch_frames:
+        ops.append(SetBatchFrames(sid, b.batch_frames))
+    a_stages = {n.kind: n for n in a.stages}
+    b_stages = {n.kind: n for n in b.stages}
+    for kind in sorted(set(a_stages) | set(b_stages), key=lambda k: k.value):
+        an, bn = a_stages.get(kind), b_stages.get(kind)
+        if an is None or bn is None:
+            which = "first" if bn is None else "second"
+            notes.append(
+                f"stream {sid!r} stage {kind.value}: only in {which} plan"
+            )
+            continue
+        if an.count != bn.count:
+            ops.append(ScaleStage(sid, kind.value, bn.count))
+        if an.placement != bn.placement:
+            target = _placement_sockets(bn)
+            if target is not None:
+                ops.append(MoveStage(sid, kind.value, target))
+            else:
+                notes.append(
+                    f"stream {sid!r} stage {kind.value}: placement "
+                    f"{an.placement.describe()} != "
+                    f"{bn.placement.describe()} (not socket-addressable)"
+                )
+    for attr in (
+        "sender",
+        "receiver",
+        "path",
+        "num_chunks",
+        "chunk_bytes",
+        "ratio_mean",
+        "ratio_sigma",
+        "source_socket",
+        "queue_capacity",
+        "micro",
+    ):
+        av, bv = getattr(a, attr), getattr(b, attr)
+        if av != bv:
+            notes.append(f"stream {sid!r} {attr}: {av!r} != {bv!r}")
+    if tuple(a.faults) != tuple(b.faults):
+        notes.append(f"stream {sid!r}: fault specs differ")
+    return ops, notes
+
+
+def plan_delta(
+    a: PipelinePlan, b: PipelinePlan, *, reason: str = "plan diff"
+) -> PlanDelta:
+    """The structured delta taking plan ``a`` toward plan ``b``.
+
+    Expressible drift (stage counts, socket placements, batch_frames,
+    codec node) becomes ops; everything else becomes notes.  An empty
+    delta (no ops, no notes) means the plans agree on every compared
+    axis.
+    """
+    ops: list[DeltaOp] = []
+    notes: list[str] = []
+    if a.codec != b.codec:
+        ops.append(SetCodec(str(b.codec.spec())))
+    a_ids, b_ids = set(a.stream_ids()), set(b.stream_ids())
+    for sid in sorted(a_ids - b_ids):
+        notes.append(f"stream {sid!r}: only in first plan")
+    for sid in sorted(b_ids - a_ids):
+        notes.append(f"stream {sid!r}: only in second plan")
+    for sid in sorted(a_ids & b_ids):
+        s_ops, s_notes = _stream_ops(a.stream(sid), b.stream(sid))
+        ops.extend(s_ops)
+        notes.extend(s_notes)
+    for attr, label in (
+        ("name", "name"),
+        ("policy", "policy"),
+        ("seed", "seed"),
+        ("warmup_chunks", "warmup_chunks"),
+        ("csw_penalty", "csw_penalty"),
+        ("wake_affinity", "wake_affinity"),
+        ("migrate_prob", "migrate_prob"),
+        ("spill_threshold", "spill_threshold"),
+        ("max_sim_time", "max_sim_time"),
+    ):
+        av, bv = getattr(a, attr), getattr(b, attr)
+        if av != bv:
+            notes.append(f"{label}: {av!r} != {bv!r}")
+    if a.cost != b.cost:
+        notes.append("cost model differs")
+    if set(a.machines) != set(b.machines):
+        notes.append(
+            f"machines: {sorted(a.machines)} != {sorted(b.machines)}"
+        )
+    if set(a.paths) != set(b.paths):
+        notes.append(f"paths: {sorted(a.paths)} != {sorted(b.paths)}")
+    if a.execution != b.execution:
+        notes.append(
+            f"execution: {a.execution.describe()} != "
+            f"{b.execution.describe()}"
+        )
+    if a.control != b.control:
+        notes.append(
+            f"control: {a.control.describe()} != {b.control.describe()}"
+        )
+    return PlanDelta(ops=tuple(ops), reason=reason, notes=tuple(notes))

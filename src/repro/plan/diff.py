@@ -44,6 +44,17 @@ def diff_plans(a: PipelinePlan, b: PipelinePlan) -> list[str]:
         )
     if set(a.paths) != set(b.paths):
         out.append(f"paths: {sorted(a.paths)} != {sorted(b.paths)}")
+    if a.execution != b.execution:
+        out.append(
+            f"execution: {a.execution.describe()} != "
+            f"{b.execution.describe()}"
+        )
+    if a.codec != b.codec:
+        out.append(f"codec: {a.codec.describe()} != {b.codec.describe()}")
+    if a.control != b.control:
+        out.append(
+            f"control: {a.control.describe()} != {b.control.describe()}"
+        )
 
     a_ids, b_ids = set(a.stream_ids()), set(b.stream_ids())
     for sid in sorted(a_ids - b_ids):
@@ -68,6 +79,7 @@ def _diff_streams(a: StreamNode, b: StreamNode) -> list[str]:
         "ratio_sigma",
         "source_socket",
         "queue_capacity",
+        "batch_frames",
         "micro",
     ):
         av, bv = getattr(a, attr), getattr(b, attr)

@@ -191,6 +191,55 @@ class CodecNode:
 
 
 @dataclass(frozen=True)
+class ControlNode:
+    """Closed-loop autotuning policy — a policy node, not a placement.
+
+    When ``enabled``, the runtime starts a
+    :class:`repro.control.Controller` that watches the event bus
+    (backpressure, stalls, bottleneck shifts) and applies plan deltas
+    to the *running* pipeline: scaling worker sets, retuning
+    ``batch_frames``, respawning stalled workers.  The same node drives
+    both substrates — a daemon thread on wall time, a simulated process
+    on the virtual clock.  Serialization is v3-compatible: the default
+    (disabled) node is simply omitted from the document, so plans that
+    never opted into autotuning round-trip byte-identically with older
+    readers.
+    """
+
+    enabled: bool = False
+    #: Seconds between controller polls (wall or virtual).
+    interval: float = 0.5
+    #: Minimum seconds between *applied* re-plans (damping).
+    cooldown: float = 2.0
+    #: Worker-count bounds for scalable stages (compress/decompress).
+    min_workers: int = 1
+    max_workers: int = 8
+    #: Largest ``batch_frames`` the controller may set.
+    max_batch_frames: int = 8
+    #: Consecutive quiet polls before scaling a stage back down
+    #: (0 disables scale-down).
+    scale_down_after: int = 0
+
+    @property
+    def is_default(self) -> bool:
+        return self == ControlNode()
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "disabled"
+        down = (
+            f", down after {self.scale_down_after} quiet polls"
+            if self.scale_down_after
+            else ""
+        )
+        return (
+            f"every {self.interval:g}s (cooldown {self.cooldown:g}s, "
+            f"workers {self.min_workers}..{self.max_workers}, "
+            f"batch <= {self.max_batch_frames}{down})"
+        )
+
+
+@dataclass(frozen=True)
 class StreamNode:
     """One detector stream: workload, endpoints, stages, and faults."""
 
@@ -261,6 +310,8 @@ class PipelinePlan:
     execution: ExecutionNode = field(default_factory=ExecutionNode)
     #: Which codec compresses payloads (static name or adaptive policy).
     codec: CodecNode = field(default_factory=CodecNode)
+    #: Closed-loop autotuning policy (disabled unless opted into).
+    control: ControlNode = field(default_factory=ControlNode)
     #: Free-form provenance (workload name, generator inputs, ...).
     metadata: dict[str, str] = field(default_factory=dict)
 
@@ -292,6 +343,8 @@ class PipelinePlan:
             lines.append(f"  execution: {self.execution.describe()}")
         if not self.codec.is_default:
             lines.append(f"  codec: {self.codec.describe()}")
+        if not self.control.is_default:
+            lines.append(f"  control: {self.control.describe()}")
         for s in self.streams:
             stages = ", ".join(n.describe() for n in s.stages_in_order())
             lines.append(f"  {s.stream_id}: {s.sender} -> {s.receiver}: {stages}")

@@ -32,6 +32,7 @@ from repro.core.serialize import (
 from repro.plan.ir import (
     STAGE_ORDER,
     CodecNode,
+    ControlNode,
     ExecutionNode,
     PipelinePlan,
     QueueEdge,
@@ -82,6 +83,8 @@ def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
         doc["execution"] = _execution_to_dict(plan.execution)
     if not plan.codec.is_default:
         doc["codec"] = _codec_to_dict(plan.codec)
+    if not plan.control.is_default:
+        doc["control"] = _control_to_dict(plan.control)
     return doc
 
 
@@ -96,6 +99,26 @@ def _codec_to_dict(node: CodecNode) -> dict[str, Any]:
     if node.probe_interval:
         out["probe_interval"] = node.probe_interval
     return out
+
+
+_CONTROL_FIELDS = (
+    "enabled",
+    "interval",
+    "cooldown",
+    "min_workers",
+    "max_workers",
+    "max_batch_frames",
+    "scale_down_after",
+)
+
+
+def _control_to_dict(node: ControlNode) -> dict[str, Any]:
+    default = ControlNode()
+    return {
+        name: getattr(node, name)
+        for name in _CONTROL_FIELDS
+        if getattr(node, name) != getattr(default, name)
+    }
 
 
 def _execution_to_dict(node: ExecutionNode) -> dict[str, Any]:
@@ -180,7 +203,7 @@ _KNOWN_KEYS = {
     "format", "version", "name", "policy", "metadata", "machines", "paths",
     "streams", "cost", "seed", "warmup_chunks", "csw_penalty",
     "wake_affinity", "migrate_prob", "spill_threshold", "max_sim_time",
-    "execution", "codec",
+    "execution", "codec", "control",
 }
 
 
@@ -228,6 +251,7 @@ def plan_from_dict(doc: dict[str, Any]) -> PipelinePlan:
         metadata={str(k): str(v) for k, v in doc.get("metadata", {}).items()},
         execution=_execution_from_dict(doc.get("execution")),
         codec=_codec_from_dict(doc.get("codec")),
+        control=_control_from_dict(doc.get("control")),
     )
 
 
@@ -246,6 +270,21 @@ def _codec_from_dict(d: dict[str, Any] | None) -> CodecNode:
         params=tuple(sorted(params.items())),
         allowed=tuple(d.get("allowed", ())),
         probe_interval=d.get("probe_interval", 0),
+    )
+
+
+def _control_from_dict(d: dict[str, Any] | None) -> ControlNode:
+    if d is None:
+        return ControlNode()
+    unknown = set(d) - set(_CONTROL_FIELDS)
+    if unknown:
+        raise ValidationError(f"unknown control keys: {sorted(unknown)}")
+    default = ControlNode()
+    return ControlNode(
+        **{
+            name: d.get(name, getattr(default, name))
+            for name in _CONTROL_FIELDS
+        }
     )
 
 

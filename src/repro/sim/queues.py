@@ -34,6 +34,7 @@ class Store:
         name: str = "",
         *,
         monitor: bool = False,
+        telemetry: "Any | None" = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValidationError(f"store capacity must be >= 1, got {capacity}")
@@ -41,6 +42,16 @@ class Store:
         self.capacity = capacity
         self.name = name
         self.depth_series: TimeSeries | None = TimeSeries() if monitor else None
+        # With telemetry attached, every accepted put/get also publishes
+        # the instantaneous depth as ``pipeline_queue_depth{queue}`` —
+        # the gauge the watchdog's backpressure detector reads, so
+        # sustained pressure is visible *mid-run* on the virtual clock
+        # (the end-of-run report only writes summary stats).
+        self._gauge = (
+            telemetry.queue_gauge(name)
+            if telemetry is not None and name
+            else None
+        )
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, Any]] = deque()
@@ -48,6 +59,8 @@ class Store:
     def _sample(self) -> None:
         if self.depth_series is not None:
             self.depth_series.add(self.engine.now, float(len(self._items)))
+        if self._gauge is not None:
+            self._gauge.set(float(len(self._items)))
 
     def __len__(self) -> int:
         return len(self._items)

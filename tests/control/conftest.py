@@ -1,0 +1,44 @@
+"""Shared fixtures for the control-layer tests."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig, StageConfig, StreamConfig
+from repro.core.params import APS_LAN_PATH
+from repro.core.placement import PlacementSpec
+from repro.hw.presets import lynxdtn_spec, updraft_spec
+
+
+@pytest.fixture
+def hand_stream():
+    """Factory for a hand-built StreamConfig (mirrors tests/plan)."""
+
+    def make(**kw) -> StreamConfig:
+        defaults = dict(
+            stream_id="s",
+            sender="updraft1",
+            receiver="lynxdtn",
+            path="aps-lan",
+            compress=StageConfig(4, PlacementSpec.socket(0)),
+            send=StageConfig(2, PlacementSpec.socket(1)),
+            recv=StageConfig(2, PlacementSpec.socket(1)),
+            decompress=StageConfig(4, PlacementSpec.split([0, 1])),
+        )
+        defaults.update(kw)
+        return StreamConfig(**defaults)
+
+    return make
+
+
+@pytest.fixture
+def hand_scenario(hand_stream):
+    """Factory for a one-hop updraft1 -> lynxdtn scenario."""
+
+    def make(*streams, name="hand") -> ScenarioConfig:
+        return ScenarioConfig(
+            name=name,
+            machines={"updraft1": updraft_spec(), "lynxdtn": lynxdtn_spec()},
+            paths={"aps-lan": APS_LAN_PATH},
+            streams=list(streams) or [hand_stream()],
+        )
+
+    return make

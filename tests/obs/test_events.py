@@ -2,6 +2,7 @@
 
 import json
 import logging
+import threading
 
 import pytest
 
@@ -33,7 +34,8 @@ class TestEvent:
         # Both substrates emit these; renames break the event schema.
         for kind in ("run_start", "run_end", "transport_retry",
                      "fault_injected", "stage_stall", "stall_cleared",
-                     "backpressure", "bottleneck_shift", "log"):
+                     "backpressure", "bottleneck_shift", "replan_proposed",
+                     "replan_applied", "replan_rejected", "log"):
             assert kind in EVENT_KINDS
 
 
@@ -99,6 +101,135 @@ class TestEventBus:
         bus.close()
         bus.close()
         assert len(bus.recent()) == 1
+
+
+class TestSince:
+    """Cursor subscription: the controller's event feed."""
+
+    def test_since_zero_returns_everything(self):
+        bus = EventBus()
+        for i in range(4):
+            bus.emit("log", str(i))
+        events, cursor = bus.since(0)
+        assert [e.message for e in events] == ["0", "1", "2", "3"]
+        assert cursor == 4
+
+    def test_cursor_resumes_without_overlap(self):
+        bus = EventBus()
+        bus.emit("log", "a")
+        events, cursor = bus.since(0)
+        assert [e.message for e in events] == ["a"]
+        bus.emit("log", "b")
+        bus.emit("log", "c")
+        events, cursor = bus.since(cursor)
+        assert [e.message for e in events] == ["b", "c"]
+        events, cursor = bus.since(cursor)
+        assert events == []
+        assert cursor == 3
+
+    def test_overflow_returns_retained_suffix(self):
+        bus = EventBus(capacity=3)
+        for i in range(10):
+            bus.emit("log", str(i))
+        # A slow consumer whose cursor fell behind the ring gets the
+        # oldest retained events, not an error and not duplicates.
+        events, cursor = bus.since(2)
+        assert [e.message for e in events] == ["7", "8", "9"]
+        assert cursor == 10
+
+    def test_negative_cursor_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.since(-1)
+
+    def test_recent_filtering_does_not_disturb_cursor(self):
+        """recent(min_severity=) is stateless: a filtered read between
+        two since() calls never hides newer-than-cursor events."""
+        bus = EventBus()
+        bus.emit("log", "a", severity="debug")
+        _, cursor = bus.since(0)
+        bus.emit("stage_stall", "b", severity="warning")
+        bus.emit("log", "c", severity="debug")
+        # Interleaved filtered reads (the repro-top dashboard).
+        assert [e.message for e in bus.recent(min_severity="warning")] == [
+            "b"
+        ]
+        events, cursor = bus.since(cursor)
+        assert [e.message for e in events] == ["b", "c"]
+
+
+class TestConcurrentEmit:
+    THREADS = 8
+    PER_THREAD = 200
+
+    def _hammer(self, bus):
+        def emitter(tid: int) -> None:
+            for i in range(self.PER_THREAD):
+                bus.emit("log", f"{tid}:{i}", tid=tid, seq=i)
+
+        threads = [
+            threading.Thread(target=emitter, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_emitted_vs_len_accounting_under_overflow(self):
+        total = self.THREADS * self.PER_THREAD
+        bus = EventBus(capacity=64)
+        self._hammer(bus)
+        assert bus.emitted == total  # every emission counted...
+        assert len(bus) == 64  # ...even though the ring overflowed
+        # since() agrees with the counter and returns only retained.
+        events, cursor = bus.since(0)
+        assert cursor == total
+        assert len(events) == 64
+
+    def test_jsonl_sink_complete_and_per_thread_ordered(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(capacity=16, jsonl_path=str(path))
+        self._hammer(bus)
+        bus.close()
+        lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert len(parsed) == self.THREADS * self.PER_THREAD
+        # Emission order is serialized under the bus lock, so each
+        # thread's events appear in its own program order.
+        per_thread: dict[int, list[int]] = {}
+        for p in parsed:
+            per_thread.setdefault(p["tid"], []).append(p["seq"])
+        for tid, seqs in per_thread.items():
+            assert seqs == sorted(seqs), f"thread {tid} out of order"
+
+    def test_concurrent_cursor_reader_sees_every_retained_event(self):
+        bus = EventBus(capacity=10_000)  # no overflow: exactly-once
+        seen: list[str] = []
+        done = threading.Event()
+
+        def reader() -> None:
+            cursor = 0
+            while True:
+                # Snapshot the flag *before* reading: if it was set,
+                # every emission already happened, so an empty read
+                # really means the feed is drained.
+                finished = done.is_set()
+                events, cursor = bus.since(cursor)
+                seen.extend(e.message for e in events)
+                # A filtered read in between must not hide anything.
+                bus.recent(min_severity="warning")
+                if finished and not events:
+                    break
+
+        t = threading.Thread(target=reader)
+        t.start()
+        self._hammer(bus)
+        done.set()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert len(seen) == self.THREADS * self.PER_THREAD
+        assert len(set(seen)) == len(seen)  # no duplicates
 
 
 class TestLogBridge:

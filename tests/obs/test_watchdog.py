@@ -126,6 +126,80 @@ class TestBackpressure:
             clock.advance(1.0)
             assert dog.poll() == []
 
+    def test_hysteresis_band_keeps_alert_latched(self):
+        """Oscillation around the threshold must not re-fire the alert.
+
+        Regression: the old two-way check treated any dip below the
+        threshold as a full drain, so depth bouncing 10 -> 7 -> 10
+        re-alerted every cycle (and would flap the controller).  The
+        alert must stay latched until depth reaches clear_ratio*depth.
+        """
+        tel, clock, bus, dog = make(
+            backpressure_depth=8.0,
+            backpressure_after=1.0,
+            backpressure_clear_ratio=0.5,
+        )
+        gauge = tel.queue_gauge("sendq")
+        gauge.set(10)
+        dog.poll()
+        clock.advance(1.0)
+        assert [e.kind for e in dog.poll()] == ["backpressure"]
+        for _ in range(3):  # bounce inside the band (4 < depth < 8)
+            gauge.set(7)
+            dog.poll()
+            gauge.set(10)
+            dog.poll()
+            clock.advance(1.0)
+            assert dog.poll() == []  # latched: no re-alert
+        assert tel.counter_value("repro_watchdog_backpressure_total",
+                                 queue="sendq") == 1
+
+    def test_rearm_only_below_clear_threshold(self):
+        tel, clock, bus, dog = make(
+            backpressure_depth=8.0,
+            backpressure_after=1.0,
+            backpressure_clear_ratio=0.5,
+        )
+        gauge = tel.queue_gauge("sendq")
+        gauge.set(10)
+        dog.poll()
+        clock.advance(1.0)
+        dog.poll()  # alerts
+        gauge.set(4)  # == clear threshold: a real drain, re-arms
+        dog.poll()
+        gauge.set(10)
+        dog.poll()
+        clock.advance(1.0)
+        assert [e.kind for e in dog.poll()] == ["backpressure"]
+        assert tel.counter_value("repro_watchdog_backpressure_total",
+                                 queue="sendq") == 2
+
+    def test_band_dip_resets_sustain_timer(self):
+        """Pre-alert, a dip into the band restarts the sustain clock."""
+        tel, clock, bus, dog = make(
+            backpressure_depth=8.0,
+            backpressure_after=1.0,
+            backpressure_clear_ratio=0.5,
+        )
+        gauge = tel.queue_gauge("sendq")
+        gauge.set(10)
+        dog.poll()  # timer starts
+        clock.advance(0.6)
+        gauge.set(6)  # band dip before the sustain elapsed
+        dog.poll()
+        gauge.set(10)
+        dog.poll()  # timer restarts here
+        clock.advance(0.6)
+        assert dog.poll() == []  # only 0.6s since the restart
+        clock.advance(0.5)
+        assert [e.kind for e in dog.poll()] == ["backpressure"]
+
+    def test_clear_ratio_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(backpressure_clear_ratio=0.0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(backpressure_clear_ratio=1.5)
+
 
 class TestBottleneck:
     def test_shift_announced_on_schedule(self):
