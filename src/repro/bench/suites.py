@@ -21,6 +21,10 @@ the same process so their ratio is host-independent:
   ramps, sphere-phantom projections), plus the mixed-entropy corpus
   end to end: per-chunk adaptive selection must land within 5% of the
   best static codec and beat the worst by >= 1.3x (both gated);
+- **many streams** — the event-loop receiver plane under a 10x spread
+  of concurrent loopback streams (one connection each); per-stream
+  cost must stay flat (within 1.5x) as the count scales, with zero
+  delivery errors and p99 stream-completion latency reported;
 - **sim scenario** — the discrete-event runtime on a generated
   paper-testbed scenario, simulated chunks per wall second.
 
@@ -71,6 +75,12 @@ PROCESS_GATE_MIN_CPUS = 4
 #: -> live scale-up) end-to-end throughput must recover to at least
 #: 1.2x the static-misconfigured run.
 AUTOTUNE_GATE_THRESHOLD = 1.2
+
+#: The many-streams gate: the event-loop receiver's per-stream cost at
+#: 10x the stream count must stay flat — the gate value is the ratio
+#: per-stream-seconds(small) / per-stream-seconds(large), so >= 1/1.5
+#: means the large run costs at most 1.5x per stream.
+MANY_STREAMS_GATE_THRESHOLD = 1 / 1.5
 
 #: The adaptive-codec gates, over the mixed-entropy loopback corpus:
 #: per-chunk selection must land within 5% of the best static codec's
@@ -973,6 +983,229 @@ def bench_autotune(
 
 
 # ---------------------------------------------------------------------------
+# many concurrent streams (event-loop receiver plane, gated)
+# ---------------------------------------------------------------------------
+
+
+def _raise_nofile_limit(need: int) -> None:
+    """Best-effort: lift the soft fd limit toward ``need`` descriptors."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = min(hard, max(soft, need))
+    if want > soft:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (want, hard))
+        except (ValueError, OSError):  # pragma: no cover - locked down
+            pass
+
+
+def _many_streams_once(
+    streams: int,
+    *,
+    chunks_per_stream: int,
+    payload: bytes,
+    shards: int = 0,
+) -> tuple[float, list[float], int]:
+    """One run: ``streams`` loopback connections, one stream each,
+    against an event-loop :class:`~repro.live.remote.ReceiverServer`.
+
+    Returns (seconds from dial-barrier release to the last stream's
+    completion, per-stream completion latencies in seconds, delivered
+    chunk count).  Raises on any delivery error — the bench doubles as
+    the zero-error acceptance check.
+    """
+    from repro.faults.policy import TimeoutPolicy
+    from repro.live.remote import ReceiverServer
+
+    # One client socket + one accepted socket per stream, plus slack.
+    _raise_nofile_limit(2 * streams + 256)
+    lock = threading.Lock()
+    counts: dict[str, int] = {}
+    completed: dict[str, float] = {}
+    started = {"t": 0.0}
+
+    def sink(stream_id: str, index: int, data: bytes) -> None:
+        with lock:
+            done = counts.get(stream_id, 0) + 1
+            counts[stream_id] = done
+            if done == chunks_per_stream:
+                completed[stream_id] = time.perf_counter() - started["t"]
+
+    server = ReceiverServer(
+        port=0,
+        codec="null",
+        connections=streams,
+        decompress_threads=2,
+        queue_capacity=256,
+        mode="eventloop",
+        shards=shards,
+        timeouts=TimeoutPolicy(accept=120.0, join=120.0),
+    )
+    host, port = server.address
+    box: dict[str, object] = {}
+
+    def serve() -> None:
+        box["report"] = server.serve(sink)
+
+    server_thread = threading.Thread(target=serve, daemon=True)
+
+    worker_errors: list[str] = []
+    n_workers = min(16, streams)
+    # Dial everything first, then release every client at once: the
+    # timed window measures the receive path per stream, not the O(n)
+    # connection-setup storm (which client threads serialize anyway).
+    # The barrier action stamps t0 in exactly one thread at release.
+    dialed = threading.Barrier(
+        n_workers,
+        action=lambda: started.__setitem__("t", time.perf_counter()),
+    )
+
+    def client(lo: int, hi: int) -> None:
+        conns: list[tuple[str, FramedSender, FramedReceiver]] = []
+        try:
+            for s in range(lo, hi):
+                sock = socket.create_connection((host, port), timeout=60)
+                sock.settimeout(60.0)
+                sid = f"ms-{s:04d}"
+                conns.append(
+                    (sid, FramedSender(sock), FramedReceiver(sock))
+                )
+            dialed.wait(120.0)
+            for index in range(chunks_per_stream):
+                for sid, tx, _rx in conns:
+                    tx.send(
+                        Frame(
+                            stream_id=sid,
+                            index=index,
+                            payload=payload,
+                            orig_len=len(payload),
+                        )
+                    )
+            for sid, tx, _rx in conns:
+                tx.send(Frame.end_of_stream(sid))
+            # Every frame (data + EOS) is ACKed; drain them all, then
+            # half-close so the receiver counts the stream finished.
+            for sid, tx, rx in conns:
+                for _ in range(chunks_per_stream + 1):
+                    ack = rx.recv()
+                    if ack is None or not ack.ack:
+                        raise RuntimeError(
+                            f"stream {sid}: bad ACK stream {ack!r}"
+                        )
+                tx.close()
+        except Exception as exc:  # noqa: BLE001
+            dialed.abort()
+            with lock:
+                worker_errors.append(f"client[{lo}:{hi}]: {exc!r}")
+        finally:
+            for _sid, tx, _rx in conns:
+                try:
+                    tx.sock.close()
+                except OSError:
+                    pass
+
+    bounds = [
+        (streams * w // n_workers, streams * (w + 1) // n_workers)
+        for w in range(n_workers)
+    ]
+    workers = [
+        threading.Thread(target=client, args=b, daemon=True)
+        for b in bounds
+    ]
+    server_thread.start()
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(180.0)
+    server_thread.join(180.0)
+    report = box.get("report")
+    errors = list(worker_errors)
+    if report is None:
+        errors.append("receiver did not finish")
+    elif getattr(report, "errors", None):
+        errors.extend(report.errors)  # type: ignore[union-attr]
+    delivered = sum(counts.values())
+    if delivered != streams * chunks_per_stream:
+        errors.append(
+            f"delivered {delivered} of {streams * chunks_per_stream} chunks"
+        )
+    if len(completed) != streams:
+        errors.append(
+            f"{len(completed)} of {streams} streams completed"
+        )
+    if errors:
+        raise RuntimeError(
+            f"many-streams run ({streams} streams) failed: "
+            + "; ".join(errors[:5])
+        )
+    latencies = sorted(completed.values())
+    # Window: barrier release (all streams dialed) to the last stream's
+    # final chunk reaching the sink — pure receive-path time.
+    return latencies[-1], latencies, delivered
+
+
+def bench_many_streams(
+    *, quick: bool = False
+) -> tuple[list[BenchResult], GateResult]:
+    """Thousands of loopback streams through the event-loop receiver.
+
+    Two rows at a 10x stream-count spread, identical per-stream work;
+    the gate holds the per-stream cost flat (within 1.5x) as the count
+    scales, which a thread-per-connection receiver cannot do.
+    """
+    small, large = (50, 500) if quick else (100, 1000)
+    chunks_per_stream = 4
+    payload = bytes(2048)
+    # Warm imports/allocators with a tiny run so the small row does not
+    # pay one-time costs that the large row amortizes for free.
+    _many_streams_once(
+        10, chunks_per_stream=chunks_per_stream, payload=payload
+    )
+    results = []
+    per_stream: dict[int, float] = {}
+    for streams in (small, large):
+        # Best of two runs per row, so a scheduler hiccup in either row
+        # cannot decide the gate ratio on a loaded host.
+        elapsed, latencies, delivered = min(
+            (
+                _many_streams_once(
+                    streams,
+                    chunks_per_stream=chunks_per_stream,
+                    payload=payload,
+                )
+                for _ in range(2)
+            ),
+            key=lambda run: run[0],
+        )
+        per_stream[streams] = elapsed / streams
+        results.append(
+            BenchResult(
+                name=f"many_streams_{streams}",
+                value=delivered / elapsed,
+                unit="chunks/s",
+                duration_s=elapsed,
+                n=streams,
+                latency_us=latency_summary(latencies),
+                params={
+                    "streams": streams,
+                    "chunks_per_stream": chunks_per_stream,
+                    "payload_bytes": len(payload),
+                    "per_stream_ms": round(1e3 * elapsed / streams, 3),
+                },
+            )
+        )
+    gate = GateResult(
+        name="many_streams_flat",
+        value=per_stream[small] / per_stream[large],
+        threshold=MANY_STREAMS_GATE_THRESHOLD,
+    )
+    return results, gate
+
+
+# ---------------------------------------------------------------------------
 # suite runner
 # ---------------------------------------------------------------------------
 
@@ -1034,6 +1267,7 @@ def run_suite(
             ("loopback_pipeline",
              lambda: bench_loopback_pipeline(quick=quick)),
             ("obs_overhead", lambda: bench_obs_overhead(quick=quick)),
+            ("many_streams", lambda: bench_many_streams(quick=quick)),
         ):
             emit("run_start", f"bench group {group_name}", group=group_name)
             results, group_gate = gated_runner()

@@ -103,6 +103,22 @@ def live_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--decompress-threads", type=int, default=2)
     parser.add_argument("--connections", type=int, default=2)
     parser.add_argument(
+        "--receiver-mode",
+        choices=("eventloop", "threads"),
+        default=None,
+        help="how the receiver multiplexes connections: selector-driven "
+        "reactor shards (eventloop) or one thread per accepted socket "
+        "(threads) (default: the plan's execution policy, else eventloop)",
+    )
+    parser.add_argument(
+        "--receiver-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reactor shards in eventloop mode; 0 = one per core "
+        "(default: the plan's execution policy, else 0)",
+    )
+    parser.add_argument(
         "--mode",
         choices=("thread", "process"),
         default=None,
@@ -290,6 +306,22 @@ def live_main(argv: list[str] | None = None) -> int:
     if args.batch_linger < 0:
         parser.error("--batch-linger must be >= 0")
 
+    # --receiver-mode/--receiver-shards override the plan's execution
+    # policy; no flag and no plan means the event-loop default.
+    receiver_mode = args.receiver_mode
+    if receiver_mode is None:
+        receiver_mode = (
+            lowered.config.receiver_mode if lowered is not None
+            else "eventloop"
+        )
+    receiver_shards = args.receiver_shards
+    if receiver_shards is None:
+        receiver_shards = (
+            lowered.config.receiver_shards if lowered is not None else 0
+        )
+    if receiver_shards < 0:
+        parser.error("--receiver-shards must be >= 0")
+
     from repro.faults import FaultInjector, parse_fault
     from repro.util.errors import ValidationError
 
@@ -452,11 +484,15 @@ def live_main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             decompress_threads=args.decompress_threads,
             batch_frames=batch_frames,
+            mode=receiver_mode,
+            shards=receiver_shards,
             telemetry=telemetry,
         )
         print(f"listening on {server.address[0]}:{server.address[1]} "
-              f"for {args.connections} connection(s)...")
-        report = server.serve()
+              f"for {args.connections} connection(s) "
+              f"({receiver_mode} receiver)...")
+        with server:
+            report = server.serve()
         print(report.summary())
         finish_telemetry()
         write_json(report)
@@ -496,6 +532,8 @@ def live_main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             decompress_threads=args.decompress_threads,
             batch_frames=batch_frames,
+            mode=receiver_mode,
+            shards=receiver_shards,
             telemetry=telemetry,
         )
         host, port = server.address

@@ -35,6 +35,13 @@ from repro.compress.codec import Codec, CodecSpec, resolve_codec
 from repro.data.chunking import Chunk
 from repro.faults.policy import RetryPolicy, TimeoutPolicy
 from repro.live import workers
+from repro.live.dedup import StreamDedup
+from repro.live.eventloop import (
+    DEFAULT_STREAM_BUDGET,
+    EventLoopPlane,
+    default_shards,
+    run_accept_loop,
+)
 from repro.live.queues import ClosableQueue
 from repro.live.transport import Frame, FramedReceiver, FramedSender
 from repro.telemetry.facade import as_telemetry
@@ -98,6 +105,20 @@ class ReceiverServer:
     re-accepted.  Redelivered chunks are deduplicated on
     (stream, index) before they reach the decompressors, and every
     accepted frame is acknowledged back to the sender (wire-format v2).
+
+    Two receive planes share those semantics (the chaos suite runs
+    against both):
+
+    - ``mode="eventloop"`` (default) — a fixed pool of selector-driven
+      reactor shards multiplexes every connection
+      (:mod:`repro.live.eventloop`), with RSS-style stream→shard
+      placement and per-stream fair-share backpressure; scales to
+      thousands of streams per core.
+    - ``mode="threads"`` — the legacy one-handler-thread-per-socket
+      fallback.
+
+    The listener socket binds in ``__init__``; use :meth:`close` (or
+    the context-manager form) when :meth:`serve` is never reached.
     """
 
     def __init__(
@@ -110,6 +131,9 @@ class ReceiverServer:
         decompress_threads: int = 2,
         queue_capacity: int = 8,
         batch_frames: int = 1,
+        mode: str = "eventloop",
+        shards: int = 0,
+        stream_budget_bytes: int = DEFAULT_STREAM_BUDGET,
         timeouts: TimeoutPolicy | None = None,
         telemetry: "bool | object" = False,
     ) -> None:
@@ -117,23 +141,55 @@ class ReceiverServer:
             raise ValidationError("connections must be >= 1")
         if batch_frames < 1:
             raise ValidationError("batch_frames must be >= 1")
+        if mode not in ("eventloop", "threads"):
+            raise ValidationError(
+                f"mode must be 'eventloop' or 'threads', not {mode!r}"
+            )
+        if shards < 0:
+            raise ValidationError("shards must be >= 0")
+        if stream_budget_bytes < 1:
+            raise ValidationError("stream_budget_bytes must be >= 1")
         self.codec = resolve_codec(codec)
         self.connections = connections
         self.decompress_threads = decompress_threads
         self.queue_capacity = queue_capacity
         self.batch_frames = batch_frames
+        self.mode = mode
+        self.shards = shards or default_shards()
+        self.stream_budget_bytes = stream_budget_bytes
         self.timeouts = timeouts or TimeoutPolicy()
         self.telemetry = as_telemetry(telemetry)
         if self.telemetry is not None:
+            recv_threads = self.shards if mode == "eventloop" else connections
             self.telemetry.thread_counts.update(
-                {"recv": connections, "decompress": decompress_threads}
+                {"recv": recv_threads, "decompress": decompress_threads}
             )
+        #: Open sockets of the thread-mode accept loop (pruned as
+        #: handlers close them; bounded under reconnect churn).
+        self._live_conns: list[socket.socket] = []
+        self._closed = False
         self._listener = socket.create_server((host, port))
 
     @property
     def address(self) -> tuple[str, int]:
         """The (host, port) actually bound (port resolves 0 → ephemeral)."""
         return self._listener.getsockname()[:2]
+
+    def close(self) -> None:
+        """Release the listener; idempotent, safe before/after serve()."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReceiverServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def serve(
         self, sink: Callable[[str, int, bytes], None] | None = None
@@ -147,6 +203,8 @@ class ReceiverServer:
                 runner="ReceiverServer",
                 connections=self.connections,
                 decompress_threads=self.decompress_threads,
+                receiver_mode=self.mode,
+                shards=self.shards if self.mode == "eventloop" else 0,
             )
         stats = {
             "recv": workers.StageStats("recv"),
@@ -154,6 +212,24 @@ class ReceiverServer:
         }
         delivered = {"chunks": 0, "bytes": 0}
         lock = threading.Lock()
+        # serve() is the only producer: the receive plane feeds it
+        # frames, and it seals the queue once every logical connection
+        # finished.
+        wireq = ClosableQueue(
+            self.queue_capacity,
+            producers=1,
+            name="wireq",
+            telemetry=self.telemetry,
+        )
+        plane: EventLoopPlane | None = None
+        if self.mode == "eventloop":
+            plane = EventLoopPlane(
+                shards=self.shards,
+                wireq=wireq,
+                recv_stats=stats["recv"],
+                telemetry=self.telemetry,
+                stream_budget_bytes=self.stream_budget_bytes,
+            )
 
         def counting_sink(stream_id: str, index: int, data: bytes) -> None:
             with lock:
@@ -161,16 +237,10 @@ class ReceiverServer:
                 delivered["bytes"] += len(data)
             if sink is not None:
                 sink(stream_id, index, data)
+            if plane is not None:
+                plane.on_delivered(stream_id, index)
 
-        # serve() is the only producer: handler threads feed it frames,
-        # and it seals the queue once every logical connection finished.
-        wireq = ClosableQueue(
-            self.queue_capacity,
-            producers=1,
-            name="wireq",
-            telemetry=self.telemetry,
-        )
-        seen: set[tuple[str, int]] = set()
+        dedup = StreamDedup()
         state = {"finished": 0, "progress": 0}
         state_lock = threading.Lock()
 
@@ -208,12 +278,9 @@ class ReceiverServer:
                         saw_eos = True
                         ack_tx.send(Frame.ack_for(frame))
                         continue
-                    key = (frame.stream_id, frame.index)
                     with state_lock:
-                        duplicate = key in seen
-                        if not duplicate:
-                            seen.add(key)
-                    if duplicate:
+                        fresh = dedup.claim(frame.stream_id, frame.index)
+                    if not fresh:
                         if self.telemetry is not None:
                             self.telemetry.record_dedup()
                     else:
@@ -262,62 +329,82 @@ class ReceiverServer:
 
         errors: list[str] = []
         handler_threads: list[threading.Thread] = []
-        live_conns: list[socket.socket] = []
+        self._live_conns = []
         accepted = 0
-        self._listener.settimeout(min(0.25, self.timeouts.accept / 2))
-        last_progress = -1
-        last_change = time.monotonic()
-        try:
-            while True:
-                with state_lock:
-                    finished = state["finished"]
-                    progress = state["progress"]
-                if finished >= self.connections:
-                    break
-                now = time.monotonic()
-                if progress != last_progress:
-                    last_progress = progress
-                    last_change = now
-                elif now - last_change > self.timeouts.accept:
-                    errors.append(
-                        f"timed out waiting for {self.connections} "
-                        f"connections to finish ({finished} complete, "
-                        f"{accepted} accepted)"
-                    )
-                    break
-                try:
-                    conn, _addr = self._listener.accept()
-                except (TimeoutError, socket.timeout):
-                    continue
-                except OSError as exc:
-                    errors.append(f"accept failed: {exc}")
-                    break
-                bump_progress()
-                live_conns.append(conn)
-                t = threading.Thread(
-                    target=handler,
-                    args=(conn,),
-                    name=f"recv-{accepted}",
-                    daemon=True,
+        if plane is not None:
+            plane.start()
+            try:
+                accepted = run_accept_loop(
+                    plane,
+                    self._listener,
+                    connections=self.connections,
+                    accept_timeout=self.timeouts.accept,
+                    errors=errors,
                 )
-                accepted += 1
-                handler_threads.append(t)
-                t.start()
-        finally:
-            self._listener.close()
+            finally:
+                self.close()
+            errors.extend(plane.stop(self.timeouts.join))
+        else:
+            self._listener.settimeout(min(0.25, self.timeouts.accept / 2))
+            last_progress = -1
+            last_change = time.monotonic()
+            try:
+                while True:
+                    with state_lock:
+                        finished = state["finished"]
+                        progress = state["progress"]
+                    if finished >= self.connections:
+                        break
+                    now = time.monotonic()
+                    if progress != last_progress:
+                        last_progress = progress
+                        last_change = now
+                    elif now - last_change > self.timeouts.accept:
+                        errors.append(
+                            f"timed out waiting for {self.connections} "
+                            f"connections to finish ({finished} complete, "
+                            f"{accepted} accepted)"
+                        )
+                        break
+                    # Handlers close their sockets when a session ends;
+                    # prune those here so reconnect churn can't retain
+                    # dead socket objects for the whole run.
+                    self._live_conns = [
+                        c for c in self._live_conns if c.fileno() != -1
+                    ]
+                    try:
+                        conn, _addr = self._listener.accept()
+                    except (TimeoutError, socket.timeout):
+                        continue
+                    except OSError as exc:
+                        errors.append(f"accept failed: {exc}")
+                        break
+                    bump_progress()
+                    self._live_conns.append(conn)
+                    t = threading.Thread(
+                        target=handler,
+                        args=(conn,),
+                        name=f"recv-{accepted}",
+                        daemon=True,
+                    )
+                    accepted += 1
+                    handler_threads.append(t)
+                    t.start()
+            finally:
+                self.close()
 
-        if errors:
-            # Gave up waiting: unblock handlers stuck in recv() so the
-            # joins below return promptly.
-            for conn in live_conns:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-        for t in handler_threads:
-            t.join(self.timeouts.join)
-            if t.is_alive():
-                errors.append(f"thread {t.name} did not finish")
+            if errors:
+                # Gave up waiting: unblock handlers stuck in recv() so
+                # the joins below return promptly.
+                for conn in self._live_conns:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            for t in handler_threads:
+                t.join(self.timeouts.join)
+                if t.is_alive():
+                    errors.append(f"thread {t.name} did not finish")
         wireq.close()
         for t in threads:
             t.join(self.timeouts.join)
@@ -433,9 +520,18 @@ class SenderClient:
             name="sendq", telemetry=self.telemetry,
         )
         errors: list[str] = []
+        senders: list[FramedSender] = []
         try:
-            senders = [self._dial(i) for i in range(self.connections)]
+            for i in range(self.connections):
+                senders.append(self._dial(i))
         except OSError as exc:
+            # Don't leak the connections that did dial before the
+            # failure — close them before surfacing the error.
+            for tx in senders:
+                try:
+                    tx.sock.close()
+                except OSError:
+                    pass
             raise TransportError(
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc

@@ -68,6 +68,13 @@ class LiveConfig:
     #: multiprocessing start method for worker processes ("spawn" is
     #: the portable default; "fork" starts faster where it is safe).
     mp_start_method: str = "spawn"
+    #: How a ReceiverServer lowered from this config multiplexes its
+    #: connections: "eventloop" (selector-driven reactor shards) or
+    #: "threads" (legacy one thread per accepted socket).
+    receiver_mode: str = "eventloop"
+    #: Reactor shards in eventloop mode (0 = auto: one per core the
+    #: receiver's NUMA domain offers).
+    receiver_shards: int = 0
 
     def __post_init__(self) -> None:
         for name in ("compress_threads", "decompress_threads", "connections",
@@ -89,6 +96,13 @@ class LiveConfig:
             raise ValidationError(
                 f"unknown mp_start_method {self.mp_start_method!r}"
             )
+        if self.receiver_mode not in ("eventloop", "threads"):
+            raise ValidationError(
+                f"receiver_mode must be 'eventloop' or 'threads', "
+                f"not {self.receiver_mode!r}"
+            )
+        if self.receiver_shards < 0:
+            raise ValidationError("receiver_shards must be >= 0")
         self.timeouts = self.timeouts or TimeoutPolicy()
 
 

@@ -331,6 +331,81 @@ class FramedReceiver:
         """True when read-ahead bytes are buffered in userspace."""
         return len(self._buf) > self._pos
 
+    def feed(self, data: bytes | bytearray | memoryview) -> None:
+        """Append bytes obtained elsewhere (event-loop / non-blocking use).
+
+        The event-loop receiver plane owns the ``recv`` syscalls (its
+        selector decides *when* to read); the bytes it gets are fed here
+        and parsed with :meth:`next_frame`.  Mixing :meth:`feed` with
+        the blocking :meth:`recv` is safe — both consume the same
+        buffer.
+        """
+        if self._pos:
+            # Compact consumed bytes before growing the buffer.
+            del self._buf[: self._pos]
+            self._pos = 0
+        self._buf += data
+
+    def next_frame(self) -> Frame | None:
+        """Parse one frame from buffered bytes, without touching the socket.
+
+        Returns None when the buffer holds only a partial frame — the
+        bytes stay put and parsing resumes exactly where it left off on
+        the next :meth:`feed` (partial-frame resume).  Raises
+        :class:`FrameIntegrityError` on a bad magic / oversized header
+        or a checksum mismatch, same as :meth:`recv`.
+        """
+        have = len(self._buf) - self._pos
+        if have < _HEADER.size:
+            return None
+        magic, sid_len = _HEADER.unpack_from(self._buf, self._pos)
+        if magic != MAGIC:
+            raise FrameIntegrityError(f"bad frame magic 0x{magic:08X}")
+        if sid_len > MAX_STREAM_ID:
+            raise FrameIntegrityError(
+                f"stream id length {sid_len} exceeds limit"
+            )
+        head = _HEADER.size + sid_len + _BODY.size
+        if have < head:
+            return None
+        index, flags, orig_len, checksum, length = _BODY.unpack_from(
+            self._buf, self._pos + _HEADER.size + sid_len
+        )
+        if length > MAX_FRAME_PAYLOAD:
+            raise FrameIntegrityError(
+                f"frame payload {length} exceeds limit"
+            )
+        if have < head + length:
+            return None
+        pos = self._pos + _HEADER.size
+        sid = bytes(self._buf[pos : pos + sid_len]).decode()
+        pos += sid_len + _BODY.size
+        if length:
+            with memoryview(self._buf) as mv:
+                payload = bytes(mv[pos : pos + length])
+        else:
+            payload = b""
+        if zlib.crc32(payload) != checksum:
+            raise FrameIntegrityError(
+                f"checksum mismatch on {sid}#{index} ({length} bytes)"
+            )
+        self._pos = pos + length
+        if self._pos == len(self._buf):
+            del self._buf[:]
+            self._pos = 0
+        if self.telemetry is not None:
+            self.telemetry.record_frame("rx", head + length)
+        return Frame(
+            stream_id=sid,
+            index=index,
+            payload=payload,
+            compressed=bool(flags & FLAG_COMPRESSED),
+            orig_len=orig_len,
+            eos=bool(flags & FLAG_EOS),
+            ack=bool(flags & FLAG_ACK),
+            codec_id=flags >> CODEC_SHIFT,
+        )
+
     def _fill(self, need: int, *, eof_ok: bool = False) -> bool:
         """Ensure ``need`` unconsumed bytes are buffered.
 
@@ -359,6 +434,11 @@ class FramedReceiver:
 
     def recv(self) -> Frame | None:
         """Next frame, or None on clean connection shutdown."""
+        if self.pending:
+            # A whole frame may already sit in the read-ahead buffer.
+            frame = self.next_frame()
+            if frame is not None:
+                return frame
         if not self._fill(_HEADER.size, eof_ok=True):
             return None
         magic, sid_len = _HEADER.unpack_from(self._buf, self._pos)

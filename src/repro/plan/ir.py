@@ -31,6 +31,7 @@ reports every problem at once (:mod:`repro.plan.diagnostics`).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator
 
@@ -108,19 +109,43 @@ class ExecutionNode:
     ring_capacity: int = 8
     #: Ring slot size, bytes; must fit one packed chunk record.
     ring_slot_bytes: int = 1 << 20
+    #: How the live receiver multiplexes connections: ``eventloop``
+    #: (a fixed pool of selector-driven reactor shards) or ``threads``
+    #: (the legacy one-handler-thread-per-socket fallback).
+    receiver_mode: str = "eventloop"
+    #: Reactor shards in eventloop mode; 0 = auto (one per NUMA-domain
+    #: core, mirroring the NIC's RSS hash→queue fan-out, Obs 3/4).
+    receiver_shards: int = 0
 
     @property
     def is_default(self) -> bool:
         return self == ExecutionNode()
 
     def describe(self) -> str:
+        recv = ""
+        if self.receiver_mode != "eventloop" or self.receiver_shards:
+            shards = self.receiver_shards or "auto"
+            recv = f" recv={self.receiver_mode} x{shards}"
         if self.mode == "thread":
-            return "thread"
+            return f"thread{recv}" if recv else "thread"
         d = self.domains or "auto"
         return (
             f"process x{d} (ring {self.ring_capacity} x "
-            f"{self.ring_slot_bytes}B)"
+            f"{self.ring_slot_bytes}B){recv}"
         )
+
+
+def stream_shard(stream_id: str, shards: int) -> int:
+    """RSS-style stream→shard mapping shared by sim and live.
+
+    Deterministic across processes and runs (CRC-32 of the stream id —
+    Python's ``hash`` is salted per process), so the plan's sharding
+    policy lowers identically everywhere: the software analogue of the
+    NIC hashing a flow onto a fixed RSS queue.
+    """
+    if shards <= 1:
+        return 0
+    return zlib.crc32(stream_id.encode()) % shards
 
 
 @dataclass(frozen=True)

@@ -179,6 +179,8 @@ def lower_live(
         process_domains=execution.domains,
         ring_capacity=execution.ring_capacity,
         ring_slot_bytes=execution.ring_slot_bytes,
+        receiver_mode=execution.receiver_mode,
+        receiver_shards=execution.receiver_shards,
     )
     return LiveLowering(
         stream_id=stream.stream_id,

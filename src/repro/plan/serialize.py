@@ -130,6 +130,10 @@ def _execution_to_dict(node: ExecutionNode) -> dict[str, Any]:
         out["ring_capacity"] = node.ring_capacity
     if node.ring_slot_bytes != default.ring_slot_bytes:
         out["ring_slot_bytes"] = node.ring_slot_bytes
+    if node.receiver_mode != default.receiver_mode:
+        out["receiver_mode"] = node.receiver_mode
+    if node.receiver_shards != default.receiver_shards:
+        out["receiver_shards"] = node.receiver_shards
     return out
 
 
@@ -297,6 +301,8 @@ def _execution_from_dict(d: dict[str, Any] | None) -> ExecutionNode:
         domains=d.get("domains", default.domains),
         ring_capacity=d.get("ring_capacity", default.ring_capacity),
         ring_slot_bytes=d.get("ring_slot_bytes", default.ring_slot_bytes),
+        receiver_mode=d.get("receiver_mode", default.receiver_mode),
+        receiver_shards=d.get("receiver_shards", default.receiver_shards),
     )
 
 

@@ -21,6 +21,7 @@ family                                type       labels
 ``transport_frames_rejected_total``   counter    —
 ``transport_frames_deduped_total``    counter    —
 ``transport_faults_injected_total``   counter    kind
+``repro_receiver_deferred_total``     counter    stream
 ====================================  =========  ==========================
 
 The ``transport_retries/redeliveries/rejected/deduped`` family is the
@@ -125,6 +126,12 @@ class Telemetry:
             "transport_faults_injected_total",
             "Faults fired by the attached FaultInjector",
             ("kind",),
+        )
+        self._deferred = self.registry.counter(
+            "repro_receiver_deferred_total",
+            "Read deferrals by the event-loop receiver (per-stream "
+            "in-flight budget exceeded, or the decompress queue full)",
+            ("stream",),
         )
         self._heartbeats = self.registry.gauge(
             "worker_heartbeat_seconds",
@@ -299,6 +306,10 @@ class Telemetry:
     def record_fault(self, kind: str) -> None:
         """One injected fault fired (``kind`` names the sabotage)."""
         self._faults.labels(kind=kind).inc()
+
+    def record_deferred(self, stream_id: str) -> None:
+        """One read deferral (fair-share backpressure) for a stream."""
+        self._deferred.labels(stream=stream_id).inc()
 
     def counter_value(self, name: str, **labels: str) -> float:
         """Current value of one counter series (0.0 when never touched)."""

@@ -43,7 +43,8 @@ def chunks():
 
 
 @pytest.mark.chaos
-def test_chaos_exactly_once_delivery():
+@pytest.mark.parametrize("receiver_mode", ["eventloop", "threads"])
+def test_chaos_exactly_once_delivery(receiver_mode):
     tel = Telemetry()
     received = []
     received_lock = threading.Lock()
@@ -58,6 +59,7 @@ def test_chaos_exactly_once_delivery():
         decompress_threads=2,
         timeouts=TimeoutPolicy(accept=20, join=60),
         telemetry=tel,
+        mode=receiver_mode,
     )
     host, port = server.address
 

@@ -1,0 +1,88 @@
+"""Bounded receiver-side dedup (contiguous watermark + reorder set)."""
+
+from repro.live.dedup import StreamDedup
+
+
+class TestClaim:
+    def test_fresh_claims_accepted_once(self):
+        d = StreamDedup()
+        assert d.claim("s", 0) is True
+        assert d.claim("s", 0) is False
+
+    def test_in_order_run_advances_watermark(self):
+        d = StreamDedup()
+        for i in range(100):
+            assert d.claim("s", i) is True
+        assert d.watermark("s") == 99
+        assert d.out_of_order("s") == 0
+
+    def test_duplicate_below_watermark_rejected(self):
+        d = StreamDedup()
+        for i in range(10):
+            d.claim("s", i)
+        for i in range(10):
+            assert d.claim("s", i) is False
+
+    def test_out_of_order_parks_then_absorbs(self):
+        d = StreamDedup()
+        assert d.claim("s", 2) is True
+        assert d.claim("s", 1) is True
+        assert d.watermark("s") == -1
+        assert d.out_of_order("s") == 2
+        # Filling the gap absorbs the whole parked run at once.
+        assert d.claim("s", 0) is True
+        assert d.watermark("s") == 2
+        assert d.out_of_order("s") == 0
+
+    def test_out_of_order_duplicate_rejected(self):
+        d = StreamDedup()
+        d.claim("s", 5)
+        assert d.claim("s", 5) is False
+        assert d.out_of_order("s") == 1
+
+    def test_streams_independent(self):
+        d = StreamDedup()
+        d.claim("a", 0)
+        d.claim("b", 7)
+        assert d.watermark("a") == 0
+        assert d.watermark("b") == -1
+        assert d.out_of_order("b") == 1
+        assert d.streams() == 2
+
+
+class TestBoundedMemory:
+    def test_in_order_stream_keeps_no_per_chunk_state(self):
+        """The regression that motivated this class: the old ``set``
+        kept one entry per accepted chunk forever."""
+        d = StreamDedup()
+        for i in range(10_000):
+            d.claim("s", i)
+        # One watermark int, zero parked indices — O(1) per stream.
+        assert d.watermark("s") == 9_999
+        assert d.out_of_order("s") == 0
+        assert d._ooo == {}
+
+    def test_reorder_window_drains_to_zero(self):
+        d = StreamDedup()
+        # Deliver 0..999 with every pair swapped: parked set stays
+        # tiny and empties whenever the gap closes.
+        for base in range(0, 1000, 2):
+            d.claim("s", base + 1)
+            assert d.out_of_order("s") == 1
+            d.claim("s", base)
+            assert d.out_of_order("s") == 0
+        assert d.watermark("s") == 999
+
+    def test_exactly_once_under_replay(self):
+        """At-least-once delivery with arbitrary replay must collapse
+        to exactly-once acceptance."""
+        d = StreamDedup()
+        accepted = []
+        # Replay each index three times, with a retransmit window that
+        # jumps back ten indices after every "drop".
+        for i in range(200):
+            for replay in (i, max(0, i - 10), i):
+                if d.claim("s", replay):
+                    accepted.append(replay)
+        assert sorted(accepted) == list(range(200))
+        assert len(accepted) == 200

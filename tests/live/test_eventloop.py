@@ -1,0 +1,305 @@
+"""Event-loop receiver plane: sharding, backpressure, mode parity."""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.chunking import Chunk
+from repro.faults import TimeoutPolicy
+from repro.live.eventloop import DEFAULT_STREAM_BUDGET, default_shards
+from repro.live.remote import ReceiverServer, SenderClient
+from repro.live.transport import Frame, FramedReceiver, FramedSender
+from repro.obs.events import EventBus
+from repro.telemetry import Telemetry
+from repro.util.errors import ValidationError
+from repro.util.rng import make_rng
+
+
+def stream_chunks(streams, per_stream, size=1024, seed=3):
+    rng = make_rng(seed, "eventloop-test")
+    for i in range(per_stream):
+        for s in range(streams):
+            yield Chunk(
+                stream_id=f"el-{s:03d}",
+                index=i,
+                nbytes=size,
+                payload=rng.integers(0, 256, size, dtype=np.uint8).tobytes(),
+            )
+
+
+def run_pair(server, client_kwargs, source, sink=None):
+    host, port = server.address
+    reports = {}
+
+    def serve():
+        reports["rx"] = server.serve(sink=sink)
+
+    t = threading.Thread(target=serve, daemon=True)
+    t.start()
+    client = SenderClient(host, port, **client_kwargs)
+    reports["tx"] = client.run(source)
+    t.join(timeout=60)
+    assert not t.is_alive(), "receiver did not finish"
+    return reports["tx"], reports["rx"]
+
+
+class TestDefaultShards:
+    def test_bounded_by_cpus_and_cap(self):
+        assert default_shards(1) == 1
+        assert default_shards(4) == 4
+        assert default_shards(64) == 8
+
+    def test_never_zero(self):
+        assert default_shards(0) == 1
+
+
+class TestMultiShard:
+    def test_many_streams_across_shards_exactly_once(self):
+        """Connections park round-robin, then migrate to their hashed
+        shard on the first data frame — every chunk must still arrive
+        exactly once."""
+        streams, per_stream = 6, 5
+        received = {}
+        lock = threading.Lock()
+
+        def sink(stream_id, index, data):
+            with lock:
+                key = (stream_id, index)
+                assert key not in received, f"duplicate {key}"
+                received[key] = data
+
+        server = ReceiverServer(
+            codec="zlib",
+            connections=streams,
+            decompress_threads=2,
+            mode="eventloop",
+            shards=4,
+        )
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=streams, compress_threads=2),
+            stream_chunks(streams, per_stream),
+            sink=sink,
+        )
+        assert tx.ok, tx.errors
+        assert rx.ok, rx.errors
+        assert len(received) == streams * per_stream
+        assert rx.chunks == streams * per_stream
+
+    def test_single_shard_still_serves_many_connections(self):
+        server = ReceiverServer(
+            codec="zlib", connections=4, mode="eventloop", shards=1
+        )
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=4),
+            stream_chunks(4, 4),
+        )
+        assert tx.ok and rx.ok
+        assert rx.chunks == 16
+
+
+class TestBackpressure:
+    def test_slow_stream_defers_without_losing_chunks(self):
+        """A consumer slower than the sender trips the per-stream
+        in-flight budget: reads defer (counted + event) and the run
+        still delivers everything exactly once."""
+        tel = Telemetry()
+        bus = EventBus()
+        tel.attach_events(bus)
+        received = set()
+        lock = threading.Lock()
+
+        def slow_sink(stream_id, index, data):
+            time.sleep(0.01)
+            with lock:
+                assert (stream_id, index) not in received
+                received.add((stream_id, index))
+
+        server = ReceiverServer(
+            codec="zlib",
+            connections=1,
+            decompress_threads=1,
+            mode="eventloop",
+            shards=1,
+            # Two 2KB chunks in flight trip the budget immediately.
+            stream_budget_bytes=4096,
+            telemetry=tel,
+            timeouts=TimeoutPolicy(accept=30, join=60),
+        )
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=1),
+            stream_chunks(1, 24, size=2048),
+            sink=slow_sink,
+        )
+        assert tx.ok, tx.errors
+        assert rx.ok, rx.errors
+        assert len(received) == 24
+        deferred = tel.counter_value(
+            "repro_receiver_deferred_total", stream="el-000"
+        )
+        assert deferred > 0, "budget never deferred the slow stream"
+        bp = bus.recent(kind="backpressure")
+        assert bp, "no watchdog-visible backpressure event"
+        assert any(e.fields.get("queue") == "recv:el-000" for e in bp)
+
+    def test_fast_stream_unaffected_by_default_budget(self):
+        tel = Telemetry()
+        server = ReceiverServer(
+            codec="zlib", connections=1, mode="eventloop", telemetry=tel
+        )
+        assert server.stream_budget_bytes == DEFAULT_STREAM_BUDGET
+        tx, rx = run_pair(
+            server, dict(codec="zlib", connections=1), stream_chunks(1, 6)
+        )
+        assert tx.ok and rx.ok
+        assert (
+            tel.counter_value(
+                "repro_receiver_deferred_total", stream="el-000"
+            )
+            == 0
+        )
+
+
+class TestModeParity:
+    def test_sink_output_byte_identical_across_modes(self):
+        """The acceptance bar: same source, thread plane vs event
+        plane, byte-identical sink contents."""
+        outputs = {}
+        for mode in ("threads", "eventloop"):
+            received = {}
+            lock = threading.Lock()
+
+            def sink(stream_id, index, data):
+                with lock:
+                    received[(stream_id, index)] = data
+
+            server = ReceiverServer(
+                codec="zlib",
+                connections=3,
+                decompress_threads=2,
+                mode=mode,
+            )
+            tx, rx = run_pair(
+                server,
+                dict(codec="zlib", connections=3, compress_threads=2),
+                stream_chunks(3, 6, seed=11),
+                sink=sink,
+            )
+            assert tx.ok, (mode, tx.errors)
+            assert rx.ok, (mode, rx.errors)
+            outputs[mode] = received
+        assert outputs["threads"] == outputs["eventloop"]
+
+    def test_reports_agree_on_chunk_counts(self):
+        counts = {}
+        for mode in ("threads", "eventloop"):
+            server = ReceiverServer(codec="zlib", connections=2, mode=mode)
+            tx, rx = run_pair(
+                server,
+                dict(codec="zlib", connections=2),
+                stream_chunks(2, 5, seed=12),
+            )
+            assert tx.ok and rx.ok
+            counts[mode] = (rx.chunks, rx.payload_bytes)
+        assert counts["threads"] == counts["eventloop"]
+
+
+class TestValidationAndLifecycle:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            ReceiverServer(mode="poll")
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValidationError, match="shards"):
+            ReceiverServer(shards=-1)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValidationError, match="stream_budget_bytes"):
+            ReceiverServer(stream_budget_bytes=0)
+
+    def test_close_without_serve_releases_listener(self):
+        server = ReceiverServer(codec="zlib", connections=1)
+        host, port = server.address
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_context_manager_closes(self):
+        with ReceiverServer(codec="zlib", connections=1) as server:
+            host, port = server.address
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_port_rebindable_after_close(self):
+        server = ReceiverServer(codec="zlib", connections=1)
+        host, port = server.address
+        server.close()
+        rebound = ReceiverServer(host=host, port=port, codec="zlib")
+        assert rebound.address[1] == port
+        rebound.close()
+
+
+class TestRawFrameClients:
+    """Drive the plane with hand-rolled framed sockets (no SenderClient)
+    to pin down ACK and dedup behavior at the wire level."""
+
+    @staticmethod
+    def _serve(server, sink=None):
+        box = {}
+
+        def serve():
+            box["rx"] = server.serve(sink=sink)
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        return box, t
+
+    def test_every_frame_acked_and_duplicates_deduped(self):
+        received = []
+        lock = threading.Lock()
+
+        def sink(stream_id, index, data):
+            with lock:
+                received.append((stream_id, index))
+
+        server = ReceiverServer(
+            codec="null",
+            connections=1,
+            mode="eventloop",
+            shards=2,
+            timeouts=TimeoutPolicy(accept=20, join=30),
+        )
+        host, port = server.address
+        box, t = self._serve(server, sink)
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.settimeout(10.0)
+        tx, rx = FramedSender(sock), FramedReceiver(sock)
+        payload = b"x" * 512
+        # Send 0, 1, then replay 1 (sender-side retransmit), then EOS.
+        for index in (0, 1, 1):
+            tx.send(
+                Frame(
+                    stream_id="raw-s",
+                    index=index,
+                    payload=payload,
+                    orig_len=len(payload),
+                )
+            )
+        tx.send(Frame.end_of_stream("raw-s"))
+        acks = [rx.recv() for _ in range(4)]
+        assert all(a is not None and a.ack for a in acks)
+        assert sorted(a.index for a in acks[:3]) == [0, 1, 1]
+        assert acks[3].eos
+        tx.close()
+        t.join(timeout=30)
+        assert not t.is_alive()
+        sock.close()
+        assert box["rx"].ok, box["rx"].errors
+        # The replayed frame was ACKed but never reached the sink twice.
+        assert sorted(received) == [("raw-s", 0), ("raw-s", 1)]

@@ -252,3 +252,149 @@ class TestFailureModes:
             ReceiverServer(connections=0)
         with pytest.raises(ValidationError):
             SenderClient("h", 1, connections=0)
+
+
+import socket  # noqa: E402
+
+from repro.live.remote import EndpointReport, _Redial  # noqa: E402
+from repro.live.transport import (  # noqa: E402
+    Frame,
+    FramedReceiver,
+    FramedSender,
+)
+
+
+class TestSenderDialCleanup:
+    def test_dial_failure_closes_earlier_connections(self):
+        """Regression: dialing N connections where connection k fails
+        used to leak the k already-connected sockets."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+        client = SenderClient(
+            host,
+            port,
+            codec="zlib",
+            connections=2,
+            timeouts=TimeoutPolicy(connect=5),
+        )
+        dialed = []
+        orig = client._dial
+
+        def dial(index):
+            if index == 1:
+                # Listener goes away between the first and second dial:
+                # the second create_connection is refused for real.
+                listener.close()
+            tx = orig(index)
+            dialed.append(tx)
+            return tx
+
+        client._dial = dial
+        with pytest.raises(TransportError, match="cannot connect"):
+            client.run(chunks(2))
+        assert len(dialed) == 1
+        assert dialed[0].sock.fileno() == -1, "leaked the first connection"
+
+
+class TestReceiverConnTracking:
+    def test_reconnect_storm_keeps_live_conns_bounded(self):
+        """Regression: the thread-mode accept loop retained every
+        accepted socket for the whole run; under reconnect churn the
+        list grew without bound."""
+        server = ReceiverServer(
+            codec="null",
+            connections=1,
+            mode="threads",
+            timeouts=TimeoutPolicy(accept=30, join=30),
+        )
+        host, port = server.address
+        box = {}
+
+        def serve():
+            box["rx"] = server.serve()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        # The storm: connections that drop before end-of-stream.
+        for _ in range(15):
+            s = socket.create_connection((host, port), timeout=5)
+            s.close()
+        # One clean session lets the run finish.
+        sock = socket.create_connection((host, port), timeout=5)
+        sock.settimeout(10.0)
+        tx, rx = FramedSender(sock), FramedReceiver(sock)
+        tx.send(Frame("storm-s", 0, b"x" * 64, orig_len=64))
+        tx.send(Frame.end_of_stream("storm-s"))
+        for _ in range(2):
+            ack = rx.recv()
+            assert ack is not None and ack.ack
+        tx.close()
+        t.join(timeout=30)
+        assert not t.is_alive(), "receiver did not finish"
+        sock.close()
+        assert box["rx"].ok, box["rx"].errors
+        # Dead storm sockets were pruned as the loop went; the list
+        # never accumulates one entry per historical connection.
+        assert len(server._live_conns) <= 5
+
+
+class TestReportProtocol:
+    def test_error_report_round_trip(self):
+        from repro.core.results import RunResult, result_envelope
+
+        report = EndpointReport(
+            role="receiver",
+            chunks=3,
+            payload_bytes=10,
+            wire_bytes=12,
+            elapsed=0.5,
+            errors=["decompressor: boom"],
+        )
+        assert isinstance(report, RunResult)
+        assert report.ok is False
+        assert "ERRORS: decompressor: boom" in report.summary()
+        doc = report.to_dict()
+        assert doc["ok"] is False
+        assert doc["errors"] == ["decompressor: boom"]
+        env = result_envelope(report)
+        assert env["kind"] == "EndpointReport"
+        assert env["ok"] is False
+        assert env["result"]["chunks"] == 3
+
+    def test_ok_report_has_no_errors_key_surprises(self):
+        report = EndpointReport(
+            role="sender", chunks=1, payload_bytes=1, wire_bytes=1,
+            elapsed=0.1,
+        )
+        assert report.ok is True
+        assert report.to_dict()["errors"] == []
+
+
+class TestRedial:
+    def test_redial_reconnects_with_connection_index(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+        client = SenderClient(
+            host,
+            port,
+            codec="zlib",
+            connections=4,
+            timeouts=TimeoutPolicy(connect=5),
+        )
+        accepted = []
+
+        def accept():
+            conn, _ = listener.accept()
+            accepted.append(conn)
+
+        t = threading.Thread(target=accept, daemon=True)
+        t.start()
+        redial = _Redial(client, 3)
+        tx = redial()
+        t.join(timeout=5)
+        assert isinstance(tx, FramedSender)
+        assert tx.connection == 3, "redial lost its connection index"
+        tx.sock.close()
+        for conn in accepted:
+            conn.close()
+        listener.close()

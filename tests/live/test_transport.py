@@ -213,3 +213,86 @@ class TestWireEdgeCases:
 
     def test_integrity_error_is_transport_error(self):
         assert issubclass(FrameIntegrityError, TransportError)
+
+
+class TestNonBlockingFeed:
+    """feed() + next_frame(): the event-loop receive path, no socket."""
+
+    @staticmethod
+    def _rx():
+        _a, b = socket.socketpair()
+        return FramedReceiver(b)
+
+    @staticmethod
+    def _wire(frame):
+        from repro.live.transport import encode_frame_header
+
+        return encode_frame_header(frame) + frame.payload
+
+    def test_whole_frame_in_one_feed(self):
+        rx = self._rx()
+        rx.feed(self._wire(Frame("s", 3, b"data", orig_len=4)))
+        f = rx.next_frame()
+        assert (f.stream_id, f.index, f.payload) == ("s", 3, b"data")
+        assert rx.next_frame() is None
+        assert not rx.pending
+
+    def test_partial_frame_resumes_across_feeds(self):
+        """A frame split at every possible byte boundary parses once
+        the last byte lands — the partial-frame resume the reactor
+        shards rely on."""
+        wire = self._wire(Frame("split", 1, b"abcdef", orig_len=6))
+        for cut in range(1, len(wire)):
+            rx = self._rx()
+            rx.feed(wire[:cut])
+            assert rx.next_frame() is None, f"cut={cut} parsed early"
+            rx.feed(wire[cut:])
+            f = rx.next_frame()
+            assert f is not None and f.payload == b"abcdef", f"cut={cut}"
+
+    def test_many_frames_in_one_feed(self):
+        rx = self._rx()
+        frames = [Frame("s", i, bytes([i]) * 8, orig_len=8) for i in range(5)]
+        rx.feed(b"".join(self._wire(f) for f in frames))
+        got = []
+        while (f := rx.next_frame()) is not None:
+            got.append((f.index, f.payload))
+        assert got == [(i, bytes([i]) * 8) for i in range(5)]
+
+    def test_feed_then_recv_interoperate(self):
+        """recv() must drain fed bytes before touching the socket."""
+        a, b = socket.socketpair()
+        rx = FramedReceiver(b)
+        rx.feed(self._wire(Frame("s", 0, b"fed", orig_len=3)))
+        a.sendall(self._wire(Frame("s", 1, b"sock", orig_len=4)))
+        a.shutdown(socket.SHUT_WR)
+        assert rx.recv().payload == b"fed"
+        assert rx.recv().payload == b"sock"
+        assert rx.recv() is None
+
+    def test_bad_magic_raises_from_buffer(self):
+        rx = self._rx()
+        rx.feed(_HEADER.pack(0xDEADBEEF, 1) + b"s" + bytes(18))
+        with pytest.raises(FrameIntegrityError, match="bad frame magic"):
+            rx.next_frame()
+
+    def test_checksum_mismatch_raises_from_buffer(self):
+        rx = self._rx()
+        rx.feed(
+            _HEADER.pack(MAGIC, 1)
+            + b"s"
+            + _BODY.pack(0, 0, 4, 0xBAD, 4)
+            + b"data"
+        )
+        with pytest.raises(FrameIntegrityError, match="checksum"):
+            rx.next_frame()
+
+    def test_oversized_payload_raises_from_buffer(self):
+        rx = self._rx()
+        rx.feed(
+            _HEADER.pack(MAGIC, 1)
+            + b"s"
+            + _BODY.pack(0, 0, 0, 0, MAX_FRAME_PAYLOAD + 1)
+        )
+        with pytest.raises(FrameIntegrityError, match="exceeds limit"):
+            rx.next_frame()

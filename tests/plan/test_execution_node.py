@@ -102,3 +102,68 @@ class TestLowering:
         cfg = lower_live(generated_plan).config
         assert cfg.execution_mode == "thread"
         assert cfg.process_domains == 0
+
+
+class TestReceiverPlane:
+    """The receiver-plane policy fields: mode, shard count, hashing."""
+
+    def test_defaults_are_omitted_from_the_document(self, generated_plan):
+        plan = with_execution(generated_plan, mode="process")
+        assert "receiver_mode" not in plan_to_dict(plan)["execution"]
+        assert "receiver_shards" not in plan_to_dict(plan)["execution"]
+
+    def test_round_trip(self, generated_plan):
+        plan = with_execution(
+            generated_plan, receiver_mode="threads", receiver_shards=4
+        )
+        doc = plan_to_dict(plan)
+        assert doc["execution"]["receiver_mode"] == "threads"
+        assert doc["execution"]["receiver_shards"] == 4
+        assert plan_from_dict(doc).execution == plan.execution
+
+    def test_describe_mentions_non_default_receiver(self, generated_plan):
+        plan = with_execution(generated_plan, receiver_shards=4)
+        assert "recv=eventloop x4" in plan.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(receiver_mode="poll"), dict(receiver_shards=-1)],
+    )
+    def test_bad_receiver_policy_flagged(self, generated_plan, kwargs):
+        plan = with_execution(generated_plan, **kwargs)
+        diags = validate_plan(plan)
+        assert any(d.code == "bad-execution" for d in diags.errors)
+
+    def test_receiver_policy_reaches_live_config(self, generated_plan):
+        plan = with_execution(
+            generated_plan, receiver_mode="threads", receiver_shards=3
+        )
+        cfg = lower_live(plan).config
+        assert cfg.receiver_mode == "threads"
+        assert cfg.receiver_shards == 3
+
+    def test_default_lowers_to_eventloop_auto(self, generated_plan):
+        cfg = lower_live(generated_plan).config
+        assert cfg.receiver_mode == "eventloop"
+        assert cfg.receiver_shards == 0
+
+
+class TestStreamShard:
+    def test_deterministic_across_processes(self):
+        from repro.plan.ir import stream_shard
+
+        # crc32-based, not hash()-based: stable under PYTHONHASHSEED.
+        assert stream_shard("stream-000", 8) == stream_shard("stream-000", 8)
+        assert stream_shard("stream-000", 8) in range(8)
+
+    def test_single_shard_short_circuits(self):
+        from repro.plan.ir import stream_shard
+
+        assert stream_shard("anything", 1) == 0
+        assert stream_shard("anything", 0) == 0
+
+    def test_spreads_streams(self):
+        from repro.plan.ir import stream_shard
+
+        hits = {stream_shard(f"s-{i:04d}", 8) for i in range(256)}
+        assert hits == set(range(8))
