@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke: end-to-end flow tracing across a real process boundary.
+
+Launches the loopback live pipeline in ``--mode process`` (spawn start
+method — the fork path is covered by the integration tests) with
+1-in-8 head sampling and ``--obs-port 0``, then polls ``/trace`` while
+the run streams until it serves at least one *fully assembled* chunk
+trace: feeder span, a compress span recorded in a separate worker
+process (its track names the ``mp-compress-N`` worker), the wire span,
+and the receiver side — with a named critical path.  After the child
+exits cleanly it validates the ``--flow-out`` Chrome trace carries
+flow-event arrows ("s"/"f" phases) linking those spans.
+
+Exit code 0 on success; any failure raises and exits non-zero.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+URL_RE = re.compile(r"observability endpoints at (http://\S+)")
+CHUNKS = 2000  # enough work to keep the run alive while we poll
+SAMPLE = 8
+WANT_STAGES = {"feed", "compress", "send", "wire", "recv"}
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
+    assert proc.stdout is not None
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        m = URL_RE.search(line)
+        if m:
+            return m.group(1)
+    raise RuntimeError(
+        f"repro-live never announced its obs URL; output so far:\n"
+        f"{''.join(lines)}"
+    )
+
+
+def full_trace(doc: dict) -> dict | None:
+    """The first served trace whose spans cover the whole journey."""
+    for trace in doc.get("traces", []):
+        stages = {s["stage"] for s in trace["spans"]}
+        if WANT_STAGES <= stages:
+            return trace
+    return None
+
+
+def run() -> int:
+    flow_path = "trace_smoke_flow.json"
+    cmd = [
+        sys.executable, "-c",
+        "from repro.cli import live_main; import sys; "
+        "sys.exit(live_main(sys.argv[1:]))",
+        "--chunks", str(CHUNKS),
+        "--codec", "zlib",
+        "--mode", "process",
+        "--trace-sample", str(SAMPLE),
+        "--obs-port", "0",
+        "--flow-out", flow_path,
+    ]
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        bufsize=1,
+    )
+    trace = None
+    try:
+        base = wait_for_url(proc, time.monotonic() + 60.0)
+        print(f"polling {base}/trace while the process pipeline streams")
+
+        # Spawn-started compressor processes take seconds to come up;
+        # poll until an assembled trace spans the full journey.
+        deadline = time.monotonic() + 90.0
+        doc: dict = {}
+        while time.monotonic() < deadline and proc.poll() is None:
+            status, body = fetch(f"{base}/trace")
+            assert status == 200, f"/trace -> {status}"
+            doc = json.loads(body)
+            trace = full_trace(doc)
+            if trace is not None:
+                break
+            time.sleep(0.1)
+        assert trace is not None, (
+            f"no fully assembled trace before the run ended; "
+            f"last /trace doc: {json.dumps(doc)[:2000]}"
+        )
+
+        stages = [s["stage"] for s in trace["spans"]]
+        print(f"assembled trace: chunk {trace['chunk']} stages {stages}")
+        compress = next(
+            s for s in trace["spans"] if s["stage"] == "compress"
+        )
+        assert compress["track"].startswith("mp-compress-"), (
+            f"compress span not from a worker process: {compress}"
+        )
+        assert trace["waterfall"]["total"] > 0
+        verdicts = doc["critical_path"]
+        assert verdicts, "critical path missing from /trace"
+        for stream, verdict in verdicts.items():
+            assert verdict["stage"], f"unnamed critical path for {stream}"
+            print(f"critical path for {stream}: {verdict['stage']}")
+
+        out, _ = proc.communicate(timeout=180)
+        print(out[-2000:])
+        assert proc.returncode == 0, f"repro-live exited {proc.returncode}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # The exported Chrome trace links the same spans with flow arrows.
+    events = json.load(open(flow_path))["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"s", "f"} <= phases, f"no flow arrows in {flow_path}: {phases}"
+    arrows = [e for e in events if e["ph"] == "s"]
+    assert any(e["cat"] == "flow" for e in arrows)
+    print(f"trace smoke OK: {len(events)} events, "
+          f"{len(arrows)} flow arrows, /trace validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

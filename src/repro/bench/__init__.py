@@ -18,11 +18,14 @@ from repro.bench.suites import (
     CODEC_BEST_GATE_THRESHOLD,
     CODEC_WORST_GATE_THRESHOLD,
     LOOPBACK_GATE_THRESHOLD,
+    TRACE_OFF_GATE_THRESHOLD,
+    TRACE_SAMPLING_GATE_THRESHOLD,
     bench_codec_frontier,
     bench_framing,
     bench_loopback_pipeline,
     bench_queue_handoff,
     bench_sim_scenario,
+    bench_trace,
     run_suite,
 )
 
@@ -33,11 +36,14 @@ __all__ = [
     "CODEC_WORST_GATE_THRESHOLD",
     "GateResult",
     "LOOPBACK_GATE_THRESHOLD",
+    "TRACE_OFF_GATE_THRESHOLD",
+    "TRACE_SAMPLING_GATE_THRESHOLD",
     "bench_codec_frontier",
     "bench_framing",
     "bench_loopback_pipeline",
     "bench_queue_handoff",
     "bench_sim_scenario",
+    "bench_trace",
     "latency_summary",
     "percentile",
     "pin_benchmark_thread",

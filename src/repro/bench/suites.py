@@ -25,6 +25,10 @@ the same process so their ratio is host-independent:
   of concurrent loopback streams (one connection each); per-stream
   cost must stay flat (within 1.5x) as the count scales, with zero
   delivery errors and p99 stream-completion latency reported;
+- **trace overhead** — the telemetry-instrumented loopback pipeline
+  with flow tracing off, armed-but-idle, and at the recommended
+  1-in-64 head-sampling rate; arming must cost <= 1% and 1-in-64
+  <= 5% (both gated), so tracing can stay on in production;
 - **sim scenario** — the discrete-event runtime on a generated
   paper-testbed scenario, simulated chunks per wall second.
 
@@ -81,6 +85,15 @@ AUTOTUNE_GATE_THRESHOLD = 1.2
 #: per-stream-seconds(small) / per-stream-seconds(large), so >= 1/1.5
 #: means the large run costs at most 1.5x per stream.
 MANY_STREAMS_GATE_THRESHOLD = 1 / 1.5
+
+#: The flow-tracing gates, on the telemetry-instrumented loopback
+#: pipeline.  Arming the tracer (a per-chunk head-sampling decision in
+#: the feeder, with a rate so sparse essentially nothing is sampled)
+#: must stay within 1% of tracing-off, and a realistic 1-in-64
+#: sampling rate — trailer packing, wire-span recording, clock-offset
+#: observation for every 64th chunk — within 5%.
+TRACE_OFF_GATE_THRESHOLD = 0.99
+TRACE_SAMPLING_GATE_THRESHOLD = 0.95
 
 #: The adaptive-codec gates, over the mixed-entropy loopback corpus:
 #: per-chunk selection must land within 5% of the best static codec's
@@ -525,6 +538,109 @@ def bench_obs_overhead(
         threshold=OBS_GATE_THRESHOLD,
     )
     return results, gate
+
+
+# ---------------------------------------------------------------------------
+# flow-tracing overhead (the PR 10 gates)
+# ---------------------------------------------------------------------------
+
+
+def _loopback_trace_once(chunks: int, payload: bytes, *, sample: int) -> float:
+    """One telemetry-instrumented loopback run at ``sample``; returns
+    wall seconds.  ``sample=0`` is the tracing-off baseline every
+    pre-trace run gets."""
+    from repro.live.runtime import LiveConfig, LivePipeline
+    from repro.telemetry import Telemetry
+
+    cfg = LiveConfig(
+        codec="null",
+        compress_threads=1,
+        decompress_threads=1,
+        connections=1,
+        queue_capacity=64,
+        batch_frames=32,
+        trace_sample=sample,
+    )
+    pipeline = LivePipeline(cfg, telemetry=Telemetry())
+    start = time.perf_counter()
+    report = pipeline.run(_chunk_source(chunks, payload))
+    elapsed = time.perf_counter() - start
+    if not report.ok:
+        raise RuntimeError(f"trace bench run failed: {report.summary()}")
+    return elapsed
+
+
+def bench_trace(
+    *, quick: bool = False
+) -> tuple[list[BenchResult], list[GateResult]]:
+    """Flow-tracing overhead on the loopback pipeline, three rates.
+
+    ``loopback_trace_off`` is tracing disabled (no sampler built);
+    ``loopback_trace_armed`` attaches the sampler at a rate so sparse
+    only the head chunk is traced — it measures the per-chunk decision
+    itself; ``loopback_trace_1in64`` is the recommended production
+    rate, paying the trailer + wire-span cost on every 64th chunk.
+    """
+    # A 1% ratio gate on a multi-threaded pipeline is hopeless against
+    # host drift (CPU-quota throttling slows successive runs), so each
+    # round is an A-B-A design: tracing-off runs *bracket* every traced
+    # run and the baseline is interpolated between them, cancelling
+    # linear drift.  The gate takes the best round — pessimistic hosts
+    # cannot fail it, a real per-chunk cost shows up in every round.
+    chunks = 6_000
+    rounds = 5 if quick else 7
+    payload = bytes(2048)
+    configs: tuple[tuple[str, int], ...] = (
+        ("loopback_trace_off", 0),
+        ("loopback_trace_armed", 1 << 20),
+        ("loopback_trace_1in64", 64),
+    )
+    for _, sample in configs:  # warm every variant
+        _loopback_trace_once(300, payload, sample=sample)
+    best: dict[str, float] = {}
+
+    def run(name: str, sample: int) -> float:
+        elapsed = _loopback_trace_once(chunks, payload, sample=sample)
+        best[name] = min(best.get(name, elapsed), elapsed)
+        return elapsed
+
+    armed_ratios: list[float] = []
+    sampled_ratios: list[float] = []
+    for _ in range(rounds):
+        off_a = run("loopback_trace_off", 0)
+        armed = run("loopback_trace_armed", 1 << 20)
+        off_b = run("loopback_trace_off", 0)
+        sampled = run("loopback_trace_1in64", 64)
+        off_c = run("loopback_trace_off", 0)
+        armed_ratios.append((off_a + off_b) / 2.0 / armed)
+        sampled_ratios.append((off_b + off_c) / 2.0 / sampled)
+    results = []
+    for name, sample in configs:
+        elapsed = best[name]
+        results.append(
+            BenchResult(
+                name=name,
+                value=chunks / elapsed,
+                unit="chunks/s",
+                duration_s=elapsed,
+                n=chunks,
+                params={"chunks": chunks, "payload_bytes": len(payload),
+                        "trace_sample": sample, "rounds": rounds},
+            )
+        )
+    gates = [
+        GateResult(
+            name="trace_off_overhead",
+            value=max(armed_ratios),
+            threshold=TRACE_OFF_GATE_THRESHOLD,
+        ),
+        GateResult(
+            name="trace_sampling_overhead",
+            value=max(sampled_ratios),
+            threshold=TRACE_SAMPLING_GATE_THRESHOLD,
+        ),
+    ]
+    return results, gates
 
 
 # ---------------------------------------------------------------------------
@@ -1289,6 +1405,14 @@ def run_suite(
         report.results.extend(bench_sim_scenario(quick=quick))
         emit("run_end", "bench group sim_scenario done",
              group="sim_scenario", ok=True)
+        emit("run_start", "bench group trace_overhead", group="trace_overhead")
+        trace_results, trace_gates = bench_trace(quick=quick)
+        report.results.extend(trace_results)
+        if gate:
+            report.gates.extend(trace_gates)
+        emit("run_end", "bench group trace_overhead done",
+             group="trace_overhead", ok=True,
+             gate_value=trace_gates[0].value)
         emit("run_start", "bench group autotune", group="autotune")
         autotune_results, autotune_gate = bench_autotune(quick=quick)
         report.results.extend(autotune_results)

@@ -173,6 +173,31 @@ def live_main(argv: list[str] | None = None) -> int:
         "(open in chrome://tracing or ui.perfetto.dev)",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flow tracing: head-sample every Nth chunk per stream at "
+        "the feeder and follow it across threads, processes, and the "
+        "wire (see docs/tracing.md; the plan's trace node can set this "
+        "too)",
+    )
+    parser.add_argument(
+        "--trace-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --trace-sample: stop starting new traces for a "
+        "stream after N (bounds trace volume on long runs)",
+    )
+    parser.add_argument(
+        "--flow-out",
+        metavar="PATH",
+        help="write a Chrome trace with flow-event arrows linking each "
+        "sampled chunk's spans across threads (implies tracing "
+        "telemetry; best with --trace-sample)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="collect telemetry and write Prometheus text exposition",
@@ -322,6 +347,25 @@ def live_main(argv: list[str] | None = None) -> int:
     if receiver_shards < 0:
         parser.error("--receiver-shards must be >= 0")
 
+    # --trace-sample/--trace-cap override the plan's trace policy node;
+    # no flag and no plan node means tracing off.
+    trace_sample = args.trace_sample
+    if trace_sample is None:
+        trace_sample = (
+            lowered.config.trace_sample if lowered is not None else 0
+        )
+    if trace_sample < 0:
+        parser.error("--trace-sample must be >= 0")
+    trace_cap = args.trace_cap
+    if trace_cap is None:
+        trace_cap = (
+            lowered.config.trace_per_stream_cap if lowered is not None else 0
+        )
+    if trace_cap < 0:
+        parser.error("--trace-cap must be >= 0")
+    if trace_cap and not trace_sample:
+        parser.error("--trace-cap needs --trace-sample")
+
     from repro.faults import FaultInjector, parse_fault
     from repro.util.errors import ValidationError
 
@@ -344,7 +388,14 @@ def live_main(argv: list[str] | None = None) -> int:
         or autotune
     )
     telemetry = None
-    if args.trace_out or args.metrics_out or fault_specs or wants_obs:
+    if (
+        args.trace_out
+        or args.flow_out
+        or args.metrics_out
+        or fault_specs
+        or wants_obs
+        or trace_sample
+    ):
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
@@ -399,7 +450,7 @@ def live_main(argv: list[str] | None = None) -> int:
             ).start()
             obs["server"] = server
             print(f"observability endpoints at {server.url} "
-                  "(/metrics /healthz /report /events)")
+                  "(/metrics /healthz /report /events /trace)")
 
     def write_json(report) -> None:
         if args.json_out:
@@ -443,6 +494,18 @@ def live_main(argv: list[str] | None = None) -> int:
         if args.trace_out:
             n = telemetry.write_chrome_trace(args.trace_out)
             print(f"wrote {n} trace events to {args.trace_out}")
+        if args.flow_out:
+            from repro.trace import write_flow_trace
+
+            n = write_flow_trace(telemetry.spans.snapshot(), args.flow_out)
+            print(f"wrote {n} flow-trace events to {args.flow_out}")
+        if trace_sample:
+            from repro.trace import assemble
+
+            traces = assemble(telemetry.spans.snapshot())
+            n = sum(1 for t in traces if "wire" in t.stage_order())
+            print(f"flow tracing: {n} traced chunk journey(s) assembled "
+                  f"(1-in-{trace_sample} head sampling)")
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(telemetry.prometheus_text())
@@ -512,6 +575,8 @@ def live_main(argv: list[str] | None = None) -> int:
             batch_linger=args.batch_linger,
             telemetry=telemetry,
             injector=injector,
+            trace_sample=trace_sample,
+            trace_per_stream_cap=trace_cap,
         )
         report = client.run(make_source())
         print(report.summary())
@@ -554,6 +619,8 @@ def live_main(argv: list[str] | None = None) -> int:
             batch_linger=args.batch_linger,
             telemetry=telemetry,
             injector=injector,
+            trace_sample=trace_sample,
+            trace_per_stream_cap=trace_cap,
         )
         sender_report = client.run(make_source())
         thread.join(client.timeouts.join)
@@ -586,6 +653,8 @@ def live_main(argv: list[str] | None = None) -> int:
             lowered.config,
             batch_frames=batch_frames,
             batch_linger=args.batch_linger,
+            trace_sample=trace_sample,
+            trace_per_stream_cap=trace_cap,
         )
         if lowered is not None
         else LiveConfig(
@@ -595,6 +664,8 @@ def live_main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             batch_frames=batch_frames,
             batch_linger=args.batch_linger,
+            trace_sample=trace_sample,
+            trace_per_stream_cap=trace_cap,
         )
     )
     # --mode overrides the plan's execution node; no flag and no plan
@@ -1071,7 +1142,7 @@ def run_main(argv: list[str] | None = None) -> int:
             ).start()
             obs["server"] = server
             print(f"observability endpoints at {server.url} "
-                  "(/metrics /healthz /report /events)")
+                  "(/metrics /healthz /report /events /trace)")
         if args.profile:
             from repro.obs import SamplingProfiler
 

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.live.dedup import StreamDedup
 from repro.live.transport import Frame, FramedReceiver, encode_frame_header
+from repro.live.workers import _note_wire
 from repro.plan.ir import stream_shard
 from repro.telemetry.spans import stage_span
 from repro.util.errors import FrameIntegrityError, QueueTimeout
@@ -85,6 +86,7 @@ class _Conn:
         "closed",
         "registered",
         "stalled_frame",
+        "stalled_since",
         "handoff_frame",
         "budget_deferred",
         "shard",
@@ -102,6 +104,9 @@ class _Conn:
         #: Claimed frame waiting for decompress-queue room; parks the
         #: connection (read interest off) until it lands.
         self.stalled_frame: Frame | None = None
+        #: When the stall began — the deferral span's start for traced
+        #: frames (0.0 = no stall in progress).
+        self.stalled_since = 0.0
         #: Parsed-but-unprocessed frame riding along a shard migration.
         self.handoff_frame: Frame | None = None
         #: Deferred by the per-stream in-flight budget (fair share).
@@ -229,6 +234,7 @@ class ReactorShard(threading.Thread):
                 continue
             conn.stalled_frame = None
             self._stalled.discard(conn)
+            self._note_defer(conn, frame)
             self._queue_ack(conn, frame)
             self._check_budget(conn, frame.stream_id)
             self._update_registration(conn)
@@ -364,6 +370,8 @@ class ReactorShard(threading.Thread):
 
     def _process_data(self, conn: _Conn, frame: Frame) -> None:
         plane = self.plane
+        if frame.traced:
+            _note_wire(plane.telemetry, frame)
         with stage_span(plane.telemetry, "recv", track=self.name) as sp:
             sp.stream_id = frame.stream_id
             sp.chunk_id = frame.index
@@ -377,9 +385,24 @@ class ReactorShard(threading.Thread):
             self._queue_ack(conn, frame)
         else:
             conn.stalled_frame = frame
+            conn.stalled_since = time.perf_counter()
             self._stalled.add(conn)
             plane.note_deferred(frame.stream_id, conn, reason="queue-full")
         self._check_budget(conn, frame.stream_id)
+
+    def _note_defer(self, conn: _Conn, frame: Frame) -> None:
+        """Close out a traced frame's deferral episode as a span."""
+        since, conn.stalled_since = conn.stalled_since, 0.0
+        if not frame.traced or since <= 0:
+            return
+        tel = self.plane.telemetry
+        record = getattr(tel, "record_span", None) if tel is not None else None
+        if record is not None:
+            record(
+                "defer", since, time.perf_counter(),
+                stream_id=frame.stream_id, chunk_id=frame.index,
+                track=self.name,
+            )
 
     def _check_budget(self, conn: _Conn, stream_id: str) -> None:
         if conn.closed or conn.budget_deferred:

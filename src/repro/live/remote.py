@@ -274,6 +274,8 @@ class ReceiverServer:
                     bump_progress()
                     if frame.ack:
                         continue  # senders don't ACK; tolerate and move on
+                    if frame.traced and not frame.eos:
+                        workers._note_wire(self.telemetry, frame)
                     if frame.eos:
                         saw_eos = True
                         ack_tx.send(Frame.ack_for(frame))
@@ -459,6 +461,8 @@ class SenderClient:
         retry: RetryPolicy | None = None,
         injector=None,
         telemetry: "bool | object" = False,
+        trace_sample: int = 0,
+        trace_per_stream_cap: int = 0,
     ) -> None:
         if connections < 1:
             raise ValidationError("connections must be >= 1")
@@ -466,6 +470,10 @@ class SenderClient:
             raise ValidationError("batch_frames must be >= 1")
         if batch_linger < 0:
             raise ValidationError("batch_linger must be >= 0")
+        if trace_sample < 0:
+            raise ValidationError("trace_sample must be >= 0")
+        if trace_per_stream_cap < 0:
+            raise ValidationError("trace_per_stream_cap must be >= 0")
         self.host = host
         self.port = port
         self.codec = resolve_codec(codec)
@@ -478,6 +486,8 @@ class SenderClient:
         self.retry = retry or RetryPolicy()
         self.injector = injector
         self.telemetry = as_telemetry(telemetry)
+        self.trace_sample = trace_sample
+        self.trace_per_stream_cap = trace_per_stream_cap
         if self.telemetry is not None:
             self.telemetry.thread_counts.update(
                 {"feed": 1, "compress": compress_threads, "send": connections}
@@ -536,6 +546,11 @@ class SenderClient:
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
 
+        sampler = None
+        if self.telemetry is not None and self.trace_sample > 0:
+            from repro.trace import HeadSampler
+
+            sampler = HeadSampler(self.trace_sample, self.trace_per_stream_cap)
         threads = [
             threading.Thread(
                 target=workers.feeder,
@@ -543,6 +558,7 @@ class SenderClient:
                 kwargs={
                     "telemetry": self.telemetry,
                     "batch_frames": self.batch_frames,
+                    "sampler": sampler,
                 },
                 name="feeder",
                 daemon=True,

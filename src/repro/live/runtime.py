@@ -75,6 +75,12 @@ class LiveConfig:
     #: Reactor shards in eventloop mode (0 = auto: one per core the
     #: receiver's NUMA domain offers).
     receiver_shards: int = 0
+    #: Flow-trace head sampling: every Nth chunk per stream gets a
+    #: trace context at the feeder (0 = tracing off; requires
+    #: telemetry to be attached to take effect).
+    trace_sample: int = 0
+    #: Max traces started per stream (0 = unbounded).
+    trace_per_stream_cap: int = 0
 
     def __post_init__(self) -> None:
         for name in ("compress_threads", "decompress_threads", "connections",
@@ -103,6 +109,10 @@ class LiveConfig:
             )
         if self.receiver_shards < 0:
             raise ValidationError("receiver_shards must be >= 0")
+        if self.trace_sample < 0:
+            raise ValidationError("trace_sample must be >= 0")
+        if self.trace_per_stream_cap < 0:
+            raise ValidationError("trace_per_stream_cap must be >= 0")
         self.timeouts = self.timeouts or TimeoutPolicy()
 
 
@@ -283,10 +293,19 @@ class LivePipeline:
                 daemon=True,
             )
 
+        sampler = None
+        if tel is not None and cfg.trace_sample > 0:
+            from repro.trace import HeadSampler
+
+            sampler = HeadSampler(
+                cfg.trace_sample, cfg.trace_per_stream_cap
+            )
+
         def feed_factory(i: int, stop: threading.Event) -> threading.Thread:
             return _thread(
                 "feeder", workers.feeder, tracked_source(), rawq,
                 stats["feed"], aff.get("feed"), telemetry=tel, knobs=knobs,
+                sampler=sampler,
             )
 
         def compress_factory(

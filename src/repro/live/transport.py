@@ -6,13 +6,18 @@ Wire format v2 of one frame (all integers little-endian)::
     stream    u16   stream id length, followed by that many bytes
     index     u32   chunk index within the stream
     flags     u16   bit 0: payload is compressed; bit 1: end-of-stream;
-                    bit 2: acknowledgement (v2); bits 8-15: codec wire
-                    id (v2.1; 0 = the codec the pipeline was configured
-                    with, so static-codec senders emit unchanged bytes)
+                    bit 2: acknowledgement (v2); bit 3: flow-traced
+                    (v2.2 — an 8-byte timestamp trailer follows the
+                    payload); bits 8-15: codec wire id (v2.1; 0 = the
+                    codec the pipeline was configured with, so
+                    static-codec senders emit unchanged bytes)
     orig_len  u32   uncompressed payload length
     checksum  u32   CRC-32 (zlib) of the (possibly compressed) payload
     length    u32   payload length
     payload   bytes
+    trailer   f64   sender wall clock at frame build — present only
+                    when bit 3 is set; untraced frames are byte-
+                    identical to v2.1
 
 The frame checksum is ``zlib.crc32`` — computed in C at memory speed —
 rather than the pure-Python xxhash32 the LZ4 frame format mandates:
@@ -74,10 +79,22 @@ _BODY = struct.Struct("<IHIII")  # index, flags, orig_len, checksum, length
 FLAG_COMPRESSED = 0x1
 FLAG_EOS = 0x2
 FLAG_ACK = 0x4
+#: Bit 3 (v2.2): the frame belongs to a sampled flow trace and carries
+#: a fixed-size timestamp trailer *after* the payload.  Untraced frames
+#: never set the bit and never carry the trailer, so they stay
+#: byte-identical to v2.1 — tracing costs zero wire bytes when off.
+FLAG_TRACED = 0x8
 #: Bits 8-15 of the flags word carry the codec wire id (0 = configured
 #: codec) so adaptive senders can switch codec per frame and the
 #: receiver still picks the right decompressor.
 CODEC_SHIFT = 8
+
+#: Trailer of a traced frame: the sender's wall clock when the frame
+#: was built.  The receiver pairs it with its own arrival stamp to
+#: derive wire time and the sender/receiver clock offset
+#: (:mod:`repro.trace`).  Excluded from the payload checksum — it is
+#: observability metadata, not scientific data.
+TRACE_TRAILER = struct.Struct("<d")
 
 #: Refuse absurd frames before allocating for them.
 MAX_FRAME_PAYLOAD = 256 * 1024 * 1024
@@ -105,6 +122,11 @@ class Frame:
     #: Wire id of the codec that produced the payload; 0 means "the
     #: codec the pipeline was configured with" (the legacy encoding).
     codec_id: int = 0
+    #: Flow-trace membership (v2.2).  A traced frame carries
+    #: ``sent_at`` — the sender's wall clock when the frame was built —
+    #: in a trailer after the payload.
+    traced: bool = False
+    sent_at: float = 0.0
 
     @classmethod
     def end_of_stream(cls, stream_id: str) -> "Frame":
@@ -147,6 +169,7 @@ def encode_frame_header(frame: Frame) -> bytes:
         (FLAG_COMPRESSED if frame.compressed else 0)
         | (FLAG_EOS if frame.eos else 0)
         | (FLAG_ACK if frame.ack else 0)
+        | (FLAG_TRACED if frame.traced else 0)
         | (frame.codec_id << CODEC_SHIFT)
     )
     return (
@@ -160,6 +183,13 @@ def encode_frame_header(frame: Frame) -> bytes:
             len(frame.payload),
         )
     )
+
+
+def encode_frame_trailer(frame: Frame) -> bytes:
+    """The post-payload trailer: empty unless the frame is traced."""
+    if not frame.traced:
+        return b""
+    return TRACE_TRAILER.pack(frame.sent_at)
 
 
 class FramedSender:
@@ -224,6 +254,10 @@ class FramedSender:
                 if frame.payload:
                     buffers.append(frame.payload)
                     size += len(frame.payload)
+                if frame.traced:
+                    tail = encode_frame_trailer(frame)
+                    buffers.append(tail)
+                    size += len(tail)
                 sizes.append(size)
             self._sendv(buffers)
             if self.telemetry is not None:
@@ -257,7 +291,11 @@ class FramedSender:
         Required when an injector must see (and mangle) the contiguous
         wire bytes; also the ``repro-bench`` pre-optimization baseline.
         """
-        wire = encode_frame_header(frame) + frame.payload
+        wire = (
+            encode_frame_header(frame)
+            + frame.payload
+            + encode_frame_trailer(frame)
+        )
         if self.injector is not None:
             spec = self.injector.on_send(frame, self.connection)
             if spec is not None:
@@ -375,7 +413,9 @@ class FramedReceiver:
             raise FrameIntegrityError(
                 f"frame payload {length} exceeds limit"
             )
-        if have < head + length:
+        traced = bool(flags & FLAG_TRACED)
+        tail = TRACE_TRAILER.size if traced else 0
+        if have < head + length + tail:
             return None
         pos = self._pos + _HEADER.size
         sid = bytes(self._buf[pos : pos + sid_len]).decode()
@@ -389,12 +429,15 @@ class FramedReceiver:
             raise FrameIntegrityError(
                 f"checksum mismatch on {sid}#{index} ({length} bytes)"
             )
-        self._pos = pos + length
+        sent_at = 0.0
+        if traced:
+            (sent_at,) = TRACE_TRAILER.unpack_from(self._buf, pos + length)
+        self._pos = pos + length + tail
         if self._pos == len(self._buf):
             del self._buf[:]
             self._pos = 0
         if self.telemetry is not None:
-            self.telemetry.record_frame("rx", head + length)
+            self.telemetry.record_frame("rx", head + length + tail)
         return Frame(
             stream_id=sid,
             index=index,
@@ -404,6 +447,8 @@ class FramedReceiver:
             eos=bool(flags & FLAG_EOS),
             ack=bool(flags & FLAG_ACK),
             codec_id=flags >> CODEC_SHIFT,
+            traced=traced,
+            sent_at=sent_at,
         )
 
     def _fill(self, need: int, *, eof_ok: bool = False) -> bool:
@@ -465,12 +510,20 @@ class FramedReceiver:
             raise FrameIntegrityError(
                 f"checksum mismatch on {sid}#{index} ({length} bytes)"
             )
+        traced = bool(flags & FLAG_TRACED)
+        sent_at = 0.0
+        tail = 0
+        if traced:
+            tail = TRACE_TRAILER.size
+            self._fill(tail)
+            (sent_at,) = TRACE_TRAILER.unpack_from(self._buf, self._pos)
+            self._pos += tail
         if self._pos == len(self._buf):
             del self._buf[:]
             self._pos = 0
         if self.telemetry is not None:
             self.telemetry.record_frame(
-                "rx", _HEADER.size + sid_len + _BODY.size + length
+                "rx", _HEADER.size + sid_len + _BODY.size + length + tail
             )
         return Frame(
             stream_id=sid,
@@ -481,6 +534,8 @@ class FramedReceiver:
             eos=bool(flags & FLAG_EOS),
             ack=bool(flags & FLAG_ACK),
             codec_id=flags >> CODEC_SHIFT,
+            traced=traced,
+            sent_at=sent_at,
         )
 
     def _read_payload(self, length: int) -> bytes:

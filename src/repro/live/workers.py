@@ -101,12 +101,18 @@ def feeder(
     telemetry=None,
     batch_frames: int = 1,
     knobs: Knobs | None = None,
+    sampler=None,
 ) -> None:
     """Pushes source chunks into the pipeline (the data generator).
 
     ``batch_frames > 1`` groups chunks into one ``put_many`` handoff
     (one lock round-trip, one span); 1 keeps the historical
     chunk-at-a-time behaviour.  ``knobs`` makes the knob hot-swappable.
+
+    ``sampler`` (a :class:`repro.trace.HeadSampler`) is where flow
+    tracing begins: the feeder assigns each head-sampled chunk its
+    trace context before the chunk enters the pipeline, and every
+    downstream hop merely forwards the mark.
     """
     _maybe_pin(cpus, "feed", telemetry)
     track = threading.current_thread().name
@@ -117,15 +123,25 @@ def feeder(
             batch = list(islice(it, bf))
             if not batch:
                 break
+            head = batch[0]
             for chunk in batch:
                 if chunk.payload is None:
                     raise ValueError(
                         f"live chunks need payloads "
                         f"({chunk.stream_id}#{chunk.index})"
                     )
+                if sampler is not None and chunk.trace is None:
+                    chunk.trace = sampler.sample_chunk(
+                        chunk.stream_id, chunk.index
+                    )
+                    # Attribute the batch span to the sampled chunk, so
+                    # a traced chunk's journey starts at the feeder even
+                    # when it is not the batch head.
+                    if chunk.trace is not None and head.trace is None:
+                        head = chunk
             with stage_span(
-                telemetry, "feed", stream_id=batch[0].stream_id,
-                chunk_id=batch[0].index, track=track,
+                telemetry, "feed", stream_id=head.stream_id,
+                chunk_id=head.index, track=track,
             ) as sp:
                 done = 0
                 while done < len(batch):
@@ -207,6 +223,7 @@ def compressor(
 
 def _chunk_frame(chunk: Chunk, *, compressed: bool) -> Frame:
     payload = chunk.wire_payload if compressed else chunk.payload
+    traced = chunk.trace is not None
     return Frame(
         stream_id=chunk.stream_id,
         index=chunk.index,
@@ -214,7 +231,47 @@ def _chunk_frame(chunk: Chunk, *, compressed: bool) -> Frame:
         compressed=compressed,
         orig_len=len(chunk.payload),
         codec_id=chunk.codec_id if compressed else 0,
+        traced=traced,
+        # Frames are built in the sender thread immediately before
+        # transmit, so this stamp is the start of the wire interval
+        # (it deliberately includes the send syscall — overlap is
+        # documented in repro.trace).
+        sent_at=time.perf_counter() if traced else 0.0,
     )
+
+
+def _batch_head(chunks: Sequence) -> "Chunk":
+    """The chunk a batch span is attributed to: the first traced one
+    (so a sampled chunk's journey has no batch-identity holes), else
+    the batch head."""
+    for chunk in chunks:
+        if chunk.trace is not None:
+            return chunk
+    return chunks[0]
+
+
+def _note_wire(telemetry, frame: Frame, *, arrived: float | None = None) -> None:
+    """Record the wire span + clock-align sample of one traced frame.
+
+    The span runs from the sender's trailer stamp to arrival on the
+    receiver's clock.  On a loopback pipeline both stamps share one
+    monotonic clock so the interval is exact; across hosts the pair
+    also feeds the telemetry's :class:`~repro.trace.ClockAlign`
+    estimator, whose offset bound the ``/trace`` endpoint reports.
+    """
+    if telemetry is None or not frame.traced:
+        return
+    now = arrived if arrived is not None else time.perf_counter()
+    align = getattr(telemetry, "trace_align", None)
+    if align is not None:
+        align.observe(frame.sent_at, now)
+    start = min(frame.sent_at, now) if frame.sent_at > 0 else now
+    record = getattr(telemetry, "record_span", None)
+    if record is not None:
+        record(
+            "wire", start, now,
+            stream_id=frame.stream_id, chunk_id=frame.index,
+        )
 
 
 def sender(
@@ -253,9 +310,10 @@ def sender(
             except Closed:
                 break
             frames = [_chunk_frame(c, compressed=compressed) for c in chunks]
+            head = _batch_head(chunks)
             with stage_span(
-                telemetry, "send", stream_id=chunks[0].stream_id,
-                chunk_id=chunks[0].index, track=track,
+                telemetry, "send", stream_id=head.stream_id,
+                chunk_id=head.index, track=track,
             ) as sp:
                 transport.send_many(frames)
             per_chunk = sp.duration / len(chunks)
@@ -395,9 +453,10 @@ def resilient_sender(
             except Closed:
                 break
             frames = [_chunk_frame(c, compressed=compressed) for c in chunks]
+            head = _batch_head(chunks)
             with stage_span(
-                telemetry, "send", stream_id=chunks[0].stream_id,
-                chunk_id=chunks[0].index, track=track,
+                telemetry, "send", stream_id=head.stream_id,
+                chunk_id=head.index, track=track,
             ) as sp:
                 _deliver_many(frames)
             per_chunk = sp.duration / len(chunks)
@@ -471,6 +530,18 @@ def receiver(
                             done = True
                             break
                         batch.append(nxt)
+                    # The wire interval ends when the frame came off
+                    # the socket — not at sp.start, which is when this
+                    # thread began *waiting* for it.
+                    arrived = time.perf_counter()
+                    tagged = False
+                    for f in batch:
+                        if f.traced:
+                            if not tagged:
+                                sp.stream_id = f.stream_id
+                                sp.chunk_id = f.index
+                                tagged = True
+                            _note_wire(telemetry, f, arrived=arrived)
             if not batch:
                 break
             per_chunk = sp.duration / len(batch)

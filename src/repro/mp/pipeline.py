@@ -44,6 +44,7 @@ from repro.mp.records import ChunkRecord, pack_record, unpack_record
 from repro.mp.supervisor import DomainSupervisor
 from repro.mp.topology import plan_topology
 from repro.telemetry.facade import as_telemetry
+from repro.trace import TraceContext
 from repro.util.errors import ValidationError
 
 
@@ -68,7 +69,9 @@ class _OrigLen:
 class _WireChunk:
     """A collected record shaped like a compressed live ``Chunk``."""
 
-    __slots__ = ("stream_id", "index", "payload", "wire_payload", "codec_id")
+    __slots__ = (
+        "stream_id", "index", "payload", "wire_payload", "codec_id", "trace",
+    )
 
     def __init__(
         self,
@@ -77,12 +80,16 @@ class _WireChunk:
         orig_len: int,
         wire_payload: bytes,
         codec_id: int = 0,
+        trace: object | None = None,
     ) -> None:
         self.stream_id = stream_id
         self.index = index
         self.payload = _OrigLen(orig_len)
         self.wire_payload = wire_payload
         self.codec_id = codec_id
+        #: Re-hydrated trace context for sampled chunks (the original
+        #: object stayed in the parent; only the ring flag crossed).
+        self.trace = trace
 
 
 class ProcessPipeline:
@@ -167,6 +174,15 @@ class ProcessPipeline:
         seen: set[tuple[str, int]] = set()
         seen_lock = threading.Lock()
 
+        sampler = None
+        # Guarded like _record_codec: as_telemetry passes through
+        # duck-typed user objects that may predate record_span.
+        record_span = getattr(tel, "record_span", None)
+        if record_span is not None and cfg.trace_sample > 0:
+            from repro.trace import HeadSampler
+
+            sampler = HeadSampler(cfg.trace_sample, cfg.trace_per_stream_cap)
+
         def feed() -> None:
             next_domain = 0
             try:
@@ -174,6 +190,10 @@ class ProcessPipeline:
                     if chunk.payload is None:
                         raise ValidationError(
                             "live pipeline chunks need payloads"
+                        )
+                    if sampler is not None and chunk.trace is None:
+                        chunk.trace = sampler.sample_chunk(
+                            chunk.stream_id, chunk.index
                         )
                     key = (chunk.stream_id, chunk.index)
                     n = len(chunk.payload)
@@ -185,16 +205,24 @@ class ProcessPipeline:
                             payload=chunk.payload,
                             compressed=False,
                             orig_len=n,
+                            traced=chunk.trace is not None,
                         )
                     )
                     t0 = time.perf_counter()
                     supervisor.dispatch(next_domain % ndomains, key, packed)
                     next_domain += 1
-                    elapsed = time.perf_counter() - t0
-                    stats["feed"].record(n, n, elapsed)
+                    t1 = time.perf_counter()
+                    stats["feed"].record(n, n, t1 - t0)
                     if tel is not None:
                         tel.record_chunk("feed", chunk.stream_id, n)
                         tel.heartbeat("mp-feeder")
+                        if chunk.trace is not None and record_span is not None:
+                            record_span(
+                                "feed", t0, t1,
+                                stream_id=chunk.stream_id,
+                                chunk_id=chunk.index,
+                                track="mp-feeder",
+                            )
             except Exception as exc:  # noqa: BLE001 - thread boundary
                 stats["feed"].fail(f"feeder: {exc!r}")
             finally:
@@ -239,6 +267,28 @@ class ProcessPipeline:
                                 if rec.codec_id
                                 else self.codec.name,
                             )
+                            if (
+                                rec.stage_times is not None
+                                and record_span is not None
+                            ):
+                                # The worker stamped its compress
+                                # interval (perf_counter is shared
+                                # across processes on this host) —
+                                # surface it on the same per-domain
+                                # track the thread pipeline would use.
+                                record_span(
+                                    "compress",
+                                    rec.stage_times[0],
+                                    rec.stage_times[1],
+                                    stream_id=rec.stream_id,
+                                    chunk_id=rec.index,
+                                    track=f"mp-compress-{domain}",
+                                )
+                        trace = (
+                            TraceContext(rec.stream_id, rec.index)
+                            if rec.traced
+                            else None
+                        )
                         batch.append(
                             _WireChunk(
                                 rec.stream_id,
@@ -246,6 +296,7 @@ class ProcessPipeline:
                                 rec.orig_len,
                                 rec.payload,
                                 rec.codec_id,
+                                trace,
                             )
                         )
                     put = 0

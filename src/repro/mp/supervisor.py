@@ -124,6 +124,7 @@ class DomainSupervisor:
                 stats_slot=spec.stats_slot,
                 batch_frames=self.batch_frames,
                 crash_after=spec.crash_after,
+                timed=self.telemetry is not None,
             ),
             daemon=True,
         )

@@ -51,8 +51,16 @@ def compress_worker(
     stats_slot: int,
     batch_frames: int = 1,
     crash_after: int | None = None,
+    timed: bool = False,
 ) -> None:
-    """Run one compressor domain until its input ring drains."""
+    """Run one compressor domain until its input ring drains.
+
+    ``timed=True`` (set when the parent has telemetry attached) makes
+    the worker stamp its compress interval into every outgoing record's
+    time trailer; the collector turns the stamps into ``compress``
+    spans on the shared timeline (``perf_counter`` is CLOCK_MONOTONIC,
+    shared across processes on one host).
+    """
     stats = StatsBlock.attach(stats_name)
     stats.set_pid(stats_slot, os.getpid())
     stats.set_state(stats_slot, WorkerState.STARTING)
@@ -98,7 +106,8 @@ def compress_worker(
                 rec = unpack_record(raw)
                 t0 = time.perf_counter()
                 comp, codec_id = codec.compress_with_id(rec.payload)
-                busy = time.perf_counter() - t0
+                t1 = time.perf_counter()
+                busy = t1 - t0
                 out.append(
                     pack_record(
                         ChunkRecord(
@@ -108,6 +117,10 @@ def compress_worker(
                             compressed=True,
                             orig_len=len(rec.payload),
                             codec_id=codec_id,
+                            traced=rec.traced,
+                            stage_times=(
+                                (t0, t1) if (timed or rec.traced) else None
+                            ),
                         )
                     )
                 )

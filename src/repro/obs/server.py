@@ -14,6 +14,9 @@ endpoint   payload
 /report    the current :class:`~repro.telemetry.report.PipelineReport`
            as JSON, plus the sampling profile when one is attached
 /events    most recent structured events (``?n=50&kind=stage_stall``)
+/trace     assembled per-chunk flow traces (``?n=20`` caps how many),
+           with waterfalls, critical-path verdicts, and the
+           sender/receiver clock-offset bound
 ========== ===========================================================
 
 ``/healthz`` is the piece a supervisor actually probes: a worker whose
@@ -42,7 +45,8 @@ PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ObservabilityServer:
-    """Serves ``/metrics``, ``/healthz``, ``/report``, ``/events``.
+    """Serves ``/metrics``, ``/healthz``, ``/report``, ``/events``,
+    ``/trace``.
 
     ``port=0`` binds an ephemeral port (read it back from
     :attr:`port` — the integration tests do).  The server is wholly
@@ -163,6 +167,16 @@ class ObservabilityServer:
             "counts": self.events.counts(),
         }
 
+    def trace(self, limit: int = 20) -> dict[str, Any]:
+        """The ``/trace`` payload: assembled flow traces, newest last."""
+        from repro.trace import trace_summary
+
+        return trace_summary(
+            self.telemetry.spans.snapshot(),
+            align=getattr(self.telemetry, "trace_align", None),
+            limit=limit,
+        )
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes GETs to the owning :class:`ObservabilityServer`."""
@@ -206,11 +220,15 @@ class _Handler(BaseHTTPRequestHandler):
                 n = int(query["n"][0]) if "n" in query else 100
                 kind = query.get("kind", [None])[0]
                 self._send_json(200, self.obs.recent_events(n, kind))
+            elif parsed.path == "/trace":
+                query = parse_qs(parsed.query)
+                n = int(query["n"][0]) if "n" in query else 20
+                self._send_json(200, self.obs.trace(n))
             elif parsed.path == "/":
                 self._send_json(
                     200,
                     {"endpoints": ["/metrics", "/healthz", "/report",
-                                   "/events"]},
+                                   "/events", "/trace"]},
                 )
             else:
                 self._send_json(404, {"error": f"no route {parsed.path!r}"})

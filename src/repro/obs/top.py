@@ -46,7 +46,7 @@ def _fetch(url: str, timeout: float) -> bytes:
 
 
 def fetch_sample(base_url: str, *, timeout: float = 2.0) -> dict[str, Any]:
-    """One poll of all four endpoints, as parsed payloads."""
+    """One poll of all five endpoints, as parsed payloads."""
     base = base_url.rstrip("/")
     metrics = parse_prometheus_text(
         _fetch(f"{base}/metrics", timeout).decode("utf-8")
@@ -57,11 +57,16 @@ def fetch_sample(base_url: str, *, timeout: float = 2.0) -> dict[str, Any]:
     except urllib.error.HTTPError as exc:  # 503 still carries the body
         health = json.loads(exc.read())
     events = json.loads(_fetch(f"{base}/events?n=5", timeout))
+    try:
+        trace = json.loads(_fetch(f"{base}/trace?n=3", timeout))
+    except (urllib.error.URLError, OSError, json.JSONDecodeError):
+        trace = {}  # older server without the /trace route
     return {
         "metrics": metrics,
         "report": report,
         "health": health,
         "events": events,
+        "trace": trace,
     }
 
 
@@ -164,7 +169,51 @@ class Dashboard:
                         f"{ev.get('message', '')}",
                     )
                 )
+        trace: Mapping[str, Any] = sample.get("trace") or {}
+        lines.extend(self._trace_pane(trace))
         return "\n".join(lines)
+
+    def _trace_pane(self, trace: Mapping[str, Any]) -> list[str]:
+        """The flow-trace pane: latest sampled chunks' waterfalls and
+        the per-stream critical-path verdicts."""
+        traces = trace.get("traces") or []
+        verdicts = trace.get("critical_path") or {}
+        if not traces and not verdicts:
+            return []
+        lines = ["", self._c(_BOLD, "  flow traces")
+                 + self._c(_DIM, f"  ({trace.get('count', 0)} assembled)")]
+        for t in traces[-3:]:
+            wf = t.get("waterfall") or {}
+            path = "→".join(
+                s.get("stage", "?") for s in (t.get("spans") or [])
+            )
+            lines.append(
+                f"  {t.get('stream', '?')}#{t.get('chunk', '?'):<6} "
+                f"{path}"
+            )
+            lines.append(
+                self._c(
+                    _DIM,
+                    f"    total={wf.get('total', 0.0) * 1e3:.2f}ms "
+                    f"work={wf.get('stage_work', 0.0) * 1e3:.2f} "
+                    f"wire={wf.get('wire', 0.0) * 1e3:.2f} "
+                    f"wait={wf.get('queue_wait', 0.0) * 1e3:.2f} "
+                    f"defer={wf.get('deferral', 0.0) * 1e3:.2f} "
+                    f"critical={t.get('critical_stage', '-')}",
+                )
+            )
+        for stream in sorted(verdicts):
+            v = verdicts[stream]
+            lines.append(
+                "  critical path "
+                + self._c(_YELLOW, f"{stream}: {v.get('stage', '-')}")
+                + self._c(
+                    _DIM,
+                    f" ({v.get('seconds', 0.0) * 1e3:.1f}ms, "
+                    f"{v.get('share', 0.0) * 100:.0f}% of cost)",
+                )
+            )
+        return lines
 
 
 def _family_total(families: Mapping[str, Family], name: str) -> float:

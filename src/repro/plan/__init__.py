@@ -25,6 +25,7 @@ _EXPORTS = {
     "ExecutionNode": "repro.plan.ir",
     "CodecNode": "repro.plan.ir",
     "ControlNode": "repro.plan.ir",
+    "TraceNode": "repro.plan.ir",
     "STAGE_ORDER": "repro.plan.ir",
     "POLICIES": "repro.plan.ir",
     # diagnostics

@@ -265,6 +265,44 @@ class ControlNode:
 
 
 @dataclass(frozen=True)
+class TraceNode:
+    """Flow-tracing policy — head-based sampling of per-chunk traces.
+
+    When ``sample`` is N > 0, the feeder marks every Nth chunk of each
+    stream with a trace context; the mark propagates through queue,
+    ring, and wire handoffs and both endpoints record per-chunk spans
+    that :mod:`repro.trace` reassembles into causal timelines.
+    ``per_stream_cap`` bounds traces per stream (0 = unbounded).
+    Serialization is v3-compatible: the default (disabled) node is
+    omitted from the document, so existing plans round-trip
+    byte-identically.
+    """
+
+    #: 1-in-N head sampling rate; 0 disables tracing, 1 traces all.
+    sample: int = 0
+    #: Max traces started per stream (0 = unbounded).
+    per_stream_cap: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample > 0
+
+    @property
+    def is_default(self) -> bool:
+        return self == TraceNode()
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "disabled"
+        cap = (
+            f", cap {self.per_stream_cap}/stream"
+            if self.per_stream_cap
+            else ""
+        )
+        return f"1-in-{self.sample} head sampling{cap}"
+
+
+@dataclass(frozen=True)
 class StreamNode:
     """One detector stream: workload, endpoints, stages, and faults."""
 
@@ -337,6 +375,8 @@ class PipelinePlan:
     codec: CodecNode = field(default_factory=CodecNode)
     #: Closed-loop autotuning policy (disabled unless opted into).
     control: ControlNode = field(default_factory=ControlNode)
+    #: Flow-tracing sampling policy (disabled unless opted into).
+    trace: TraceNode = field(default_factory=TraceNode)
     #: Free-form provenance (workload name, generator inputs, ...).
     metadata: dict[str, str] = field(default_factory=dict)
 
@@ -370,6 +410,8 @@ class PipelinePlan:
             lines.append(f"  codec: {self.codec.describe()}")
         if not self.control.is_default:
             lines.append(f"  control: {self.control.describe()}")
+        if not self.trace.is_default:
+            lines.append(f"  trace: {self.trace.describe()}")
         for s in self.streams:
             stages = ", ".join(n.describe() for n in s.stages_in_order())
             lines.append(f"  {s.stream_id}: {s.sender} -> {s.receiver}: {stages}")

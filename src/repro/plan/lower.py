@@ -181,6 +181,8 @@ def lower_live(
         ring_slot_bytes=execution.ring_slot_bytes,
         receiver_mode=execution.receiver_mode,
         receiver_shards=execution.receiver_shards,
+        trace_sample=plan.trace.sample,
+        trace_per_stream_cap=plan.trace.per_stream_cap,
     )
     return LiveLowering(
         stream_id=stream.stream_id,

@@ -33,6 +33,7 @@ from repro.plan.ir import (
     STAGE_ORDER,
     CodecNode,
     ControlNode,
+    TraceNode,
     ExecutionNode,
     PipelinePlan,
     QueueEdge,
@@ -85,6 +86,8 @@ def plan_to_dict(plan: PipelinePlan) -> dict[str, Any]:
         doc["codec"] = _codec_to_dict(plan.codec)
     if not plan.control.is_default:
         doc["control"] = _control_to_dict(plan.control)
+    if not plan.trace.is_default:
+        doc["trace"] = _trace_to_dict(plan.trace)
     return doc
 
 
@@ -117,6 +120,21 @@ def _control_to_dict(node: ControlNode) -> dict[str, Any]:
     return {
         name: getattr(node, name)
         for name in _CONTROL_FIELDS
+        if getattr(node, name) != getattr(default, name)
+    }
+
+
+_TRACE_FIELDS = (
+    "sample",
+    "per_stream_cap",
+)
+
+
+def _trace_to_dict(node: TraceNode) -> dict[str, Any]:
+    default = TraceNode()
+    return {
+        name: getattr(node, name)
+        for name in _TRACE_FIELDS
         if getattr(node, name) != getattr(default, name)
     }
 
@@ -207,7 +225,7 @@ _KNOWN_KEYS = {
     "format", "version", "name", "policy", "metadata", "machines", "paths",
     "streams", "cost", "seed", "warmup_chunks", "csw_penalty",
     "wake_affinity", "migrate_prob", "spill_threshold", "max_sim_time",
-    "execution", "codec", "control",
+    "execution", "codec", "control", "trace",
 }
 
 
@@ -256,6 +274,7 @@ def plan_from_dict(doc: dict[str, Any]) -> PipelinePlan:
         execution=_execution_from_dict(doc.get("execution")),
         codec=_codec_from_dict(doc.get("codec")),
         control=_control_from_dict(doc.get("control")),
+        trace=_trace_from_dict(doc.get("trace")),
     )
 
 
@@ -288,6 +307,21 @@ def _control_from_dict(d: dict[str, Any] | None) -> ControlNode:
         **{
             name: d.get(name, getattr(default, name))
             for name in _CONTROL_FIELDS
+        }
+    )
+
+
+def _trace_from_dict(d: dict[str, Any] | None) -> TraceNode:
+    if d is None:
+        return TraceNode()
+    unknown = set(d) - set(_TRACE_FIELDS)
+    if unknown:
+        raise ValidationError(f"unknown trace keys: {sorted(unknown)}")
+    default = TraceNode()
+    return TraceNode(
+        **{
+            name: d.get(name, getattr(default, name))
+            for name in _TRACE_FIELDS
         }
     )
 

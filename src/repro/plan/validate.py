@@ -34,6 +34,7 @@ def validate_plan(plan: PipelinePlan) -> Diagnostics:
     _validate_execution(plan, diags)
     _validate_codec(plan, diags)
     _validate_control(plan, diags)
+    _validate_trace(plan, diags)
     for stream in plan.streams:
         _validate_stream(plan, stream, diags)
     return diags
@@ -100,6 +101,20 @@ def _validate_control(plan: PipelinePlan, diags: Diagnostics) -> None:
         diags.error("bad-control", "control max_batch_frames must be >= 1")
     if c.scale_down_after < 0:
         diags.error("bad-control", "control scale_down_after must be >= 0")
+
+
+def _validate_trace(plan: PipelinePlan, diags: Diagnostics) -> None:
+    """The flow-tracing policy node (permissive IR, checked here)."""
+    t = plan.trace
+    if t.sample < 0:
+        diags.error("bad-trace", "trace sample must be >= 0")
+    if t.per_stream_cap < 0:
+        diags.error("bad-trace", "trace per_stream_cap must be >= 0")
+    if t.per_stream_cap and not t.sample:
+        diags.error(
+            "bad-trace",
+            "trace per_stream_cap without a sample rate has no effect",
+        )
 
 
 def _validate_stream(

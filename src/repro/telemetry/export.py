@@ -126,13 +126,22 @@ def json_snapshot(registry: MetricRegistry) -> dict[str, Any]:
 
 
 def chrome_trace(
-    spans: Iterable[Span], *, time_origin: float | None = None
+    spans: Iterable[Span],
+    *,
+    time_origin: float | None = None,
+    flows: Iterable[tuple[Span, Span]] | None = None,
 ) -> dict[str, Any]:
     """Spans as a Chrome/Perfetto ``trace_event`` document.
 
     Each distinct (stream, track) pair becomes a synthetic thread so
     the viewer lays spans out per core / per worker; timestamps are
     microseconds relative to the earliest span (or ``time_origin``).
+
+    ``flows`` is an optional sequence of (source, destination) span
+    pairs; each pair becomes a flow-event arrow ("s"/"f") from the
+    source span's end to the destination span's start, which is how a
+    traced chunk renders as one connected chain across process tracks
+    (:mod:`repro.trace` supplies the pairs).
     """
     all_spans = sorted(spans, key=lambda s: (s.start, s.end))
     events: list[dict[str, Any]] = []
@@ -141,6 +150,7 @@ def chrome_trace(
     t0 = time_origin if time_origin is not None else all_spans[0].start
     pids: dict[str, int] = {}
     tids: dict[tuple[str, str], int] = {}
+    locate: dict[Span, tuple[int, int]] = {}
     for span in all_spans:
         stream = span.stream_id or "pipeline"
         pid = pids.setdefault(stream, len(pids) + 1)
@@ -158,6 +168,7 @@ def chrome_trace(
                     "args": {"name": track},
                 }
             )
+        locate[span] = (pid, tid)
         events.append(
             {
                 "name": span.stage,
@@ -168,6 +179,35 @@ def chrome_trace(
                 "pid": pid,
                 "tid": tid,
                 "args": {"stream": stream, "chunk": span.chunk_id},
+            }
+        )
+    for flow_id, (src, dst) in enumerate(flows or (), start=1):
+        src_loc = locate.get(src)
+        dst_loc = locate.get(dst)
+        if src_loc is None or dst_loc is None:
+            continue  # flow endpoints must be among the exported spans
+        name = f"{src.stream_id or 'pipeline'}#{src.chunk_id}"
+        events.append(
+            {
+                "name": name,
+                "cat": "flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": (src.end - t0) * 1e6,
+                "pid": src_loc[0],
+                "tid": src_loc[1],
+            }
+        )
+        events.append(
+            {
+                "name": name,
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": (dst.start - t0) * 1e6,
+                "pid": dst_loc[0],
+                "tid": dst_loc[1],
             }
         )
     for stream, pid in pids.items():

@@ -22,7 +22,15 @@ family                                type       labels
 ``transport_frames_deduped_total``    counter    —
 ``transport_faults_injected_total``   counter    kind
 ``repro_receiver_deferred_total``     counter    stream
+``repro_spans_dropped_total``         counter    —
 ====================================  =========  ==========================
+
+The two per-stream families that grow with tenant count
+(``repro_receiver_deferred_total`` and
+``pipeline_codec_chunks_total``) are cardinality-capped: after
+``stream_label_top_k`` distinct streams, further streams fold onto
+``stream="_other"``.  The span store is likewise bounded (drop-oldest)
+with evictions counted in ``repro_spans_dropped_total``.
 
 The ``transport_retries/redeliveries/rejected/deduped`` family is the
 resilience ledger (``repro.faults`` + the resilient live endpoints);
@@ -53,13 +61,36 @@ from repro.telemetry.report import PipelineReport
 from repro.telemetry.spans import ActiveSpan, Span, SpanStore
 
 
+#: Default per-stream label budget for high-cardinality families.
+#: Generous for benchmarks and typical runs; a 1k-tenant deployment
+#: folds the tail onto ``stream="_other"`` instead of growing the
+#: registry without bound.
+DEFAULT_STREAM_LABEL_TOP_K = 256
+
+
 class Telemetry:
     """Metrics + spans for one pipeline run (sim or live)."""
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        max_spans: int | None = None,
+        stream_label_top_k: int = DEFAULT_STREAM_LABEL_TOP_K,
+    ) -> None:
         self.clock: Clock = clock or WallClock()
         self.registry = MetricRegistry()
-        self.spans = SpanStore(clock=self.clock)
+        self._spans_dropped = self.registry.counter(
+            "repro_spans_dropped_total",
+            "Spans evicted from the bounded span store (drop-oldest)",
+        )
+        span_kwargs: dict[str, Any] = {"on_drop": self._spans_dropped.inc}
+        if max_spans is not None:
+            span_kwargs["max_spans"] = max_spans
+        self.spans = SpanStore(clock=self.clock, **span_kwargs)
+        #: Sender/receiver clock alignment fed by traced frames
+        #: (:mod:`repro.trace`); always present, costs nothing unused.
+        self.trace_align = _clock_align()
         #: stage -> thread count, for per-thread bottleneck utilization.
         self.thread_counts: dict[str, int] = {}
         #: Optional structured-event bus (see :mod:`repro.obs.events`);
@@ -133,6 +164,14 @@ class Telemetry:
             "in-flight budget exceeded, or the decompress queue full)",
             ("stream",),
         )
+        # The two per-stream families that scale with tenant count are
+        # capped: past top-K distinct streams, increments fold onto
+        # stream="_other" (see MetricFamily.limit_cardinality).
+        if stream_label_top_k > 0:
+            self._deferred.limit_cardinality("stream", stream_label_top_k)
+            self._codec_chunks.limit_cardinality(
+                "stream", stream_label_top_k
+            )
         self._heartbeats = self.registry.gauge(
             "worker_heartbeat_seconds",
             "Per-worker liveness: clock time of the last completed span",
@@ -343,6 +382,15 @@ class Telemetry:
 
     def write_chrome_trace(self, path: str) -> int:
         return write_chrome_trace(self.spans.snapshot(), path)
+
+
+def _clock_align():
+    # Deferred import: repro.trace sits above repro.telemetry in the
+    # layering (it imports spans/export), so a module-level import here
+    # would be a cycle.
+    from repro.trace.assemble import ClockAlign
+
+    return ClockAlign()
 
 
 def as_telemetry(value: "bool | Telemetry | None") -> "Telemetry | None":

@@ -189,6 +189,10 @@ class HistogramSeries(_Series):
             return self._max  # pragma: no cover - unreachable
 
 
+#: Label value a capped label collapses onto once its budget is spent.
+OVERFLOW_LABEL = "_other"
+
+
 class MetricFamily:
     """A named metric with a fixed label schema and many series."""
 
@@ -208,6 +212,46 @@ class MetricFamily:
         self.buckets = tuple(sorted(buckets))
         self._lock = threading.Lock()
         self._series: dict[tuple[str, ...], _Series] = {}
+        self._cap_idx: int | None = None
+        self._cap: int = 0
+        self._cap_values: set[str] = set()
+
+    def limit_cardinality(self, label: str, top_k: int) -> None:
+        """Bound the distinct values of ``label`` to ``top_k``.
+
+        The first ``top_k`` distinct values observed keep their own
+        series; every later value is folded onto
+        ``{label}="_other"`` so a multi-tenant run with thousands of
+        streams cannot grow this family without bound.  Admission is
+        first-come — in a streaming pipeline the early streams *are*
+        the long-lived ones, and a stable mapping keeps counters
+        monotonic (re-ranking by traffic would move increments between
+        series mid-run).
+        """
+        if label not in self.label_names:
+            raise ValidationError(
+                f"{self.name} has no label {label!r} "
+                f"(labels: {self.label_names!r})"
+            )
+        if top_k < 1:
+            raise ValidationError(f"top_k must be >= 1, got {top_k}")
+        self._cap_idx = self.label_names.index(label)
+        self._cap = top_k
+
+    def _capped(self, key: tuple[str, ...]) -> tuple[str, ...]:
+        idx = self._cap_idx
+        if idx is None:
+            return key
+        value = key[idx]
+        if value == OVERFLOW_LABEL or value in self._cap_values:
+            return key
+        with self._lock:
+            if value in self._cap_values:
+                return key
+            if len(self._cap_values) < self._cap:
+                self._cap_values.add(value)
+                return key
+        return key[:idx] + (OVERFLOW_LABEL,) + key[idx + 1 :]
 
     def _make(self, labels: tuple[str, ...]) -> _Series:
         if self.kind == "counter":
@@ -237,6 +281,7 @@ class MetricFamily:
                     f"{self.name}: expected {len(self.label_names)} label "
                     f"values {self.label_names!r}, got {len(key)}"
                 )
+        key = self._capped(key)
         series = self._series.get(key)
         if series is None:
             with self._lock:

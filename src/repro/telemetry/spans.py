@@ -12,6 +12,7 @@ Chrome ``trace_event`` file.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -88,19 +89,57 @@ class ActiveSpan:
         return self.end - self.start
 
 
-class SpanStore:
-    """Thread-safe, append-only collection of spans."""
+#: Default retention bound.  Generous — a loopback bench run records a
+#: handful of spans per chunk — but finite: a 1k-stream live run left
+#: up for days must not grow an unbounded list (satellite of PR 10).
+DEFAULT_MAX_SPANS = 1 << 20
 
-    def __init__(self, clock: Clock | None = None) -> None:
+
+class SpanStore:
+    """Thread-safe span collection with bounded, drop-oldest retention.
+
+    ``max_spans`` caps the store (0 = unbounded); once full, each new
+    span evicts the oldest and bumps :attr:`dropped`.  ``on_drop`` is
+    called (outside any hot loop, once per eviction) so the telemetry
+    facade can surface drops as ``repro_spans_dropped_total``.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        *,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        on_drop=None,
+    ) -> None:
+        if max_spans < 0:
+            raise ValueError(f"max_spans must be >= 0, got {max_spans}")
         self.clock: Clock = clock or WallClock()
+        self.max_spans = max_spans
+        self.on_drop = on_drop
         self._lock = threading.Lock()
-        self._spans: list[Span] = []
+        self._spans: deque[Span] = deque(
+            maxlen=max_spans if max_spans > 0 else None
+        )
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the retention ring since construction."""
+        return self._dropped
 
     # -- recording -------------------------------------------------------
 
     def add(self, span: Span) -> Span:
         with self._lock:
+            evicting = (
+                self._spans.maxlen is not None
+                and len(self._spans) == self._spans.maxlen
+            )
             self._spans.append(span)
+            if evicting:
+                self._dropped += 1
+        if evicting and self.on_drop is not None:
+            self.on_drop()
         return span
 
     def record(

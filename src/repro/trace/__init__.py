@@ -1,0 +1,49 @@
+"""End-to-end flow tracing: per-chunk causal traces across threads,
+NUMA-domain processes, and the wire.
+
+PR 5 gave each *process* a span store; this package stitches those
+spans into per-chunk **flow traces**.  A :class:`TraceContext` is
+assigned at the feeder by a head-based :class:`HeadSampler` (rate and
+per-stream cap come from the plan's ``TraceNode``), rides the chunk
+through ``ClosableQueue`` handoffs, crosses ``SharedRing`` records via
+a flag bit + timestamp trailer, and crosses the wire via the
+transport's ``FLAG_TRACED`` bit + trailer — untraced chunks stay
+byte-identical everywhere.  :func:`assemble` then folds the spans both
+sides recorded into :class:`ChunkTrace` objects: an ordered causal
+span chain with handoff edges, a latency waterfall (queue-wait vs
+stage-work vs wire-time vs deferral), and a critical-path verdict
+naming the binding stage per stream.  :func:`chrome_flow_trace`
+renders a trace as connected flow arrows in Chrome/Perfetto.
+
+The simulator runs the identical assembly on its virtual clock — a
+traced sim run is deterministic and parity-testable against live.
+"""
+
+from repro.trace.assemble import (
+    CANONICAL_STAGES,
+    ChunkTrace,
+    ClockAlign,
+    Handoff,
+    assemble,
+    canonical_stage,
+    critical_path,
+    trace_summary,
+)
+from repro.trace.context import HeadSampler, TraceContext
+from repro.trace.flow import chrome_flow_trace, trace_flows, write_flow_trace
+
+__all__ = [
+    "CANONICAL_STAGES",
+    "ChunkTrace",
+    "ClockAlign",
+    "Handoff",
+    "HeadSampler",
+    "TraceContext",
+    "assemble",
+    "canonical_stage",
+    "chrome_flow_trace",
+    "critical_path",
+    "trace_flows",
+    "trace_summary",
+    "write_flow_trace",
+]

@@ -1,0 +1,57 @@
+"""Chrome-trace flow export: a chunk as one connected arrow chain.
+
+:func:`~repro.telemetry.export.chrome_trace` already lays spans out on
+per-(stream, track) rows; this module derives the (source,
+destination) span pairs from assembled traces so each sampled chunk
+renders as a connected flow — feeder row, compress-worker row
+(possibly another process), wire, receiver shard, decompressor — with
+arrows following the handoffs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.telemetry.export import chrome_trace
+from repro.telemetry.spans import Span
+from repro.trace.assemble import DEFER_STAGE, ChunkTrace, assemble, canonical_stage
+
+
+def trace_flows(traces: Iterable[ChunkTrace]) -> list[tuple[Span, Span]]:
+    """Consecutive-span pairs of each trace (the arrows to draw)."""
+    pairs: list[tuple[Span, Span]] = []
+    for trace in traces:
+        prev: Span | None = None
+        for span in trace.spans:
+            if canonical_stage(span.stage) == DEFER_STAGE:
+                continue
+            if prev is not None:
+                pairs.append((prev, span))
+            prev = span
+    return pairs
+
+
+def chrome_flow_trace(
+    spans: Iterable[Span], *, time_origin: float | None = None
+) -> dict[str, Any]:
+    """A ``trace_event`` document with flow arrows for traced chunks.
+
+    All spans are exported as usual; chunks that assemble into a
+    multi-span trace additionally get "s"/"f" flow events linking their
+    stages, so the sampled flows stand out as arrow chains on top of
+    the full span timeline.
+    """
+    all_spans = list(spans)
+    flows = trace_flows(
+        t for t in assemble(all_spans) if len(t.spans) > 1
+    )
+    return chrome_trace(all_spans, time_origin=time_origin, flows=flows)
+
+
+def write_flow_trace(spans: Iterable[Span], path: str) -> int:
+    """Serialize :func:`chrome_flow_trace` to ``path``; returns event count."""
+    doc = chrome_flow_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

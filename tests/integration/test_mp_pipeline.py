@@ -200,6 +200,66 @@ class TestAccounting:
         )
 
 
+class TestFlowTracing:
+    def test_traces_cross_the_process_boundary(self):
+        """A sampled chunk's trace spans feeder, a compress worker in
+        another process, the wire, and the receiver — the acceptance
+        shape of PR 10 on the fork path (spawn is the CI smoke job)."""
+        from repro.trace import assemble, critical_path
+
+        tel = Telemetry()
+        report = ProcessPipeline(
+            config(trace_sample=4), telemetry=tel
+        ).run(chunks(), sink=CapturingSink())
+        assert report.ok, report.errors
+
+        traces = [
+            t for t in assemble(tel.spans.snapshot())
+            if "wire" in t.stage_order()
+        ]
+        assert len(traces) == NUM_CHUNKS // 4
+        for trace in traces:
+            assert trace.stage_order() == (
+                "feed", "compress", "send", "wire", "recv", "decompress",
+            )
+            # The compress span was synthesized from the ring record's
+            # time trailer and names the worker *process* track.
+            compress = next(
+                s for s in trace.spans if s.stage == "compress"
+            )
+            assert compress.track.startswith("mp-compress-")
+            wf = trace.waterfall()
+            assert wf["total"] > 0
+            assert wf["stage_work"] > 0
+        verdicts = critical_path(traces)
+        assert "mp-s" in verdicts
+        assert verdicts["mp-s"].stage in trace.stage_order()
+
+    def test_untraced_run_records_no_wire_spans(self):
+        tel = Telemetry()
+        report = ProcessPipeline(config(), telemetry=tel).run(chunks())
+        assert report.ok, report.errors
+        assert "wire" not in tel.spans.stages()
+        assert tel.trace_align.samples == 0
+
+    def test_per_stream_cap_bounds_trace_count(self):
+        tel = Telemetry()
+        report = ProcessPipeline(
+            config(trace_sample=1, trace_per_stream_cap=3), telemetry=tel
+        ).run(chunks())
+        assert report.ok, report.errors
+        traced = [
+            t for t in assemble_traces(tel) if "wire" in t.stage_order()
+        ]
+        assert len(traced) == 3
+
+
+def assemble_traces(tel):
+    from repro.trace import assemble
+
+    return assemble(tel.spans.snapshot())
+
+
 class TestPlanLowered:
     def test_plan_execution_node_drives_process_mode(self):
         import dataclasses

@@ -303,3 +303,85 @@ class TestRawFrameClients:
         assert box["rx"].ok, box["rx"].errors
         # The replayed frame was ACKed but never reached the sink twice.
         assert sorted(received) == [("raw-s", 0), ("raw-s", 1)]
+
+
+class TestFlowTracing:
+    def test_traced_frames_assemble_across_the_event_loop(self):
+        """Loopback sender + event-loop receiver sharing one telemetry:
+        sampled chunks must assemble into full wire-crossing traces."""
+        from repro.trace import assemble
+
+        tel = Telemetry()
+        server = ReceiverServer(
+            codec="zlib",
+            connections=1,
+            mode="eventloop",
+            shards=1,
+            telemetry=tel,
+        )
+        tx, rx = run_pair(
+            server,
+            dict(codec="zlib", connections=1, telemetry=tel,
+                 trace_sample=2),
+            stream_chunks(1, 8),
+        )
+        assert tx.ok, tx.errors
+        assert rx.ok, rx.errors
+        traces = [
+            t for t in assemble(tel.spans.snapshot())
+            if "wire" in t.stage_order()
+        ]
+        assert len(traces) == 4  # 1-in-2 of 8 chunks
+        for trace in traces:
+            assert trace.stage_order() == (
+                "feed", "compress", "send", "wire", "recv", "decompress",
+            )
+            recv = next(s for s in trace.spans if s.stage == "recv")
+            assert recv.track == "recv-shard-0"
+        assert tel.trace_align.samples == 4
+
+    def test_defer_span_closes_a_stall_episode(self):
+        """A traced frame parked on a full decompress queue gets its
+        deferral episode recorded as a 'defer' span when it unparks."""
+        import types
+
+        from repro.live.eventloop import ReactorShard, _Conn
+
+        tel = Telemetry()
+        shard = ReactorShard(types.SimpleNamespace(telemetry=tel), 0)
+        a, b = socket.socketpair()
+        try:
+            conn = _Conn(b, FramedReceiver(b))
+            conn.stalled_since = time.perf_counter() - 0.05
+            frame = Frame("s", 3, b"x", orig_len=1, traced=True,
+                          sent_at=time.perf_counter())
+            shard._note_defer(conn, frame)
+            (span,) = tel.spans.snapshot()
+            assert span.stage == "defer"
+            assert (span.stream_id, span.chunk_id) == ("s", 3)
+            assert span.duration >= 0.05
+            assert span.track == "recv-shard-0"
+            assert conn.stalled_since == 0.0
+        finally:
+            shard._sel.close()
+            a.close()
+            b.close()
+
+    def test_untraced_stall_records_nothing(self):
+        import types
+
+        from repro.live.eventloop import ReactorShard, _Conn
+
+        tel = Telemetry()
+        shard = ReactorShard(types.SimpleNamespace(telemetry=tel), 0)
+        a, b = socket.socketpair()
+        try:
+            conn = _Conn(b, FramedReceiver(b))
+            conn.stalled_since = time.perf_counter() - 0.01
+            shard._note_defer(conn, Frame("s", 0, b"x", orig_len=1))
+            assert len(tel.spans) == 0
+            assert conn.stalled_since == 0.0
+        finally:
+            shard._sel.close()
+            a.close()
+            b.close()

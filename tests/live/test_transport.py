@@ -296,3 +296,89 @@ class TestNonBlockingFeed:
         )
         with pytest.raises(FrameIntegrityError, match="exceeds limit"):
             rx.next_frame()
+
+
+class TestTracedFrames:
+    """FLAG_TRACED + timestamp trailer (wire format v2.2)."""
+
+    @staticmethod
+    def _wire(frame):
+        from repro.live.transport import (
+            encode_frame_header,
+            encode_frame_trailer,
+        )
+
+        return (
+            encode_frame_header(frame)
+            + frame.payload
+            + encode_frame_trailer(frame)
+        )
+
+    def test_traced_round_trip_over_socket(self):
+        tx, rx = socket_pipe()
+        tx.send(Frame("s", 4, b"chunk", orig_len=5, traced=True,
+                      sent_at=123.456))
+        f = rx.recv()
+        assert f.traced
+        assert f.sent_at == 123.456
+        assert f.payload == b"chunk"
+
+    def test_traced_round_trip_through_feed_path(self):
+        _a, b = socket.socketpair()
+        rx = FramedReceiver(b)
+        rx.feed(self._wire(Frame("s", 0, b"x", orig_len=1, traced=True,
+                                 sent_at=7.25)))
+        f = rx.next_frame()
+        assert f.traced and f.sent_at == 7.25
+
+    def test_trailer_split_mid_read_resumes(self):
+        wire = self._wire(Frame("s", 0, b"ab", orig_len=2, traced=True,
+                                sent_at=1.5))
+        for cut in range(1, len(wire)):
+            _a, b = socket.socketpair()
+            rx = FramedReceiver(b)
+            rx.feed(wire[:cut])
+            assert rx.next_frame() is None, f"cut={cut} parsed early"
+            rx.feed(wire[cut:])
+            f = rx.next_frame()
+            assert f is not None and f.sent_at == 1.5, f"cut={cut}"
+
+    def test_untraced_frame_is_byte_identical_to_v21(self):
+        """Tracing must cost zero wire bytes when off: an untraced
+        frame's bytes are exactly the pre-trace layout."""
+        import zlib
+
+        frame = Frame("s1", 9, b"data", compressed=True, orig_len=64)
+        expected = (
+            _HEADER.pack(MAGIC, 2)
+            + b"s1"
+            + _BODY.pack(9, 0x1, 64, zlib.crc32(b"data"), 4)
+            + b"data"
+        )
+        assert self._wire(frame) == expected
+
+    def test_traced_frame_adds_exactly_the_trailer(self):
+        from repro.live.transport import TRACE_TRAILER
+
+        plain = self._wire(Frame("s", 0, b"abc", orig_len=3))
+        traced = self._wire(
+            Frame("s", 0, b"abc", orig_len=3, traced=True, sent_at=2.0)
+        )
+        assert len(traced) == len(plain) + TRACE_TRAILER.size
+
+    def test_checksum_covers_payload_not_trailer(self):
+        """Two traced frames differing only in sent_at carry the same
+        checksum — the trailer is observability metadata, not data."""
+        import zlib
+
+        wire_a = self._wire(Frame("s", 0, b"abc", orig_len=3, traced=True,
+                                  sent_at=1.0))
+        wire_b = self._wire(Frame("s", 0, b"abc", orig_len=3, traced=True,
+                                  sent_at=2.0))
+        assert wire_a[:-8] == wire_b[:-8]
+        assert wire_a[-8:] != wire_b[-8:]
+        _a, b = socket.socketpair()
+        rx = FramedReceiver(b)
+        rx.feed(wire_a)
+        assert rx.next_frame().payload == b"abc"
+        assert zlib.crc32(b"abc") == zlib.crc32(b"abc")  # sanity

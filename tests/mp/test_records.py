@@ -30,9 +30,13 @@ class TestRoundTrip:
         rec = ChunkRecord("s", 0, b"", False, 0)
         assert unpack_record(pack_record(rec)) == rec
 
-    def test_overhead_matches_packed_size(self):
-        rec = ChunkRecord("stream-name", 1, b"abc", False, 3)
-        assert len(pack_record(rec)) == record_overhead("stream-name") + 3
+    def test_overhead_bounds_packed_size(self):
+        # The overhead bound includes the optional time trailer, so it
+        # is exact for a stamped record and an upper bound otherwise.
+        plain = ChunkRecord("stream-name", 1, b"abc", False, 3)
+        assert len(pack_record(plain)) <= record_overhead("stream-name") + 3
+        timed = plain._replace(stage_times=(1.0, 2.0))
+        assert len(pack_record(timed)) == record_overhead("stream-name") + 3
 
 
 class TestMalformed:
@@ -64,3 +68,43 @@ class TestProperties:
     ):
         rec = ChunkRecord(stream_id, index, payload, compressed, orig_len)
         assert unpack_record(pack_record(rec)) == rec
+
+
+class TestTraceFlags:
+    def test_traced_bit_round_trips(self):
+        rec = ChunkRecord("s", 3, b"p", False, 1, traced=True)
+        back = unpack_record(pack_record(rec))
+        assert back.traced is True
+        assert back.stage_times is None
+
+    def test_time_trailer_round_trips(self):
+        rec = ChunkRecord("s", 3, b"p", True, 8,
+                          stage_times=(10.5, 11.25))
+        back = unpack_record(pack_record(rec))
+        assert back.stage_times == (10.5, 11.25)
+        assert back.payload == b"p"
+
+    def test_traced_and_timed_compose(self):
+        rec = ChunkRecord("s", 0, b"xy", False, 2, codec_id=3,
+                          traced=True, stage_times=(1.0, 2.0))
+        back = unpack_record(pack_record(rec))
+        assert back == rec
+
+    def test_untraced_untimed_record_is_byte_identical_to_old_layout(self):
+        """Tracing must cost zero ring bytes when off."""
+        import struct
+
+        rec = ChunkRecord("s0", 7, b"data", True, 64, codec_id=2)
+        expected = (
+            struct.pack("<IHHI", 7, 0x1 | (2 << 8), 2, 64)
+            + b"s0"
+            + b"data"
+        )
+        assert pack_record(rec) == expected
+
+    def test_truncated_time_trailer_rejected(self):
+        packed = pack_record(
+            ChunkRecord("s", 0, b"", False, 0, stage_times=(1.0, 2.0))
+        )
+        with pytest.raises(ValidationError, match="time trailer"):
+            unpack_record(packed[:-1])

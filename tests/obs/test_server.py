@@ -109,12 +109,51 @@ class TestEndpoints:
         payload = json.loads(body)
         assert [e["message"] for e in payload["events"]] == ["w1 silent"]
 
+    def test_trace_serves_assembled_traces(self, stack):
+        tel, clock, bus, server = stack
+        for chunk in range(3):
+            base = float(chunk)
+            tel.record_span("feed", base, base + 0.1,
+                            stream_id="s", chunk_id=chunk)
+            tel.record_span("compress", base + 0.2, base + 0.5,
+                            stream_id="s", chunk_id=chunk)
+        tel.trace_align.observe(1.0, 1.002)
+        status, _, body = get(server.url + "/trace")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["count"] == 3
+        trace = doc["traces"][0]
+        assert [s["stage"] for s in trace["spans"]] == ["feed", "compress"]
+        assert trace["waterfall"]["queue_wait"] == pytest.approx(0.1)
+        assert doc["critical_path"]["s"]["stage"] == "compress"
+        assert doc["clock"]["offset_bound"] == pytest.approx(0.002)
+
+    def test_trace_limit_query(self, stack):
+        tel, clock, bus, server = stack
+        for chunk in range(5):
+            tel.record_span("feed", float(chunk), chunk + 0.1,
+                            stream_id="s", chunk_id=chunk)
+        _, _, body = get(server.url + "/trace?n=2")
+        doc = json.loads(body)
+        assert doc["count"] == 5
+        assert [t["chunk"] for t in doc["traces"]] == [3, 4]
+
+    def test_trace_empty_store(self, stack):
+        tel, clock, bus, server = stack
+        status, _, body = get(server.url + "/trace")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc == {
+            "count": 0, "traces": [], "critical_path": {},
+            "clock": {"offset_bound": 0.0, "samples": 0},
+        }
+
     def test_index_and_404(self, stack):
         tel, clock, bus, server = stack
         status, _, body = get(server.url + "/")
         assert status == 200
         assert set(json.loads(body)["endpoints"]) == {
-            "/metrics", "/healthz", "/report", "/events"
+            "/metrics", "/healthz", "/report", "/events", "/trace"
         }
         status, _, _ = get(server.url + "/nope")
         assert status == 404

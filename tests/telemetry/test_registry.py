@@ -102,6 +102,87 @@ class TestValidation:
             reg.counter("x_total", "", ("b",))
 
 
+class TestCardinalityCap:
+    def _capped(self, k=2):
+        reg = MetricRegistry()
+        fam = reg.counter("x_total", "", ("stream",))
+        fam.limit_cardinality("stream", k)
+        return fam
+
+    def test_first_k_values_keep_their_series(self):
+        fam = self._capped(2)
+        for stream in ("a", "b", "c", "d"):
+            fam.labels(stream=stream).inc()
+        values = {s.labels[0]: s.value for s in fam.series()}
+        assert values == {"a": 1.0, "b": 1.0, "_other": 2.0}
+
+    def test_admission_is_stable_across_increments(self):
+        # An admitted value never migrates to _other mid-run, so its
+        # counter stays monotonic.
+        fam = self._capped(1)
+        fam.labels(stream="a").inc()
+        fam.labels(stream="b").inc()
+        fam.labels(stream="a").inc()
+        values = {s.labels[0]: s.value for s in fam.series()}
+        assert values == {"a": 2.0, "_other": 1.0}
+
+    def test_explicit_other_passes_through(self):
+        fam = self._capped(1)
+        fam.labels(stream="_other").inc()
+        fam.labels(stream="a").inc()
+        values = {s.labels[0]: s.value for s in fam.series()}
+        assert values == {"_other": 1.0, "a": 1.0}
+
+    def test_multi_label_families_cap_one_label(self):
+        reg = MetricRegistry()
+        fam = reg.counter("y_total", "", ("stage", "stream"))
+        fam.limit_cardinality("stream", 1)
+        fam.labels(stage="recv", stream="a").inc()
+        fam.labels(stage="recv", stream="b").inc()
+        keys = {s.labels for s in fam.series()}
+        assert keys == {("recv", "a"), ("recv", "_other")}
+
+    def test_unknown_label_rejected(self):
+        fam = MetricRegistry().counter("z_total", "", ("stage",))
+        with pytest.raises(ValidationError):
+            fam.limit_cardinality("stream", 4)
+
+    def test_nonpositive_budget_rejected(self):
+        fam = MetricRegistry().counter("z_total", "", ("stream",))
+        with pytest.raises(ValidationError):
+            fam.limit_cardinality("stream", 0)
+
+
+class TestFacadeStreamCaps:
+    def test_deferred_and_codec_families_fold_past_top_k(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(stream_label_top_k=2)
+        for stream in ("a", "b", "c", "d"):
+            tel.record_deferred(stream)
+            tel.record_codec("compress", stream, "zlib")
+        deferred = tel.registry.get("repro_receiver_deferred_total")
+        assert {s.labels[0] for s in deferred.series()} == {
+            "a", "b", "_other",
+        }
+        assert tel.counter_value(
+            "repro_receiver_deferred_total", stream="_other"
+        ) == 2
+        codec = tel.registry.get("pipeline_codec_chunks_total")
+        assert {s.labels[1] for s in codec.series()} == {"a", "b", "_other"}
+
+    def test_per_stage_chunk_counters_are_not_capped(self):
+        # pipeline_chunks_total drives the parity tests and rate panes;
+        # the cap applies only to the tenant-scaling families.
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(stream_label_top_k=1)
+        for stream in ("a", "b", "c"):
+            tel.record_chunk("feed", stream, 1)
+        chunks = tel.registry.get("pipeline_chunks_total")
+        assert {s.labels[1] for s in chunks.series()} == {"a", "b", "c"}
+
+
 class TestRegistryViews:
     def test_names_sorted(self):
         reg = MetricRegistry()

@@ -74,6 +74,43 @@ class TestSpanStore:
         assert sp.duration == 0.0
 
 
+class TestBoundedRetention:
+    def test_drop_oldest_once_full(self):
+        store = SpanStore(clock=ManualClock(), max_spans=3)
+        for i in range(5):
+            store.record("feed", 0.0, 1.0, stream_id="s", chunk_id=i)
+        assert len(store) == 3
+        assert [s.chunk_id for s in store.snapshot()] == [2, 3, 4]
+        assert store.dropped == 2
+
+    def test_on_drop_fires_once_per_eviction(self):
+        hits = []
+        store = SpanStore(
+            clock=ManualClock(), max_spans=2, on_drop=lambda: hits.append(1)
+        )
+        for _ in range(5):
+            store.record("x", 0.0, 1.0)
+        assert len(hits) == 3
+
+    def test_zero_means_unbounded(self):
+        store = SpanStore(clock=ManualClock(), max_spans=0)
+        for _ in range(100):
+            store.record("x", 0.0, 1.0)
+        assert len(store) == 100
+        assert store.dropped == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SpanStore(max_spans=-1)
+
+    def test_facade_surfaces_drops_as_counter(self):
+        tel = Telemetry(clock=ManualClock(), max_spans=2)
+        for i in range(5):
+            tel.record_span("feed", 0.0, 1.0, stream_id="s", chunk_id=i)
+        assert tel.counter_value("repro_spans_dropped_total") == 3
+        assert len(tel.spans) == 2
+
+
 class TestStageSpanHelper:
     def test_without_telemetry_still_times(self):
         with stage_span(None, "compress") as sp:
